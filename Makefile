@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper's evaluation into results/.
+experiments:
+	$(GO) run ./cmd/experiments
+
+fuzz:
+	$(GO) test -fuzz FuzzReadCSV -fuzztime 30s ./internal/trace/
+	$(GO) test -fuzz FuzzReadJSON -fuzztime 30s ./internal/trace/
+
+clean:
+	rm -rf results test_output.txt bench_output.txt

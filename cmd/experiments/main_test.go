@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRealMainFigures(t *testing.T) {
+	out := t.TempDir()
+	// Figures run in a few hundred milliseconds; Table 1 and failover
+	// are covered by the benchmarks and internal/experiments tests.
+	for _, run := range []string{"fig3", "fig6", "fig7", "fig8"} {
+		run := run
+		t.Run(run, func(t *testing.T) {
+			if err := realMain(run, out, 2006, true); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	wantFiles := []string{
+		"fig3.csv", "fig6.csv",
+		"fig7a.csv", "fig7b.csv",
+		"fig8a.csv", "fig8b.csv",
+	}
+	for _, name := range wantFiles {
+		info, err := os.Stat(filepath.Join(out, name))
+		if err != nil {
+			t.Errorf("missing %s: %v", name, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}
+
+func TestRealMainHeavyExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table1/failover/mix take ~30s even in quick mode")
+	}
+	out := t.TempDir()
+	for _, run := range []string{"table1", "failover", "mix"} {
+		run := run
+		t.Run(run, func(t *testing.T) {
+			if err := realMain(run, out, 2006, true); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	for _, name := range []string{"table1.csv", "mix.csv"} {
+		if _, err := os.Stat(filepath.Join(out, name)); err != nil {
+			t.Errorf("missing %s: %v", name, err)
+		}
+	}
+}
+
+func TestRealMainUnknownExperiment(t *testing.T) {
+	if err := realMain("nope", t.TempDir(), 1, true); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRealMainBadOutputDir(t *testing.T) {
+	// A file in place of the output directory must fail.
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "blocked")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := realMain("fig3", blocker, 1, true); err == nil {
+		t.Error("file as output dir accepted")
+	}
+}
+
+func TestRealMainDeterministicCSV(t *testing.T) {
+	a, b := t.TempDir(), t.TempDir()
+	if err := realMain("fig6", a, 2006, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := realMain("fig6", b, 2006, true); err != nil {
+		t.Fatal(err)
+	}
+	fa, err := os.ReadFile(filepath.Join(a, "fig6.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := os.ReadFile(filepath.Join(b, "fig6.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fa) != string(fb) {
+		t.Error("fig6.csv is not deterministic across runs")
+	}
+}

@@ -1,0 +1,381 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ropus/internal/core"
+	"ropus/internal/placement"
+	"ropus/internal/planner"
+	"ropus/internal/portfolio"
+	"ropus/internal/qos"
+	"ropus/internal/report"
+	"ropus/internal/sim"
+	"ropus/internal/trace"
+	"ropus/internal/wlmgr"
+	"ropus/internal/workload"
+)
+
+// qosFlags registers the application-QoS flags shared by several
+// subcommands and returns a builder for the resulting AppQoS.
+func qosFlags(fs *flag.FlagSet) func() qos.AppQoS {
+	var (
+		uLow  = fs.Float64("ulow", 0.5, "utilization of allocation for ideal performance")
+		uHigh = fs.Float64("uhigh", 0.66, "utilization of allocation ceiling for acceptable performance")
+		uDegr = fs.Float64("udegr", 0.9, "utilization of allocation ceiling during degradation")
+		m     = fs.Float64("m", 97, "percent of measurements that must be acceptable")
+		tdegr = fs.Duration("tdegr", 30*time.Minute, "max contiguous degradation (0 = unlimited)")
+	)
+	return func() qos.AppQoS {
+		return qos.AppQoS{ULow: *uLow, UHigh: *uHigh, UDegr: *uDegr, MPercent: *m, TDegr: *tdegr}
+	}
+}
+
+func loadTraces(path string) (trace.Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadCSV(f)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	var (
+		spiky    = fs.Int("spiky", 2, "number of spiky applications")
+		bursty   = fs.Int("bursty", 8, "number of bursty applications")
+		smooth   = fs.Int("smooth", 16, "number of smooth applications")
+		weeks    = fs.Int("weeks", 4, "weeks of history")
+		interval = fs.Duration("interval", trace.DefaultInterval, "measurement interval")
+		seed     = fs.Int64("seed", 2006, "generator seed")
+		out      = fs.String("o", "", "output CSV file (default stdout)")
+		batch    = fs.Int("batch", 0, "number of overnight batch applications")
+		profiles = fs.String("profiles", "", "JSON profile file overriding the class mix")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var set trace.Set
+	var err error
+	if *profiles != "" {
+		f, err := os.Open(*profiles)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		ps, err := workload.ReadProfiles(f)
+		if err != nil {
+			return err
+		}
+		set, err = workload.FleetFromProfiles(ps, *weeks, *interval, *seed)
+		if err != nil {
+			return err
+		}
+	} else {
+		set, err = workload.Fleet(workload.FleetConfig{
+			Spiky: *spiky, Bursty: *bursty, Smooth: *smooth, Batch: *batch,
+			Weeks: *weeks, Interval: *interval, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.WriteCSV(w, set); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Printf("wrote %d traces x %d samples to %s (total peak %.1f CPUs)\n",
+			len(set), set[0].Len(), *out, set.TotalPeak())
+	}
+	return nil
+}
+
+func cmdTranslate(args []string) error {
+	fs := flag.NewFlagSet("translate", flag.ContinueOnError)
+	buildQoS := qosFlags(fs)
+	var (
+		in    = fs.String("traces", "", "input trace CSV (required)")
+		theta = fs.Float64("theta", 0.6, "CoS2 resource access probability")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("translate: -traces is required")
+	}
+	set, err := loadTraces(*in)
+	if err != nil {
+		return err
+	}
+	q := buildQoS()
+	fmt.Printf("%-8s %10s %10s %10s %10s %12s %10s\n",
+		"app", "p", "Dmax", "DnewMax", "maxAlloc", "reduction%", "degraded%")
+	for _, tr := range set {
+		part, err := portfolio.Translate(tr, q, *theta)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %10.3f %10.2f %10.2f %10.2f %12.2f %10.2f\n",
+			tr.AppID, part.P, part.DMax, part.DNewMax, part.MaxAllocation(),
+			part.MaxCapReduction()*100, part.DegradedFraction(tr)*100)
+	}
+	return nil
+}
+
+// frameworkFlags registers the pool/framework flags and returns a
+// builder.
+func frameworkFlags(fs *flag.FlagSet) func() (*core.Framework, error) {
+	var (
+		theta    = fs.Float64("theta", 0.6, "CoS2 resource access probability")
+		deadline = fs.Duration("deadline", time.Hour, "CoS2 make-up deadline")
+		cpus     = fs.Int("cpus", 16, "CPUs per server")
+		seed     = fs.Int64("ga-seed", 42, "genetic search seed")
+	)
+	return func() (*core.Framework, error) {
+		return core.New(core.Config{
+			Commitment:           qos.PoolCommitment{Theta: *theta, Deadline: *deadline},
+			ServerCPUs:           *cpus,
+			ServerCapacityPerCPU: 1,
+			GA:                   placement.DefaultGAConfig(*seed),
+			Tolerance:            0.1,
+		})
+	}
+}
+
+func printPlan(plan *placement.Plan, servers []placement.Server) {
+	for s, usage := range plan.Usages {
+		if len(usage.AppIDs) == 0 {
+			continue
+		}
+		fmt.Printf("  %-8s required %6.2f / %5.1f CPUs  theta' %.4f  apps %v\n",
+			servers[s].ID, usage.Required, servers[s].Capacity(), usage.Result.Theta, usage.AppIDs)
+	}
+}
+
+func cmdPlace(args []string) error {
+	fs := flag.NewFlagSet("place", flag.ContinueOnError)
+	buildQoS := qosFlags(fs)
+	buildFramework := frameworkFlags(fs)
+	in := fs.String("traces", "", "input trace CSV (required)")
+	diagnose := fs.Bool("diagnose", false, "show the worst resource-access groups per server")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("place: -traces is required")
+	}
+	set, err := loadTraces(*in)
+	if err != nil {
+		return err
+	}
+	f, err := buildFramework()
+	if err != nil {
+		return err
+	}
+	q := buildQoS()
+	reqs := core.Requirements{Default: qos.Requirement{Normal: q, Failure: q}}
+	tr, err := f.Translate(set, reqs)
+	if err != nil {
+		return err
+	}
+	cons, err := f.Consolidate(tr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("consolidated %d applications onto %d servers (sum of peak allocations %.1f CPUs, required %.1f CPUs)\n",
+		len(set), cons.ServersUsed(), tr.CPeakTotal(), cons.CRequTotal())
+	printPlan(cons.Plan, cons.Problem.Servers)
+	if *diagnose {
+		if err := printDiagnostics(cons); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printDiagnostics shows where each used server earns or loses its
+// resource access probability.
+func printDiagnostics(cons *core.Consolidation) error {
+	fmt.Println("per-server resource access diagnostics:")
+	for s, usage := range cons.Plan.Usages {
+		if len(usage.AppIDs) == 0 {
+			continue
+		}
+		workloads := make([]sim.Workload, 0, len(usage.AppIDs))
+		for _, id := range usage.AppIDs {
+			for _, a := range cons.Problem.Apps {
+				if a.ID == id {
+					workloads = append(workloads, a.Workload)
+				}
+			}
+		}
+		agg, err := sim.NewAggregate(workloads)
+		if err != nil {
+			return err
+		}
+		diag, err := agg.Diagnose(sim.Config{
+			Capacity:      usage.Required,
+			Commitment:    cons.Problem.Commitment,
+			SlotsPerDay:   cons.Problem.SlotsPerDay,
+			DeadlineSlots: cons.Problem.DeadlineSlots,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-8s %s\n", cons.Problem.Servers[s].ID, diag)
+	}
+	return nil
+}
+
+func cmdFailover(args []string) error {
+	fs := flag.NewFlagSet("failover", flag.ContinueOnError)
+	buildQoS := qosFlags(fs)
+	buildFramework := frameworkFlags(fs)
+	var (
+		in       = fs.String("traces", "", "input trace CSV (required)")
+		failM    = fs.Float64("fail-m", 97, "failure-mode percent of acceptable measurements")
+		failTDeg = fs.Duration("fail-tdegr", 30*time.Minute, "failure-mode max contiguous degradation")
+		asJSON   = fs.Bool("json", false, "emit a JSON report instead of text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("failover: -traces is required")
+	}
+	set, err := loadTraces(*in)
+	if err != nil {
+		return err
+	}
+	f, err := buildFramework()
+	if err != nil {
+		return err
+	}
+	normal := buildQoS()
+	failQoS := normal
+	failQoS.MPercent = *failM
+	failQoS.TDegr = *failTDeg
+	reqs := core.Requirements{Default: qos.Requirement{Normal: normal, Failure: failQoS}}
+	result, err := f.Run(set, reqs)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return report.JSON(os.Stdout, result)
+	}
+	return report.Text(os.Stdout, result)
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	buildQoS := qosFlags(fs)
+	var (
+		in       = fs.String("traces", "", "input trace CSV (required)")
+		theta    = fs.Float64("theta", 0.6, "CoS2 resource access probability used for translation")
+		capacity = fs.Float64("capacity", 16, "server capacity in CPUs")
+		lag      = fs.Int("lag", 1, "workload manager allocation lag in slots")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("simulate: -traces is required")
+	}
+	set, err := loadTraces(*in)
+	if err != nil {
+		return err
+	}
+	q := buildQoS()
+	containers := make([]wlmgr.Container, len(set))
+	for i, tr := range set {
+		part, err := portfolio.Translate(tr, q, *theta)
+		if err != nil {
+			return err
+		}
+		containers[i] = wlmgr.Container{Demand: tr, Partition: part}
+	}
+	res, err := wlmgr.Run(*capacity, containers, *lag)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload manager replay at %.1f CPUs, lag %d slot(s); CoS1 overloads: %d\n",
+		*capacity, *lag, res.CoS1Overload)
+	fmt.Printf("%-8s %12s %12s %12s %10s %10s\n",
+		"app", "acceptable%", "degraded%", "violated%", "maxU", "satisfied")
+	for _, cs := range res.Containers {
+		comp, err := wlmgr.CheckCompliance(cs, q, set[0].Interval)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %12.2f %12.2f %12.2f %10.3f %10v\n",
+			cs.AppID, comp.AcceptableFraction*100, comp.DegradedFraction*100,
+			comp.ViolatedFraction*100, comp.MaxUtilization, comp.Satisfied)
+	}
+	return nil
+}
+
+func cmdPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ContinueOnError)
+	buildQoS := qosFlags(fs)
+	buildFramework := frameworkFlags(fs)
+	var (
+		in      = fs.String("traces", "", "input trace CSV (required)")
+		horizon = fs.Int("horizon-weeks", 12, "planning horizon in weeks")
+		step    = fs.Int("step-weeks", 4, "evaluation step in weeks (must divide the horizon)")
+		pool    = fs.Int("pool-servers", 0, "servers currently in the pool (0 = just report)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("plan: -traces is required")
+	}
+	set, err := loadTraces(*in)
+	if err != nil {
+		return err
+	}
+	f, err := buildFramework()
+	if err != nil {
+		return err
+	}
+	q := buildQoS()
+	cfg := planner.Config{
+		Framework:    f,
+		Requirements: core.Requirements{Default: qos.Requirement{Normal: q, Failure: q}},
+		HorizonWeeks: *horizon,
+		StepWeeks:    *step,
+		PoolServers:  *pool,
+	}
+	plan, err := planner.Run(cfg, set)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("baseline: %d servers, required %.0f CPUs, peak allocations %.0f CPUs\n",
+		plan.Baseline.Servers, plan.Baseline.CRequ, plan.Baseline.CPeak)
+	fmt.Printf("%8s %10s %12s %12s\n", "+weeks", "servers", "CRequ CPU", "CPeak CPU")
+	for _, step := range plan.Steps {
+		if !step.Feasible {
+			fmt.Printf("%8d %10s %12s %12.0f\n", step.WeeksAhead, "-", "unplaceable", step.CPeak)
+			continue
+		}
+		fmt.Printf("%8d %10d %12.0f %12.0f\n", step.WeeksAhead, step.Servers, step.CRequ, step.CPeak)
+	}
+	if plan.ExhaustedAtWeeks > 0 {
+		fmt.Printf("pool of %d servers exhausted %d weeks out\n", *pool, plan.ExhaustedAtWeeks)
+	} else if *pool > 0 {
+		fmt.Printf("pool of %d servers suffices for the %d-week horizon\n", *pool, *horizon)
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+// Command ropus is the command-line interface to the R-Opus capacity
+// management framework.
+//
+// Subcommands:
+//
+//	gen       generate a synthetic fleet of demand traces (CSV)
+//	translate run the QoS translation and print per-application results
+//	place     consolidate translated workloads onto 16-way servers
+//	failover  full pipeline incl. single-server failure analysis
+//	simulate  replay traces through the workload-manager simulator
+//	plan      long-term capacity planning over a forecast horizon
+//
+// Run "ropus <subcommand> -h" for the flags of each subcommand.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ropus:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "gen":
+		return cmdGen(args[1:])
+	case "translate":
+		return cmdTranslate(args[1:])
+	case "place":
+		return cmdPlace(args[1:])
+	case "failover":
+		return cmdFailover(args[1:])
+	case "simulate":
+		return cmdSimulate(args[1:])
+	case "plan":
+		return cmdPlan(args[1:])
+	case "-h", "--help", "help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: ropus <subcommand> [flags]
+
+subcommands:
+  gen        generate a synthetic fleet of demand traces (CSV on stdout or -o)
+  translate  run the QoS translation and print per-application results
+  place      consolidate translated workloads onto servers
+  failover   full pipeline including single-server failure analysis
+  simulate   replay traces through the workload-manager simulator
+  plan       long-term capacity planning over a forecast horizon
+`)
+}

@@ -1,0 +1,75 @@
+package ropus_test
+
+import (
+	"fmt"
+	"time"
+
+	"ropus"
+)
+
+// The breakpoint formula (paper formula 1) splits an application's
+// demand between the guaranteed and the probabilistic class of service.
+func ExampleBreakpoint() {
+	// Case study parameters: acceptable utilization of allocation in
+	// (0.5, 0.66) against a theta = 0.6 commitment.
+	p, err := ropus.Breakpoint(0.5, 0.66, 0.6)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("p = %.3f\n", p)
+
+	// With theta at or above Ulow/Uhigh all demand rides on CoS2.
+	p, err = ropus.Breakpoint(0.5, 0.66, 0.95)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("p = %.3f\n", p)
+	// Output:
+	// p = 0.394
+	// p = 0.000
+}
+
+// Permitting degraded performance caps the maximum allocation; formula
+// 5 bounds the possible saving by Uhigh/Udegr alone.
+func ExampleMaxCapReductionBound() {
+	bound := ropus.MaxCapReductionBound(0.66, 0.9)
+	fmt.Printf("up to %.1f%% smaller maximum allocations\n", bound*100)
+	// Output:
+	// up to 26.7% smaller maximum allocations
+}
+
+// Translating a demand trace yields per-CoS allocation traces whose
+// worst-case utilization of allocation respects the QoS requirement.
+func ExampleTranslate() {
+	tr, err := ropus.NewTrace("orders", 5*time.Minute, []float64{1, 2, 4, 2, 1, 1})
+	if err != nil {
+		panic(err)
+	}
+	q := ropus.AppQoS{ULow: 0.5, UHigh: 0.66, UDegr: 0.9, MPercent: 100}
+	part, err := ropus.Translate(tr, q, 0.6)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("peak demand %.0f CPUs -> max allocation %.0f CPUs (p=%.3f)\n",
+		part.DMax, part.MaxAllocation(), part.P)
+	fmt.Printf("worst-case utilization at peak: %.2f\n",
+		part.WorstCaseUtilization(part.DMax))
+	// Output:
+	// peak demand 4 CPUs -> max allocation 8 CPUs (p=0.394)
+	// worst-case utilization at peak: 0.66
+}
+
+// The stress-test substrate turns responsiveness targets into the
+// (Ulow, Uhigh) range the QoS translation needs.
+func ExampleDeriveUtilizationRange() {
+	r, err := ropus.DeriveUtilizationRange(
+		ropus.StressApplication{ServiceTime: 100 * time.Millisecond, CPUs: 1},
+		ropus.StressTargets{Ideal: 200 * time.Millisecond, Acceptable: 300 * time.Millisecond},
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Ulow=%.2f Uhigh=%.2f\n", r.ULow, r.UHigh)
+	// Output:
+	// Ulow=0.50 Uhigh=0.67
+}

@@ -1,0 +1,80 @@
+// Capacityplanning demonstrates the long-term end of the paper's
+// Figure 1: deciding when the pool will need additional capacity so a
+// procurement process can be initiated in time.
+//
+// A small fleet is projected twelve weeks ahead. The observed per-slot
+// trend is extrapolated for every application, and the business has
+// additionally forecast that one application will double its demand
+// over the quarter. The planner re-runs the consolidation at every
+// two-week step and reports when the current pool runs out.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ropus"
+)
+
+func main() {
+	traces, err := ropus.GenerateFleet(ropus.FleetConfig{
+		Bursty:   2,
+		Smooth:   6,
+		Weeks:    4,
+		Interval: time.Hour, // hourly samples keep the example snappy
+		Seed:     12,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := ropus.NewFramework(ropus.Config{
+		Commitment:           ropus.PoolCommitment{Theta: 0.6, Deadline: time.Hour},
+		ServerCPUs:           16,
+		ServerCapacityPerCPU: 1,
+		GA:                   ropus.DefaultGAConfig(8),
+		Tolerance:            0.1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	q := ropus.AppQoS{ULow: 0.5, UHigh: 0.66, UDegr: 0.9, MPercent: 97, TDegr: 30 * time.Minute}
+	cfg := ropus.PlannerConfig{
+		Framework:    f,
+		Requirements: ropus.Requirements{Default: ropus.Requirement{Normal: q, Failure: q}},
+		HorizonWeeks: 12,
+		StepWeeks:    2,
+		// The business expects app-01 to double over the quarter.
+		Growth:      map[string]float64{"app-01": 2.0},
+		PoolServers: 4,
+	}
+
+	plan, err := ropus.PlanCapacity(cfg, traces)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("pool today: %d servers in use (%.0f CPUs required, %.0f CPUs of peak allocations)\n\n",
+		plan.Baseline.Servers, plan.Baseline.CRequ, plan.Baseline.CPeak)
+	fmt.Printf("%8s %10s %12s %12s\n", "+weeks", "servers", "CRequ CPU", "CPeak CPU")
+	for _, step := range plan.Steps {
+		if !step.Feasible {
+			fmt.Printf("%8d %10s %12s %12.0f\n", step.WeeksAhead, "-", "unplaceable", step.CPeak)
+			continue
+		}
+		fmt.Printf("%8d %10d %12.0f %12.0f\n", step.WeeksAhead, step.Servers, step.CRequ, step.CPeak)
+	}
+
+	fmt.Println()
+	if plan.ExhaustedAtWeeks > 0 {
+		fmt.Printf("the %d-server pool is exhausted %d weeks out — start procurement\n",
+			cfg.PoolServers, plan.ExhaustedAtWeeks)
+		fmt.Println("(an 'unplaceable' step means some application outgrows a single")
+		fmt.Println("16-way server: the pool then needs bigger servers, not just more)")
+	} else {
+		fmt.Printf("the %d-server pool suffices for the whole %d-week horizon\n",
+			cfg.PoolServers, cfg.HorizonWeeks)
+	}
+}

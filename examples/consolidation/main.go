@@ -1,0 +1,69 @@
+// Consolidation reproduces the heart of the paper's case study (section
+// VII): 26 enterprise applications with four weeks of five-minute CPU
+// demand traces are consolidated onto 16-way servers, comparing a
+// strict QoS requirement (every measurement acceptable) against one
+// that allows 3% of measurements to degrade for at most 30 minutes at
+// a time.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ropus"
+)
+
+func main() {
+	traces, err := ropus.CaseStudyFleet(2006)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("case-study fleet: %d applications, %d samples each, sum of peak demands %.1f CPUs\n\n",
+		len(traces), traces[0].Len(), traces.TotalPeak())
+
+	strict := ropus.AppQoS{ULow: 0.5, UHigh: 0.66, UDegr: 0.9, MPercent: 100}
+	relaxed := ropus.AppQoS{ULow: 0.5, UHigh: 0.66, UDegr: 0.9, MPercent: 97, TDegr: 30 * time.Minute}
+
+	for _, scenario := range []struct {
+		name string
+		q    ropus.AppQoS
+	}{
+		{name: "strict QoS (Mdegr=0%)", q: strict},
+		{name: "relaxed QoS (Mdegr=3%, Tdegr=30m)", q: relaxed},
+	} {
+		f, err := ropus.NewFramework(ropus.Config{
+			Commitment:           ropus.PoolCommitment{Theta: 0.6, Deadline: time.Hour},
+			ServerCPUs:           16,
+			ServerCapacityPerCPU: 1,
+			GA:                   ropus.DefaultGAConfig(42),
+			Tolerance:            0.1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		reqs := ropus.Requirements{Default: ropus.Requirement{Normal: scenario.q, Failure: scenario.q}}
+		translation, err := f.Translate(traces, reqs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cons, err := f.Consolidate(translation)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s ==\n", scenario.name)
+		fmt.Printf("sum of per-app peak allocations: %.0f CPUs\n", translation.CPeakTotal())
+		fmt.Printf("servers used: %d (16-way), sum of required capacities: %.0f CPUs\n",
+			cons.ServersUsed(), cons.CRequTotal())
+		savings := 1 - cons.CRequTotal()/translation.CPeakTotal()
+		fmt.Printf("sharing saves %.0f%% of capacity vs dedicated peak allocations\n", savings*100)
+		for s, usage := range cons.Plan.Usages {
+			if len(usage.AppIDs) == 0 {
+				continue
+			}
+			fmt.Printf("  %s: %2d apps, required %5.1f CPUs, measured theta' %.4f\n",
+				cons.Problem.Servers[s].ID, len(usage.AppIDs), usage.Required, usage.Result.Theta)
+		}
+		fmt.Println()
+	}
+}

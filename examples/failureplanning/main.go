@@ -1,0 +1,88 @@
+// Failureplanning demonstrates the performability side of R-Opus
+// (paper section VI-C): applications run with a strict QoS requirement
+// in normal operation, but their owners accept a degraded requirement
+// while a failed server awaits repair. The workload placement service
+// checks whether every single-server failure can be absorbed by the
+// remaining servers under the failure-mode requirement — if so, the
+// pool needs no spare server.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ropus"
+)
+
+func main() {
+	traces, err := ropus.CaseStudyFleet(2006)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := ropus.NewFramework(ropus.Config{
+		Commitment:           ropus.PoolCommitment{Theta: 0.6, Deadline: time.Hour},
+		ServerCPUs:           16,
+		ServerCapacityPerCPU: 1,
+		GA:                   ropus.DefaultGAConfig(42),
+		Tolerance:            0.1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Normal mode: no degradation allowed. Failure mode: 3% of
+	// measurements may degrade, for at most 30 minutes at a time —
+	// the paper's case 1 vs case 2 constraints.
+	reqs := ropus.Requirements{Default: ropus.Requirement{
+		Normal:  ropus.AppQoS{ULow: 0.5, UHigh: 0.66, UDegr: 0.9, MPercent: 100},
+		Failure: ropus.AppQoS{ULow: 0.5, UHigh: 0.66, UDegr: 0.9, MPercent: 97, TDegr: 30 * time.Minute},
+	}}
+
+	report, err := f.Run(traces, reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("normal mode: %d applications on %d 16-way servers\n\n",
+		len(traces), report.Consolidation.ServersUsed())
+
+	for _, sc := range report.Failures.Scenarios {
+		fmt.Printf("if %s fails: %d applications (%v) must move\n",
+			sc.FailedServer, len(sc.AffectedApps), sc.AffectedApps)
+		if sc.Feasible {
+			fmt.Printf("  -> re-placed under failure-mode QoS; %d servers in use after the failure\n",
+				sc.Plan.ServersUsed)
+		} else {
+			fmt.Println("  -> CANNOT be re-placed: a spare would be needed for this failure")
+		}
+	}
+
+	fmt.Println()
+	if report.Failures.SpareNeeded {
+		fmt.Println("conclusion: provision a spare server (or relax the failure-mode QoS)")
+	} else {
+		fmt.Println("conclusion: the accepted failure-mode degradation absorbs any single failure —")
+		fmt.Println("no spare server is required until the failed server is repaired")
+	}
+
+	// The paper notes the scenario extends to multiple node failures:
+	// check every pair of concurrent failures too.
+	multi, err := f.PlanForMultiFailures(report.Translation, report.Consolidation, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	infeasible := 0
+	for _, sc := range multi.Scenarios {
+		if !sc.Feasible {
+			infeasible++
+		}
+	}
+	fmt.Printf("\ndouble failures: %d of %d combinations cannot be absorbed\n",
+		infeasible, len(multi.Scenarios))
+	if w := multi.Worst(); w != nil {
+		fmt.Printf("worst combination: %v (%d applications affected)\n",
+			w.FailedServers, len(w.AffectedApps))
+	}
+}

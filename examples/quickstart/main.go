@@ -1,0 +1,81 @@
+// Quickstart: generate a small synthetic fleet, run the full R-Opus
+// pipeline (QoS translation -> consolidation -> failure planning) and
+// print what the framework decided.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ropus"
+)
+
+func main() {
+	// A small fleet: one spiky, two bursty and three smooth
+	// applications over one week of five-minute samples.
+	traces, err := ropus.GenerateFleet(ropus.FleetConfig{
+		Spiky:    1,
+		Bursty:   2,
+		Smooth:   3,
+		Weeks:    1,
+		Interval: ropus.DefaultInterval,
+		Seed:     7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The application owners' QoS: ideal at 50% utilization of
+	// allocation, acceptable up to 66%; 3% of measurements may degrade
+	// to at most 90%, never for more than 30 contiguous minutes. During
+	// a server failure a weaker requirement applies.
+	normal := ropus.AppQoS{ULow: 0.5, UHigh: 0.66, UDegr: 0.9, MPercent: 97, TDegr: 30 * time.Minute}
+	failureMode := normal
+	failureMode.MPercent = 95
+	failureMode.TDegr = time.Hour
+
+	// The pool operator's commitment: CoS2 capacity is available with
+	// probability 0.6, and unmet demand is satisfied within an hour.
+	f, err := ropus.NewFramework(ropus.Config{
+		Commitment:           ropus.PoolCommitment{Theta: 0.6, Deadline: time.Hour},
+		ServerCPUs:           16,
+		ServerCapacityPerCPU: 1,
+		GA:                   ropus.DefaultGAConfig(1),
+		Tolerance:            0.1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report, err := f.Run(traces, ropus.Requirements{
+		Default: ropus.Requirement{Normal: normal, Failure: failureMode},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== QoS translation ==")
+	for _, p := range report.Translation.Normal {
+		fmt.Printf("%s: breakpoint p=%.3f, max allocation %.2f CPUs (peak demand %.2f, cap reduction %.1f%%)\n",
+			p.AppID, p.P, p.MaxAllocation(), p.DMax, p.MaxCapReduction()*100)
+	}
+
+	cons := report.Consolidation
+	fmt.Printf("\n== Consolidation ==\n%d applications -> %d server(s); required capacity %.1f CPUs vs %.1f CPUs of peak allocations\n",
+		len(traces), cons.ServersUsed(), cons.CRequTotal(), report.Translation.CPeakTotal())
+
+	fmt.Println("\n== Failure planning ==")
+	for _, sc := range report.Failures.Scenarios {
+		verdict := "absorbed by the remaining servers"
+		if !sc.Feasible {
+			verdict = "cannot be absorbed"
+		}
+		fmt.Printf("failure of %s (%d apps) %s\n", sc.FailedServer, len(sc.AffectedApps), verdict)
+	}
+	if report.Failures.SpareNeeded {
+		fmt.Println("verdict: keep a spare server")
+	} else {
+		fmt.Println("verdict: no spare server needed")
+	}
+}

@@ -1,0 +1,110 @@
+// Rebalancing demonstrates the medium-timescale loop of the paper's
+// Figure 1: the pool runs with an existing assignment, demand drifts,
+// and the operator periodically re-evaluates service levels. When a
+// server no longer satisfies the resource access commitments — or when
+// consolidation can free a server — R-Opus proposes a new assignment
+// and the container migrations that realize it, within a migration
+// budget.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ropus"
+)
+
+func main() {
+	// Month one: a fleet is translated and consolidated.
+	traces, err := ropus.GenerateFleet(ropus.FleetConfig{
+		Bursty:   2,
+		Smooth:   4,
+		Weeks:    2,
+		Interval: time.Hour,
+		Seed:     31,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := ropus.AppQoS{ULow: 0.5, UHigh: 0.66, UDegr: 0.9, MPercent: 97}
+	theta := 0.6
+
+	problem := buildProblem(traces, q, theta)
+	initial, err := ropus.OneAppPerServer(problem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := ropus.ConsolidatePlacement(problem, initial, ropus.DefaultGAConfig(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("month 1: %d applications consolidated onto %d servers\n",
+		len(traces), plan.ServersUsed)
+
+	// Month two: app-01's demand has grown 60%. Re-translate against
+	// the fresh traces and audit the standing assignment.
+	grown := traces.Clone()
+	grown[0] = grown[0].Scale(1.6)
+	fresh := buildProblem(grown, q, theta)
+
+	audit, err := ropus.AuditPlacement(fresh, plan.Assignment)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmonth 2 audit: feasible=%v, violations=%v\n", audit.Feasible, audit.Violations)
+
+	cfg := ropus.RebalanceConfig{
+		GA:           ropus.DefaultGAConfig(2),
+		MaxMoves:     2,
+		MinScoreGain: 0.5,
+	}
+	proposal, err := ropus.Rebalance(fresh, plan.Assignment, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if proposal.Keep {
+		if proposal.BudgetExceeded {
+			fmt.Println("rebalancer: no feasible repair exists — the pool itself is too small")
+		} else {
+			fmt.Println("rebalancer: current assignment is still the right one")
+		}
+		return
+	}
+	fmt.Printf("rebalancer: new plan on %d servers, %d migration(s):\n",
+		proposal.Plan.ServersUsed, len(proposal.Moves))
+	for _, m := range proposal.Moves {
+		fmt.Printf("  move %s\n", m)
+	}
+	if proposal.BudgetExceeded {
+		fmt.Printf("warning: proposal exceeds the %d-move budget; stage the migrations\n", cfg.MaxMoves)
+	}
+}
+
+// buildProblem translates the traces and assembles a placement problem
+// over 16-way servers.
+func buildProblem(traces ropus.TraceSet, q ropus.AppQoS, theta float64) *ropus.PlacementProblem {
+	apps := make([]ropus.PlacementApp, len(traces))
+	for i, tr := range traces {
+		part, err := ropus.Translate(tr, q, theta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		apps[i] = ropus.PlacementApp{
+			ID:       tr.AppID,
+			Workload: ropus.Workload{AppID: tr.AppID, CoS1: part.CoS1.Samples, CoS2: part.CoS2.Samples},
+		}
+	}
+	servers := make([]ropus.Server, len(apps))
+	for i := range servers {
+		servers[i] = ropus.Server{ID: fmt.Sprintf("srv-%02d", i+1), CPUs: 16, CPUCapacity: 1}
+	}
+	return &ropus.PlacementProblem{
+		Apps:          apps,
+		Servers:       servers,
+		Commitment:    ropus.PoolCommitment{Theta: theta, Deadline: time.Hour},
+		SlotsPerDay:   traces[0].SlotsPerDay(),
+		DeadlineSlots: 1,
+		Tolerance:     0.1,
+	}
+}

@@ -1,0 +1,3 @@
+module ropus
+
+go 1.22

@@ -1,0 +1,275 @@
+// Package core assembles the R-Opus composite framework (paper
+// Figure 2): application owners specify per-application QoS requirements
+// for normal and failure modes; the pool operator specifies resource
+// access commitments for two classes of service; a QoS translation maps
+// each application's demands onto the classes; and the workload
+// placement service consolidates the translated workloads onto a small
+// number of servers and reports whether single-server failures can be
+// absorbed without a spare.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ropus/internal/failure"
+	"ropus/internal/placement"
+	"ropus/internal/portfolio"
+	"ropus/internal/qos"
+	"ropus/internal/sim"
+	"ropus/internal/trace"
+)
+
+// Requirements maps applications to their QoS requirements. Apps not in
+// PerApp use Default.
+type Requirements struct {
+	Default qos.Requirement
+	PerApp  map[string]qos.Requirement
+}
+
+// For returns the requirement for an application.
+func (r Requirements) For(appID string) qos.Requirement {
+	if req, ok := r.PerApp[appID]; ok {
+		return req
+	}
+	return r.Default
+}
+
+// Validate checks every requirement that can be handed out.
+func (r Requirements) Validate() error {
+	if err := r.Default.Validate(); err != nil {
+		return fmt.Errorf("core: default requirement: %w", err)
+	}
+	for id, req := range r.PerApp {
+		if err := req.Validate(); err != nil {
+			return fmt.Errorf("core: requirement for %q: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// Config parameterizes a Framework.
+type Config struct {
+	// Commitment is the pool's CoS2 resource access commitment.
+	Commitment qos.PoolCommitment
+	// ServerCPUs is Z for every pool server (the case study uses
+	// 16-way servers); ServerCapacityPerCPU is normally 1.
+	ServerCPUs           int
+	ServerCapacityPerCPU float64
+	// GA configures the consolidation search.
+	GA placement.GAConfig
+	// Tolerance for required-capacity bisection (0 = default).
+	Tolerance float64
+	// Score selects the placement score model (zero value = paper's).
+	Score placement.ScoreModel
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Commitment.Validate(); err != nil {
+		return err
+	}
+	if c.ServerCPUs <= 0 {
+		return fmt.Errorf("core: ServerCPUs %d <= 0", c.ServerCPUs)
+	}
+	if c.ServerCapacityPerCPU <= 0 {
+		return fmt.Errorf("core: ServerCapacityPerCPU %v <= 0", c.ServerCapacityPerCPU)
+	}
+	if c.Tolerance < 0 {
+		return fmt.Errorf("core: Tolerance %v < 0", c.Tolerance)
+	}
+	return c.GA.Validate()
+}
+
+// Framework is the R-Opus capacity self-management system.
+type Framework struct {
+	cfg Config
+}
+
+// New builds a Framework from a validated configuration.
+func New(cfg Config) (*Framework, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Framework{cfg: cfg}, nil
+}
+
+// Translation is the output of the QoS translation stage: normal- and
+// failure-mode partitions for every application, in trace order.
+type Translation struct {
+	Traces  trace.Set
+	Normal  []*portfolio.Partition
+	Failure []*portfolio.Partition
+}
+
+// CPeakTotal returns the sum of per-application maximum allocations for
+// the normal-mode translation (the paper's ΣC_peak).
+func (t *Translation) CPeakTotal() float64 {
+	sum := 0.0
+	for _, p := range t.Normal {
+		sum += p.MaxAllocation()
+	}
+	return sum
+}
+
+// Translate runs the QoS translation for every application.
+func (f *Framework) Translate(traces trace.Set, reqs Requirements) (*Translation, error) {
+	if err := traces.Validate(); err != nil {
+		return nil, err
+	}
+	if err := reqs.Validate(); err != nil {
+		return nil, err
+	}
+	out := &Translation{
+		Traces:  traces,
+		Normal:  make([]*portfolio.Partition, len(traces)),
+		Failure: make([]*portfolio.Partition, len(traces)),
+	}
+	theta := f.cfg.Commitment.Theta
+	for i, tr := range traces {
+		req := reqs.For(tr.AppID)
+		normal, err := portfolio.Translate(tr, req.Normal, theta)
+		if err != nil {
+			return nil, fmt.Errorf("core: translate %q (normal): %w", tr.AppID, err)
+		}
+		fail, err := portfolio.Translate(tr, req.Failure, theta)
+		if err != nil {
+			return nil, fmt.Errorf("core: translate %q (failure): %w", tr.AppID, err)
+		}
+		out.Normal[i] = normal
+		out.Failure[i] = fail
+	}
+	return out, nil
+}
+
+// Consolidation is the result of the workload placement stage.
+type Consolidation struct {
+	Problem *placement.Problem
+	Plan    *placement.Plan
+}
+
+// ServersUsed returns the number of servers hosting applications.
+func (c *Consolidation) ServersUsed() int { return c.Plan.ServersUsed }
+
+// CRequTotal returns the sum of per-server required capacities (the
+// paper's ΣC_requ).
+func (c *Consolidation) CRequTotal() float64 { return c.Plan.RequiredTotal }
+
+// Consolidate places the normal-mode translated workloads onto a pool of
+// identical servers (one per application to start with, as in the
+// paper's consolidation exercises) and runs the genetic search.
+func (f *Framework) Consolidate(t *Translation) (*Consolidation, error) {
+	if t == nil || len(t.Normal) == 0 {
+		return nil, errors.New("core: nothing to consolidate")
+	}
+	problem, err := f.problemFor(t, t.Normal)
+	if err != nil {
+		return nil, err
+	}
+	initial, err := placement.OneAppPerServer(problem)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := placement.Consolidate(problem, initial, f.cfg.GA)
+	if err != nil {
+		return nil, err
+	}
+	return &Consolidation{Problem: problem, Plan: plan}, nil
+}
+
+// PlanForFailures analyzes every single-server failure of the
+// consolidated configuration with the failure-mode translations.
+func (f *Framework) PlanForFailures(t *Translation, c *Consolidation) (*failure.Report, error) {
+	if t == nil || c == nil {
+		return nil, errors.New("core: need a translation and a consolidation")
+	}
+	failApps := make([]placement.App, len(t.Failure))
+	for i, p := range t.Failure {
+		failApps[i] = partitionApp(p)
+	}
+	in := failure.Input{Problem: c.Problem, FailureApps: failApps, GA: f.cfg.GA}
+	return failure.Analyze(in, c.Plan)
+}
+
+// PlanForMultiFailures analyzes every combination of k concurrent
+// server failures of the consolidated configuration (the paper notes
+// the single-failure scenario "can be extended to multiple node
+// failures").
+func (f *Framework) PlanForMultiFailures(t *Translation, c *Consolidation, k int) (*failure.MultiReport, error) {
+	if t == nil || c == nil {
+		return nil, errors.New("core: need a translation and a consolidation")
+	}
+	failApps := make([]placement.App, len(t.Failure))
+	for i, p := range t.Failure {
+		failApps[i] = partitionApp(p)
+	}
+	in := failure.Input{Problem: c.Problem, FailureApps: failApps, GA: f.cfg.GA}
+	return failure.AnalyzeMulti(in, c.Plan, k)
+}
+
+// Report is the full output of a capacity-management pass.
+type Report struct {
+	Translation   *Translation
+	Consolidation *Consolidation
+	Failures      *failure.Report
+}
+
+// Run executes the full pipeline: translate, consolidate, plan for
+// failures.
+func (f *Framework) Run(traces trace.Set, reqs Requirements) (*Report, error) {
+	t, err := f.Translate(traces, reqs)
+	if err != nil {
+		return nil, err
+	}
+	c, err := f.Consolidate(t)
+	if err != nil {
+		return nil, err
+	}
+	fr, err := f.PlanForFailures(t, c)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Translation: t, Consolidation: c, Failures: fr}, nil
+}
+
+// problemFor assembles a placement problem from partitions, with one
+// candidate server per application.
+func (f *Framework) problemFor(t *Translation, parts []*portfolio.Partition) (*placement.Problem, error) {
+	if len(parts) == 0 {
+		return nil, errors.New("core: no partitions")
+	}
+	apps := make([]placement.App, len(parts))
+	for i, p := range parts {
+		apps[i] = partitionApp(p)
+	}
+	servers := make([]placement.Server, len(parts))
+	for i := range servers {
+		servers[i] = placement.Server{
+			ID:          fmt.Sprintf("srv-%02d", i+1),
+			CPUs:        f.cfg.ServerCPUs,
+			CPUCapacity: f.cfg.ServerCapacityPerCPU,
+		}
+	}
+	interval := t.Traces[0].Interval
+	return &placement.Problem{
+		Apps:          apps,
+		Servers:       servers,
+		Commitment:    f.cfg.Commitment,
+		SlotsPerDay:   t.Traces[0].SlotsPerDay(),
+		DeadlineSlots: f.cfg.Commitment.DeadlineSlots(interval),
+		Tolerance:     f.cfg.Tolerance,
+		Score:         f.cfg.Score,
+	}, nil
+}
+
+// partitionApp adapts a portfolio partition to a placement application.
+func partitionApp(p *portfolio.Partition) placement.App {
+	return placement.App{
+		ID: p.AppID,
+		Workload: sim.Workload{
+			AppID: p.AppID,
+			CoS1:  p.CoS1.Samples,
+			CoS2:  p.CoS2.Samples,
+		},
+	}
+}

@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ropus/internal/trace"
+	"ropus/internal/workload"
+)
+
+// smallFleet keeps consolidation-based tests fast: 6 apps, 1 week of
+// hourly samples.
+func smallFleet(t *testing.T) trace.Set {
+	t.Helper()
+	set, err := workload.Fleet(workload.FleetConfig{
+		Spiky: 1, Bursty: 2, Smooth: 3,
+		Weeks: 1, Interval: time.Hour, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestFig3Shape(t *testing.T) {
+	rows, err := Fig3(0.5, 0.66)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 10 {
+		t.Fatalf("only %d rows", len(rows))
+	}
+	ratio := 0.5 / 0.66
+	prevP := math.Inf(1)
+	for _, r := range rows {
+		if r.Breakpoint < 0 || r.Breakpoint > 1 {
+			t.Fatalf("breakpoint %v outside [0,1] at theta %v", r.Breakpoint, r.Theta)
+		}
+		if r.Breakpoint > prevP+1e-12 {
+			t.Fatalf("breakpoint not non-increasing at theta %v", r.Theta)
+		}
+		prevP = r.Breakpoint
+		if r.Theta >= ratio && r.Breakpoint != 0 {
+			t.Fatalf("breakpoint %v should be 0 at theta %v >= Ulow/Uhigh", r.Breakpoint, r.Theta)
+		}
+		if r.MaxAllocTrend > 1+1e-12 {
+			t.Fatalf("trend %v above normalization at theta %v", r.MaxAllocTrend, r.Theta)
+		}
+	}
+	// The paper's 20% claim: trend(0.95)/trend(0.6) ~ 0.797.
+	var t95, t60 float64
+	for _, r := range rows {
+		if math.Abs(r.Theta-0.95) < 1e-9 {
+			t95 = r.MaxAllocTrend
+		}
+		if math.Abs(r.Theta-0.60) < 1e-9 {
+			t60 = r.MaxAllocTrend
+		}
+	}
+	if t95 == 0 || t60 == 0 {
+		t.Fatal("sweep missing theta 0.95 or 0.60")
+	}
+	if got := t95 / t60; got < 0.78 || got > 0.82 {
+		t.Errorf("trend ratio = %v, want ~0.797", got)
+	}
+
+	if _, err := Fig3(0, 0.66); err == nil {
+		t.Error("invalid Ulow accepted")
+	}
+}
+
+func TestFig6SortedAndBounded(t *testing.T) {
+	set := smallFleet(t)
+	rows, err := Fig6(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(set) {
+		t.Fatalf("%d rows for %d apps", len(rows), len(set))
+	}
+	last := len(Fig6Levels) - 1
+	prev := -1.0
+	for _, r := range rows {
+		if len(r.Percentiles) != len(Fig6Levels) {
+			t.Fatalf("row %s has %d percentiles", r.AppID, len(r.Percentiles))
+		}
+		for j := 1; j < len(r.Percentiles); j++ {
+			if r.Percentiles[j] > r.Percentiles[j-1]+1e-9 {
+				t.Errorf("%s: percentile levels not decreasing: %v", r.AppID, r.Percentiles)
+			}
+		}
+		if r.Percentiles[0] > 100+1e-9 || r.Percentiles[last] < 0 {
+			t.Errorf("%s: percentiles outside [0,100]: %v", r.AppID, r.Percentiles)
+		}
+		if r.Percentiles[last] < prev-1e-9 {
+			t.Error("rows not ordered burstiest-first")
+		}
+		prev = r.Percentiles[last]
+	}
+	if _, err := Fig6(trace.Set{}); err == nil {
+		t.Error("empty set accepted")
+	}
+}
+
+func TestFig7Bounds(t *testing.T) {
+	set := smallFleet(t)
+	rows, err := Fig7(set, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := (1 - 0.66/0.9) * 100
+	for _, r := range rows {
+		if len(r.Values) != len(TDegrSweep) {
+			t.Fatalf("%s: %d values", r.AppID, len(r.Values))
+		}
+		for j, v := range r.Values {
+			if v < -1e-9 || v > bound+1e-9 {
+				t.Errorf("%s: reduction %v outside [0, %.2f]", r.AppID, v, bound)
+			}
+			// Tighter Tdegr can only lower the reduction.
+			if j > 0 && v > r.Values[j-1]+1e-9 {
+				t.Errorf("%s: reduction increased under tighter Tdegr: %v", r.AppID, r.Values)
+			}
+		}
+	}
+}
+
+func TestFig8Bounds(t *testing.T) {
+	set := smallFleet(t)
+	for _, theta := range []float64{0.6, 0.95} {
+		rows, err := Fig8(set, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			for j, v := range r.Values {
+				if v < 0 || v > 3+1e-9 {
+					t.Errorf("theta=%v %s: degraded %v%% outside [0,3]", theta, r.AppID, v)
+				}
+				if j > 0 && v > r.Values[j-1]+1e-9 {
+					t.Errorf("theta=%v %s: degraded%% increased under tighter Tdegr: %v",
+						theta, r.AppID, r.Values)
+				}
+			}
+		}
+	}
+}
+
+func TestFig8ThetaOrdering(t *testing.T) {
+	// At the same cap, higher theta leaves more headroom before
+	// degradation: per-app degraded fraction at 0.95 <= at 0.60 for the
+	// Tdegr=none column.
+	set := smallFleet(t)
+	hi, err := Fig8(set, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := Fig8(set, 0.60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hi {
+		if hi[i].Values[0] > lo[i].Values[0]+1e-9 {
+			t.Errorf("%s: degraded%% at theta 0.95 (%v) above theta 0.6 (%v)",
+				hi[i].AppID, hi[i].Values[0], lo[i].Values[0])
+		}
+	}
+}
+
+func TestTable1SmallFleet(t *testing.T) {
+	set := smallFleet(t)
+	rows, err := Table1(set, Table1Config{GASeed: 9, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Table1Cases) {
+		t.Fatalf("%d rows, want %d", len(rows), len(Table1Cases))
+	}
+	byID := make(map[int]Table1Row, len(rows))
+	for _, r := range rows {
+		byID[r.Case.ID] = r
+		if r.Servers < 1 {
+			t.Errorf("case %d: %d servers", r.Case.ID, r.Servers)
+		}
+		if r.CRequ <= 0 || r.CPeak <= 0 {
+			t.Errorf("case %d: CRequ=%v CPeak=%v", r.Case.ID, r.CRequ, r.CPeak)
+		}
+		if r.CRequ > r.CPeak+1e-6 {
+			t.Errorf("case %d: CRequ %v above CPeak %v", r.Case.ID, r.CRequ, r.CPeak)
+		}
+	}
+	// Shape: Mdegr=0 cases share CPeak; Mdegr=3 reduces it.
+	if byID[1].CPeak != byID[4].CPeak {
+		t.Errorf("cases 1 and 4 must share CPeak: %v vs %v", byID[1].CPeak, byID[4].CPeak)
+	}
+	if byID[3].CPeak >= byID[1].CPeak {
+		t.Errorf("Mdegr=3%% should reduce CPeak: %v vs %v", byID[3].CPeak, byID[1].CPeak)
+	}
+	// Tdegr=none caps are theta-independent: cases 3 and 6 share CPeak.
+	if math.Abs(byID[3].CPeak-byID[6].CPeak) > 1e-6 {
+		t.Errorf("cases 3 and 6 must share CPeak: %v vs %v", byID[3].CPeak, byID[6].CPeak)
+	}
+}
+
+func TestFailoverSmallFleet(t *testing.T) {
+	set := smallFleet(t)
+	res, err := Failover(set, Table1Config{GASeed: 9, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NormalServers < 1 {
+		t.Errorf("NormalServers = %d", res.NormalServers)
+	}
+	if res.Report == nil || res.Report.Failures == nil {
+		t.Fatal("missing failure report")
+	}
+	if got := len(res.Report.Failures.Scenarios); got != res.NormalServers {
+		t.Errorf("%d scenarios for %d servers", got, res.NormalServers)
+	}
+}
+
+func TestMixComparesAllAlgorithms(t *testing.T) {
+	rows, err := Mix(MixConfig{Interactive: 2, Batch: 2, Seed: 4, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4 algorithms", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Algorithm] = true
+		if !r.Feasible {
+			t.Errorf("%s produced no feasible plan", r.Algorithm)
+			continue
+		}
+		if r.Servers < 1 || r.CRequ <= 0 {
+			t.Errorf("%s: servers=%d CRequ=%v", r.Algorithm, r.Servers, r.CRequ)
+		}
+	}
+	for _, want := range []string{"first-fit-decreasing", "best-fit-decreasing", "least-correlated-fit", "genetic"} {
+		if !names[want] {
+			t.Errorf("missing algorithm %s", want)
+		}
+	}
+}
+
+func TestFleetMatchesCaseStudyConfig(t *testing.T) {
+	set, err := Fleet(2006)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 26 {
+		t.Errorf("fleet size %d, want 26", len(set))
+	}
+	if set[0].Len() != 4*7*288 {
+		t.Errorf("trace length %d, want 4 weeks of 5-minute samples", set[0].Len())
+	}
+}
+
+func TestCaseStudyQoS(t *testing.T) {
+	q := CaseStudyQoS(97, 30*time.Minute)
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if q.ULow != 0.5 || q.UHigh != 0.66 || q.UDegr != 0.9 {
+		t.Errorf("unexpected case-study QoS: %+v", q)
+	}
+}

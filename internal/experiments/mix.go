@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ropus/internal/placement"
+	"ropus/internal/portfolio"
+	"ropus/internal/qos"
+	"ropus/internal/sim"
+	"ropus/internal/workload"
+)
+
+// Mix is an extra experiment beyond the paper's evaluation: a fleet of
+// interactive (day-peaking) and batch (night-peaking) applications is
+// consolidated by every placement algorithm in the repository. The
+// anti-correlation between the classes is exactly the structure the
+// paper's related-work section says correlation-aware heuristics could
+// exploit; the experiment quantifies how much each algorithm actually
+// exploits it.
+
+// MixRow is one algorithm's result on the mixed fleet.
+type MixRow struct {
+	Algorithm string
+	Servers   int
+	CRequ     float64
+	// Feasible is false when the algorithm failed to place the fleet.
+	Feasible bool
+}
+
+// MixConfig parameterizes the mixed-fleet experiment.
+type MixConfig struct {
+	// Interactive and Batch are the class sizes (default 6/6 when 0).
+	Interactive, Batch int
+	// Seed drives both fleet generation and the genetic search.
+	Seed int64
+	// Quick trades search quality for speed.
+	Quick bool
+}
+
+// Mix runs the mixed-fleet consolidation comparison.
+func Mix(cfg MixConfig) ([]MixRow, error) {
+	if cfg.Interactive <= 0 {
+		cfg.Interactive = 6
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 6
+	}
+	set, err := workload.Fleet(workload.FleetConfig{
+		Smooth:   cfg.Interactive,
+		Batch:    cfg.Batch,
+		Weeks:    2,
+		Interval: 15 * time.Minute,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	theta := 0.6
+	q := CaseStudyQoS(97, 30*time.Minute)
+	apps := make([]placement.App, len(set))
+	for i, tr := range set {
+		part, err := portfolio.Translate(tr, q, theta)
+		if err != nil {
+			return nil, err
+		}
+		apps[i] = placement.App{ID: tr.AppID, Workload: sim.Workload{
+			AppID: tr.AppID, CoS1: part.CoS1.Samples, CoS2: part.CoS2.Samples,
+		}}
+	}
+	servers := make([]placement.Server, len(apps))
+	for i := range servers {
+		servers[i] = placement.Server{ID: fmt.Sprintf("srv-%02d", i+1), CPUs: 16, CPUCapacity: 1}
+	}
+	problem := &placement.Problem{
+		Apps:          apps,
+		Servers:       servers,
+		Commitment:    qos.PoolCommitment{Theta: theta, Deadline: time.Hour},
+		SlotsPerDay:   set[0].SlotsPerDay(),
+		DeadlineSlots: 4,
+		Tolerance:     0.1,
+	}
+
+	ga := placement.DefaultGAConfig(cfg.Seed)
+	if cfg.Quick {
+		ga.MaxGenerations = 40
+		ga.Stagnation = 10
+		ga.PopulationSize = 16
+		problem.Tolerance = 0.25
+	}
+
+	rows := make([]MixRow, 0, 4)
+	run := func(name string, fn func() (*placement.Plan, error)) {
+		plan, err := fn()
+		if err != nil {
+			rows = append(rows, MixRow{Algorithm: name})
+			return
+		}
+		rows = append(rows, MixRow{
+			Algorithm: name,
+			Servers:   plan.ServersUsed,
+			CRequ:     plan.RequiredTotal,
+			Feasible:  plan.Feasible,
+		})
+	}
+	run("first-fit-decreasing", func() (*placement.Plan, error) {
+		return placement.FirstFitDecreasing(problem)
+	})
+	run("best-fit-decreasing", func() (*placement.Plan, error) {
+		return placement.BestFitDecreasing(problem)
+	})
+	run("least-correlated-fit", func() (*placement.Plan, error) {
+		return placement.LeastCorrelatedFit(problem)
+	})
+	run("genetic", func() (*placement.Plan, error) {
+		initial, err := placement.OneAppPerServer(problem)
+		if err != nil {
+			return nil, err
+		}
+		return placement.Consolidate(problem, initial, ga)
+	})
+	return rows, nil
+}

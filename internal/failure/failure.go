@@ -1,0 +1,218 @@
+// Package failure implements R-Opus's failure-mode planning (paper
+// section VI-C).
+//
+// Starting from a consolidated normal-mode plan, the planner removes one
+// server at a time, switches the applications that were hosted on it to
+// their failure-mode QoS translation, and re-runs the consolidation
+// algorithm on the remaining servers. If every single-server failure can
+// be absorbed this way, the pool needs no spare server: the affected
+// applications can operate under their (typically weaker) failure QoS
+// until the server is repaired. Realizing the new configuration requires
+// a workload migration mechanism, which is outside the planner's scope.
+package failure
+
+import (
+	"errors"
+	"fmt"
+
+	"ropus/internal/placement"
+)
+
+// Input is everything the planner needs beyond the base plan.
+type Input struct {
+	// Problem is the normal-mode consolidation problem the base plan
+	// was computed for.
+	Problem *placement.Problem
+	// FailureApps holds the failure-mode translations, one per
+	// application, aligned by index with Problem.Apps (same IDs).
+	FailureApps []placement.App
+	// GA configures the re-consolidation searches.
+	GA placement.GAConfig
+}
+
+// Validate checks the input's structural invariants.
+func (in Input) Validate() error {
+	if in.Problem == nil {
+		return errors.New("failure: nil problem")
+	}
+	if err := in.Problem.Validate(); err != nil {
+		return err
+	}
+	if len(in.FailureApps) != len(in.Problem.Apps) {
+		return fmt.Errorf("failure: %d failure-mode apps for %d normal-mode apps",
+			len(in.FailureApps), len(in.Problem.Apps))
+	}
+	for i, a := range in.FailureApps {
+		if a.ID != in.Problem.Apps[i].ID {
+			return fmt.Errorf("failure: failure-mode app %d is %q, want %q",
+				i, a.ID, in.Problem.Apps[i].ID)
+		}
+		if err := a.Workload.Validate(); err != nil {
+			return err
+		}
+	}
+	return in.GA.Validate()
+}
+
+// Scenario is the outcome for the failure of one server.
+type Scenario struct {
+	// FailedServer is the server removed in this scenario.
+	FailedServer string
+	// AffectedApps are the applications that were hosted on it.
+	AffectedApps []string
+	// Feasible reports whether the affected applications could be
+	// placed on the remaining servers under failure-mode QoS.
+	Feasible bool
+	// Plan is the re-consolidated plan when feasible; nil otherwise.
+	// Server indexes in the plan refer to Servers below.
+	Plan *placement.Plan
+	// Servers is the reduced server list the plan was computed against.
+	Servers []placement.Server
+}
+
+// Report aggregates all single-server failure scenarios.
+type Report struct {
+	Scenarios []Scenario
+	// SpareNeeded is true when at least one failure cannot be absorbed
+	// by the remaining servers.
+	SpareNeeded bool
+}
+
+// Analyze evaluates every single-server failure of the servers used by
+// basePlan (removing an unused server is a non-event). The base plan
+// must have been produced for in.Problem.
+func Analyze(in Input, basePlan *placement.Plan) (*Report, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if basePlan == nil {
+		return nil, errors.New("failure: nil base plan")
+	}
+	if err := basePlan.Assignment.Validate(in.Problem); err != nil {
+		return nil, err
+	}
+
+	report := &Report{}
+	for srvIdx, srv := range in.Problem.Servers {
+		affected := appsOn(basePlan.Assignment, srvIdx)
+		if len(affected) == 0 {
+			continue
+		}
+		scenario, err := analyzeOne(in, basePlan, srvIdx, affected)
+		if err != nil {
+			return nil, fmt.Errorf("failure: scenario %q: %w", srv.ID, err)
+		}
+		report.Scenarios = append(report.Scenarios, scenario)
+		if !scenario.Feasible {
+			report.SpareNeeded = true
+		}
+	}
+	return report, nil
+}
+
+// analyzeOne re-consolidates after removing server srvIdx.
+func analyzeOne(in Input, basePlan *placement.Plan, srvIdx int, affected []int) (Scenario, error) {
+	p := in.Problem
+	scenario := Scenario{
+		FailedServer: p.Servers[srvIdx].ID,
+		AffectedApps: make([]string, 0, len(affected)),
+	}
+	for _, a := range affected {
+		scenario.AffectedApps = append(scenario.AffectedApps, p.Apps[a].ID)
+	}
+
+	if len(p.Servers) == 1 {
+		return scenario, nil // nothing left to host the apps: infeasible
+	}
+
+	// Build the reduced problem: the failed server disappears; affected
+	// applications switch to their failure-mode translation.
+	isAffected := make(map[int]bool, len(affected))
+	for _, a := range affected {
+		isAffected[a] = true
+	}
+	apps := make([]placement.App, len(p.Apps))
+	for i := range p.Apps {
+		if isAffected[i] {
+			apps[i] = in.FailureApps[i]
+		} else {
+			apps[i] = p.Apps[i]
+		}
+	}
+	servers := make([]placement.Server, 0, len(p.Servers)-1)
+	oldToNew := make([]int, len(p.Servers))
+	for i, s := range p.Servers {
+		if i == srvIdx {
+			oldToNew[i] = -1
+			continue
+		}
+		oldToNew[i] = len(servers)
+		servers = append(servers, s)
+	}
+	reduced := &placement.Problem{
+		Apps:          apps,
+		Servers:       servers,
+		Commitment:    p.Commitment,
+		SlotsPerDay:   p.SlotsPerDay,
+		DeadlineSlots: p.DeadlineSlots,
+		Tolerance:     p.Tolerance,
+	}
+
+	// Initial assignment: unaffected applications stay put; affected
+	// ones are spread round-robin over the remaining servers, letting
+	// the genetic search find real homes.
+	initial := make(placement.Assignment, len(apps))
+	next := 0
+	for i, old := range basePlan.Assignment {
+		if mapped := oldToNew[old]; mapped >= 0 {
+			initial[i] = mapped
+			continue
+		}
+		initial[i] = next % len(servers)
+		next++
+	}
+
+	plan, err := placement.Consolidate(reduced, initial, in.GA)
+	if errors.Is(err, placement.ErrNoFeasible) {
+		return scenario, nil // infeasible, not an error
+	}
+	if err != nil {
+		return Scenario{}, err
+	}
+	scenario.Feasible = true
+	scenario.Plan = plan
+	scenario.Servers = servers
+	return scenario, nil
+}
+
+// Migrations returns the container moves needed to realize this
+// scenario's plan starting from the base configuration: applications on
+// the failed server evacuate, and the re-consolidation may also
+// relocate others. The base problem and plan must be the ones the
+// scenario was computed from.
+func (s *Scenario) Migrations(base *placement.Problem, basePlan *placement.Plan) ([]placement.Move, error) {
+	if !s.Feasible || s.Plan == nil {
+		return nil, errors.New("failure: scenario has no feasible plan")
+	}
+	if base == nil || basePlan == nil {
+		return nil, errors.New("failure: need the base problem and plan")
+	}
+	apps := make([]string, len(base.Apps))
+	for i, a := range base.Apps {
+		apps[i] = a.ID
+	}
+	return placement.MigrationsByServerID(apps,
+		base.Servers, basePlan.Assignment,
+		s.Servers, s.Plan.Assignment)
+}
+
+// appsOn lists the applications assigned to server s.
+func appsOn(a placement.Assignment, s int) []int {
+	var out []int
+	for app, srv := range a {
+		if srv == s {
+			out = append(out, app)
+		}
+	}
+	return out
+}

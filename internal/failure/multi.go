@@ -1,0 +1,205 @@
+package failure
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"ropus/internal/placement"
+)
+
+// Multi-node failure planning: the paper notes that the single-failure
+// scenario "can be extended to multiple node failures". AnalyzeMulti
+// evaluates every combination of k concurrent server failures among the
+// servers used by the base plan, re-translating all affected
+// applications with their failure-mode QoS and re-running the
+// consolidation on the surviving servers.
+
+// MultiScenario is the outcome for one set of concurrently failed
+// servers.
+type MultiScenario struct {
+	// FailedServers are the servers removed in this scenario, in pool
+	// order.
+	FailedServers []string
+	// AffectedApps are the applications that were hosted on them.
+	AffectedApps []string
+	// Feasible reports whether the affected applications could be
+	// placed on the surviving servers under failure-mode QoS.
+	Feasible bool
+	// Plan is the re-consolidated plan when feasible; nil otherwise.
+	Plan *placement.Plan
+	// Servers is the surviving server list the plan was computed
+	// against.
+	Servers []placement.Server
+}
+
+// Key returns a stable identifier for the failed-server combination.
+func (s MultiScenario) Key() string { return strings.Join(s.FailedServers, "+") }
+
+// MultiReport aggregates all k-failure scenarios.
+type MultiReport struct {
+	// K is the number of concurrent failures analyzed.
+	K         int
+	Scenarios []MultiScenario
+	// SparesNeeded is true when at least one combination cannot be
+	// absorbed by the surviving servers.
+	SparesNeeded bool
+}
+
+// Worst returns the scenario with the most affected applications among
+// the infeasible ones, or nil if every scenario is feasible.
+func (r *MultiReport) Worst() *MultiScenario {
+	var worst *MultiScenario
+	for i := range r.Scenarios {
+		sc := &r.Scenarios[i]
+		if sc.Feasible {
+			continue
+		}
+		if worst == nil || len(sc.AffectedApps) > len(worst.AffectedApps) {
+			worst = sc
+		}
+	}
+	return worst
+}
+
+// AnalyzeMulti evaluates every combination of k concurrent failures of
+// servers used by basePlan. k=1 degenerates to Analyze's scenarios.
+func AnalyzeMulti(in Input, basePlan *placement.Plan, k int) (*MultiReport, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if basePlan == nil {
+		return nil, errors.New("failure: nil base plan")
+	}
+	if err := basePlan.Assignment.Validate(in.Problem); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("failure: k %d < 1", k)
+	}
+
+	var used []int
+	for srvIdx := range in.Problem.Servers {
+		if len(appsOn(basePlan.Assignment, srvIdx)) > 0 {
+			used = append(used, srvIdx)
+		}
+	}
+	if k > len(used) {
+		return nil, fmt.Errorf("failure: k=%d exceeds the %d servers in use", k, len(used))
+	}
+
+	report := &MultiReport{K: k}
+	for _, combo := range combinations(used, k) {
+		scenario, err := analyzeCombo(in, basePlan, combo)
+		if err != nil {
+			return nil, fmt.Errorf("failure: scenario %v: %w", combo, err)
+		}
+		report.Scenarios = append(report.Scenarios, scenario)
+		if !scenario.Feasible {
+			report.SparesNeeded = true
+		}
+	}
+	return report, nil
+}
+
+// analyzeCombo re-consolidates after removing the given servers.
+func analyzeCombo(in Input, basePlan *placement.Plan, combo []int) (MultiScenario, error) {
+	p := in.Problem
+	failed := make(map[int]bool, len(combo))
+	scenario := MultiScenario{}
+	for _, s := range combo {
+		failed[s] = true
+		scenario.FailedServers = append(scenario.FailedServers, p.Servers[s].ID)
+	}
+
+	var affected []int
+	for app, srv := range basePlan.Assignment {
+		if failed[srv] {
+			affected = append(affected, app)
+		}
+	}
+	sort.Ints(affected)
+	for _, a := range affected {
+		scenario.AffectedApps = append(scenario.AffectedApps, p.Apps[a].ID)
+	}
+
+	if len(p.Servers) <= len(combo) {
+		return scenario, nil // nothing survives
+	}
+
+	isAffected := make(map[int]bool, len(affected))
+	for _, a := range affected {
+		isAffected[a] = true
+	}
+	apps := make([]placement.App, len(p.Apps))
+	for i := range p.Apps {
+		if isAffected[i] {
+			apps[i] = in.FailureApps[i]
+		} else {
+			apps[i] = p.Apps[i]
+		}
+	}
+	servers := make([]placement.Server, 0, len(p.Servers)-len(combo))
+	oldToNew := make([]int, len(p.Servers))
+	for i, s := range p.Servers {
+		if failed[i] {
+			oldToNew[i] = -1
+			continue
+		}
+		oldToNew[i] = len(servers)
+		servers = append(servers, s)
+	}
+	reduced := &placement.Problem{
+		Apps:          apps,
+		Servers:       servers,
+		Commitment:    p.Commitment,
+		SlotsPerDay:   p.SlotsPerDay,
+		DeadlineSlots: p.DeadlineSlots,
+		Tolerance:     p.Tolerance,
+	}
+	initial := make(placement.Assignment, len(apps))
+	next := 0
+	for i, old := range basePlan.Assignment {
+		if mapped := oldToNew[old]; mapped >= 0 {
+			initial[i] = mapped
+			continue
+		}
+		initial[i] = next % len(servers)
+		next++
+	}
+
+	plan, err := placement.Consolidate(reduced, initial, in.GA)
+	if errors.Is(err, placement.ErrNoFeasible) {
+		return scenario, nil
+	}
+	if err != nil {
+		return MultiScenario{}, err
+	}
+	scenario.Feasible = true
+	scenario.Plan = plan
+	scenario.Servers = servers
+	return scenario, nil
+}
+
+// combinations enumerates all k-element subsets of items in
+// lexicographic order.
+func combinations(items []int, k int) [][]int {
+	var out [][]int
+	combo := make([]int, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			out = append(out, append([]int(nil), combo...))
+			return
+		}
+		for i := start; i <= len(items)-(k-depth); i++ {
+			combo[depth] = items[i]
+			rec(i+1, depth+1)
+		}
+	}
+	if k >= 1 && k <= len(items) {
+		rec(0, 0)
+	}
+	return out
+}

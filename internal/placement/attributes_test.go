@@ -1,0 +1,204 @@
+package placement
+
+import (
+	"testing"
+	"time"
+
+	"ropus/internal/qos"
+	"ropus/internal/sim"
+)
+
+// flatWorkload builds a constant-allocation workload for an attribute.
+func flatWorkload(id string, cos2 float64, slots int) sim.Workload {
+	return sim.Workload{AppID: id, CoS1: make([]float64, slots), CoS2: constSlice(cos2, slots)}
+}
+
+func constSlice(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// memApp builds an app with a flat CPU size and a flat memory size.
+func memApp(id string, cpu, mem float64, slots int) App {
+	return App{
+		ID:       id,
+		Workload: flatWorkload(id, cpu, slots),
+		Extra:    map[Attribute]sim.Workload{AttrMemory: flatWorkload(id, mem, slots)},
+	}
+}
+
+func memProblem(apps []App, nServers, cpus int, mem float64) *Problem {
+	servers := make([]Server, nServers)
+	for i := range servers {
+		servers[i] = Server{
+			ID:          "srv-" + string(rune('a'+i)),
+			CPUs:        cpus,
+			CPUCapacity: 1,
+			Extra:       map[Attribute]float64{AttrMemory: mem},
+		}
+	}
+	return &Problem{
+		Apps:          apps,
+		Servers:       servers,
+		Commitment:    qos.PoolCommitment{Theta: 0.9, Deadline: time.Hour},
+		SlotsPerDay:   4,
+		DeadlineSlots: 2,
+		Tolerance:     0.01,
+	}
+}
+
+func TestAttributeUnion(t *testing.T) {
+	apps := []App{
+		memApp("a", 1, 1, 4),
+		{ID: "b", Workload: flatWorkload("b", 1, 4), Extra: map[Attribute]sim.Workload{
+			AttrDiskIO: flatWorkload("b", 1, 4),
+		}},
+		{ID: "c", Workload: flatWorkload("c", 1, 4)},
+	}
+	attrs := attributeUnion(apps)
+	if len(attrs) != 2 || attrs[0] != AttrDiskIO || attrs[1] != AttrMemory {
+		t.Errorf("attributeUnion = %v, want [diskio memory]", attrs)
+	}
+	if got := attributeUnion(nil); len(got) != 0 {
+		t.Errorf("attributeUnion(nil) = %v", got)
+	}
+}
+
+func TestValidateAttributes(t *testing.T) {
+	good := memProblem([]App{memApp("a", 2, 4, 8)}, 1, 8, 16)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid multi-attribute problem rejected: %v", err)
+	}
+
+	tests := []struct {
+		name   string
+		mutate func(*Problem)
+	}{
+		{name: "server missing attribute", mutate: func(p *Problem) { p.Servers[0].Extra = nil }},
+		{name: "server zero attribute capacity", mutate: func(p *Problem) {
+			p.Servers[0].Extra[AttrMemory] = 0
+		}},
+		{name: "extra workload misaligned", mutate: func(p *Problem) {
+			p.Apps[0].Extra[AttrMemory] = flatWorkload("a", 1, 3)
+		}},
+		{name: "extra workload wrong id", mutate: func(p *Problem) {
+			p.Apps[0].Extra[AttrMemory] = flatWorkload("zz", 1, 8)
+		}},
+		{name: "extra workload invalid", mutate: func(p *Problem) {
+			p.Apps[0].Extra[AttrMemory] = sim.Workload{AppID: "a", CoS1: []float64{-1}, CoS2: []float64{0}}
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := memProblem([]App{memApp("a", 2, 4, 8)}, 1, 8, 16)
+			tt.mutate(p)
+			if err := p.Validate(); err == nil {
+				t.Error("Validate() should fail")
+			}
+		})
+	}
+}
+
+func TestMemoryConstrainsPlacement(t *testing.T) {
+	// Two apps that fit together on CPU (3+3 <= 8) but not on memory
+	// (10+10 > 16).
+	apps := []App{memApp("a", 3, 10, 8), memApp("b", 3, 10, 8)}
+	p := memProblem(apps, 2, 8, 16)
+
+	together, err := Evaluate(p, Assignment{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if together.Feasible {
+		t.Fatal("memory overbooking not detected")
+	}
+	apart, err := Evaluate(p, Assignment{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !apart.Feasible {
+		t.Fatal("separate placement should be feasible")
+	}
+	// Usage reporting carries the memory requirement.
+	for s, usage := range apart.Usages {
+		if len(usage.AppIDs) == 0 {
+			continue
+		}
+		got := usage.ExtraRequired[AttrMemory]
+		if got < 9.9 || got > 10.1 {
+			t.Errorf("server %d memory required = %v, want ~10", s, got)
+		}
+	}
+}
+
+func TestMemoryAwareConsolidation(t *testing.T) {
+	// Four apps, each tiny on CPU but needing half a server's memory:
+	// the GA must settle on two servers even though CPU alone would fit
+	// all four on one.
+	apps := []App{
+		memApp("a", 1, 8, 8),
+		memApp("b", 1, 8, 8),
+		memApp("c", 1, 8, 8),
+		memApp("d", 1, 8, 8),
+	}
+	p := memProblem(apps, 4, 8, 16)
+	initial, err := OneAppPerServer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultGAConfig(5)
+	cfg.MaxGenerations = 80
+	plan, err := Consolidate(p, initial, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible {
+		t.Fatal("plan infeasible")
+	}
+	if plan.ServersUsed != 2 {
+		t.Errorf("ServersUsed = %d, want 2 (memory-bound)", plan.ServersUsed)
+	}
+}
+
+func TestMixedAttributeApps(t *testing.T) {
+	// Apps with and without the extra attribute coexist; the app
+	// without it contributes nothing to the memory requirement.
+	apps := []App{
+		memApp("a", 2, 6, 8),
+		{ID: "b", Workload: flatWorkload("b", 2, 8)},
+	}
+	p := memProblem(apps, 1, 8, 16)
+	plan, err := Evaluate(p, Assignment{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible {
+		t.Fatal("mixed placement should be feasible")
+	}
+	got := plan.Usages[0].ExtraRequired[AttrMemory]
+	if got < 5.9 || got > 6.1 {
+		t.Errorf("memory required = %v, want ~6", got)
+	}
+}
+
+func TestCPUOnlyProblemUnaffected(t *testing.T) {
+	// A problem without extra attributes must not require servers to
+	// declare any.
+	p := binPackProblem([]float64{3, 4}, 2, 8)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Evaluate(p, Assignment{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible {
+		t.Error("CPU-only plan should be feasible")
+	}
+	if len(plan.Usages[0].ExtraRequired) != 0 {
+		t.Errorf("unexpected extra requirements: %v", plan.Usages[0].ExtraRequired)
+	}
+}

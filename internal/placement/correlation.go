@@ -1,0 +1,110 @@
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"ropus/internal/stats"
+)
+
+// Correlation-aware placement. The paper's related-work discussion
+// (section VIII) suggests that "heuristic search approaches that also
+// take into account correlations in resource demands among workloads
+// may also be worth exploring": two workloads whose demands peak
+// together multiplex poorly, while anti-correlated workloads share
+// capacity well. LeastCorrelatedFit implements that idea as a greedy
+// heuristic, giving the repository a third baseline to compare against
+// the genetic search (see BenchmarkAblationPlacementSearch).
+
+// LeastCorrelatedFit places applications in order of decreasing peak
+// allocation; each application goes to the feasible *used* server whose
+// current occupants' aggregate demand correlates least with the
+// application's demand (the most anti-correlated home). A new server is
+// opened only when no used server can host the application, so
+// consolidation still comes first and correlation decides between
+// feasible homes — the multiplexing intuition without over-spreading.
+func LeastCorrelatedFit(p *Problem) (*Plan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	ev := newEvaluator(p)
+
+	// Total per-slot allocation per app, reused for correlations.
+	totals := make([][]float64, len(p.Apps))
+	peaks := make([]float64, len(p.Apps))
+	for i, a := range p.Apps {
+		tot := make([]float64, len(a.Workload.CoS1))
+		peak := 0.0
+		for j := range tot {
+			tot[j] = a.Workload.CoS1[j] + a.Workload.CoS2[j]
+			if tot[j] > peak {
+				peak = tot[j]
+			}
+		}
+		totals[i] = tot
+		peaks[i] = peak
+	}
+
+	order := make([]int, len(p.Apps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool { return peaks[order[i]] > peaks[order[j]] })
+
+	groups := make([][]int, len(p.Servers))
+	serverTotals := make([][]float64, len(p.Servers))
+	assignment := make(Assignment, len(p.Apps))
+
+	for _, app := range order {
+		bestServer := -1
+		bestCorr := 0.0
+		firstEmpty := -1
+		for s := range p.Servers {
+			if len(groups[s]) == 0 {
+				if firstEmpty < 0 {
+					firstEmpty = s
+				}
+				continue // new servers only as a last resort
+			}
+			group := append(append([]int(nil), groups[s]...), app)
+			sort.Ints(group)
+			usage, err := ev.evalServer(s, group)
+			if err != nil {
+				return nil, err
+			}
+			if !usage.Feasible {
+				continue
+			}
+			corr, err := stats.Correlation(serverTotals[s], totals[app])
+			if err != nil {
+				return nil, err
+			}
+			if bestServer < 0 || corr < bestCorr {
+				bestServer = s
+				bestCorr = corr
+			}
+		}
+		if bestServer < 0 && firstEmpty >= 0 {
+			usage, err := ev.evalServer(firstEmpty, []int{app})
+			if err != nil {
+				return nil, err
+			}
+			if usage.Feasible {
+				bestServer = firstEmpty
+			}
+		}
+		if bestServer < 0 {
+			return nil, fmt.Errorf("placement: app %q fits on no server", p.Apps[app].ID)
+		}
+		groups[bestServer] = append(groups[bestServer], app)
+		sort.Ints(groups[bestServer])
+		if serverTotals[bestServer] == nil {
+			serverTotals[bestServer] = make([]float64, len(totals[app]))
+		}
+		for j, v := range totals[app] {
+			serverTotals[bestServer][j] += v
+		}
+		assignment[app] = bestServer
+	}
+	return ev.evaluate(assignment)
+}

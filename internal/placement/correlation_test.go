@@ -1,0 +1,123 @@
+package placement
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ropus/internal/qos"
+	"ropus/internal/sim"
+	"ropus/internal/stats"
+)
+
+// phaseApp builds an app whose demand alternates between lo and hi with
+// the given phase, so apps with opposite phases are anti-correlated.
+func phaseApp(id string, lo, hi float64, phase, slots int) App {
+	c2 := make([]float64, slots)
+	for i := range c2 {
+		if (i+phase)%2 == 0 {
+			c2[i] = hi
+		} else {
+			c2[i] = lo
+		}
+	}
+	return App{ID: id, Workload: sim.Workload{AppID: id, CoS1: make([]float64, slots), CoS2: c2}}
+}
+
+func TestLeastCorrelatedFitPairsOpposites(t *testing.T) {
+	// Four alternating apps, two in each phase, demand 1..5. Capacity 7
+	// admits one of each phase per server (peak 5+1=6) but not two of
+	// the same phase (5+5=10). The correlation heuristic pairs
+	// opposites without backtracking.
+	slots := 28
+	apps := []App{
+		phaseApp("a", 1, 5, 0, slots),
+		phaseApp("b", 1, 5, 0, slots),
+		phaseApp("c", 1, 5, 1, slots),
+		phaseApp("d", 1, 5, 1, slots),
+	}
+	p := &Problem{
+		Apps:          apps,
+		Servers:       servers(4, 7),
+		Commitment:    qos.PoolCommitment{Theta: 0.99, Deadline: time.Hour},
+		SlotsPerDay:   4,
+		DeadlineSlots: 0,
+		Tolerance:     0.01,
+	}
+	plan, err := LeastCorrelatedFit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible {
+		t.Fatal("plan infeasible")
+	}
+	if plan.ServersUsed != 2 {
+		t.Fatalf("ServersUsed = %d, want 2 (one pair of opposite phases per server)", plan.ServersUsed)
+	}
+	// Each used server must host one phase-0 and one phase-1 app.
+	for _, usage := range plan.Usages {
+		if len(usage.AppIDs) == 0 {
+			continue
+		}
+		if len(usage.AppIDs) != 2 {
+			t.Fatalf("server hosts %v, want exactly 2 apps", usage.AppIDs)
+		}
+		phase0 := 0
+		for _, id := range usage.AppIDs {
+			if id == "a" || id == "b" {
+				phase0++
+			}
+		}
+		if phase0 != 1 {
+			t.Errorf("server hosts %v: phases not mixed", usage.AppIDs)
+		}
+	}
+}
+
+func TestLeastCorrelatedFitImpossible(t *testing.T) {
+	p := binPackProblem([]float64{20}, 1, 10)
+	if _, err := LeastCorrelatedFit(p); err == nil {
+		t.Error("oversized app accepted")
+	}
+	broken := binPackProblem([]float64{1}, 1, 10)
+	broken.SlotsPerDay = 0
+	if _, err := LeastCorrelatedFit(broken); err == nil {
+		t.Error("invalid problem accepted")
+	}
+}
+
+func TestLeastCorrelatedFitPlainBinPacking(t *testing.T) {
+	// On flat (zero-variance) workloads correlation is defined as 0, so
+	// the heuristic degenerates to a feasible greedy packing.
+	p := binPackProblem([]float64{6, 6, 4, 4, 3, 3, 2}, 7, 10)
+	plan, err := LeastCorrelatedFit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible {
+		t.Fatal("plan infeasible")
+	}
+	if plan.ServersUsed > 4 {
+		t.Errorf("ServersUsed = %d, want <= 4", plan.ServersUsed)
+	}
+}
+
+func TestCorrelationHelperViaPlacementShapes(t *testing.T) {
+	a := phaseApp("a", 0, 1, 0, 8).Workload.CoS2
+	b := phaseApp("b", 0, 1, 1, 8).Workload.CoS2
+	if corr := mustCorr(t, a, a); math.Abs(corr-1) > 1e-12 {
+		t.Errorf("self correlation = %v, want 1", corr)
+	}
+	if corr := mustCorr(t, a, b); math.Abs(corr+1) > 1e-12 {
+		t.Errorf("opposite-phase correlation = %v, want -1", corr)
+	}
+}
+
+func mustCorr(t *testing.T, a, b []float64) float64 {
+	t.Helper()
+	c, err := stats.Correlation(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

@@ -1,0 +1,97 @@
+package placement
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestExactOptimalBinPacking(t *testing.T) {
+	// Sizes with a known optimum of 3 servers of capacity 10.
+	p := binPackProblem([]float64{6, 6, 4, 4, 3, 3, 2}, 7, 10)
+	plan, err := Exact(p, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible {
+		t.Fatal("exact plan infeasible")
+	}
+	if plan.ServersUsed != 3 {
+		t.Errorf("ServersUsed = %d, want the optimum 3", plan.ServersUsed)
+	}
+}
+
+func TestExactSingleServer(t *testing.T) {
+	p := binPackProblem([]float64{2, 3, 4}, 3, 10)
+	plan, err := Exact(p, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ServersUsed != 1 {
+		t.Errorf("ServersUsed = %d, want 1", plan.ServersUsed)
+	}
+}
+
+func TestExactInfeasible(t *testing.T) {
+	p := binPackProblem([]float64{20}, 1, 10)
+	_, err := Exact(p, 10000)
+	if !errors.Is(err, ErrNoFeasible) {
+		t.Errorf("err = %v, want ErrNoFeasible", err)
+	}
+}
+
+func TestExactBudgetExhausted(t *testing.T) {
+	p := binPackProblem([]float64{6, 6, 4, 4, 3, 3, 2}, 7, 10)
+	_, err := Exact(p, 3)
+	if !errors.Is(err, ErrSearchBudget) {
+		t.Errorf("err = %v, want ErrSearchBudget", err)
+	}
+}
+
+func TestExactArgumentErrors(t *testing.T) {
+	p := binPackProblem([]float64{1}, 1, 10)
+	if _, err := Exact(p, 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+	hetero := binPackProblem([]float64{1, 2}, 2, 10)
+	hetero.Servers[1].CPUs = 4
+	if _, err := Exact(hetero, 100); err == nil {
+		t.Error("heterogeneous servers accepted")
+	}
+	broken := binPackProblem([]float64{1}, 1, 10)
+	broken.SlotsPerDay = 0
+	if _, err := Exact(broken, 100); err == nil {
+		t.Error("invalid problem accepted")
+	}
+}
+
+func TestGAMatchesExactOnSmallInstances(t *testing.T) {
+	// On small instances the GA (greedy-seeded) should reach the
+	// certified optimum.
+	cases := [][]float64{
+		{6, 6, 4, 4, 3, 3, 2},
+		{5, 5, 5, 5},
+		{9, 8, 2, 1},
+		{3, 3, 3, 3, 3, 3},
+	}
+	for i, sizes := range cases {
+		p := binPackProblem(sizes, len(sizes), 10)
+		exact, err := Exact(p, 500000)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		initial, err := OneAppPerServer(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultGAConfig(int64(i + 1))
+		cfg.MaxGenerations = 120
+		ga, err := Consolidate(p, initial, cfg)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if ga.ServersUsed != exact.ServersUsed {
+			t.Errorf("case %d: GA %d servers vs exact optimum %d",
+				i, ga.ServersUsed, exact.ServersUsed)
+		}
+	}
+}

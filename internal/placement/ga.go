@@ -1,0 +1,344 @@
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// ErrNoFeasible is returned by Consolidate when no assignment satisfying
+// the commitments was found; callers (notably the failure planner) match
+// it with errors.Is to distinguish "does not fit" from invalid input.
+var ErrNoFeasible = errors.New("placement: no feasible assignment found")
+
+// GAConfig tunes the genetic search (paper Figure 5). The zero value is
+// not usable; start from DefaultGAConfig.
+type GAConfig struct {
+	// PopulationSize is the number of assignments per generation.
+	PopulationSize int
+	// MaxGenerations bounds the search.
+	MaxGenerations int
+	// Stagnation stops the search after this many generations without
+	// score improvement ("little improvement" in Figure 5).
+	Stagnation int
+	// Elite is the number of best assignments copied unchanged into the
+	// next generation.
+	Elite int
+	// TournamentK is the tournament size for parent selection.
+	TournamentK int
+	// MutationRate is the per-offspring probability of applying a
+	// mutation (either emptying a server or moving a single app).
+	MutationRate float64
+	// SeedGreedy adds the first-fit-decreasing and best-fit-decreasing
+	// packings to the initial population as warm starts; the search can
+	// only improve on them.
+	SeedGreedy bool
+	// Seed makes the search deterministic.
+	Seed int64
+}
+
+// DefaultGAConfig returns the configuration used for the case study.
+func DefaultGAConfig(seed int64) GAConfig {
+	return GAConfig{
+		PopulationSize: 32,
+		MaxGenerations: 250,
+		Stagnation:     40,
+		Elite:          2,
+		TournamentK:    3,
+		MutationRate:   0.9,
+		SeedGreedy:     true,
+		Seed:           seed,
+	}
+}
+
+// Validate checks the GA parameters.
+func (c GAConfig) Validate() error {
+	switch {
+	case c.PopulationSize < 2:
+		return fmt.Errorf("placement: PopulationSize %d < 2", c.PopulationSize)
+	case c.MaxGenerations < 1:
+		return fmt.Errorf("placement: MaxGenerations %d < 1", c.MaxGenerations)
+	case c.Stagnation < 1:
+		return fmt.Errorf("placement: Stagnation %d < 1", c.Stagnation)
+	case c.Elite < 0 || c.Elite >= c.PopulationSize:
+		return fmt.Errorf("placement: Elite %d outside [0,%d)", c.Elite, c.PopulationSize)
+	case c.TournamentK < 1:
+		return fmt.Errorf("placement: TournamentK %d < 1", c.TournamentK)
+	case c.MutationRate < 0 || c.MutationRate > 1:
+		return fmt.Errorf("placement: MutationRate %v outside [0,1]", c.MutationRate)
+	}
+	return nil
+}
+
+// Consolidate runs the genetic search from the given initial assignment
+// and returns the best feasible plan found. It returns an error if no
+// feasible assignment is discovered (including the initial one).
+func Consolidate(p *Problem, initial Assignment, cfg GAConfig) (*Plan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := initial.Validate(p); err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ev := newEvaluator(p)
+
+	// Seed the population with the initial assignment, optional greedy
+	// packings, and mutated copies of the initial assignment.
+	pop := make([]*Plan, 0, cfg.PopulationSize)
+	first, err := ev.evaluate(initial)
+	if err != nil {
+		return nil, err
+	}
+	pop = append(pop, first)
+	if cfg.SeedGreedy {
+		for _, greedyFn := range []func(*Problem) (*Plan, error){FirstFitDecreasing, BestFitDecreasing} {
+			plan, err := greedyFn(p)
+			if err != nil {
+				continue // a greedy failure just means no warm start
+			}
+			// Re-evaluate through this run's evaluator so the plan
+			// shares its cache and tolerance.
+			seeded, err := ev.evaluate(plan.Assignment)
+			if err != nil {
+				return nil, err
+			}
+			pop = append(pop, seeded)
+		}
+	}
+	for len(pop) < cfg.PopulationSize {
+		a := initial.Clone()
+		mutate(a, p, rng)
+		plan, err := ev.evaluate(a)
+		if err != nil {
+			return nil, err
+		}
+		pop = append(pop, plan)
+	}
+	sortPopulation(pop)
+
+	best := bestFeasible(pop)
+	stale := 0
+	for gen := 0; gen < cfg.MaxGenerations && stale < cfg.Stagnation; gen++ {
+		next := make([]*Plan, 0, cfg.PopulationSize)
+		for i := 0; i < cfg.Elite && i < len(pop); i++ {
+			next = append(next, pop[i])
+		}
+		// Breed serially (the RNG is not safe for concurrent use), then
+		// evaluate the offspring in parallel: the simulator replays are
+		// the expensive part and are independent of each other.
+		offspring := make([]Assignment, 0, cfg.PopulationSize-len(next))
+		for len(next)+len(offspring) < cfg.PopulationSize {
+			a := crossover(tournament(pop, cfg.TournamentK, rng).Assignment,
+				tournament(pop, cfg.TournamentK, rng).Assignment, rng)
+			if rng.Float64() < cfg.MutationRate {
+				mutate(a, p, rng)
+			}
+			offspring = append(offspring, a)
+		}
+		plans, err := evaluateAll(ev, offspring)
+		if err != nil {
+			return nil, err
+		}
+		pop = append(next, plans...)
+		sortPopulation(pop)
+
+		if cand := bestFeasible(pop); cand != nil && (best == nil || cand.Score > best.Score+1e-12) {
+			best = cand
+			stale = 0
+		} else {
+			stale++
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w after %d generations", ErrNoFeasible, cfg.MaxGenerations)
+	}
+	return best, nil
+}
+
+// evaluateAll evaluates assignments concurrently, preserving order. The
+// worker count follows GOMAXPROCS; the evaluator's cache is shared and
+// thread-safe, so duplicate groupings are still computed only ~once.
+func evaluateAll(ev *evaluator, assignments []Assignment) ([]*Plan, error) {
+	plans := make([]*Plan, len(assignments))
+	errs := make([]error, len(assignments))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(assignments) {
+		workers = len(assignments)
+	}
+	if workers <= 1 {
+		for i, a := range assignments {
+			plan, err := ev.evaluate(a)
+			if err != nil {
+				return nil, err
+			}
+			plans[i] = plan
+		}
+		return plans, nil
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				plans[i], errs[i] = ev.evaluate(assignments[i])
+			}
+		}()
+	}
+	for i := range assignments {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return plans, nil
+}
+
+// sortPopulation orders plans best-score-first, breaking ties in favour
+// of feasible plans and fewer servers.
+func sortPopulation(pop []*Plan) {
+	sort.SliceStable(pop, func(i, j int) bool {
+		if pop[i].Feasible != pop[j].Feasible {
+			return pop[i].Feasible
+		}
+		if pop[i].Score != pop[j].Score {
+			return pop[i].Score > pop[j].Score
+		}
+		return pop[i].ServersUsed < pop[j].ServersUsed
+	})
+}
+
+// bestFeasible returns the best feasible plan in a sorted population.
+func bestFeasible(pop []*Plan) *Plan {
+	for _, plan := range pop {
+		if plan.Feasible {
+			return plan
+		}
+	}
+	return nil
+}
+
+// tournament picks the best of k random population members.
+func tournament(pop []*Plan, k int, rng *rand.Rand) *Plan {
+	best := pop[rng.Intn(len(pop))]
+	for i := 1; i < k; i++ {
+		if cand := pop[rng.Intn(len(pop))]; better(cand, best) {
+			best = cand
+		}
+	}
+	return best
+}
+
+// better orders two plans the same way as sortPopulation.
+func better(a, b *Plan) bool {
+	if a.Feasible != b.Feasible {
+		return a.Feasible
+	}
+	return a.Score > b.Score
+}
+
+// crossover mates two assignments: each application inherits its server
+// from one parent at random (the paper's "straightforward" cross-over).
+func crossover(a, b Assignment, rng *rand.Rand) Assignment {
+	child := make(Assignment, len(a))
+	for i := range child {
+		if rng.Intn(2) == 0 {
+			child[i] = a[i]
+		} else {
+			child[i] = b[i]
+		}
+	}
+	return child
+}
+
+// mutate perturbs an assignment. Most of the time it empties one used
+// server, migrating its applications to other used servers, so the step
+// tends to reduce the number of servers in use by one (per the paper);
+// the rest of the time it moves a single application, giving the search
+// a fine-grained repair move for nearly-feasible packings.
+func mutate(a Assignment, p *Problem, rng *rand.Rand) {
+	if rng.Float64() < 0.4 {
+		moveOneApp(a, p, rng)
+		return
+	}
+	emptyOneServer(a, p, rng)
+}
+
+// moveOneApp reassigns one random application to another server that is
+// currently in use (or any server when only one is used).
+func moveOneApp(a Assignment, p *Problem, rng *rand.Rand) {
+	if len(a) == 0 {
+		return
+	}
+	app := rng.Intn(len(a))
+	groups := groupByServer(a, len(p.Servers))
+	var used []int
+	for s, g := range groups {
+		if len(g) > 0 && s != a[app] {
+			used = append(used, s)
+		}
+	}
+	if len(used) == 0 {
+		a[app] = rng.Intn(len(p.Servers))
+		return
+	}
+	a[app] = used[rng.Intn(len(used))]
+}
+
+// emptyOneServer migrates every application off one donor server.
+func emptyOneServer(a Assignment, p *Problem, rng *rand.Rand) {
+	groups := groupByServer(a, len(p.Servers))
+	var used []int
+	for s, g := range groups {
+		if len(g) > 0 {
+			used = append(used, s)
+		}
+	}
+	if len(used) < 2 {
+		// A single used server: migrate one random app to a random
+		// server to keep the search moving.
+		if len(a) > 1 {
+			a[rng.Intn(len(a))] = rng.Intn(len(p.Servers))
+		}
+		return
+	}
+	// Weight donors by how lightly loaded they are (few apps => likely
+	// donor), a cheap stand-in for 1 - f(U) that needs no simulation.
+	weights := make([]float64, len(used))
+	total := 0.0
+	for i, s := range used {
+		w := 1 / float64(len(groups[s]))
+		weights[i] = w
+		total += w
+	}
+	r := rng.Float64() * total
+	donor := used[len(used)-1]
+	for i, w := range weights {
+		if r < w {
+			donor = used[i]
+			break
+		}
+		r -= w
+	}
+	// Migrate every app on the donor to another used server.
+	for _, app := range groups[donor] {
+		dest := donor
+		for dest == donor {
+			dest = used[rng.Intn(len(used))]
+		}
+		a[app] = dest
+	}
+}

@@ -1,0 +1,109 @@
+package placement
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Greedy baselines for the consolidation exercise. The paper compares
+// its genetic algorithm against greedy algorithms (section VIII); these
+// are classic bin-packing heuristics driven by the same simulator-based
+// feasibility test, so the comparison isolates the search strategy.
+
+// FirstFitDecreasing places applications in order of decreasing peak
+// allocation, each onto the first (lowest-index) server where the
+// commitments remain satisfiable. It returns an error if some
+// application fits on no server.
+func FirstFitDecreasing(p *Problem) (*Plan, error) {
+	return greedy(p, pickFirstFit)
+}
+
+// BestFitDecreasing places applications in order of decreasing peak
+// allocation, each onto the feasible server whose resulting required
+// capacity leaves the least headroom (the tightest fit).
+func BestFitDecreasing(p *Problem) (*Plan, error) {
+	return greedy(p, pickBestFit)
+}
+
+// candidate is a feasible placement option for one application.
+type candidate struct {
+	server   int
+	required float64
+	headroom float64
+}
+
+// pickFirstFit selects the lowest-index feasible server.
+func pickFirstFit(cands []candidate) candidate {
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.server < best.server {
+			best = c
+		}
+	}
+	return best
+}
+
+// pickBestFit selects the feasible server with the least headroom.
+func pickBestFit(cands []candidate) candidate {
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.headroom < best.headroom {
+			best = c
+		}
+	}
+	return best
+}
+
+func greedy(p *Problem, pick func([]candidate) candidate) (*Plan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	ev := newEvaluator(p)
+
+	// Order applications by decreasing peak total allocation.
+	order := make([]int, len(p.Apps))
+	for i := range order {
+		order[i] = i
+	}
+	peaks := make([]float64, len(p.Apps))
+	for i, a := range p.Apps {
+		peak := 0.0
+		for j := range a.Workload.CoS1 {
+			if t := a.Workload.CoS1[j] + a.Workload.CoS2[j]; t > peak {
+				peak = t
+			}
+		}
+		peaks[i] = peak
+	}
+	sort.SliceStable(order, func(i, j int) bool { return peaks[order[i]] > peaks[order[j]] })
+
+	groups := make([][]int, len(p.Servers))
+	assignment := make(Assignment, len(p.Apps))
+	for _, app := range order {
+		var cands []candidate
+		for s := range p.Servers {
+			group := append(append([]int(nil), groups[s]...), app)
+			sort.Ints(group)
+			usage, err := ev.evalServer(s, group)
+			if err != nil {
+				return nil, err
+			}
+			if !usage.Feasible {
+				continue
+			}
+			cands = append(cands, candidate{
+				server:   s,
+				required: usage.Required,
+				headroom: p.Servers[s].Capacity() - usage.Required,
+			})
+		}
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("placement: app %q fits on no server", p.Apps[app].ID)
+		}
+		chosen := pick(cands)
+		groups[chosen.server] = append(groups[chosen.server], app)
+		sort.Ints(groups[chosen.server])
+		assignment[app] = chosen.server
+	}
+	return ev.evaluate(assignment)
+}

@@ -1,0 +1,87 @@
+package placement
+
+import (
+	"fmt"
+)
+
+// Workload migration support. Realizing a new configuration — after a
+// re-consolidation or a failure — requires moving resource containers
+// between servers (paper section VI-C: "an appropriate workload
+// migration technology is needed to realize the new configuration
+// without disrupting the application processing"). This file computes
+// the migration plan between two assignments so an operator (or a
+// virtualization layer) knows exactly which containers move where.
+
+// Move is one container migration.
+type Move struct {
+	// AppID is the application whose container moves.
+	AppID string
+	// From and To are server IDs.
+	From string
+	To   string
+}
+
+// String implements fmt.Stringer.
+func (m Move) String() string {
+	return fmt.Sprintf("%s: %s -> %s", m.AppID, m.From, m.To)
+}
+
+// Migrations returns the moves needed to get from one assignment to
+// another over the same problem, in application order. Applications
+// that stay put produce no move.
+func Migrations(p *Problem, from, to Assignment) ([]Move, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := from.Validate(p); err != nil {
+		return nil, fmt.Errorf("placement: from assignment: %w", err)
+	}
+	if err := to.Validate(p); err != nil {
+		return nil, fmt.Errorf("placement: to assignment: %w", err)
+	}
+	var moves []Move
+	for i := range p.Apps {
+		if from[i] == to[i] {
+			continue
+		}
+		moves = append(moves, Move{
+			AppID: p.Apps[i].ID,
+			From:  p.Servers[from[i]].ID,
+			To:    p.Servers[to[i]].ID,
+		})
+	}
+	return moves, nil
+}
+
+// MigrationsByServerID computes moves between assignments expressed
+// against (possibly different) server lists, matching servers by ID.
+// Applications are matched by position: fromApps[i] and toApps[i] must
+// name the same application. An application whose old server no longer
+// exists (for example because it failed) is reported as moving from
+// that server's ID regardless.
+func MigrationsByServerID(
+	apps []string,
+	fromServers []Server, from Assignment,
+	toServers []Server, to Assignment,
+) ([]Move, error) {
+	if len(from) != len(apps) || len(to) != len(apps) {
+		return nil, fmt.Errorf("placement: assignments cover %d/%d apps, want %d",
+			len(from), len(to), len(apps))
+	}
+	var moves []Move
+	for i, app := range apps {
+		if from[i] < 0 || from[i] >= len(fromServers) {
+			return nil, fmt.Errorf("placement: app %q has invalid source server %d", app, from[i])
+		}
+		if to[i] < 0 || to[i] >= len(toServers) {
+			return nil, fmt.Errorf("placement: app %q has invalid target server %d", app, to[i])
+		}
+		src := fromServers[from[i]].ID
+		dst := toServers[to[i]].ID
+		if src == dst {
+			continue
+		}
+		moves = append(moves, Move{AppID: app, From: src, To: dst})
+	}
+	return moves, nil
+}

@@ -1,0 +1,91 @@
+package placement
+
+import (
+	"testing"
+)
+
+func TestMigrations(t *testing.T) {
+	p := binPackProblem([]float64{1, 2, 3}, 3, 8)
+	from := Assignment{0, 1, 2}
+	to := Assignment{0, 0, 1}
+	moves, err := Migrations(p, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 2 {
+		t.Fatalf("%d moves, want 2", len(moves))
+	}
+	if moves[0].AppID != "app-b" || moves[0].From != "srv-b" || moves[0].To != "srv-a" {
+		t.Errorf("move 0 = %v", moves[0])
+	}
+	if moves[1].AppID != "app-c" || moves[1].From != "srv-c" || moves[1].To != "srv-b" {
+		t.Errorf("move 1 = %v", moves[1])
+	}
+	if got := moves[0].String(); got != "app-b: srv-b -> srv-a" {
+		t.Errorf("Move.String = %q", got)
+	}
+
+	// Identity: no moves.
+	none, err := Migrations(p, from, from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Errorf("identity produced %d moves", len(none))
+	}
+}
+
+func TestMigrationsErrors(t *testing.T) {
+	p := binPackProblem([]float64{1, 2}, 2, 8)
+	good := Assignment{0, 1}
+	if _, err := Migrations(p, Assignment{0}, good); err == nil {
+		t.Error("short from accepted")
+	}
+	if _, err := Migrations(p, good, Assignment{0, 5}); err == nil {
+		t.Error("invalid to accepted")
+	}
+	broken := binPackProblem([]float64{1, 2}, 2, 8)
+	broken.SlotsPerDay = 0
+	if _, err := Migrations(broken, good, good); err == nil {
+		t.Error("invalid problem accepted")
+	}
+}
+
+func TestMigrationsByServerID(t *testing.T) {
+	apps := []string{"a", "b", "c"}
+	fromServers := []Server{
+		{ID: "s1", CPUs: 8, CPUCapacity: 1},
+		{ID: "s2", CPUs: 8, CPUCapacity: 1},
+	}
+	// s1 fails; survivors re-indexed.
+	toServers := []Server{{ID: "s2", CPUs: 8, CPUCapacity: 1}}
+	from := Assignment{0, 0, 1} // a,b on s1; c on s2
+	to := Assignment{0, 0, 0}   // everything on s2
+
+	moves, err := MigrationsByServerID(apps, fromServers, from, toServers, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 2 {
+		t.Fatalf("%d moves, want 2 (a and b evacuate, c stays)", len(moves))
+	}
+	for _, m := range moves {
+		if m.From != "s1" || m.To != "s2" {
+			t.Errorf("unexpected move %v", m)
+		}
+	}
+}
+
+func TestMigrationsByServerIDErrors(t *testing.T) {
+	apps := []string{"a"}
+	servers := []Server{{ID: "s1", CPUs: 8, CPUCapacity: 1}}
+	if _, err := MigrationsByServerID(apps, servers, Assignment{0, 0}, servers, Assignment{0}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := MigrationsByServerID(apps, servers, Assignment{1}, servers, Assignment{0}); err == nil {
+		t.Error("invalid source index accepted")
+	}
+	if _, err := MigrationsByServerID(apps, servers, Assignment{0}, servers, Assignment{-1}); err == nil {
+		t.Error("invalid target index accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestQuickConsolidateAlwaysFeasibleOrErrNoFeasible drives the genetic
+// search over randomized bin-packing problems and checks the search
+// contract: whatever the instance, Consolidate either returns a
+// feasible, valid plan or ErrNoFeasible — never an invalid assignment,
+// never an overbooked "success".
+func TestQuickConsolidateAlwaysFeasibleOrErrNoFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 15; trial++ {
+		nApps := 2 + rng.Intn(5)
+		cpus := 4 + rng.Intn(8)
+		sizes := make([]float64, nApps)
+		for i := range sizes {
+			// Sizes may exceed the server to exercise the infeasible
+			// path.
+			sizes[i] = 0.5 + rng.Float64()*float64(cpus)*1.2
+		}
+		p := binPackProblem(sizes, nApps, cpus)
+		initial, err := OneAppPerServer(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultGAConfig(int64(trial))
+		cfg.MaxGenerations = 40
+		cfg.Stagnation = 10
+
+		plan, err := Consolidate(p, initial, cfg)
+		if err != nil {
+			// Allowed only when some app alone exceeds every server.
+			maxSize := 0.0
+			for _, s := range sizes {
+				if s > maxSize {
+					maxSize = s
+				}
+			}
+			if maxSize <= float64(cpus) {
+				t.Fatalf("trial %d: feasible instance errored: %v (sizes %v, cpus %d)",
+					trial, err, sizes, cpus)
+			}
+			continue
+		}
+		if !plan.Feasible {
+			t.Fatalf("trial %d: returned infeasible plan", trial)
+		}
+		if err := plan.Assignment.Validate(p); err != nil {
+			t.Fatalf("trial %d: invalid assignment: %v", trial, err)
+		}
+		for _, usage := range plan.Usages {
+			if len(usage.AppIDs) > 0 && usage.Required > usage.Server.Capacity()+1e-6 {
+				t.Fatalf("trial %d: server %s overbooked: %v > %v",
+					trial, usage.Server.ID, usage.Required, usage.Server.Capacity())
+			}
+		}
+		// The plan can never beat the volume lower bound.
+		total := 0.0
+		for _, s := range sizes {
+			total += s
+		}
+		lower := int(total / float64(cpus)) // floor is a weak but safe bound
+		if plan.ServersUsed < lower {
+			t.Fatalf("trial %d: %d servers beats the volume bound %d",
+				trial, plan.ServersUsed, lower)
+		}
+	}
+}
+
+// TestQuickGreedyNeverWorseThanOnePerServer checks the greedy baselines'
+// basic sanity on the same randomized instances.
+func TestQuickGreedyNeverWorseThanOnePerServer(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 15; trial++ {
+		nApps := 2 + rng.Intn(5)
+		cpus := 6 + rng.Intn(6)
+		sizes := make([]float64, nApps)
+		for i := range sizes {
+			sizes[i] = 0.5 + rng.Float64()*float64(cpus)*0.9 // always placeable
+		}
+		p := binPackProblem(sizes, nApps, cpus)
+		for _, fn := range []func(*Problem) (*Plan, error){
+			FirstFitDecreasing, BestFitDecreasing, LeastCorrelatedFit,
+		} {
+			plan, err := fn(p)
+			if err != nil {
+				t.Fatalf("trial %d: %v (sizes %v, cpus %d)", trial, err, sizes, cpus)
+			}
+			if !plan.Feasible {
+				t.Fatalf("trial %d: greedy produced infeasible plan", trial)
+			}
+			if plan.ServersUsed > nApps {
+				t.Fatalf("trial %d: %d servers for %d apps", trial, plan.ServersUsed, nApps)
+			}
+		}
+	}
+}

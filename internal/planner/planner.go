@@ -1,0 +1,201 @@
+// Package planner implements the long-term side of Figure 1's capacity
+// management spectrum: capacity planning. Where the workload placement
+// service answers "how do I run this month's workloads on the servers I
+// have", the planner answers "when will I need more servers, so that
+// procurement can start early enough".
+//
+// It projects each application's demand forward (per-slot linear trend
+// via trace.ForecastWeeks, optionally combined with business-forecast
+// growth factors per application), re-runs the consolidation for each
+// future horizon step, and reports the number of servers needed over
+// time together with the first step at which the current pool size is
+// exceeded.
+package planner
+
+import (
+	"errors"
+	"fmt"
+
+	"ropus/internal/core"
+	"ropus/internal/placement"
+	"ropus/internal/trace"
+)
+
+// Config parameterizes a planning run.
+type Config struct {
+	// Framework performs translation and consolidation at each step.
+	Framework *core.Framework
+	// Requirements are the per-application QoS requirements.
+	Requirements core.Requirements
+	// HorizonWeeks is how far to look ahead.
+	HorizonWeeks int
+	// StepWeeks is the granularity of the projection (evaluate every
+	// StepWeeks weeks); must divide HorizonWeeks.
+	StepWeeks int
+	// Growth holds optional business-forecast multipliers per
+	// application, applied on top of the observed trend linearly over
+	// the horizon: a factor of 1.5 means the application is expected to
+	// reach 150% of trend by the end of the horizon.
+	Growth map[string]float64
+	// PoolServers is the number of servers currently in the pool; the
+	// planner reports the first step needing more than this.
+	PoolServers int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Framework == nil {
+		return errors.New("planner: nil framework")
+	}
+	if err := c.Requirements.Validate(); err != nil {
+		return err
+	}
+	if c.HorizonWeeks <= 0 {
+		return fmt.Errorf("planner: HorizonWeeks %d <= 0", c.HorizonWeeks)
+	}
+	if c.StepWeeks <= 0 || c.HorizonWeeks%c.StepWeeks != 0 {
+		return fmt.Errorf("planner: StepWeeks %d must be positive and divide HorizonWeeks %d",
+			c.StepWeeks, c.HorizonWeeks)
+	}
+	for id, g := range c.Growth {
+		if g < 0 {
+			return fmt.Errorf("planner: negative growth %v for %q", g, id)
+		}
+	}
+	if c.PoolServers < 0 {
+		return fmt.Errorf("planner: PoolServers %d < 0", c.PoolServers)
+	}
+	return nil
+}
+
+// Step is the consolidation outcome for one future horizon step.
+type Step struct {
+	// WeeksAhead is the number of weeks into the future.
+	WeeksAhead int
+	// Feasible reports whether the projected demand could be placed at
+	// all. When false, at least one application no longer fits any
+	// single server of the configured size: the pool needs bigger
+	// servers, not just more of them.
+	Feasible bool
+	// Servers is the number of servers the placement service reports as
+	// needed for the projected demand (0 when not Feasible).
+	Servers int
+	// CRequ is the sum of per-server required capacities (0 when not
+	// Feasible).
+	CRequ float64
+	// CPeak is the sum of per-application peak allocations.
+	CPeak float64
+}
+
+// Plan is the outcome of a capacity planning run.
+type Plan struct {
+	// Baseline is the consolidation on the observed (unprojected)
+	// traces.
+	Baseline Step
+	// Steps holds one entry per horizon step, nearest first.
+	Steps []Step
+	// ExhaustedAtWeeks is the first horizon step (weeks ahead) at which
+	// more than PoolServers servers are needed; 0 when the pool
+	// suffices for the whole horizon.
+	ExhaustedAtWeeks int
+}
+
+// Run projects the traces and consolidates at every horizon step.
+func Run(cfg Config, traces trace.Set) (*Plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := traces.Validate(); err != nil {
+		return nil, err
+	}
+	if traces[0].Weeks() < 2 {
+		return nil, fmt.Errorf("planner: need >= 2 weeks of history, have %d", traces[0].Weeks())
+	}
+	for id := range cfg.Growth {
+		if traces.ByID(id) == nil {
+			return nil, fmt.Errorf("planner: growth factor for unknown app %q", id)
+		}
+	}
+
+	baseline, err := consolidateStep(cfg, traces)
+	if err != nil {
+		return nil, fmt.Errorf("planner: baseline: %w", err)
+	}
+	plan := &Plan{Baseline: baseline}
+	if !baseline.Feasible {
+		return nil, errors.New("planner: current demand is already unplaceable")
+	}
+
+	for ahead := cfg.StepWeeks; ahead <= cfg.HorizonWeeks; ahead += cfg.StepWeeks {
+		projected, err := projectSet(cfg, traces, ahead)
+		if err != nil {
+			return nil, fmt.Errorf("planner: project +%dw: %w", ahead, err)
+		}
+		step, err := consolidateStep(cfg, projected)
+		if err != nil {
+			return nil, fmt.Errorf("planner: consolidate +%dw: %w", ahead, err)
+		}
+		step.WeeksAhead = ahead
+		plan.Steps = append(plan.Steps, step)
+		exhausted := !step.Feasible || (cfg.PoolServers > 0 && step.Servers > cfg.PoolServers)
+		if plan.ExhaustedAtWeeks == 0 && exhausted {
+			plan.ExhaustedAtWeeks = ahead
+		}
+	}
+	return plan, nil
+}
+
+// projectSet builds the demand traces expected `ahead` weeks out: the
+// trend forecast for the window ending at that point, scaled by the
+// interpolated business growth factor.
+func projectSet(cfg Config, traces trace.Set, ahead int) (trace.Set, error) {
+	out := make(trace.Set, len(traces))
+	progress := float64(ahead) / float64(cfg.HorizonWeeks)
+	for i, tr := range traces {
+		fc, err := trace.ForecastWeeks(tr, ahead)
+		if err != nil {
+			return nil, err
+		}
+		// Keep the evaluation window the same length as the history by
+		// taking the last weeks of history+forecast.
+		joined, err := tr.Concat(fc)
+		if err != nil {
+			return nil, err
+		}
+		window, err := joined.LastWeeks(tr.Weeks())
+		if err != nil {
+			return nil, err
+		}
+		factor := 1.0
+		if g, ok := cfg.Growth[tr.AppID]; ok {
+			factor = 1 + (g-1)*progress
+		}
+		out[i], err = trace.ApplyGrowth(window, factor)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// consolidateStep translates and consolidates one trace set. A
+// placement that fits on no pool configuration is reported as an
+// infeasible step, not an error.
+func consolidateStep(cfg Config, traces trace.Set) (Step, error) {
+	translation, err := cfg.Framework.Translate(traces, cfg.Requirements)
+	if err != nil {
+		return Step{}, err
+	}
+	step := Step{CPeak: translation.CPeakTotal()}
+	cons, err := cfg.Framework.Consolidate(translation)
+	if errors.Is(err, placement.ErrNoFeasible) {
+		return step, nil
+	}
+	if err != nil {
+		return Step{}, err
+	}
+	step.Feasible = true
+	step.Servers = cons.ServersUsed()
+	step.CRequ = cons.CRequTotal()
+	return step, nil
+}

@@ -1,0 +1,265 @@
+// Package pool simulates an entire consolidated resource pool through a
+// server failure: the performability side of R-Opus, evaluated in the
+// time domain rather than by feasibility checks alone.
+//
+// The failure planner (package failure) answers "can the affected
+// applications be re-placed?"; this package answers "what do users of
+// those applications experience between the failure and the completed
+// migration?". Each server runs the workload-manager discipline of
+// package wlmgr; at the failure slot the failed server's capacity drops
+// to zero, and after the migration delay its containers resume on the
+// servers the failure scenario assigned them to.
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ropus/internal/portfolio"
+	"ropus/internal/trace"
+)
+
+// App couples an application's demand trace with its normal-mode and
+// failure-mode translations.
+type App struct {
+	Demand  *trace.Trace
+	Normal  *portfolio.Partition
+	Failure *portfolio.Partition
+}
+
+// Validate checks the app's consistency.
+func (a App) Validate() error {
+	if a.Demand == nil || a.Normal == nil || a.Failure == nil {
+		return errors.New("pool: app needs demand, normal and failure partitions")
+	}
+	if err := a.Demand.Validate(); err != nil {
+		return err
+	}
+	if a.Normal.AppID != a.Demand.AppID || a.Failure.AppID != a.Demand.AppID {
+		return fmt.Errorf("pool: app %q has mismatched partitions", a.Demand.AppID)
+	}
+	if a.Normal.CoS1.Len() != a.Demand.Len() || a.Failure.CoS1.Len() != a.Demand.Len() {
+		return fmt.Errorf("pool: app %q has misaligned partitions", a.Demand.AppID)
+	}
+	return nil
+}
+
+// Scenario describes the failure event to simulate.
+type Scenario struct {
+	// Apps are the pool's applications.
+	Apps []App
+	// ServerCapacity is the capacity of every pool server in CPUs.
+	ServerCapacity float64
+	// Normal maps each app (by index) to its server before the failure.
+	Normal []int
+	// FailedServer is the server that fails.
+	FailedServer int
+	// FailAt is the slot index at which the server fails.
+	FailAt int
+	// MigrationDelay is the number of slots between the failure and the
+	// affected containers resuming on their new servers (detection +
+	// migration time).
+	MigrationDelay int
+	// After maps each app to its server once migration completes.
+	// Unaffected applications usually keep their server, but the
+	// re-consolidation may move them too. No app may map to the failed
+	// server.
+	After []int
+}
+
+// Validate checks the scenario.
+func (s *Scenario) Validate() error {
+	if len(s.Apps) == 0 {
+		return errors.New("pool: no applications")
+	}
+	n := 0
+	servers := 0
+	for i, a := range s.Apps {
+		if err := a.Validate(); err != nil {
+			return err
+		}
+		if i == 0 {
+			n = a.Demand.Len()
+		} else if a.Demand.Len() != n {
+			return fmt.Errorf("pool: app %q has %d slots, want %d", a.Demand.AppID, a.Demand.Len(), n)
+		}
+	}
+	if s.ServerCapacity <= 0 {
+		return fmt.Errorf("pool: ServerCapacity %v <= 0", s.ServerCapacity)
+	}
+	if len(s.Normal) != len(s.Apps) || len(s.After) != len(s.Apps) {
+		return fmt.Errorf("pool: assignments cover %d/%d apps, want %d",
+			len(s.Normal), len(s.After), len(s.Apps))
+	}
+	for _, srv := range s.Normal {
+		if srv < 0 {
+			return errors.New("pool: negative server index")
+		}
+		if srv+1 > servers {
+			servers = srv + 1
+		}
+	}
+	for i, srv := range s.After {
+		if srv < 0 {
+			return errors.New("pool: negative server index")
+		}
+		if srv == s.FailedServer {
+			return fmt.Errorf("pool: app %q assigned to the failed server after migration",
+				s.Apps[i].Demand.AppID)
+		}
+		if srv+1 > servers {
+			servers = srv + 1
+		}
+	}
+	if s.FailedServer < 0 || s.FailedServer >= servers {
+		return fmt.Errorf("pool: failed server %d outside the pool of %d", s.FailedServer, servers)
+	}
+	if s.FailAt < 0 || s.FailAt >= n {
+		return fmt.Errorf("pool: FailAt %d outside the trace of %d slots", s.FailAt, n)
+	}
+	if s.MigrationDelay < 0 {
+		return fmt.Errorf("pool: MigrationDelay %d < 0", s.MigrationDelay)
+	}
+	return nil
+}
+
+// AppOutcome is the simulated experience of one application.
+type AppOutcome struct {
+	AppID string
+	// Utilization is the achieved utilization of allocation per slot
+	// (1 means fully saturated / starved, 0 means idle).
+	Utilization []float64
+	// StarvedSlots counts slots with demand but zero received capacity
+	// (the outage window for applications on the failed server).
+	StarvedSlots int
+	// Migrated is true when the app was hosted on the failed server.
+	Migrated bool
+}
+
+// Result is the outcome of a pool simulation.
+type Result struct {
+	Apps []AppOutcome
+	// OutageSlots is the migration window length actually applied.
+	OutageSlots int
+	// Interval is the slot duration, for converting slots to time.
+	Interval time.Duration
+}
+
+// OutageDuration returns the outage window as a duration.
+func (r *Result) OutageDuration() time.Duration {
+	return time.Duration(r.OutageSlots) * r.Interval
+}
+
+// Run simulates the pool through the failure scenario.
+func Run(s *Scenario) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	nSlots := s.Apps[0].Demand.Len()
+	nServers := 0
+	for _, srv := range append(append([]int(nil), s.Normal...), s.After...) {
+		if srv+1 > nServers {
+			nServers = srv + 1
+		}
+	}
+
+	res := &Result{
+		OutageSlots: s.MigrationDelay,
+		Interval:    s.Apps[0].Demand.Interval,
+		Apps:        make([]AppOutcome, len(s.Apps)),
+	}
+	for i, a := range s.Apps {
+		res.Apps[i] = AppOutcome{
+			AppID:       a.Demand.AppID,
+			Utilization: make([]float64, nSlots),
+			Migrated:    s.Normal[i] == s.FailedServer,
+		}
+	}
+
+	migrationDone := s.FailAt + s.MigrationDelay
+	req1 := make([]float64, len(s.Apps))
+	req2 := make([]float64, len(s.Apps))
+	sum1 := make([]float64, nServers)
+	sum2 := make([]float64, nServers)
+
+	for t := 0; t < nSlots; t++ {
+		failed := t >= s.FailAt
+		migrated := t >= migrationDone
+
+		for srv := 0; srv < nServers; srv++ {
+			sum1[srv], sum2[srv] = 0, 0
+		}
+		// Requests per app: failure-mode translation once migrated.
+		for i, a := range s.Apps {
+			part := a.Normal
+			if migrated && res.Apps[i].Migrated {
+				part = a.Failure
+			}
+			req1[i] = part.CoS1.Samples[t]
+			req2[i] = part.CoS2.Samples[t]
+			srv, hosted := hostOf(s, i, failed, migrated)
+			if !hosted {
+				continue
+			}
+			sum1[srv] += req1[i]
+			sum2[srv] += req2[i]
+		}
+
+		for i, a := range s.Apps {
+			srv, hosted := hostOf(s, i, failed, migrated)
+			d := a.Demand.Samples[t]
+			if !hosted {
+				if d > 0 {
+					res.Apps[i].Utilization[t] = 1
+					res.Apps[i].StarvedSlots++
+				}
+				continue
+			}
+			capacity := s.ServerCapacity
+			scale1 := 1.0
+			if sum1[srv] > capacity {
+				scale1 = capacity / sum1[srv]
+			}
+			remaining := capacity - sum1[srv]*scale1
+			scale2 := 0.0
+			if sum2[srv] > 0 {
+				scale2 = remaining / sum2[srv]
+				if scale2 > 1 {
+					scale2 = 1
+				}
+			}
+			got := req1[i]*scale1 + req2[i]*scale2
+			switch {
+			case d <= 0:
+				res.Apps[i].Utilization[t] = 0
+			case got <= 0:
+				res.Apps[i].Utilization[t] = 1
+				res.Apps[i].StarvedSlots++
+			default:
+				u := d / got
+				if u > 1 {
+					u = 1
+				}
+				res.Apps[i].Utilization[t] = u
+			}
+		}
+	}
+	return res, nil
+}
+
+// hostOf returns the server hosting app i in the current phase, or
+// hosted=false while the app is mid-migration (its old server failed
+// and the new placement is not live yet).
+func hostOf(s *Scenario, i int, failed, migrated bool) (srv int, hosted bool) {
+	if !failed {
+		return s.Normal[i], true
+	}
+	if migrated {
+		return s.After[i], true
+	}
+	if s.Normal[i] == s.FailedServer {
+		return 0, false
+	}
+	return s.Normal[i], true
+}

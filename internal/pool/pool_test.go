@@ -1,0 +1,169 @@
+package pool
+
+import (
+	"testing"
+	"time"
+
+	"ropus/internal/portfolio"
+	"ropus/internal/qos"
+	"ropus/internal/trace"
+)
+
+func app(t *testing.T, id string, samples []float64) App {
+	t.Helper()
+	tr, err := trace.New(id, time.Hour, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normal := qos.AppQoS{ULow: 0.5, UHigh: 0.66, UDegr: 0.9, MPercent: 100}
+	failMode := qos.AppQoS{ULow: 0.5, UHigh: 0.66, UDegr: 0.9, MPercent: 95}
+	np, err := portfolio.Translate(tr, normal, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := portfolio.Translate(tr, failMode, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return App{Demand: tr, Normal: np, Failure: fp}
+}
+
+func flat(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// scenario: two apps on two servers; server 0 fails at slot 4 and its
+// app migrates to server 1 after 2 slots.
+func scenario(t *testing.T) *Scenario {
+	return &Scenario{
+		Apps:           []App{app(t, "a", flat(2, 12)), app(t, "b", flat(2, 12))},
+		ServerCapacity: 16,
+		Normal:         []int{0, 1},
+		FailedServer:   0,
+		FailAt:         4,
+		MigrationDelay: 2,
+		After:          []int{1, 1},
+	}
+}
+
+func TestRunFailureTimeline(t *testing.T) {
+	s := scenario(t)
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Apps) != 2 {
+		t.Fatalf("%d outcomes", len(res.Apps))
+	}
+	a, b := res.Apps[0], res.Apps[1]
+	if !a.Migrated || b.Migrated {
+		t.Errorf("migration flags wrong: a=%v b=%v", a.Migrated, b.Migrated)
+	}
+	// Before the failure both apps run at Ulow (ample capacity).
+	for i := 0; i < 4; i++ {
+		if a.Utilization[i] != 0.5 || b.Utilization[i] != 0.5 {
+			t.Errorf("slot %d pre-failure utilization = %v/%v, want 0.5", i, a.Utilization[i], b.Utilization[i])
+		}
+	}
+	// During the outage window app a is starved (utilization pinned at 1).
+	for i := 4; i < 6; i++ {
+		if a.Utilization[i] != 1 {
+			t.Errorf("slot %d outage utilization = %v, want 1 (starved)", i, a.Utilization[i])
+		}
+		if b.Utilization[i] != 0.5 {
+			t.Errorf("slot %d survivor utilization = %v, want 0.5", i, b.Utilization[i])
+		}
+	}
+	if a.StarvedSlots != 2 {
+		t.Errorf("StarvedSlots = %d, want 2", a.StarvedSlots)
+	}
+	// After migration both run on server 1, still within capacity.
+	for i := 6; i < 12; i++ {
+		if a.Utilization[i] != 0.5 || b.Utilization[i] != 0.5 {
+			t.Errorf("slot %d post-migration utilization = %v/%v, want 0.5",
+				i, a.Utilization[i], b.Utilization[i])
+		}
+	}
+	if res.OutageDuration() != 2*time.Hour {
+		t.Errorf("OutageDuration = %v, want 2h", res.OutageDuration())
+	}
+}
+
+func TestRunContention(t *testing.T) {
+	// After migration both apps (demand 6 each, allocation 12 each)
+	// share a 16-CPU server: CoS1 served first, CoS2 squeezed, so the
+	// utilization of allocation rises above Ulow.
+	s := scenario(t)
+	s.Apps = []App{app(t, "a", flat(6, 12)), app(t, "b", flat(6, 12))}
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 6; i < 12; i++ {
+		for _, out := range res.Apps {
+			if out.Utilization[i] <= 0.5 {
+				t.Errorf("slot %d app %s utilization = %v, want > 0.5 under contention",
+					i, out.AppID, out.Utilization[i])
+			}
+			if out.Utilization[i] > 1 {
+				t.Errorf("slot %d app %s utilization = %v > 1", i, out.AppID, out.Utilization[i])
+			}
+		}
+	}
+}
+
+func TestRunZeroDelayNeverStarves(t *testing.T) {
+	s := scenario(t)
+	s.MigrationDelay = 0
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Apps[0].StarvedSlots != 0 {
+		t.Errorf("StarvedSlots = %d with instant migration", res.Apps[0].StarvedSlots)
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	good := scenario(t)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{name: "no apps", mutate: func(s *Scenario) { s.Apps = nil }},
+		{name: "zero capacity", mutate: func(s *Scenario) { s.ServerCapacity = 0 }},
+		{name: "short normal assignment", mutate: func(s *Scenario) { s.Normal = s.Normal[:1] }},
+		{name: "after maps to failed server", mutate: func(s *Scenario) { s.After = []int{0, 1} }},
+		{name: "negative server", mutate: func(s *Scenario) { s.Normal = []int{-1, 1} }},
+		{name: "fail slot out of range", mutate: func(s *Scenario) { s.FailAt = 99 }},
+		{name: "negative delay", mutate: func(s *Scenario) { s.MigrationDelay = -1 }},
+		{name: "failed server outside pool", mutate: func(s *Scenario) { s.FailedServer = 9 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := scenario(t)
+			tt.mutate(s)
+			if err := s.Validate(); err == nil {
+				t.Error("Validate() should fail")
+			}
+			if _, err := Run(s); err == nil {
+				t.Error("Run() should fail")
+			}
+		})
+	}
+}
+
+func TestScenarioValidateMisalignedApps(t *testing.T) {
+	s := scenario(t)
+	s.Apps[1] = app(t, "b", flat(2, 6))
+	if err := s.Validate(); err == nil {
+		t.Error("misaligned apps accepted")
+	}
+}

@@ -1,0 +1,154 @@
+package portfolio
+
+import (
+	"testing"
+	"time"
+
+	"ropus/internal/qos"
+	"ropus/internal/trace"
+)
+
+// dayTrace builds a 2-day trace at a 1-hour interval (24 slots/day)
+// with base load 1.0 and the given spike positions at the given level.
+func dayTrace(t *testing.T, spikes []int, level float64) *trace.Trace {
+	t.Helper()
+	samples := make([]float64, 48)
+	for i := range samples {
+		samples[i] = 1.0
+	}
+	for _, i := range spikes {
+		samples[i] = level
+	}
+	tr, err := trace.New("daily", time.Hour, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// degradedPerDay counts worst-case degraded observations per day.
+func degradedPerDay(part *Partition, tr *trace.Trace) []int {
+	slots := tr.SlotsPerDay()
+	counts := make([]int, (tr.Len()+slots-1)/slots)
+	for i, d := range tr.Samples {
+		if degraded(part.WorstCaseUtilization(d), part.QoS.UHigh) {
+			counts[i/slots]++
+		}
+	}
+	return counts
+}
+
+func TestDailyBudgetEnforced(t *testing.T) {
+	// Five spaced spikes on day 0 (no contiguous run), well within the
+	// global Mdegr budget (5/48 > 3%, so give a generous MPercent).
+	tr := dayTrace(t, []int{2, 6, 10, 14, 18}, 3.0)
+	q := qos.AppQoS{ULow: 0.5, UHigh: 0.66, UDegr: 0.9, MPercent: 85}
+
+	unbudgeted, err := Translate(tr, q, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := degradedPerDay(unbudgeted, tr)[0]; got != 5 {
+		t.Fatalf("setup: expected 5 degraded epochs on day 0, got %d", got)
+	}
+
+	q.MaxDegradedPerDay = 2
+	budgeted, err := Translate(tr, q, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := degradedPerDay(budgeted, tr)
+	for day, c := range counts {
+		if c > 2 {
+			t.Errorf("day %d has %d degraded epochs, budget 2", day, c)
+		}
+	}
+	if budgeted.DNewMax <= unbudgeted.DNewMax {
+		t.Errorf("budget should raise the cap: %v <= %v", budgeted.DNewMax, unbudgeted.DNewMax)
+	}
+}
+
+func TestDailyBudgetMonotoneInBudget(t *testing.T) {
+	tr := dayTrace(t, []int{1, 5, 9, 13, 17, 21}, 4.0)
+	prev := 0.0
+	for _, budget := range []int{6, 4, 2, 1} {
+		q := qos.AppQoS{ULow: 0.5, UHigh: 0.66, UDegr: 0.9, MPercent: 80, MaxDegradedPerDay: budget}
+		part, err := Translate(tr, q, 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if part.DNewMax < prev-1e-12 {
+			t.Errorf("cap decreased for tighter budget %d", budget)
+		}
+		prev = part.DNewMax
+	}
+}
+
+func TestDailyBudgetZeroMeansUnlimited(t *testing.T) {
+	tr := dayTrace(t, []int{2, 6, 10}, 3.0)
+	q := qos.AppQoS{ULow: 0.5, UHigh: 0.66, UDegr: 0.9, MPercent: 85}
+	a, err := Translate(tr, q, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.MaxDegradedPerDay = 0
+	b, err := Translate(tr, q, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DNewMax != b.DNewMax {
+		t.Errorf("zero budget must be a no-op: %v vs %v", a.DNewMax, b.DNewMax)
+	}
+}
+
+func TestDailyBudgetComposesWithTDegr(t *testing.T) {
+	// A contiguous 3-hour plateau plus scattered spikes: Tdegr breaks
+	// the run, the daily budget mops up the scatter.
+	samples := make([]float64, 48)
+	for i := range samples {
+		samples[i] = 1.0
+	}
+	for i := 4; i < 7; i++ { // 3-hour plateau
+		samples[i] = 3.0
+	}
+	samples[12], samples[20], samples[30], samples[40] = 2.5, 2.5, 2.5, 2.5
+	tr, err := trace.New("combo", time.Hour, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := qos.AppQoS{
+		ULow: 0.5, UHigh: 0.66, UDegr: 0.9, MPercent: 80,
+		TDegr:             2 * time.Hour,
+		MaxDegradedPerDay: 1,
+	}
+	part, err := Translate(tr, q, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := degradedPerDay(part, tr)
+	for day, c := range counts {
+		if c > 1 {
+			t.Errorf("day %d has %d degraded epochs, budget 1", day, c)
+		}
+	}
+	// The Tdegr constraint must also still hold.
+	r, _ := q.TDegrSlots(tr.Interval)
+	run := 0
+	for _, d := range tr.Samples {
+		if degraded(part.WorstCaseUtilization(d), q.UHigh) {
+			run++
+			if run > r {
+				t.Fatalf("degraded run exceeds %d slots", r)
+			}
+		} else {
+			run = 0
+		}
+	}
+}
+
+func TestDailyBudgetOnCaseStudyQoSValidation(t *testing.T) {
+	q := qos.AppQoS{ULow: 0.5, UHigh: 0.66, UDegr: 0.9, MPercent: 97, MaxDegradedPerDay: -1}
+	if err := q.Validate(); err == nil {
+		t.Error("negative MaxDegradedPerDay accepted")
+	}
+}

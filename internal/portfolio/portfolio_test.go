@@ -1,0 +1,577 @@
+package portfolio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ropus/internal/qos"
+	"ropus/internal/stats"
+	"ropus/internal/trace"
+)
+
+func caseStudyQoS() qos.AppQoS {
+	return qos.AppQoS{ULow: 0.5, UHigh: 0.66, UDegr: 0.9, MPercent: 97}
+}
+
+func mkTrace(t *testing.T, samples []float64) *trace.Trace {
+	t.Helper()
+	tr, err := trace.New("app", 5*time.Minute, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestBreakpoint(t *testing.T) {
+	tests := []struct {
+		name  string
+		uLow  float64
+		uHigh float64
+		theta float64
+		want  float64
+	}{
+		{name: "case study theta 0.6", uLow: 0.5, uHigh: 0.66, theta: 0.6, want: (0.5/0.66 - 0.6) / 0.4},
+		{name: "case study theta 0.95 all CoS2", uLow: 0.5, uHigh: 0.66, theta: 0.95, want: 0},
+		{name: "theta at ratio", uLow: 0.5, uHigh: 0.66, theta: 0.5 / 0.66, want: 0},
+		{name: "theta one", uLow: 0.5, uHigh: 0.66, theta: 1, want: 0},
+		{name: "tiny theta mostly CoS1", uLow: 0.6, uHigh: 0.6, theta: 0.01, want: (1.0 - 0.01) / 0.99},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Breakpoint(tt.uLow, tt.uHigh, tt.theta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Breakpoint = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBreakpointErrors(t *testing.T) {
+	cases := [][3]float64{
+		{0, 0.66, 0.5},   // Ulow zero
+		{0.7, 0.66, 0.5}, // Ulow above Uhigh
+		{0.5, 1.0, 0.5},  // Uhigh at one
+		{0.5, 0.66, 0},   // theta zero
+		{0.5, 0.66, 1.1}, // theta above one
+	}
+	for _, c := range cases {
+		if _, err := Breakpoint(c[0], c[1], c[2]); err == nil {
+			t.Errorf("Breakpoint(%v) should fail", c)
+		}
+	}
+}
+
+func TestQuickBreakpointBoundsAndMonotone(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		uLow := 0.01 + float64(a%90)/100        // 0.01..0.90
+		uHigh := uLow + float64(b%9)/100 + 0.01 // > uLow
+		if uHigh >= 1 {
+			uHigh = 0.99
+		}
+		if uLow > uHigh {
+			uLow = uHigh
+		}
+		t1 := 0.05 + float64(c%90)/100
+		t2 := t1 + 0.05
+		if t2 > 1 {
+			t2 = 1
+		}
+		p1, err1 := Breakpoint(uLow, uHigh, t1)
+		p2, err2 := Breakpoint(uLow, uHigh, t2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// p in [0,1] and non-increasing in theta.
+		return p1 >= 0 && p1 <= 1 && p2 >= 0 && p2 <= 1 && p2 <= p1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBreakpointFormulaGrid(t *testing.T) {
+	// Cross-check Breakpoint against the closed form over a parameter
+	// grid: p = (Ulow/Uhigh - theta)/(1 - theta) clamped at 0.
+	for _, uLow := range []float64{0.3, 0.5, 0.6} {
+		for _, uHigh := range []float64{0.6, 0.66, 0.8} {
+			if uLow > uHigh {
+				continue
+			}
+			for theta := 0.1; theta < 1.0; theta += 0.1 {
+				got, err := Breakpoint(uLow, uHigh, theta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := (uLow/uHigh - theta) / (1 - theta)
+				if want < 0 {
+					want = 0
+				}
+				if !almostEqual(got, want, 1e-12) {
+					t.Fatalf("Breakpoint(%v,%v,%v) = %v, want %v", uLow, uHigh, theta, got, want)
+				}
+				// Formula 1's defining identity: p + (1-p)θ = Ulow/Uhigh
+				// whenever p > 0.
+				if got > 0 {
+					if lhs := got + (1-got)*theta; !almostEqual(lhs, uLow/uHigh, 1e-12) {
+						t.Fatalf("identity violated at (%v,%v,%v): %v != %v",
+							uLow, uHigh, theta, lhs, uLow/uHigh)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMaxCapReductionBound(t *testing.T) {
+	got := MaxCapReductionBound(0.66, 0.9)
+	if !almostEqual(got, 1-0.66/0.9, 1e-12) {
+		t.Errorf("bound = %v, want %v (26.7%%)", got, 1-0.66/0.9)
+	}
+	if got := MaxCapReductionBound(0.66, 0); got != 0 {
+		t.Errorf("bound with Udegr=0 = %v, want 0", got)
+	}
+}
+
+func TestMaxAllocationTrend(t *testing.T) {
+	// The paper: for theta=0.95 the maximum allocation is ~20% below
+	// theta=0.6 with (Ulow,Uhigh)=(0.5,0.66).
+	hi, err := MaxAllocationTrend(0.5, 0.66, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := MaxAllocationTrend(0.5, 0.66, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := hi / lo
+	if ratio < 0.75 || ratio > 0.85 {
+		t.Errorf("trend ratio theta 0.95/0.6 = %v, want ~0.80", ratio)
+	}
+	if _, err := MaxAllocationTrend(0, 0.5, 0.5); err == nil {
+		t.Error("invalid inputs should fail")
+	}
+}
+
+func TestTranslateNoDegradationBudget(t *testing.T) {
+	q := caseStudyQoS()
+	q.MPercent = 100
+	tr := mkTrace(t, []float64{1, 2, 4, 3})
+	part, err := Translate(tr, q, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.DNewMax != 4 || part.DMax != 4 {
+		t.Errorf("DNewMax = %v, DMax = %v, want 4, 4", part.DNewMax, part.DMax)
+	}
+	if part.MaxCapReduction() != 0 {
+		t.Errorf("MaxCapReduction = %v, want 0", part.MaxCapReduction())
+	}
+	// Total allocation must be demand / Ulow everywhere (no capping).
+	total := part.Total()
+	for i, d := range tr.Samples {
+		want := d / q.ULow
+		if !almostEqual(total.Samples[i], want, 1e-12) {
+			t.Errorf("total[%d] = %v, want %v", i, total.Samples[i], want)
+		}
+	}
+	if got := part.MaxAllocation(); !almostEqual(got, 8, 1e-12) {
+		t.Errorf("MaxAllocation = %v, want 8", got)
+	}
+}
+
+func TestTranslateSplitsAtBreakpoint(t *testing.T) {
+	q := caseStudyQoS()
+	q.MPercent = 100
+	theta := 0.6
+	tr := mkTrace(t, []float64{0.5, 2, 4})
+	part, err := Translate(tr, q, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Breakpoint(q.ULow, q.UHigh, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(part.P, p, 1e-12) {
+		t.Errorf("P = %v, want %v", part.P, p)
+	}
+	breakDemand := p * 4 // p * DNewMax
+	for i, d := range tr.Samples {
+		wantCoS1 := math.Min(d, breakDemand) / q.ULow
+		wantCoS2 := (d - math.Min(d, breakDemand)) / q.ULow
+		if !almostEqual(part.CoS1.Samples[i], wantCoS1, 1e-12) {
+			t.Errorf("CoS1[%d] = %v, want %v", i, part.CoS1.Samples[i], wantCoS1)
+		}
+		if !almostEqual(part.CoS2.Samples[i], wantCoS2, 1e-12) {
+			t.Errorf("CoS2[%d] = %v, want %v", i, part.CoS2.Samples[i], wantCoS2)
+		}
+	}
+	if got := part.CoS1Peak(); !almostEqual(got, breakDemand/q.ULow, 1e-12) {
+		t.Errorf("CoS1Peak = %v, want %v", got, breakDemand/q.ULow)
+	}
+}
+
+func TestTranslateHighThetaAllCoS2(t *testing.T) {
+	q := caseStudyQoS()
+	q.MPercent = 100
+	tr := mkTrace(t, []float64{1, 3})
+	part, err := Translate(tr, q, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.P != 0 {
+		t.Errorf("P = %v, want 0", part.P)
+	}
+	if peak := part.CoS1Peak(); peak != 0 {
+		t.Errorf("CoS1Peak = %v, want 0 (all demand on CoS2)", peak)
+	}
+}
+
+func TestInitialCapPercentileBranch(t *testing.T) {
+	// 100 samples: 97 at 1.0, 3 at 1.05. D97% ~= 1.0, Dmax = 1.05.
+	// Aok = 1/0.66 = 1.51 >= Adegr = 1.05/0.9 = 1.17 => cap = D_M%.
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = 1.0
+	}
+	samples[10], samples[50], samples[90] = 1.05, 1.05, 1.05
+	tr := mkTrace(t, samples)
+	part, err := Translate(tr, caseStudyQoS(), 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dM, err := stats.PercentileNearestRank(tr.Samples, 97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dM != 1.0 {
+		t.Fatalf("nearest-rank D97%% = %v, want 1.0", dM)
+	}
+	if !almostEqual(part.DNewMax, dM, 1e-9) {
+		t.Errorf("DNewMax = %v, want D97%% = %v", part.DNewMax, dM)
+	}
+}
+
+func TestInitialCapUdegrBranch(t *testing.T) {
+	// A single large spike: D97% is far below Dmax*Uhigh/Udegr, so the
+	// Udegr ceiling dictates the cap and the reduction hits the formula
+	// 5 bound exactly.
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = 0.1
+	}
+	samples[42] = 10
+	tr := mkTrace(t, samples)
+	q := caseStudyQoS()
+	part, err := Translate(tr, q, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 * q.UHigh / q.UDegr
+	if !almostEqual(part.DNewMax, want, 1e-9) {
+		t.Errorf("DNewMax = %v, want %v", part.DNewMax, want)
+	}
+	if !almostEqual(part.MaxCapReduction(), MaxCapReductionBound(q.UHigh, q.UDegr), 1e-9) {
+		t.Errorf("reduction = %v, want the formula-5 bound %v",
+			part.MaxCapReduction(), MaxCapReductionBound(q.UHigh, q.UDegr))
+	}
+}
+
+func TestWorstCaseUtilizationProfile(t *testing.T) {
+	q := caseStudyQoS()
+	q.MPercent = 100
+	theta := 0.6
+	tr := mkTrace(t, []float64{1, 2, 3, 4})
+	part, err := Translate(tr, q, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small demand entirely on CoS1: utilization is exactly Ulow.
+	small := part.P * part.DNewMax * 0.5
+	if u := part.WorstCaseUtilization(small); !almostEqual(u, q.ULow, 1e-12) {
+		t.Errorf("U(small) = %v, want Ulow=%v", u, q.ULow)
+	}
+	// Demand exactly at the cap: utilization is exactly Uhigh.
+	if u := part.WorstCaseUtilization(part.DNewMax); !almostEqual(u, q.UHigh, 1e-9) {
+		t.Errorf("U(DNewMax) = %v, want Uhigh=%v", u, q.UHigh)
+	}
+	// Zero demand: zero utilization.
+	if u := part.WorstCaseUtilization(0); u != 0 {
+		t.Errorf("U(0) = %v, want 0", u)
+	}
+	// Monotone in demand.
+	prev := -1.0
+	for d := 0.1; d <= 5; d += 0.1 {
+		u := part.WorstCaseUtilization(d)
+		if u < prev-1e-12 {
+			t.Fatalf("worst-case utilization not monotone at d=%v", d)
+		}
+		prev = u
+	}
+}
+
+func TestTDegrBreaksLongRuns(t *testing.T) {
+	// Base load 1.0 with a 10-slot plateau at 3.0: with Mdegr=3% of 200
+	// samples = 6 samples allowed degraded, but 10 contiguous degraded
+	// slots violate Tdegr=30min (R=6 at 5-minute slots).
+	samples := make([]float64, 200)
+	for i := range samples {
+		samples[i] = 1.0
+	}
+	for i := 100; i < 110; i++ {
+		samples[i] = 3.0
+	}
+	tr := mkTrace(t, samples)
+	q := caseStudyQoS()
+	q.MPercent = 95 // plenty of degraded budget so only Tdegr binds
+
+	unlimited, err := Translate(tr, q, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.TDegr = 30 * time.Minute
+	limited, err := Translate(tr, q, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limited.DNewMax <= unlimited.DNewMax {
+		t.Errorf("Tdegr should raise the cap: %v <= %v", limited.DNewMax, unlimited.DNewMax)
+	}
+
+	// No worst-case degraded run longer than R may remain.
+	r, _ := q.TDegrSlots(tr.Interval)
+	degradedSeries := make([]float64, len(samples))
+	for i, d := range samples {
+		if u := limited.WorstCaseUtilization(d); degraded(u, q.UHigh) {
+			degradedSeries[i] = 1
+		}
+	}
+	if run := stats.LongestRunAbove(degradedSeries, 0.5); run.Length > r {
+		t.Errorf("degraded run of %d slots remains, limit %d", run.Length, r)
+	}
+}
+
+func TestTDegrTighterLimitRaisesCap(t *testing.T) {
+	// Random-ish bursty trace; caps must be monotone in the strictness
+	// of Tdegr: none <= 2h <= 1h <= 30min.
+	samples := make([]float64, 2016)
+	for i := range samples {
+		samples[i] = 0.5 + 0.4*math.Sin(float64(i)/40)
+	}
+	for i := 500; i < 540; i++ { // 200-minute plateau
+		samples[i] = 4
+	}
+	for i := 1200; i < 1215; i++ { // 75-minute plateau
+		samples[i] = 3
+	}
+	tr := mkTrace(t, samples)
+
+	caps := make([]float64, 0, 4)
+	for _, tdegr := range []time.Duration{0, 2 * time.Hour, time.Hour, 30 * time.Minute} {
+		q := caseStudyQoS()
+		q.TDegr = tdegr
+		part, err := Translate(tr, q, 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		caps = append(caps, part.DNewMax)
+	}
+	for i := 1; i < len(caps); i++ {
+		if caps[i] < caps[i-1]-1e-12 {
+			t.Errorf("cap decreased for tighter Tdegr: %v", caps)
+		}
+	}
+	if caps[3] <= caps[0] {
+		t.Errorf("30-minute limit should raise the cap above unlimited: %v", caps)
+	}
+}
+
+func TestTDegrHigherThetaSmallerCap(t *testing.T) {
+	// Paper: under time-limiting constraints, higher theta yields a
+	// smaller maximum allocation.
+	samples := make([]float64, 2016)
+	for i := range samples {
+		samples[i] = 0.5
+	}
+	for i := 300; i < 330; i++ {
+		samples[i] = 4
+	}
+	tr := mkTrace(t, samples)
+	q := caseStudyQoS()
+	q.TDegr = 30 * time.Minute
+
+	low, err := Translate(tr, q, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Translate(tr, q, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.DNewMax >= low.DNewMax {
+		t.Errorf("cap(theta=0.95)=%v should be below cap(theta=0.6)=%v",
+			high.DNewMax, low.DNewMax)
+	}
+}
+
+func TestDegradedFraction(t *testing.T) {
+	// 100 samples, 2 above the cap threshold: with M=95% the cap lands
+	// at max(D95%, Dmax*Uhigh/Udegr) and exactly the samples above
+	// cap*k are degraded.
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = 1.0
+	}
+	samples[10], samples[60] = 1.6, 1.6
+	tr := mkTrace(t, samples)
+	q := caseStudyQoS()
+	q.MPercent = 95
+	part, err := Translate(tr, q, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := part.DegradedFraction(tr)
+	// cap = max(1.0, 1.6*0.66/0.9 = 1.173); k = 1 at theta 0.6 with
+	// formula-1 p, so degraded <=> d > 1.173: the two 1.6 samples.
+	if got != 0.02 {
+		t.Errorf("DegradedFraction = %v, want 0.02", got)
+	}
+
+	// Empty trace edge case goes through the Len()==0 branch.
+	var empty trace.Trace
+	if f := part.DegradedFraction(&empty); f != 0 {
+		t.Errorf("DegradedFraction(empty) = %v, want 0", f)
+	}
+
+	// No degradation allowance: nothing can be degraded in worst case.
+	q.MPercent = 100
+	full, err := Translate(tr, q, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := full.DegradedFraction(tr); f != 0 {
+		t.Errorf("DegradedFraction with M=100 = %v, want 0", f)
+	}
+}
+
+func TestApplyDailyBudgetBadSlots(t *testing.T) {
+	q := caseStudyQoS()
+	if _, err := applyDailyBudget([]float64{1}, q, 0.4, 0.6, 1, 0); err == nil {
+		t.Error("slotsPerDay=0 accepted")
+	}
+}
+
+func TestWorstCaseUtilizationZeroAllocation(t *testing.T) {
+	// A partition with a zero cap (zero trace) returns +Inf for any
+	// positive demand rather than dividing by zero.
+	tr := mkTrace(t, []float64{0, 0})
+	part, err := Translate(tr, caseStudyQoS(), 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := part.WorstCaseUtilization(1); !math.IsInf(u, 1) {
+		t.Errorf("U(1) with zero cap = %v, want +Inf", u)
+	}
+}
+
+func TestTranslateZeroTrace(t *testing.T) {
+	tr := mkTrace(t, []float64{0, 0, 0})
+	part, err := Translate(tr, caseStudyQoS(), 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.DNewMax != 0 || part.MaxAllocation() != 0 {
+		t.Errorf("zero trace should translate to zero allocations, got %+v", part)
+	}
+	for i := range part.CoS1.Samples {
+		if part.CoS1.Samples[i] != 0 || part.CoS2.Samples[i] != 0 {
+			t.Fatal("zero trace produced non-zero allocations")
+		}
+	}
+	if got := part.MaxCapReduction(); got != 0 {
+		t.Errorf("MaxCapReduction of zero trace = %v, want 0", got)
+	}
+}
+
+func TestTranslateInputErrors(t *testing.T) {
+	tr := mkTrace(t, []float64{1})
+	bad := caseStudyQoS()
+	bad.ULow = 0
+	if _, err := Translate(tr, bad, 0.6); err == nil {
+		t.Error("invalid QoS should fail")
+	}
+	if _, err := Translate(tr, caseStudyQoS(), 0); err == nil {
+		t.Error("invalid theta should fail")
+	}
+	broken := &trace.Trace{AppID: "x", Interval: 5 * time.Minute}
+	if _, err := Translate(broken, caseStudyQoS(), 0.6); err == nil {
+		t.Error("invalid trace should fail")
+	}
+}
+
+// TestQuickTranslatedQoSGuarantees is the central invariant: whatever
+// the workload, the translated partition keeps the worst-case
+// utilization of allocation within the promised envelope.
+func TestQuickTranslatedQoSGuarantees(t *testing.T) {
+	f := func(raw []uint16, thetaRaw, tdegrChoice uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 400 {
+			raw = raw[:400]
+		}
+		samples := make([]float64, len(raw))
+		for i, v := range raw {
+			samples[i] = float64(v) / 1000
+		}
+		tr, err := trace.New("q", 5*time.Minute, samples)
+		if err != nil {
+			return false
+		}
+		theta := 0.05 + float64(thetaRaw)/255*0.95
+		q := caseStudyQoS()
+		switch tdegrChoice % 3 {
+		case 1:
+			q.TDegr = 30 * time.Minute
+		case 2:
+			q.TDegr = time.Hour
+		}
+		part, err := Translate(tr, q, theta)
+		if err != nil {
+			return false
+		}
+
+		nDegraded := 0
+		for _, d := range samples {
+			u := part.WorstCaseUtilization(d)
+			if u > q.UDegr*(1+1e-9) {
+				return false // never beyond Udegr
+			}
+			if degraded(u, q.UHigh) {
+				nDegraded++
+			}
+		}
+		// At most Mdegr percent of measurements degraded.
+		if float64(nDegraded) > q.MDegrPercent()/100*float64(len(samples))+1e-9 {
+			return false
+		}
+		// Breakpoint split is consistent: CoS1 never exceeds its share.
+		for i := range samples {
+			if part.CoS1.Samples[i] > part.P*part.DNewMax/q.ULow+1e-9 {
+				return false
+			}
+		}
+		return part.DNewMax <= part.DMax+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,195 @@
+// Package rebalance implements the medium-timescale loop of Figure 1:
+// "assignments may be adjusted periodically as service levels are
+// evaluated or as circumstances change". Given the pool's current
+// assignment and fresh demand traces, it audits whether every server
+// still satisfies the resource access commitments, and when needed (or
+// when consolidation can free servers) proposes a new assignment
+// together with the container migrations that realize it — bounded by
+// an operator-set migration budget, since each move disrupts a running
+// application.
+package rebalance
+
+import (
+	"errors"
+	"fmt"
+
+	"ropus/internal/placement"
+)
+
+// Audit is the service-level evaluation of the current assignment.
+type Audit struct {
+	// Feasible reports whether every used server satisfies the
+	// commitments under the (fresh) traces.
+	Feasible bool
+	// Violations lists the servers that no longer satisfy them.
+	Violations []string
+	// ServersUsed and Score describe the current plan.
+	ServersUsed int
+	Score       float64
+}
+
+// Evaluate audits the current assignment against the problem (whose
+// apps carry the latest translated traces).
+func Evaluate(p *placement.Problem, current placement.Assignment) (*Audit, error) {
+	plan, err := placement.Evaluate(p, current)
+	if err != nil {
+		return nil, err
+	}
+	audit := &Audit{
+		Feasible:    plan.Feasible,
+		ServersUsed: plan.ServersUsed,
+		Score:       plan.Score,
+	}
+	for _, usage := range plan.Usages {
+		if len(usage.AppIDs) > 0 && !usage.Feasible {
+			audit.Violations = append(audit.Violations, usage.Server.ID)
+		}
+	}
+	return audit, nil
+}
+
+// Config tunes a rebalancing pass.
+type Config struct {
+	// GA configures the consolidation search.
+	GA placement.GAConfig
+	// MaxMoves caps the number of container migrations the proposal may
+	// require; 0 means unlimited.
+	MaxMoves int
+	// MinScoreGain is the minimum score improvement that justifies
+	// moving anything when the current assignment is still feasible
+	// (Figure 5's "little improvement" test, applied to operations).
+	MinScoreGain float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.GA.Validate(); err != nil {
+		return err
+	}
+	if c.MaxMoves < 0 {
+		return fmt.Errorf("rebalance: MaxMoves %d < 0", c.MaxMoves)
+	}
+	if c.MinScoreGain < 0 {
+		return fmt.Errorf("rebalance: MinScoreGain %v < 0", c.MinScoreGain)
+	}
+	return nil
+}
+
+// Proposal is the outcome of a rebalancing pass.
+type Proposal struct {
+	// Audit is the evaluation of the current assignment.
+	Audit *Audit
+	// Keep is true when the current assignment should stay (feasible
+	// and no worthwhile improvement within the migration budget).
+	Keep bool
+	// Plan is the proposed assignment when Keep is false.
+	Plan *placement.Plan
+	// Moves realizes the proposal from the current assignment.
+	Moves []placement.Move
+	// BudgetExceeded is true when even the trimmed proposal needs more
+	// than MaxMoves migrations; the proposal is then the best found but
+	// the operator must either raise the budget or stage the moves.
+	BudgetExceeded bool
+}
+
+// Run audits the current assignment and, when it violates the
+// commitments or a consolidation gain is available, proposes a new one.
+// The search starts from the current assignment so the genetic
+// operators naturally favour nearby configurations, and the proposal is
+// then trimmed: moves that can be reverted without breaking feasibility
+// or using more servers are dropped until the migration budget holds.
+func Run(p *placement.Problem, current placement.Assignment, cfg Config) (*Proposal, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	audit, err := Evaluate(p, current)
+	if err != nil {
+		return nil, err
+	}
+
+	plan, err := placement.Consolidate(p, current, cfg.GA)
+	if errors.Is(err, placement.ErrNoFeasible) {
+		// Nothing feasible found at all; keep what we have and report.
+		return &Proposal{Audit: audit, Keep: true, BudgetExceeded: !audit.Feasible}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if audit.Feasible && plan.Score <= audit.Score+cfg.MinScoreGain {
+		return &Proposal{Audit: audit, Keep: true}, nil
+	}
+
+	trimmed, err := trimMoves(p, current, plan.Assignment, cfg.MaxMoves)
+	if err != nil {
+		return nil, err
+	}
+	finalPlan, err := placement.Evaluate(p, trimmed)
+	if err != nil {
+		return nil, err
+	}
+	moves, err := placement.Migrations(p, current, trimmed)
+	if err != nil {
+		return nil, err
+	}
+	if len(moves) == 0 {
+		return &Proposal{Audit: audit, Keep: true, BudgetExceeded: !audit.Feasible}, nil
+	}
+	return &Proposal{
+		Audit:          audit,
+		Plan:           finalPlan,
+		Moves:          moves,
+		BudgetExceeded: cfg.MaxMoves > 0 && len(moves) > cfg.MaxMoves,
+	}, nil
+}
+
+// trimMoves reverts proposed moves that neither affect feasibility nor
+// the number of servers in use, until the budget holds (or no revert is
+// possible). Reverting one move can invalidate others' context, so the
+// walk re-evaluates after each candidate revert.
+func trimMoves(p *placement.Problem, current, proposed placement.Assignment, maxMoves int) (placement.Assignment, error) {
+	if maxMoves <= 0 {
+		return proposed, nil
+	}
+	result := proposed.Clone()
+	basePlan, err := placement.Evaluate(p, result)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		moved := movedApps(current, result)
+		if len(moved) <= maxMoves {
+			return result, nil
+		}
+		reverted := false
+		for _, app := range moved {
+			trial := result.Clone()
+			trial[app] = current[app]
+			plan, err := placement.Evaluate(p, trial)
+			if err != nil {
+				return nil, err
+			}
+			if plan.Feasible && plan.ServersUsed <= basePlan.ServersUsed {
+				result = trial
+				basePlan = plan
+				reverted = true
+				break
+			}
+		}
+		if !reverted {
+			return result, nil // cannot trim further; caller flags the overrun
+		}
+	}
+}
+
+// movedApps lists the app indexes whose server differs between two
+// assignments.
+func movedApps(a, b placement.Assignment) []int {
+	var out []int
+	for i := range a {
+		if a[i] != b[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package rebalance
+
+import (
+	"testing"
+	"time"
+
+	"ropus/internal/placement"
+	"ropus/internal/qos"
+	"ropus/internal/sim"
+)
+
+// flatApp mirrors the placement test helper: constant CoS2 demand makes
+// required capacity additive.
+func flatApp(id string, size float64, slots int) placement.App {
+	c2 := make([]float64, slots)
+	for i := range c2 {
+		c2[i] = size
+	}
+	return placement.App{ID: id, Workload: sim.Workload{AppID: id, CoS1: make([]float64, slots), CoS2: c2}}
+}
+
+func problem(sizes []float64, nServers, cpus int) *placement.Problem {
+	apps := make([]placement.App, len(sizes))
+	for i, s := range sizes {
+		apps[i] = flatApp("app-"+string(rune('a'+i)), s, 28)
+	}
+	servers := make([]placement.Server, nServers)
+	for i := range servers {
+		servers[i] = placement.Server{ID: "srv-" + string(rune('a'+i)), CPUs: cpus, CPUCapacity: 1}
+	}
+	return &placement.Problem{
+		Apps:          apps,
+		Servers:       servers,
+		Commitment:    qos.PoolCommitment{Theta: 0.9, Deadline: time.Hour},
+		SlotsPerDay:   4,
+		DeadlineSlots: 2,
+		Tolerance:     0.01,
+	}
+}
+
+func ga() placement.GAConfig {
+	cfg := placement.DefaultGAConfig(3)
+	cfg.MaxGenerations = 60
+	cfg.Stagnation = 15
+	return cfg
+}
+
+func TestEvaluateReportsViolations(t *testing.T) {
+	p := problem([]float64{6, 6}, 2, 10)
+	audit, err := Evaluate(p, placement.Assignment{0, 0}) // 12 > 10
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audit.Feasible {
+		t.Error("overloaded assignment reported feasible")
+	}
+	if len(audit.Violations) != 1 || audit.Violations[0] != "srv-a" {
+		t.Errorf("Violations = %v, want [srv-a]", audit.Violations)
+	}
+
+	audit, err = Evaluate(p, placement.Assignment{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !audit.Feasible || len(audit.Violations) != 0 {
+		t.Errorf("clean assignment audited as %+v", audit)
+	}
+}
+
+func TestRunKeepsGoodAssignment(t *testing.T) {
+	// Already optimally packed: nothing to do.
+	p := problem([]float64{5, 4}, 2, 10)
+	prop, err := Run(p, placement.Assignment{0, 0}, Config{GA: ga(), MinScoreGain: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prop.Keep {
+		t.Errorf("optimal assignment not kept: %d moves proposed", len(prop.Moves))
+	}
+	if prop.BudgetExceeded {
+		t.Error("budget flagged on a kept assignment")
+	}
+}
+
+func TestRunRepairsViolation(t *testing.T) {
+	// Two apps overloading one server while another sits empty.
+	p := problem([]float64{6, 6}, 2, 10)
+	prop, err := Run(p, placement.Assignment{0, 0}, Config{GA: ga()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prop.Keep {
+		t.Fatal("violating assignment kept")
+	}
+	if prop.Plan == nil || !prop.Plan.Feasible {
+		t.Fatal("proposal infeasible")
+	}
+	if len(prop.Moves) == 0 {
+		t.Fatal("no moves proposed")
+	}
+	if prop.BudgetExceeded {
+		t.Error("single-move repair flagged as over budget")
+	}
+}
+
+func TestRunConsolidatesWhenWorthIt(t *testing.T) {
+	// Two half-empty servers that fit on one: consolidation frees a
+	// server (+1 score), above the gain threshold.
+	p := problem([]float64{3, 3}, 2, 10)
+	prop, err := Run(p, placement.Assignment{0, 1}, Config{GA: ga(), MinScoreGain: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prop.Keep {
+		t.Fatal("consolidation opportunity ignored")
+	}
+	if prop.Plan.ServersUsed != 1 {
+		t.Errorf("proposal uses %d servers, want 1", prop.Plan.ServersUsed)
+	}
+	if len(prop.Moves) != 1 {
+		t.Errorf("%d moves, want 1", len(prop.Moves))
+	}
+}
+
+func TestRunRespectsMigrationBudget(t *testing.T) {
+	// Four apps spread across four servers, all fit on one. With
+	// MaxMoves 2 the trimmed proposal must not move more than... the
+	// trim walk reverts moves while it can keep feasibility and server
+	// count; pairing two apps per server needs only 2 moves.
+	p := problem([]float64{2, 2, 2, 2}, 4, 10)
+	prop, err := Run(p, placement.Assignment{0, 1, 2, 3}, Config{GA: ga(), MaxMoves: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prop.Keep {
+		t.Fatal("consolidation opportunity ignored")
+	}
+	if len(prop.Moves) > 2 && !prop.BudgetExceeded {
+		t.Errorf("%d moves without budget flag", len(prop.Moves))
+	}
+	if !prop.Plan.Feasible {
+		t.Error("trimmed proposal infeasible")
+	}
+}
+
+func TestRunUnrepairableReportsBudgetExceeded(t *testing.T) {
+	// A single oversized app: no feasible assignment exists at all.
+	p := problem([]float64{20}, 1, 10)
+	prop, err := Run(p, placement.Assignment{0}, Config{GA: ga()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prop.Keep || !prop.BudgetExceeded {
+		t.Errorf("unrepairable pool should keep and flag: %+v", prop)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{GA: ga()}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if err := (Config{GA: ga(), MaxMoves: -1}).Validate(); err == nil {
+		t.Error("negative MaxMoves accepted")
+	}
+	if err := (Config{GA: ga(), MinScoreGain: -1}).Validate(); err == nil {
+		t.Error("negative MinScoreGain accepted")
+	}
+	bad := ga()
+	bad.PopulationSize = 0
+	if err := (Config{GA: bad}).Validate(); err == nil {
+		t.Error("bad GA accepted")
+	}
+	p := problem([]float64{1}, 1, 10)
+	if _, err := Run(p, placement.Assignment{0}, Config{GA: bad}); err == nil {
+		t.Error("Run with bad config accepted")
+	}
+	if _, err := Run(p, placement.Assignment{0, 1}, Config{GA: ga()}); err == nil {
+		t.Error("Run with bad assignment accepted")
+	}
+}

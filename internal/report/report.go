@@ -1,0 +1,163 @@
+// Package report renders the output of a capacity-management pass
+// (core.Report) for humans and machines: a text summary for terminals
+// and a stable JSON document for dashboards and follow-up tooling.
+package report
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+import "ropus/internal/core"
+
+// AppSummary describes one application's translation.
+type AppSummary struct {
+	ID string `json:"id"`
+	// Breakpoint is the CoS1/CoS2 demand breakpoint p.
+	Breakpoint float64 `json:"breakpoint"`
+	// PeakDemandCPU is the observed peak demand D_max.
+	PeakDemandCPU float64 `json:"peakDemandCpu"`
+	// CappedDemandCPU is D_new_max after the degradation allowances.
+	CappedDemandCPU float64 `json:"cappedDemandCpu"`
+	// MaxAllocationCPU is the maximum allocation D_new_max / Ulow.
+	MaxAllocationCPU float64 `json:"maxAllocationCpu"`
+	// CapReductionPercent is the achieved MaxCapReduction in percent.
+	CapReductionPercent float64 `json:"capReductionPercent"`
+}
+
+// ServerSummary describes one used server of the consolidated plan.
+type ServerSummary struct {
+	ID          string   `json:"id"`
+	AppIDs      []string `json:"appIds"`
+	RequiredCPU float64  `json:"requiredCpu"`
+	CapacityCPU float64  `json:"capacityCpu"`
+	// MeasuredTheta is the resource access probability the simulator
+	// measured at the reported capacity.
+	MeasuredTheta float64 `json:"measuredTheta"`
+}
+
+// FailureSummary describes one single-server failure scenario.
+type FailureSummary struct {
+	FailedServer string   `json:"failedServer"`
+	AffectedApps []string `json:"affectedApps"`
+	Absorbable   bool     `json:"absorbable"`
+}
+
+// Summary is the JSON-friendly distillation of a core.Report.
+type Summary struct {
+	Applications   int     `json:"applications"`
+	ServersUsed    int     `json:"serversUsed"`
+	CPeakCPU       float64 `json:"cPeakCpu"`
+	CRequCPU       float64 `json:"cRequCpu"`
+	SavingsPercent float64 `json:"savingsPercent"`
+	SpareNeeded    bool    `json:"spareNeeded"`
+
+	Apps     []AppSummary     `json:"apps"`
+	Servers  []ServerSummary  `json:"servers"`
+	Failures []FailureSummary `json:"failures"`
+}
+
+// Summarize distills a core.Report.
+func Summarize(r *core.Report) (*Summary, error) {
+	if r == nil || r.Translation == nil || r.Consolidation == nil {
+		return nil, errors.New("report: incomplete report")
+	}
+	s := &Summary{
+		Applications: len(r.Translation.Normal),
+		ServersUsed:  r.Consolidation.ServersUsed(),
+		CPeakCPU:     r.Translation.CPeakTotal(),
+		CRequCPU:     r.Consolidation.CRequTotal(),
+	}
+	if s.CPeakCPU > 0 {
+		s.SavingsPercent = (1 - s.CRequCPU/s.CPeakCPU) * 100
+	}
+	for _, p := range r.Translation.Normal {
+		s.Apps = append(s.Apps, AppSummary{
+			ID:                  p.AppID,
+			Breakpoint:          p.P,
+			PeakDemandCPU:       p.DMax,
+			CappedDemandCPU:     p.DNewMax,
+			MaxAllocationCPU:    p.MaxAllocation(),
+			CapReductionPercent: p.MaxCapReduction() * 100,
+		})
+	}
+	for i, usage := range r.Consolidation.Plan.Usages {
+		if len(usage.AppIDs) == 0 {
+			continue
+		}
+		s.Servers = append(s.Servers, ServerSummary{
+			ID:            r.Consolidation.Problem.Servers[i].ID,
+			AppIDs:        usage.AppIDs,
+			RequiredCPU:   usage.Required,
+			CapacityCPU:   r.Consolidation.Problem.Servers[i].Capacity(),
+			MeasuredTheta: usage.Result.Theta,
+		})
+	}
+	if r.Failures != nil {
+		s.SpareNeeded = r.Failures.SpareNeeded
+		for _, sc := range r.Failures.Scenarios {
+			s.Failures = append(s.Failures, FailureSummary{
+				FailedServer: sc.FailedServer,
+				AffectedApps: sc.AffectedApps,
+				Absorbable:   sc.Feasible,
+			})
+		}
+	}
+	return s, nil
+}
+
+// JSON writes the summary as indented JSON.
+func JSON(w io.Writer, r *core.Report) error {
+	s, err := Summarize(r)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Text writes a human-readable summary.
+func Text(w io.Writer, r *core.Report) error {
+	s, err := Summarize(r)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "R-Opus capacity report: %d applications on %d servers\n",
+		s.Applications, s.ServersUsed)
+	fmt.Fprintf(w, "sum of peak allocations %.1f CPUs, required %.1f CPUs (%.0f%% saved by sharing)\n\n",
+		s.CPeakCPU, s.CRequCPU, s.SavingsPercent)
+
+	fmt.Fprintf(w, "%-10s %6s %10s %10s %10s %8s\n",
+		"app", "p", "Dmax", "DnewMax", "maxAlloc", "red%")
+	for _, a := range s.Apps {
+		fmt.Fprintf(w, "%-10s %6.3f %10.2f %10.2f %10.2f %8.2f\n",
+			a.ID, a.Breakpoint, a.PeakDemandCPU, a.CappedDemandCPU,
+			a.MaxAllocationCPU, a.CapReductionPercent)
+	}
+
+	fmt.Fprintf(w, "\n%-10s %10s %10s %8s  %s\n", "server", "required", "capacity", "theta'", "apps")
+	for _, srv := range s.Servers {
+		fmt.Fprintf(w, "%-10s %10.2f %10.1f %8.4f  %v\n",
+			srv.ID, srv.RequiredCPU, srv.CapacityCPU, srv.MeasuredTheta, srv.AppIDs)
+	}
+
+	if len(s.Failures) > 0 {
+		fmt.Fprintln(w, "\nfailure scenarios:")
+		for _, f := range s.Failures {
+			verdict := "absorbable"
+			if !f.Absorbable {
+				verdict = "NOT absorbable"
+			}
+			fmt.Fprintf(w, "  %-10s %d apps affected: %s\n", f.FailedServer, len(f.AffectedApps), verdict)
+		}
+		if s.SpareNeeded {
+			fmt.Fprintln(w, "verdict: a spare server is needed")
+		} else {
+			fmt.Fprintln(w, "verdict: no spare server needed")
+		}
+	}
+	return nil
+}

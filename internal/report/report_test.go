@@ -1,0 +1,131 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"ropus/internal/core"
+	"ropus/internal/placement"
+	"ropus/internal/qos"
+	"ropus/internal/workload"
+)
+
+func sampleReport(t *testing.T) *core.Report {
+	t.Helper()
+	set, err := workload.Fleet(workload.FleetConfig{
+		Spiky: 1, Bursty: 1, Smooth: 2,
+		Weeks: 1, Interval: time.Hour, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga := placement.DefaultGAConfig(2)
+	ga.MaxGenerations = 30
+	ga.Stagnation = 8
+	f, err := core.New(core.Config{
+		Commitment:           qos.PoolCommitment{Theta: 0.6, Deadline: time.Hour},
+		ServerCPUs:           16,
+		ServerCapacityPerCPU: 1,
+		GA:                   ga,
+		Tolerance:            0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := qos.AppQoS{ULow: 0.5, UHigh: 0.66, UDegr: 0.9, MPercent: 97}
+	r, err := f.Run(set, core.Requirements{Default: qos.Requirement{Normal: q, Failure: q}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSummarize(t *testing.T) {
+	r := sampleReport(t)
+	s, err := Summarize(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Applications != 4 {
+		t.Errorf("Applications = %d, want 4", s.Applications)
+	}
+	if len(s.Apps) != 4 {
+		t.Errorf("%d app summaries", len(s.Apps))
+	}
+	if s.ServersUsed != len(s.Servers) {
+		t.Errorf("ServersUsed %d != %d server summaries", s.ServersUsed, len(s.Servers))
+	}
+	if s.CRequCPU <= 0 || s.CPeakCPU <= 0 || s.CRequCPU > s.CPeakCPU {
+		t.Errorf("capacity totals wrong: CRequ=%v CPeak=%v", s.CRequCPU, s.CPeakCPU)
+	}
+	if s.SavingsPercent <= 0 || s.SavingsPercent >= 100 {
+		t.Errorf("SavingsPercent = %v", s.SavingsPercent)
+	}
+	if len(s.Failures) != s.ServersUsed {
+		t.Errorf("%d failure summaries for %d servers", len(s.Failures), s.ServersUsed)
+	}
+	// Every app is hosted exactly once.
+	hosted := make(map[string]int)
+	for _, srv := range s.Servers {
+		for _, id := range srv.AppIDs {
+			hosted[id]++
+		}
+	}
+	for _, a := range s.Apps {
+		if hosted[a.ID] != 1 {
+			t.Errorf("app %s hosted %d times", a.ID, hosted[a.ID])
+		}
+	}
+}
+
+func TestSummarizeErrors(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Error("nil report accepted")
+	}
+	if _, err := Summarize(&core.Report{}); err == nil {
+		t.Error("empty report accepted")
+	}
+}
+
+func TestJSONRoundTrips(t *testing.T) {
+	r := sampleReport(t)
+	var buf bytes.Buffer
+	if err := JSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var s Summary
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("invalid JSON produced: %v", err)
+	}
+	if s.Applications != 4 {
+		t.Errorf("round-tripped Applications = %d", s.Applications)
+	}
+	if err := JSON(&buf, nil); err == nil {
+		t.Error("nil report accepted")
+	}
+}
+
+func TestText(t *testing.T) {
+	r := sampleReport(t)
+	var buf bytes.Buffer
+	if err := Text(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"R-Opus capacity report",
+		"app-01",
+		"failure scenarios:",
+		"verdict:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	if err := Text(&buf, nil); err == nil {
+		t.Error("nil report accepted")
+	}
+}

@@ -1,0 +1,316 @@
+// Package sim implements the workload placement service's simulator
+// component (paper section VI-A, Figure 4).
+//
+// The simulator emulates the assignment of several application workloads
+// to a single resource. It replays the per-slot allocation-requirement
+// traces produced by the portfolio translation, schedules capacity in
+// workload-manager order (CoS1 first, remaining capacity to CoS2, then
+// to backlogged CoS2 demand), measures the resource access probability
+//
+//	θ = min over (week, slot) of  Σ_days min(A, L) / Σ_days A
+//
+// and checks that demands not satisfied on request are satisfied within
+// the commitment's deadline of s slots. A binary search over capacity
+// finds the required capacity: the smallest capacity satisfying the CoS
+// commitments.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ropus/internal/qos"
+)
+
+// Workload is one application's translated allocation requirements on a
+// resource: per-slot CPU allocations for each class of service. Both
+// slices must have the same length across all workloads replayed
+// together.
+type Workload struct {
+	AppID string
+	CoS1  []float64
+	CoS2  []float64
+}
+
+// Validate checks the workload's structural invariants.
+func (w Workload) Validate() error {
+	if w.AppID == "" {
+		return errors.New("sim: workload needs an AppID")
+	}
+	if len(w.CoS1) == 0 || len(w.CoS1) != len(w.CoS2) {
+		return fmt.Errorf("sim: workload %q needs equal-length, non-empty CoS traces (got %d/%d)",
+			w.AppID, len(w.CoS1), len(w.CoS2))
+	}
+	for i := range w.CoS1 {
+		if w.CoS1[i] < 0 || w.CoS2[i] < 0 ||
+			math.IsNaN(w.CoS1[i]) || math.IsNaN(w.CoS2[i]) ||
+			math.IsInf(w.CoS1[i], 0) || math.IsInf(w.CoS2[i], 0) {
+			return fmt.Errorf("sim: workload %q has an invalid allocation at slot %d", w.AppID, i)
+		}
+	}
+	return nil
+}
+
+// Config parameterizes a replay.
+type Config struct {
+	// Capacity is the resource's CPU capacity L.
+	Capacity float64
+	// Commitment is the pool's CoS2 access commitment (θ and deadline).
+	Commitment qos.PoolCommitment
+	// SlotsPerDay is T, the number of measurement slots per day; the
+	// θ statistic is grouped by (week, time-of-day slot).
+	SlotsPerDay int
+	// DeadlineSlots is the commitment deadline s expressed in slots.
+	DeadlineSlots int
+}
+
+// Validate checks the replay configuration.
+func (c Config) Validate() error {
+	if c.Capacity < 0 || math.IsNaN(c.Capacity) || math.IsInf(c.Capacity, 0) {
+		return fmt.Errorf("sim: bad capacity %v", c.Capacity)
+	}
+	if c.SlotsPerDay <= 0 {
+		return fmt.Errorf("sim: SlotsPerDay %d <= 0", c.SlotsPerDay)
+	}
+	if c.DeadlineSlots < 0 {
+		return fmt.Errorf("sim: DeadlineSlots %d < 0", c.DeadlineSlots)
+	}
+	return c.Commitment.Validate()
+}
+
+// Result reports the outcome of replaying a set of workloads against a
+// capacity.
+type Result struct {
+	// CoS1Peak is the peak aggregate CoS1 allocation. CoS1 is
+	// guaranteed, so the workloads cannot fit unless CoS1Peak <=
+	// capacity.
+	CoS1Peak float64
+	// CoS1OK reports whether the CoS1 guarantee holds.
+	CoS1OK bool
+	// Theta is the measured resource access probability for CoS2.
+	Theta float64
+	// DeadlineOK reports whether every CoS2 deficit was served within
+	// the deadline.
+	DeadlineOK bool
+	// UnservedTotal is the total CoS2 demand that missed its deadline,
+	// in CPU-slots.
+	UnservedTotal float64
+	// PeakAggregate is the peak of the total (CoS1+CoS2) allocation
+	// requirement, an upper bound on useful capacity.
+	PeakAggregate float64
+}
+
+// Fits reports whether the replay satisfied the commitment θ.
+func (r Result) Fits(required float64) bool {
+	return r.CoS1OK && r.DeadlineOK && r.Theta >= required-1e-12
+}
+
+// Aggregate holds the per-slot aggregate CoS1/CoS2 allocations of a
+// workload group; computing it once amortizes replays across a binary
+// search over capacity. Construct with NewAggregate.
+type Aggregate struct {
+	cos1, cos2 []float64
+	cos1Peak   float64
+	totalPeak  float64
+}
+
+// NewAggregate precomputes per-slot aggregate allocations. All
+// workloads must be valid and aligned.
+func NewAggregate(workloads []Workload) (*Aggregate, error) {
+	if len(workloads) == 0 {
+		return nil, errors.New("sim: no workloads")
+	}
+	n := len(workloads[0].CoS1)
+	agg := &Aggregate{cos1: make([]float64, n), cos2: make([]float64, n)}
+	for _, w := range workloads {
+		if err := w.Validate(); err != nil {
+			return nil, err
+		}
+		if len(w.CoS1) != n {
+			return nil, fmt.Errorf("sim: workload %q has %d slots, want %d", w.AppID, len(w.CoS1), n)
+		}
+		for i := range w.CoS1 {
+			agg.cos1[i] += w.CoS1[i]
+			agg.cos2[i] += w.CoS2[i]
+		}
+	}
+	for i := range agg.cos1 {
+		if agg.cos1[i] > agg.cos1Peak {
+			agg.cos1Peak = agg.cos1[i]
+		}
+		if total := agg.cos1[i] + agg.cos2[i]; total > agg.totalPeak {
+			agg.totalPeak = total
+		}
+	}
+	return agg, nil
+}
+
+// Slots returns the number of replay slots.
+func (a *Aggregate) Slots() int { return len(a.cos1) }
+
+// CoS1Peak returns the peak aggregate CoS1 allocation.
+func (a *Aggregate) CoS1Peak() float64 { return a.cos1Peak }
+
+// TotalPeak returns the peak aggregate CoS1+CoS2 allocation.
+func (a *Aggregate) TotalPeak() float64 { return a.totalPeak }
+
+// backlogEntry is CoS2 demand that was not satisfied on request and must
+// be served by slot due.
+type backlogEntry struct {
+	due    int
+	amount float64
+}
+
+// Replay replays the aggregate against cfg.Capacity and computes the
+// resource access CoS statistics (Figure 4's simulator loop).
+func (a *Aggregate) Replay(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	const eps = 1e-9
+	res := Result{
+		CoS1Peak:      a.cos1Peak,
+		CoS1OK:        a.cos1Peak <= cfg.Capacity+eps,
+		DeadlineOK:    true,
+		PeakAggregate: a.totalPeak,
+	}
+
+	t := cfg.SlotsPerDay
+	n := a.Slots()
+
+	// Per (week, slot) sums for the θ statistic.
+	weeks := n / (7 * t)
+	if weeks == 0 {
+		weeks = 1 // partial trace: treat everything as week 0
+	}
+	type groupSums struct{ requested, served float64 }
+	groups := make([]groupSums, weeks*t)
+
+	var backlog []backlogEntry
+	head := 0 // index of the first live backlog entry
+
+	for i := 0; i < n; i++ {
+		avail := cfg.Capacity - a.cos1[i]
+		if avail < 0 {
+			avail = 0
+		}
+		requested := a.cos2[i]
+		served := math.Min(requested, avail)
+		avail -= served
+
+		// Serve backlogged deficits oldest-first with leftover capacity.
+		for head < len(backlog) && avail > eps {
+			take := math.Min(backlog[head].amount, avail)
+			backlog[head].amount -= take
+			avail -= take
+			if backlog[head].amount <= eps {
+				head++
+			}
+		}
+		// Entries due this slot that still carry demand have missed the
+		// deadline.
+		for head < len(backlog) && backlog[head].due <= i {
+			if backlog[head].amount > eps {
+				res.DeadlineOK = false
+				res.UnservedTotal += backlog[head].amount
+			}
+			head++
+		}
+		if deficit := requested - served; deficit > eps {
+			if cfg.DeadlineSlots == 0 {
+				res.DeadlineOK = false
+				res.UnservedTotal += deficit
+			} else {
+				backlog = append(backlog, backlogEntry{due: i + cfg.DeadlineSlots, amount: deficit})
+			}
+		}
+
+		// θ bookkeeping grouped by (week, time-of-day slot).
+		w := i / (7 * t)
+		if w >= weeks {
+			w = weeks - 1
+		}
+		g := w*t + i%t
+		groups[g].requested += requested
+		groups[g].served += served
+	}
+	// Deficits still pending at the end of the trace are not counted as
+	// violations: their deadlines lie beyond the observation window.
+
+	res.Theta = 1
+	for _, g := range groups {
+		ratio := 1.0
+		if g.requested > eps {
+			ratio = g.served / g.requested
+		}
+		if ratio < res.Theta {
+			res.Theta = ratio
+		}
+	}
+	return res, nil
+}
+
+// RequiredCapacity finds the smallest capacity (within tol CPUs) that
+// satisfies the CoS commitments, searching [CoS1Peak, limit] by
+// bisection as in Figure 4. It returns the capacity and the replay
+// result at that capacity. If even the limit does not satisfy the
+// commitments, ok is false and the returned result describes the replay
+// at the limit.
+func (a *Aggregate) RequiredCapacity(cfg Config, limit, tol float64) (capacity float64, res Result, ok bool, err error) {
+	if tol <= 0 {
+		return 0, Result{}, false, fmt.Errorf("sim: tolerance %v <= 0", tol)
+	}
+	if limit <= 0 {
+		return 0, Result{}, false, fmt.Errorf("sim: capacity limit %v <= 0", limit)
+	}
+	// The workloads cannot fit at any capacity <= limit if the
+	// guaranteed class alone exceeds it.
+	if a.cos1Peak > limit {
+		cfg.Capacity = limit
+		res, err = a.Replay(cfg)
+		return limit, res, false, err
+	}
+
+	hi := math.Min(limit, a.totalPeak) // capacity beyond the total peak is never needed
+	if hi <= 0 {
+		hi = tol // all-zero workloads: any positive capacity fits
+	}
+	cfg.Capacity = hi
+	hiRes, err := a.Replay(cfg)
+	if err != nil {
+		return 0, Result{}, false, err
+	}
+	if !hiRes.Fits(cfg.Commitment.Theta) {
+		// θ or deadline unsatisfiable even at the peak: try the full
+		// limit before giving up (deadline backlogs can need headroom).
+		if hi < limit {
+			cfg.Capacity = limit
+			hiRes, err = a.Replay(cfg)
+			if err != nil {
+				return 0, Result{}, false, err
+			}
+			hi = limit
+		}
+		if !hiRes.Fits(cfg.Commitment.Theta) {
+			return hi, hiRes, false, nil
+		}
+	}
+
+	lo := a.cos1Peak
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		cfg.Capacity = mid
+		midRes, err := a.Replay(cfg)
+		if err != nil {
+			return 0, Result{}, false, err
+		}
+		if midRes.Fits(cfg.Commitment.Theta) {
+			hi = mid
+			hiRes = midRes
+		} else {
+			lo = mid
+		}
+	}
+	return hi, hiRes, true, nil
+}

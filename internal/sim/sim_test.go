@@ -1,0 +1,471 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ropus/internal/qos"
+)
+
+func commitment(theta float64) qos.PoolCommitment {
+	return qos.PoolCommitment{Theta: theta, Deadline: time.Hour}
+}
+
+func cfg(capacity, theta float64, slotsPerDay, deadlineSlots int) Config {
+	return Config{
+		Capacity:      capacity,
+		Commitment:    commitment(theta),
+		SlotsPerDay:   slotsPerDay,
+		DeadlineSlots: deadlineSlots,
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		w       Workload
+		wantErr bool
+	}{
+		{name: "valid", w: Workload{AppID: "a", CoS1: []float64{1}, CoS2: []float64{0}}},
+		{name: "no id", w: Workload{CoS1: []float64{1}, CoS2: []float64{0}}, wantErr: true},
+		{name: "empty", w: Workload{AppID: "a"}, wantErr: true},
+		{name: "length mismatch", w: Workload{AppID: "a", CoS1: []float64{1}, CoS2: []float64{0, 0}}, wantErr: true},
+		{name: "negative", w: Workload{AppID: "a", CoS1: []float64{-1}, CoS2: []float64{0}}, wantErr: true},
+		{name: "NaN", w: Workload{AppID: "a", CoS1: []float64{1}, CoS2: []float64{math.NaN()}}, wantErr: true},
+		{name: "Inf", w: Workload{AppID: "a", CoS1: []float64{math.Inf(1)}, CoS2: []float64{0}}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.w.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := cfg(10, 0.9, 288, 12)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{name: "negative capacity", mutate: func(c *Config) { c.Capacity = -1 }},
+		{name: "NaN capacity", mutate: func(c *Config) { c.Capacity = math.NaN() }},
+		{name: "zero slots per day", mutate: func(c *Config) { c.SlotsPerDay = 0 }},
+		{name: "negative deadline", mutate: func(c *Config) { c.DeadlineSlots = -1 }},
+		{name: "bad theta", mutate: func(c *Config) { c.Commitment.Theta = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := good
+			tt.mutate(&c)
+			if err := c.Validate(); err == nil {
+				t.Error("Validate() should fail")
+			}
+		})
+	}
+}
+
+func TestNewAggregate(t *testing.T) {
+	agg, err := NewAggregate([]Workload{
+		{AppID: "a", CoS1: []float64{1, 2}, CoS2: []float64{3, 0}},
+		{AppID: "b", CoS1: []float64{0.5, 0.5}, CoS2: []float64{1, 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Slots() != 2 {
+		t.Errorf("Slots = %d, want 2", agg.Slots())
+	}
+	if agg.CoS1Peak() != 2.5 {
+		t.Errorf("CoS1Peak = %v, want 2.5", agg.CoS1Peak())
+	}
+	if agg.TotalPeak() != 6.5 {
+		t.Errorf("TotalPeak = %v, want 6.5", agg.TotalPeak())
+	}
+
+	if _, err := NewAggregate(nil); err == nil {
+		t.Error("empty workload list should fail")
+	}
+	if _, err := NewAggregate([]Workload{
+		{AppID: "a", CoS1: []float64{1}, CoS2: []float64{0}},
+		{AppID: "b", CoS1: []float64{1, 2}, CoS2: []float64{0, 0}},
+	}); err == nil {
+		t.Error("misaligned workloads should fail")
+	}
+	if _, err := NewAggregate([]Workload{{AppID: ""}}); err == nil {
+		t.Error("invalid workload should fail")
+	}
+}
+
+func TestReplayAllSatisfied(t *testing.T) {
+	agg, err := NewAggregate([]Workload{
+		{AppID: "a", CoS1: []float64{1, 1, 1}, CoS2: []float64{2, 2, 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := agg.Replay(cfg(5, 0.9, 3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CoS1OK || !res.DeadlineOK {
+		t.Errorf("expected clean replay, got %+v", res)
+	}
+	if res.Theta != 1 {
+		t.Errorf("Theta = %v, want 1", res.Theta)
+	}
+	if !res.Fits(0.9) {
+		t.Error("Fits(0.9) = false, want true")
+	}
+}
+
+func TestReplayCoS1Overflow(t *testing.T) {
+	agg, err := NewAggregate([]Workload{
+		{AppID: "a", CoS1: []float64{6}, CoS2: []float64{0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := agg.Replay(cfg(5, 0.9, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CoS1OK {
+		t.Error("CoS1OK = true with CoS1 peak above capacity")
+	}
+	if res.Fits(0.9) {
+		t.Error("Fits should be false when CoS1 overflows")
+	}
+}
+
+func TestReplayThetaGrouping(t *testing.T) {
+	// One week, 2 slots/day, 14 samples. Slot 0 demands 2 with only 1
+	// CPU free on two days; slot 1 always satisfied.
+	cos1 := make([]float64, 14)
+	cos2 := make([]float64, 14)
+	for d := 0; d < 7; d++ {
+		cos2[2*d] = 1 // slot 0
+		cos2[2*d+1] = 1
+	}
+	cos2[0] = 3 // day 0 slot 0: only 2 of 3 served at capacity 2
+	agg, err := NewAggregate([]Workload{{AppID: "a", CoS1: cos1, CoS2: cos2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := agg.Replay(cfg(2, 0.5, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slot-0 group: requested 3+1*6=9, served 2+6=8 => 8/9.
+	want := 8.0 / 9.0
+	if math.Abs(res.Theta-want) > 1e-9 {
+		t.Errorf("Theta = %v, want %v", res.Theta, want)
+	}
+	if !res.DeadlineOK {
+		t.Error("deficit of 1 should be served next slot within deadline 2")
+	}
+}
+
+func TestReplayDeadlineMiss(t *testing.T) {
+	// Capacity always saturated: deficits can never be served.
+	agg, err := NewAggregate([]Workload{
+		{AppID: "a", CoS1: []float64{0, 0, 0, 0}, CoS2: []float64{2, 1, 1, 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := agg.Replay(cfg(1, 0.5, 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineOK {
+		t.Error("DeadlineOK = true, want miss: no leftover capacity ever")
+	}
+	if res.UnservedTotal <= 0 {
+		t.Errorf("UnservedTotal = %v, want > 0", res.UnservedTotal)
+	}
+}
+
+func TestReplayDeadlineZeroSlots(t *testing.T) {
+	agg, err := NewAggregate([]Workload{
+		{AppID: "a", CoS1: []float64{0, 0}, CoS2: []float64{2, 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := agg.Replay(cfg(1, 0.5, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineOK {
+		t.Error("any deficit should violate a zero-slot deadline")
+	}
+}
+
+func TestReplayBacklogServedWithinDeadline(t *testing.T) {
+	agg, err := NewAggregate([]Workload{
+		{AppID: "a", CoS1: []float64{0, 0, 0}, CoS2: []float64{2, 0, 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := agg.Replay(cfg(1, 0.4, 3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DeadlineOK {
+		t.Error("deficit should be served in the following slot")
+	}
+	if math.Abs(res.Theta-0.5) > 1e-9 {
+		t.Errorf("Theta = %v, want 0.5", res.Theta)
+	}
+}
+
+func TestReplayPendingBacklogAtTraceEndIsNotViolation(t *testing.T) {
+	agg, err := NewAggregate([]Workload{
+		{AppID: "a", CoS1: []float64{0, 0}, CoS2: []float64{1, 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deficit at the last slot has a deadline beyond the window.
+	res, err := agg.Replay(cfg(1, 0.1, 2, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DeadlineOK {
+		t.Error("deficit due beyond the trace end should not count as a miss")
+	}
+}
+
+func TestReplayConfigError(t *testing.T) {
+	agg, err := NewAggregate([]Workload{{AppID: "a", CoS1: []float64{0}, CoS2: []float64{0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agg.Replay(Config{}); err == nil {
+		t.Error("invalid config should fail")
+	}
+}
+
+func TestRequiredCapacityThetaOne(t *testing.T) {
+	// With θ=1 every unit must be served on request: required capacity
+	// is the total peak.
+	agg, err := NewAggregate([]Workload{
+		{AppID: "a", CoS1: []float64{1, 0, 2}, CoS2: []float64{1, 5, 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg(0, 1, 3, 1)
+	got, res, ok, err := agg.RequiredCapacity(c, 100, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("expected satisfiable")
+	}
+	if got < 5 || got > 5.02 {
+		t.Errorf("required capacity = %v, want ~5 (total peak)", got)
+	}
+	if !res.Fits(1) {
+		t.Error("result at required capacity should fit")
+	}
+}
+
+func TestRequiredCapacityLowTheta(t *testing.T) {
+	// With a lax θ the required capacity can sit below the peak.
+	cos2 := make([]float64, 14)
+	for i := range cos2 {
+		cos2[i] = 1
+	}
+	cos2[3] = 4 // a single burst
+	agg, err := NewAggregate([]Workload{{AppID: "a", CoS1: make([]float64, 14), CoS2: cos2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg(0, 0.5, 2, 4)
+	got, res, ok, err := agg.RequiredCapacity(c, 100, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("expected satisfiable")
+	}
+	if got >= 4 {
+		t.Errorf("required capacity = %v, want below the burst peak 4", got)
+	}
+	if !res.Fits(0.5) {
+		t.Error("result should fit at required capacity")
+	}
+}
+
+func TestRequiredCapacityCoS1Dominates(t *testing.T) {
+	agg, err := NewAggregate([]Workload{
+		{AppID: "a", CoS1: []float64{7, 7}, CoS2: []float64{0, 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg(0, 0.9, 2, 1)
+	if _, _, ok, err := agg.RequiredCapacity(c, 5, 0.01); err != nil || ok {
+		t.Errorf("CoS1 peak 7 over limit 5: ok=%v err=%v, want unsatisfiable", ok, err)
+	}
+	got, _, ok, err := agg.RequiredCapacity(c, 10, 0.01)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if got < 7-0.01 || got > 7.02 {
+		t.Errorf("required capacity = %v, want ~7 (CoS1 peak)", got)
+	}
+}
+
+func TestRequiredCapacityArgumentErrors(t *testing.T) {
+	agg, err := NewAggregate([]Workload{{AppID: "a", CoS1: []float64{1}, CoS2: []float64{1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg(0, 0.9, 1, 1)
+	if _, _, _, err := agg.RequiredCapacity(c, 10, 0); err == nil {
+		t.Error("zero tolerance should fail")
+	}
+	if _, _, _, err := agg.RequiredCapacity(c, 0, 0.1); err == nil {
+		t.Error("zero limit should fail")
+	}
+}
+
+func TestRequiredCapacityZeroWorkload(t *testing.T) {
+	agg, err := NewAggregate([]Workload{{AppID: "a", CoS1: []float64{0, 0}, CoS2: []float64{0, 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, ok, err := agg.RequiredCapacity(cfg(0, 0.9, 2, 1), 10, 0.01)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if got > 0.02 {
+		t.Errorf("required capacity for zero workload = %v, want ~0", got)
+	}
+}
+
+func TestQuickRequiredCapacityInvariants(t *testing.T) {
+	f := func(raw []uint8, thetaRaw uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		cos1 := make([]float64, len(raw))
+		cos2 := make([]float64, len(raw))
+		for i, v := range raw {
+			cos1[i] = float64(v % 4)
+			cos2[i] = float64(v / 16)
+		}
+		agg, err := NewAggregate([]Workload{{AppID: "q", CoS1: cos1, CoS2: cos2}})
+		if err != nil {
+			return false
+		}
+		theta := 0.05 + float64(thetaRaw)/255*0.95
+		c := cfg(0, theta, 4, 3)
+		const limit = 1000
+		got, res, ok, err := agg.RequiredCapacity(c, limit, 0.05)
+		if err != nil {
+			return false
+		}
+		if !ok {
+			// Unsatisfiable only when even the limit fails; re-check.
+			c.Capacity = limit
+			r, err := agg.Replay(c)
+			return err == nil && !r.Fits(theta)
+		}
+		// Required capacity within [CoS1 peak, total peak] and feasible.
+		if got < agg.CoS1Peak()-1e-9 || got > agg.TotalPeak()+0.05+1e-9 {
+			return false
+		}
+		return res.Fits(theta)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeadlineMonotoneInSlots(t *testing.T) {
+	// A longer make-up deadline can only make a workload easier to fit:
+	// if the replay satisfies the deadline at s slots, it satisfies it
+	// at s+k slots too.
+	f := func(raw []uint8, capRaw, sRaw uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		cos1 := make([]float64, len(raw))
+		cos2 := make([]float64, len(raw))
+		for i, v := range raw {
+			cos2[i] = float64(v) / 16
+		}
+		agg, err := NewAggregate([]Workload{{AppID: "q", CoS1: cos1, CoS2: cos2}})
+		if err != nil {
+			return false
+		}
+		capacity := 1 + float64(capRaw%12)
+		s := int(sRaw % 6)
+		short := cfg(capacity, 0.5, 4, s)
+		long := cfg(capacity, 0.5, 4, s+3)
+		rShort, err1 := agg.Replay(short)
+		rLong, err2 := agg.Replay(long)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if rShort.DeadlineOK && !rLong.DeadlineOK {
+			return false
+		}
+		// θ is deadline-independent: it measures on-request service.
+		return rShort.Theta == rLong.Theta
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickThetaMonotoneInCapacity(t *testing.T) {
+	f := func(raw []uint8, c1, c2 uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		cos1 := make([]float64, len(raw))
+		cos2 := make([]float64, len(raw))
+		for i, v := range raw {
+			cos2[i] = float64(v) / 8
+		}
+		agg, err := NewAggregate([]Workload{{AppID: "q", CoS1: cos1, CoS2: cos2}})
+		if err != nil {
+			return false
+		}
+		capLo := float64(c1%32) + 0.5
+		capHi := capLo + float64(c2%32)
+		cfgLo := cfg(capLo, 0.5, 4, 2)
+		cfgHi := cfg(capHi, 0.5, 4, 2)
+		rLo, err1 := agg.Replay(cfgLo)
+		rHi, err2 := agg.Replay(cfgHi)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return rHi.Theta >= rLo.Theta-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,134 @@
+// Package stress is the stand-in for the paper's stress-testing exercise
+// (section III, reference [10]): the process that finds the acceptable
+// burst-factor range for an application by submitting a representative
+// workload in a controlled environment and varying the burst factor.
+//
+// The real exercise needs a live application; this substrate models the
+// application as an open queueing system whose mean response time grows
+// with the utilization of its allocation,
+//
+//	R(U) = S / (1 - U^Z)
+//
+// where S is the mean service time and Z the number of CPUs serving the
+// allocation — the same 1/(1-U^Z) shape the paper uses to motivate its
+// placement score. DeriveRange then runs the search the paper describes:
+// find the burst factor giving responsiveness "good but not better than
+// necessary" (Ulow) and the one giving barely adequate responsiveness
+// (Uhigh).
+package stress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Application models the system under stress test.
+type Application struct {
+	// ServiceTime is the mean per-request service demand S.
+	ServiceTime time.Duration
+	// CPUs is Z, the number of CPUs backing the allocation.
+	CPUs int
+}
+
+// Validate checks the model parameters.
+func (a Application) Validate() error {
+	if a.ServiceTime <= 0 {
+		return fmt.Errorf("stress: ServiceTime %v <= 0", a.ServiceTime)
+	}
+	if a.CPUs <= 0 {
+		return fmt.Errorf("stress: CPUs %d <= 0", a.CPUs)
+	}
+	return nil
+}
+
+// ResponseTime returns the modelled mean response time at utilization of
+// allocation u in [0, 1). It is +Inf at u >= 1.
+func (a Application) ResponseTime(u float64) time.Duration {
+	if u < 0 {
+		u = 0
+	}
+	if u >= 1 {
+		return time.Duration(math.MaxInt64)
+	}
+	denom := 1 - math.Pow(u, float64(a.CPUs))
+	return time.Duration(float64(a.ServiceTime) / denom)
+}
+
+// Targets are the responsiveness goals of the stress test.
+type Targets struct {
+	// Ideal is the response time users consider good; better is wasted
+	// capacity.
+	Ideal time.Duration
+	// Acceptable is the worst response time users tolerate.
+	Acceptable time.Duration
+}
+
+// Validate checks the targets.
+func (t Targets) Validate() error {
+	if t.Ideal <= 0 || t.Acceptable <= 0 {
+		return errors.New("stress: targets must be positive")
+	}
+	if t.Acceptable < t.Ideal {
+		return fmt.Errorf("stress: Acceptable %v < Ideal %v", t.Acceptable, t.Ideal)
+	}
+	return nil
+}
+
+// Range is the derived utilization-of-allocation operating range; the
+// corresponding burst-factor range is (1/ULow, 1/UHigh).
+type Range struct {
+	ULow  float64
+	UHigh float64
+}
+
+// DeriveRange runs the stress-test search: bisection over utilization of
+// allocation against the application's measured response time, once for
+// each target. It fails when even an idle system misses a target or the
+// derived range collapses against 1.
+func DeriveRange(app Application, targets Targets) (Range, error) {
+	if err := app.Validate(); err != nil {
+		return Range{}, err
+	}
+	if err := targets.Validate(); err != nil {
+		return Range{}, err
+	}
+	if app.ResponseTime(0) > targets.Ideal {
+		return Range{}, fmt.Errorf("stress: service time %v alone misses the ideal target %v",
+			app.ServiceTime, targets.Ideal)
+	}
+	uLow, err := searchUtilization(app, targets.Ideal)
+	if err != nil {
+		return Range{}, err
+	}
+	uHigh, err := searchUtilization(app, targets.Acceptable)
+	if err != nil {
+		return Range{}, err
+	}
+	if uHigh >= 1 || uLow <= 0 {
+		return Range{}, fmt.Errorf("stress: degenerate range (%v, %v)", uLow, uHigh)
+	}
+	return Range{ULow: uLow, UHigh: uHigh}, nil
+}
+
+// searchUtilization finds the largest utilization whose response time
+// still meets the target, by bisection on [0, 1). Response time is
+// strictly increasing in utilization, so the search is exact to the
+// tolerance.
+func searchUtilization(app Application, target time.Duration) (float64, error) {
+	const tol = 1e-6
+	lo, hi := 0.0, 1-1e-9
+	if app.ResponseTime(lo) > target {
+		return 0, fmt.Errorf("stress: target %v unreachable", target)
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		if app.ResponseTime(mid) <= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

@@ -1,0 +1,124 @@
+package stress
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func app() Application {
+	return Application{ServiceTime: 100 * time.Millisecond, CPUs: 1}
+}
+
+func TestApplicationValidate(t *testing.T) {
+	if err := app().Validate(); err != nil {
+		t.Errorf("valid app rejected: %v", err)
+	}
+	if err := (Application{ServiceTime: 0, CPUs: 1}).Validate(); err == nil {
+		t.Error("zero service time accepted")
+	}
+	if err := (Application{ServiceTime: time.Second, CPUs: 0}).Validate(); err == nil {
+		t.Error("zero CPUs accepted")
+	}
+}
+
+func TestResponseTime(t *testing.T) {
+	a := app()
+	if got := a.ResponseTime(0); got != 100*time.Millisecond {
+		t.Errorf("R(0) = %v, want service time", got)
+	}
+	if got := a.ResponseTime(0.5); got != 200*time.Millisecond {
+		t.Errorf("R(0.5) = %v, want 200ms for M/M/1", got)
+	}
+	if got := a.ResponseTime(1); got < time.Hour {
+		t.Errorf("R(1) = %v, want effectively infinite", got)
+	}
+	if got := a.ResponseTime(-0.5); got != a.ResponseTime(0) {
+		t.Errorf("negative utilization should clamp to 0, got %v", got)
+	}
+	// A multi-CPU allocation sustains higher utilization at the same
+	// response time (the paper's rationale for the Z term in f(U)).
+	multi := Application{ServiceTime: 100 * time.Millisecond, CPUs: 8}
+	if multi.ResponseTime(0.8) >= a.ResponseTime(0.8) {
+		t.Error("more CPUs should improve response time at equal utilization")
+	}
+}
+
+func TestTargetsValidate(t *testing.T) {
+	good := Targets{Ideal: 200 * time.Millisecond, Acceptable: 300 * time.Millisecond}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid targets rejected: %v", err)
+	}
+	if err := (Targets{Ideal: 0, Acceptable: time.Second}).Validate(); err == nil {
+		t.Error("zero ideal accepted")
+	}
+	if err := (Targets{Ideal: time.Second, Acceptable: time.Millisecond}).Validate(); err == nil {
+		t.Error("acceptable below ideal accepted")
+	}
+}
+
+func TestDeriveRangeMatchesClosedForm(t *testing.T) {
+	// For M/M/1 (Z=1): R = S/(1-U)  =>  U = 1 - S/R.
+	a := app()
+	targets := Targets{Ideal: 200 * time.Millisecond, Acceptable: 300 * time.Millisecond}
+	r, err := DeriveRange(a, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLow := 1 - 100.0/200.0  // 0.5
+	wantHigh := 1 - 100.0/300.0 // 0.666...
+	if diff := r.ULow - wantLow; diff > 1e-4 || diff < -1e-4 {
+		t.Errorf("ULow = %v, want %v", r.ULow, wantLow)
+	}
+	if diff := r.UHigh - wantHigh; diff > 1e-4 || diff < -1e-4 {
+		t.Errorf("UHigh = %v, want %v", r.UHigh, wantHigh)
+	}
+	if r.ULow > r.UHigh {
+		t.Error("ULow should not exceed UHigh")
+	}
+}
+
+func TestDeriveRangeCaseStudyShape(t *testing.T) {
+	// The paper's case-study range (0.5, 0.66) corresponds to targets
+	// of 2x and 3x the service time on a single CPU.
+	r, err := DeriveRange(app(), Targets{
+		Ideal:      200 * time.Millisecond,
+		Acceptable: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ULow < 0.49 || r.ULow > 0.51 || r.UHigh < 0.65 || r.UHigh > 0.68 {
+		t.Errorf("derived range (%v,%v), want ~(0.5,0.66)", r.ULow, r.UHigh)
+	}
+}
+
+func TestDeriveRangeErrors(t *testing.T) {
+	if _, err := DeriveRange(Application{}, Targets{Ideal: time.Second, Acceptable: time.Second}); err == nil {
+		t.Error("invalid app should fail")
+	}
+	if _, err := DeriveRange(app(), Targets{}); err == nil {
+		t.Error("invalid targets should fail")
+	}
+	// Ideal faster than the bare service time is unreachable.
+	if _, err := DeriveRange(app(), Targets{Ideal: 50 * time.Millisecond, Acceptable: time.Second}); err == nil {
+		t.Error("unreachable ideal should fail")
+	}
+}
+
+func TestQuickDerivedRangeOrdered(t *testing.T) {
+	f := func(sRaw, idealRaw, gapRaw uint8, cpus uint8) bool {
+		s := time.Duration(1+int(sRaw)) * time.Millisecond
+		ideal := s + time.Duration(1+int(idealRaw))*time.Millisecond
+		acceptable := ideal + time.Duration(int(gapRaw))*time.Millisecond
+		a := Application{ServiceTime: s, CPUs: 1 + int(cpus%16)}
+		r, err := DeriveRange(a, Targets{Ideal: ideal, Acceptable: acceptable})
+		if err != nil {
+			return true // infeasible combinations are fine, they error
+		}
+		return r.ULow > 0 && r.ULow <= r.UHigh+1e-6 && r.UHigh < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// Demand forecasting. The paper's trace-based method assumes that
+// "future demands will be roughly similar" to the past, that most
+// demands "change slowly (e.g., over several months)", and that
+// significant changes are forecast by business units and communicated
+// to the pool operator so their impact can be "reflected in the
+// corresponding traces". This file provides both mechanisms:
+//
+//   - ForecastWeeks projects the slowly-changing demand level forward
+//     while preserving the diurnal and weekly structure the placement
+//     simulator depends on.
+//   - ApplyGrowth scales a trace by a business-supplied factor, the
+//     "reflected in the traces" path for step changes.
+
+// ForecastWeeks extrapolates the trace for the given number of future
+// weeks. The projection separates shape from level: the shape of a
+// future week is the mean observed week (per-slot average across the
+// observed weeks, which preserves time-of-day and day-of-week
+// structure), and its level follows the least-squares linear trend of
+// the weekly mean demand. Projected levels are clamped at zero.
+//
+// Fitting the trend on weekly means rather than per slot keeps the
+// forecast robust: per-slot regressions over a handful of weeks would
+// amplify measurement noise and one-off bursts into runaway trends.
+//
+// The trace must cover at least two whole weeks. The result contains
+// only the projected weeks; use Concat to extend the history.
+func ForecastWeeks(t *Trace, weeks int) (*Trace, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if weeks <= 0 {
+		return nil, fmt.Errorf("trace: forecast weeks %d <= 0", weeks)
+	}
+	w := t.Weeks()
+	if w < 2 {
+		return nil, fmt.Errorf("trace: forecasting needs >= 2 whole weeks, have %d", w)
+	}
+	slotsPerWeek := 7 * t.SlotsPerDay()
+
+	// Weekly mean levels and their least-squares trend.
+	levels := make([]float64, w)
+	for x := 0; x < w; x++ {
+		sum := 0.0
+		for pos := 0; pos < slotsPerWeek; pos++ {
+			sum += t.Samples[x*slotsPerWeek+pos]
+		}
+		levels[x] = sum / float64(slotsPerWeek)
+	}
+	var sumX, sumXX, sumY, sumXY float64
+	for x, y := range levels {
+		sumX += float64(x)
+		sumXX += float64(x) * float64(x)
+		sumY += y
+		sumXY += float64(x) * y
+	}
+	n := float64(w)
+	denom := n*sumXX - sumX*sumX
+	slope := 0.0
+	if denom != 0 {
+		slope = (n*sumXY - sumX*sumY) / denom
+	}
+	intercept := (sumY - slope*sumX) / n
+	obsMean := sumY / n
+
+	// Mean observed week: the shape template.
+	meanWeek := make([]float64, slotsPerWeek)
+	for pos := 0; pos < slotsPerWeek; pos++ {
+		sum := 0.0
+		for x := 0; x < w; x++ {
+			sum += t.Samples[x*slotsPerWeek+pos]
+		}
+		meanWeek[pos] = sum / n
+	}
+
+	out := &Trace{
+		AppID:    t.AppID,
+		Interval: t.Interval,
+		Samples:  make([]float64, weeks*slotsPerWeek),
+	}
+	for k := 0; k < weeks; k++ {
+		level := intercept + slope*float64(w+k)
+		if level < 0 || math.IsNaN(level) {
+			level = 0
+		}
+		scale := 0.0
+		if obsMean > 0 {
+			scale = level / obsMean
+		}
+		for pos := 0; pos < slotsPerWeek; pos++ {
+			out.Samples[k*slotsPerWeek+pos] = meanWeek[pos] * scale
+		}
+	}
+	return out, nil
+}
+
+// ApplyGrowth returns a copy of the trace scaled by factor — the path
+// for business-forecast step changes in demand (for example a planned
+// 20% growth becomes factor 1.2). Factors below zero are rejected.
+func ApplyGrowth(t *Trace, factor float64) (*Trace, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if factor < 0 || math.IsNaN(factor) || math.IsInf(factor, 0) {
+		return nil, fmt.Errorf("trace: bad growth factor %v", factor)
+	}
+	return t.Scale(factor), nil
+}

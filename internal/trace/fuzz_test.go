@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Fuzz targets for the trace readers: arbitrary input must produce a
+// valid set or an error — never a panic and never an invalid Set.
+
+func FuzzReadCSV(f *testing.F) {
+	var buf bytes.Buffer
+	seed := Set{
+		{AppID: "a", Interval: 5 * time.Minute, Samples: []float64{1, 2}},
+		{AppID: "b", Interval: 5 * time.Minute, Samples: []float64{0, 0.5}},
+	}
+	if err := WriteCSV(&buf, seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("interval:5m0s,app\n0,1\n")
+	f.Add("interval:xyz,app\n0,1\n")
+	f.Add("")
+	f.Add("a,b,c\n1,2\n")
+	f.Add("interval:5m0s,app\n0,-3\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		set, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := set.Validate(); err != nil {
+			t.Fatalf("ReadCSV returned an invalid set: %v", err)
+		}
+		// A successfully parsed set must round-trip.
+		var out bytes.Buffer
+		if err := WriteCSV(&out, set); err != nil {
+			t.Fatalf("round-trip write failed: %v", err)
+		}
+		again, err := ReadCSV(&out)
+		if err != nil {
+			t.Fatalf("round-trip read failed: %v", err)
+		}
+		if len(again) != len(set) {
+			t.Fatalf("round trip changed set size: %d != %d", len(again), len(set))
+		}
+	})
+}
+
+func FuzzReadJSON(f *testing.F) {
+	var buf bytes.Buffer
+	seed := Set{{AppID: "a", Interval: 5 * time.Minute, Samples: []float64{1}}}
+	if err := WriteJSON(&buf, seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`[{"appId":"a","interval":"bad","samples":[1]}]`)
+	f.Add(`[]`)
+	f.Add(`not json`)
+	f.Add(`[{"appId":"a","interval":"5m","samples":[-1]}]`)
+
+	f.Fuzz(func(t *testing.T, input string) {
+		set, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := set.Validate(); err != nil {
+			t.Fatalf("ReadJSON returned an invalid set: %v", err)
+		}
+	})
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// CSV layout: a header row of application IDs, then one row per
+// measurement interval with one demand column per application. The
+// interval is carried in a leading comment-like header cell of the form
+// "#interval=5m0s" in the first column of the header row is NOT used;
+// instead the interval is the first header cell "interval:<duration>".
+//
+// Example:
+//
+//	interval:5m0s,app-01,app-02
+//	0,1.25,0.50
+//	1,1.30,0.55
+//
+// The first column holds the sample index, which makes the files easy to
+// plot and diff; it is validated on read.
+
+// WriteCSV writes the set to w in the CSV layout described above.
+func WriteCSV(w io.Writer, s Set) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	header := append([]string{"interval:" + s[0].Interval.String()}, s.IDs()...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	row := make([]string, len(s)+1)
+	for i := 0; i < s[0].Len(); i++ {
+		row[0] = strconv.Itoa(i)
+		for j, tr := range s {
+			row[j+1] = strconv.FormatFloat(tr.Samples[i], 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a set previously written by WriteCSV.
+func ReadCSV(r io.Reader) (Set, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if len(header) < 2 {
+		return nil, fmt.Errorf("trace: header needs interval and at least one app, got %d cells", len(header))
+	}
+	const prefix = "interval:"
+	if len(header[0]) <= len(prefix) || header[0][:len(prefix)] != prefix {
+		return nil, fmt.Errorf("trace: header cell %q lacks %q prefix", header[0], prefix)
+	}
+	interval, err := time.ParseDuration(header[0][len(prefix):])
+	if err != nil {
+		return nil, fmt.Errorf("trace: parse interval: %w", err)
+	}
+	set := make(Set, len(header)-1)
+	for i, id := range header[1:] {
+		set[i] = &Trace{AppID: id, Interval: interval}
+	}
+	for rowIdx := 0; ; rowIdx++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: read row %d: %w", rowIdx, err)
+		}
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("trace: row %d has %d cells, want %d", rowIdx, len(row), len(header))
+		}
+		idx, err := strconv.Atoi(row[0])
+		if err != nil || idx != rowIdx {
+			return nil, fmt.Errorf("trace: row %d has index %q, want %d", rowIdx, row[0], rowIdx)
+		}
+		for j, cell := range row[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: row %d app %q: %w", rowIdx, set[j].AppID, err)
+			}
+			set[j].Samples = append(set[j].Samples, v)
+		}
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// jsonTrace is the serialized form of a Trace. The interval is encoded
+// as a duration string since encoding/json has no native duration
+// support (per the style guide, the unit is explicit in the field name).
+type jsonTrace struct {
+	AppID    string    `json:"appId"`
+	Interval string    `json:"interval"`
+	Samples  []float64 `json:"samples"`
+}
+
+// WriteJSON writes the set to w as a JSON array of trace objects.
+func WriteJSON(w io.Writer, s Set) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	out := make([]jsonTrace, len(s))
+	for i, tr := range s {
+		out[i] = jsonTrace{AppID: tr.AppID, Interval: tr.Interval.String(), Samples: tr.Samples}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadJSON reads a set previously written by WriteJSON.
+func ReadJSON(r io.Reader) (Set, error) {
+	var raw []jsonTrace
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("trace: decode JSON: %w", err)
+	}
+	set := make(Set, len(raw))
+	for i, jt := range raw {
+		interval, err := time.ParseDuration(jt.Interval)
+		if err != nil {
+			return nil, fmt.Errorf("trace: app %q interval: %w", jt.AppID, err)
+		}
+		set[i] = &Trace{AppID: jt.AppID, Interval: interval, Samples: jt.Samples}
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}

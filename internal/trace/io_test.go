@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func roundTripSet(t *testing.T) Set {
+	t.Helper()
+	return Set{
+		mkTrace(t, "app-01", 5*time.Minute, []float64{1.25, 0.5, 2.75}),
+		mkTrace(t, "app-02", 5*time.Minute, []float64{0, 3.125, 1}),
+	}
+}
+
+func assertSetsEqual(t *testing.T, got, want Set) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d traces, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].AppID != want[i].AppID {
+			t.Errorf("trace %d AppID = %q, want %q", i, got[i].AppID, want[i].AppID)
+		}
+		if got[i].Interval != want[i].Interval {
+			t.Errorf("trace %d Interval = %v, want %v", i, got[i].Interval, want[i].Interval)
+		}
+		if len(got[i].Samples) != len(want[i].Samples) {
+			t.Fatalf("trace %d has %d samples, want %d", i, len(got[i].Samples), len(want[i].Samples))
+		}
+		for j := range want[i].Samples {
+			if got[i].Samples[j] != want[i].Samples[j] {
+				t.Errorf("trace %d sample %d = %v, want %v", i, j, got[i].Samples[j], want[i].Samples[j])
+			}
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	set := roundTripSet(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, set); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	assertSetsEqual(t, got, set)
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	set := roundTripSet(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, set); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	assertSetsEqual(t, got, set)
+}
+
+func TestWriteCSVRejectsInvalidSet(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, Set{}); err == nil {
+		t.Error("WriteCSV(empty) should fail")
+	}
+	if err := WriteJSON(&buf, Set{}); err == nil {
+		t.Error("WriteJSON(empty) should fail")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{name: "empty input", in: ""},
+		{name: "header too short", in: "interval:5m0s\n"},
+		{name: "missing interval prefix", in: "5m0s,app\n0,1\n"},
+		{name: "bad interval", in: "interval:xyz,app\n0,1\n"},
+		{name: "bad row index", in: "interval:5m0s,app\n7,1\n"},
+		{name: "non-numeric demand", in: "interval:5m0s,app\n0,abc\n"},
+		{name: "negative demand", in: "interval:5m0s,app\n0,-1\n"},
+		{name: "no rows at all", in: "interval:5m0s,app\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tt.in)); err == nil {
+				t.Error("ReadCSV should fail")
+			}
+		})
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{name: "not JSON", in: "xx"},
+		{name: "bad interval", in: `[{"appId":"a","interval":"??","samples":[1]}]`},
+		{name: "no samples", in: `[{"appId":"a","interval":"5m","samples":[]}]`},
+		{name: "negative demand", in: `[{"appId":"a","interval":"5m","samples":[-2]}]`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadJSON(strings.NewReader(tt.in)); err == nil {
+				t.Error("ReadJSON should fail")
+			}
+		})
+	}
+}
+
+func TestCSVPreservesFullPrecision(t *testing.T) {
+	set := Set{mkTrace(t, "a", 5*time.Minute, []float64{1.0 / 3.0, 1e-17, 123456.789012345})}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range set[0].Samples {
+		if got[0].Samples[i] != v {
+			t.Errorf("sample %d = %v, want exactly %v", i, got[0].Samples[i], v)
+		}
+	}
+}

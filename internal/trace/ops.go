@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// ResampleMethod selects how samples are combined when resampling to a
+// coarser interval.
+type ResampleMethod int
+
+const (
+	// ResampleMean averages the fine-grained samples in each coarse
+	// interval — what a monitoring system reports as utilization.
+	ResampleMean ResampleMethod = iota + 1
+	// ResampleMax keeps the peak of each coarse interval — conservative
+	// for capacity planning.
+	ResampleMax
+)
+
+// String implements fmt.Stringer.
+func (m ResampleMethod) String() string {
+	switch m {
+	case ResampleMean:
+		return "mean"
+	case ResampleMax:
+		return "max"
+	default:
+		return fmt.Sprintf("ResampleMethod(%d)", int(m))
+	}
+}
+
+// Window returns the sub-trace covering the whole days
+// [startDay, startDay+days). The result shares no storage with t.
+func (t *Trace) Window(startDay, days int) (*Trace, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	slots := t.SlotsPerDay()
+	if startDay < 0 || days <= 0 || (startDay+days)*slots > len(t.Samples) {
+		return nil, fmt.Errorf("trace: window days [%d,%d) out of range for %d-day trace",
+			startDay, startDay+days, t.Days())
+	}
+	out := &Trace{
+		AppID:    t.AppID,
+		Interval: t.Interval,
+		Samples:  make([]float64, days*slots),
+	}
+	copy(out.Samples, t.Samples[startDay*slots:(startDay+days)*slots])
+	return out, nil
+}
+
+// LastWeeks returns the trailing n whole weeks of the trace — the
+// "recent data" the paper recommends working with so that capacity
+// plans adapt to slow demand change.
+func (t *Trace) LastWeeks(n int) (*Trace, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	weeks := t.Weeks()
+	if n <= 0 || n > weeks {
+		return nil, fmt.Errorf("trace: cannot take last %d weeks of a %d-week trace", n, weeks)
+	}
+	return t.Window((weeks-n)*7, n*7)
+}
+
+// Resample aggregates the trace to a coarser interval. The new interval
+// must be a positive multiple of the current one and still divide 24h;
+// trailing samples that do not fill a whole coarse interval are dropped.
+func (t *Trace) Resample(interval time.Duration, method ResampleMethod) (*Trace, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if interval <= 0 || interval%t.Interval != 0 {
+		return nil, fmt.Errorf("trace: new interval %v is not a multiple of %v", interval, t.Interval)
+	}
+	if (24*time.Hour)%interval != 0 {
+		return nil, fmt.Errorf("trace: new interval %v does not divide 24h", interval)
+	}
+	if method != ResampleMean && method != ResampleMax {
+		return nil, fmt.Errorf("trace: unknown resample method %v", method)
+	}
+	group := int(interval / t.Interval)
+	n := len(t.Samples) / group
+	if n == 0 {
+		return nil, fmt.Errorf("trace: %d samples cannot fill one %v interval", len(t.Samples), interval)
+	}
+	out := &Trace{AppID: t.AppID, Interval: interval, Samples: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		chunk := t.Samples[i*group : (i+1)*group]
+		switch method {
+		case ResampleMean:
+			sum := 0.0
+			for _, v := range chunk {
+				sum += v
+			}
+			out.Samples[i] = sum / float64(group)
+		case ResampleMax:
+			m := chunk[0]
+			for _, v := range chunk[1:] {
+				if v > m {
+					m = v
+				}
+			}
+			out.Samples[i] = m
+		}
+	}
+	return out, nil
+}
+
+// Concat returns a new trace with other's samples appended to t's. Both
+// traces must describe the same application at the same interval.
+func (t *Trace) Concat(other *Trace) (*Trace, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if other == nil {
+		return nil, fmt.Errorf("trace: nil trace to concatenate")
+	}
+	if err := other.Validate(); err != nil {
+		return nil, err
+	}
+	if t.AppID != other.AppID {
+		return nil, fmt.Errorf("trace: cannot concatenate %q with %q", t.AppID, other.AppID)
+	}
+	if t.Interval != other.Interval {
+		return nil, fmt.Errorf("trace: interval mismatch %v vs %v", t.Interval, other.Interval)
+	}
+	out := &Trace{
+		AppID:    t.AppID,
+		Interval: t.Interval,
+		Samples:  make([]float64, 0, len(t.Samples)+len(other.Samples)),
+	}
+	out.Samples = append(out.Samples, t.Samples...)
+	out.Samples = append(out.Samples, other.Samples...)
+	return out, nil
+}

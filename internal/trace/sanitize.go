@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Monitoring data is imperfect: agents restart, collectors drop
+// intervals, counters glitch. Sanitize turns a raw sample series with
+// gaps (NaN) or garbage (negative, infinite) into a valid demand trace
+// plus an account of what was repaired, so four weeks of history with a
+// few holes does not block a capacity-management pass.
+
+// GapPolicy selects how invalid samples are repaired.
+type GapPolicy int
+
+const (
+	// GapInterpolate fills each invalid run linearly between its valid
+	// neighbours (flat extension at the trace edges). The conservative
+	// default: preserves level and shape.
+	GapInterpolate GapPolicy = iota + 1
+	// GapZero treats invalid samples as zero demand, appropriate when a
+	// missing measurement means "application was down".
+	GapZero
+)
+
+// String implements fmt.Stringer.
+func (p GapPolicy) String() string {
+	switch p {
+	case GapInterpolate:
+		return "interpolate"
+	case GapZero:
+		return "zero"
+	default:
+		return fmt.Sprintf("GapPolicy(%d)", int(p))
+	}
+}
+
+// SanitizeResult reports what Sanitize repaired.
+type SanitizeResult struct {
+	// Repaired counts the samples that were invalid.
+	Repaired int
+	// LongestGap is the longest run of consecutive invalid samples.
+	LongestGap int
+}
+
+// Sanitize builds a valid trace from raw samples, repairing invalid
+// entries (NaN, ±Inf, negative) according to policy. It fails when the
+// series is empty, when no sample is valid, or when the interval is
+// unusable.
+func Sanitize(appID string, interval time.Duration, samples []float64, policy GapPolicy) (*Trace, SanitizeResult, error) {
+	var res SanitizeResult
+	if policy != GapInterpolate && policy != GapZero {
+		return nil, res, fmt.Errorf("trace: unknown gap policy %v", policy)
+	}
+	if len(samples) == 0 {
+		return nil, res, errors.New("trace: no samples to sanitize")
+	}
+
+	valid := func(v float64) bool {
+		return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
+	}
+
+	clean := make([]float64, len(samples))
+	copy(clean, samples)
+
+	anyValid := false
+	gap := 0
+	for _, v := range clean {
+		if valid(v) {
+			anyValid = true
+			gap = 0
+			continue
+		}
+		res.Repaired++
+		gap++
+		if gap > res.LongestGap {
+			res.LongestGap = gap
+		}
+	}
+	if !anyValid {
+		return nil, SanitizeResult{}, fmt.Errorf("trace: app %q has no valid samples", appID)
+	}
+
+	switch policy {
+	case GapZero:
+		for i, v := range clean {
+			if !valid(v) {
+				clean[i] = 0
+			}
+		}
+	case GapInterpolate:
+		interpolateGaps(clean, valid)
+	}
+
+	tr, err := New(appID, interval, clean)
+	if err != nil {
+		return nil, SanitizeResult{}, err
+	}
+	return tr, res, nil
+}
+
+// interpolateGaps fills invalid runs linearly between their valid
+// neighbours; runs touching an edge copy the nearest valid value.
+func interpolateGaps(samples []float64, valid func(float64) bool) {
+	n := len(samples)
+	i := 0
+	for i < n {
+		if valid(samples[i]) {
+			i++
+			continue
+		}
+		start := i
+		for i < n && !valid(samples[i]) {
+			i++
+		}
+		// Invalid run is [start, i).
+		switch {
+		case start == 0 && i == n:
+			// Caller guarantees at least one valid sample, so this
+			// cannot happen; keep the loop robust anyway.
+			for j := start; j < i; j++ {
+				samples[j] = 0
+			}
+		case start == 0:
+			for j := start; j < i; j++ {
+				samples[j] = samples[i]
+			}
+		case i == n:
+			for j := start; j < i; j++ {
+				samples[j] = samples[start-1]
+			}
+		default:
+			lo := samples[start-1]
+			hi := samples[i]
+			span := float64(i - start + 1)
+			for j := start; j < i; j++ {
+				frac := float64(j-start+1) / span
+				samples[j] = lo + (hi-lo)*frac
+			}
+		}
+	}
+}

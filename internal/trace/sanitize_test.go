@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSanitizeInterpolate(t *testing.T) {
+	nan := math.NaN()
+	tests := []struct {
+		name    string
+		in      []float64
+		want    []float64
+		repair  int
+		longest int
+	}{
+		{
+			name: "clean passthrough",
+			in:   []float64{1, 2, 3},
+			want: []float64{1, 2, 3},
+		},
+		{
+			name:    "single interior gap",
+			in:      []float64{1, nan, 3},
+			want:    []float64{1, 2, 3},
+			repair:  1,
+			longest: 1,
+		},
+		{
+			name:    "run of gaps",
+			in:      []float64{0, nan, nan, nan, 4},
+			want:    []float64{0, 1, 2, 3, 4},
+			repair:  3,
+			longest: 3,
+		},
+		{
+			name:    "leading gap copies first valid",
+			in:      []float64{nan, nan, 5, 5},
+			want:    []float64{5, 5, 5, 5},
+			repair:  2,
+			longest: 2,
+		},
+		{
+			name:    "trailing gap copies last valid",
+			in:      []float64{2, 2, nan},
+			want:    []float64{2, 2, 2},
+			repair:  1,
+			longest: 1,
+		},
+		{
+			name:    "negative and infinite are gaps",
+			in:      []float64{1, -5, math.Inf(1), 4},
+			want:    []float64{1, 2, 3, 4},
+			repair:  2,
+			longest: 2,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tr, res, err := Sanitize("a", time.Hour, tt.in, GapInterpolate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Repaired != tt.repair || res.LongestGap != tt.longest {
+				t.Errorf("result = %+v, want repaired=%d longest=%d", res, tt.repair, tt.longest)
+			}
+			for i, v := range tr.Samples {
+				if math.Abs(v-tt.want[i]) > 1e-9 {
+					t.Errorf("sample %d = %v, want %v", i, v, tt.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestSanitizeZeroPolicy(t *testing.T) {
+	tr, res, err := Sanitize("a", time.Hour, []float64{1, math.NaN(), 3}, GapZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Samples[1] != 0 {
+		t.Errorf("gap = %v, want 0", tr.Samples[1])
+	}
+	if res.Repaired != 1 {
+		t.Errorf("Repaired = %d, want 1", res.Repaired)
+	}
+}
+
+func TestSanitizeErrors(t *testing.T) {
+	if _, _, err := Sanitize("a", time.Hour, nil, GapInterpolate); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, _, err := Sanitize("a", time.Hour, []float64{math.NaN()}, GapInterpolate); err == nil {
+		t.Error("all-invalid input accepted")
+	}
+	if _, _, err := Sanitize("a", time.Hour, []float64{1}, GapPolicy(9)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, _, err := Sanitize("a", 7*time.Minute, []float64{1}, GapZero); err == nil {
+		t.Error("bad interval accepted")
+	}
+}
+
+func TestGapPolicyString(t *testing.T) {
+	if GapInterpolate.String() != "interpolate" || GapZero.String() != "zero" {
+		t.Error("unexpected policy strings")
+	}
+	if got := GapPolicy(7).String(); got != "GapPolicy(7)" {
+		t.Errorf("unknown policy String = %q", got)
+	}
+}
+
+func TestQuickSanitizeAlwaysValid(t *testing.T) {
+	f := func(raw []int16, zero bool) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]float64, len(raw))
+		hasValid := false
+		for i, v := range raw {
+			switch v % 5 {
+			case 0:
+				samples[i] = math.NaN()
+			case 1:
+				samples[i] = -1
+			case 2:
+				samples[i] = math.Inf(1)
+			default:
+				samples[i] = float64(v&0xff) / 10
+				hasValid = true
+			}
+		}
+		policy := GapInterpolate
+		if zero {
+			policy = GapZero
+		}
+		tr, _, err := Sanitize("q", time.Hour, samples, policy)
+		if !hasValid {
+			return err != nil
+		}
+		if err != nil {
+			return false
+		}
+		return tr.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

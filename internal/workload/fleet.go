@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ropus/internal/trace"
+)
+
+// Class is a family of application behaviours observed in the paper's
+// Figure 6.
+type Class int
+
+const (
+	// ClassSpiky models the two leftmost applications of Figure 6: a
+	// small percentage of points that are very large (up to an order of
+	// magnitude) with respect to the remaining demands.
+	ClassSpiky Class = iota + 1
+	// ClassBursty models applications whose top 3% of demand values are
+	// 2-10x higher than the remaining demands.
+	ClassBursty
+	// ClassSmooth models the remaining applications with a dominant
+	// diurnal shape and moderate bursts.
+	ClassSmooth
+	// ClassBatch models overnight processing: demand peaks in the early
+	// hours, runs seven days a week, and is nearly deterministic. Batch
+	// workloads anti-correlate with the interactive classes, which is
+	// what makes them attractive co-tenants for statistical
+	// multiplexing.
+	ClassBatch
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassSpiky:
+		return "spiky"
+	case ClassBursty:
+		return "bursty"
+	case ClassSmooth:
+		return "smooth"
+	case ClassBatch:
+		return "batch"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// FleetConfig describes a synthetic fleet of application workloads.
+type FleetConfig struct {
+	// Spiky, Bursty, Smooth and Batch are the number of applications
+	// of each class.
+	Spiky, Bursty, Smooth, Batch int
+	// Weeks of history to generate (the paper uses 4).
+	Weeks int
+	// Interval is the measurement interval (the paper uses 5 minutes).
+	Interval time.Duration
+	// Seed makes the whole fleet deterministic.
+	Seed int64
+}
+
+// Validate checks the fleet configuration.
+func (c FleetConfig) Validate() error {
+	if c.Spiky < 0 || c.Bursty < 0 || c.Smooth < 0 || c.Batch < 0 ||
+		c.Spiky+c.Bursty+c.Smooth+c.Batch == 0 {
+		return fmt.Errorf("workload: fleet needs a positive number of apps, got %d/%d/%d/%d",
+			c.Spiky, c.Bursty, c.Smooth, c.Batch)
+	}
+	if c.Weeks <= 0 {
+		return fmt.Errorf("workload: fleet needs positive weeks, got %d", c.Weeks)
+	}
+	if c.Interval <= 0 || (24*time.Hour)%c.Interval != 0 {
+		return fmt.Errorf("workload: bad interval %v", c.Interval)
+	}
+	return nil
+}
+
+// CaseStudyConfig returns the configuration used to stand in for the
+// paper's case study: 26 applications (2 spiky, 8 bursty, 16 smooth),
+// four weeks of five-minute samples.
+func CaseStudyConfig(seed int64) FleetConfig {
+	return FleetConfig{
+		Spiky:    2,
+		Bursty:   8,
+		Smooth:   16,
+		Weeks:    4,
+		Interval: trace.DefaultInterval,
+		Seed:     seed,
+	}
+}
+
+// Fleet generates the demand traces for a synthetic fleet. Application
+// IDs are app-01, app-02, ... in class order (spiky, bursty, smooth).
+func Fleet(cfg FleetConfig) (trace.Set, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	total := cfg.Spiky + cfg.Bursty + cfg.Smooth + cfg.Batch
+	set := make(trace.Set, 0, total)
+	for i := 0; i < total; i++ {
+		class := ClassBatch
+		switch {
+		case i < cfg.Spiky:
+			class = ClassSpiky
+		case i < cfg.Spiky+cfg.Bursty:
+			class = ClassBursty
+		case i < cfg.Spiky+cfg.Bursty+cfg.Smooth:
+			class = ClassSmooth
+		}
+		profile := classProfile(fmt.Sprintf("app-%02d", i+1), class, rng)
+		tr, err := profile.Generate(cfg.Weeks, cfg.Interval, rng.Int63())
+		if err != nil {
+			return nil, fmt.Errorf("workload: generate %s: %w", profile.ID, err)
+		}
+		set = append(set, tr)
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// classProfile draws a heterogeneous profile for one application of the
+// given class. The magnitudes are calibrated so that a 26-application
+// case-study fleet lands in the same regime as the paper's: peak demands
+// of a few CPUs each, summing to roughly 120 CPUs, so that the Table I
+// consolidation needs nine 16-way servers in normal mode and eight
+// under the degraded-QoS variants.
+func classProfile(id string, class Class, rng *rand.Rand) AppProfile {
+	uniform := func(lo, hi float64) float64 { return lo + rng.Float64()*(hi-lo) }
+
+	p := AppProfile{
+		ID:            id,
+		PeakHour:      uniform(10, 16),
+		BusinessWidth: uniform(5, 8),
+		WeekendFactor: uniform(0.1, 0.5),
+	}
+	switch class {
+	case ClassSpiky:
+		// Rare, very tall, short bursts: the top 0.1% of demands dwarf
+		// the rest of the trace.
+		p.BaseCPU = uniform(0.0957, 0.2871)
+		p.PeakCPU = uniform(0.4785, 0.957)
+		p.NoiseSigma = 0.20
+		p.BurstsPerWeek = 1.0
+		p.BurstScale = uniform(1.5, 2.5)
+		p.BurstAlpha = 1.1
+		p.BurstCap = 7
+		p.BurstMinDur = 5 * time.Minute
+		p.BurstMaxDur = 30 * time.Minute
+		p.BurstRepeatMaxDays = 1
+	case ClassBursty:
+		// Frequent medium bursts with durations from minutes to hours:
+		// the top 3% of demands are 2-10x the remaining demands.
+		p.BaseCPU = uniform(0.1914, 0.4785)
+		p.PeakCPU = uniform(0.7656, 1.5312)
+		p.NoiseSigma = 0.25
+		p.BurstsPerWeek = uniform(4, 9)
+		p.BurstScale = uniform(0.5, 1.0)
+		p.BurstAlpha = 1.5
+		p.BurstCap = 2.4
+		p.BurstMinDur = 10 * time.Minute
+		p.BurstMaxDur = 3 * time.Hour
+		p.BurstRepeatMaxDays = 5
+	case ClassBatch:
+		// Overnight processing: near-deterministic load centred in the
+		// small hours, identical on weekends, no bursts to speak of.
+		p.PeakHour = uniform(1, 4)
+		p.BusinessWidth = uniform(3, 5)
+		p.WeekendFactor = 1
+		p.BaseCPU = uniform(0.1, 0.3)
+		p.PeakCPU = uniform(1.5, 3.0)
+		p.NoiseSigma = 0.05
+		p.BurstsPerWeek = 0
+	default:
+		// Dominant diurnal shape. Noise and burst amplitude vary per
+		// application so the fleet spans the paper's Figure 6 spectrum:
+		// the calmest applications have a 97th percentile near their
+		// peak, the rest sit in between.
+		p.BaseCPU = uniform(0.3828, 0.957)
+		p.PeakCPU = uniform(1.5312, 3.2538)
+		p.NoiseSigma = uniform(0.04, 0.15)
+		p.BurstsPerWeek = uniform(1, 3)
+		p.BurstScale = uniform(0.15, 0.5)
+		p.BurstAlpha = 2.0
+		p.BurstCap = uniform(0.25, 1.2)
+		p.BurstMinDur = 15 * time.Minute
+		p.BurstMaxDur = 2 * time.Hour
+		p.BurstRepeatMaxDays = 3
+	}
+	return p
+}

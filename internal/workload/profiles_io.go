@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"ropus/internal/trace"
+)
+
+// Profile serialization: a fleet specification can be written to JSON,
+// edited by hand (or produced by a capacity-management tool), and fed
+// back to the generator — the reproducible way to model a concrete
+// customer fleet instead of the built-in class mix.
+
+// jsonProfile mirrors AppProfile with durations as strings, since
+// encoding/json has no native duration support.
+type jsonProfile struct {
+	ID                 string  `json:"id"`
+	BaseCPU            float64 `json:"baseCpu"`
+	PeakCPU            float64 `json:"peakCpu"`
+	PeakHour           float64 `json:"peakHour"`
+	BusinessWidth      float64 `json:"businessWidthHours"`
+	WeekendFactor      float64 `json:"weekendFactor"`
+	NoiseSigma         float64 `json:"noiseSigma"`
+	BurstsPerWeek      float64 `json:"burstsPerWeek"`
+	BurstScale         float64 `json:"burstScale"`
+	BurstAlpha         float64 `json:"burstAlpha"`
+	BurstCap           float64 `json:"burstCap"`
+	BurstMinDur        string  `json:"burstMinDur"`
+	BurstMaxDur        string  `json:"burstMaxDur"`
+	BurstRepeatMaxDays int     `json:"burstRepeatMaxDays"`
+	GrowthPerWeek      float64 `json:"growthPerWeek"`
+}
+
+func toJSONProfile(p AppProfile) jsonProfile {
+	return jsonProfile{
+		ID:                 p.ID,
+		BaseCPU:            p.BaseCPU,
+		PeakCPU:            p.PeakCPU,
+		PeakHour:           p.PeakHour,
+		BusinessWidth:      p.BusinessWidth,
+		WeekendFactor:      p.WeekendFactor,
+		NoiseSigma:         p.NoiseSigma,
+		BurstsPerWeek:      p.BurstsPerWeek,
+		BurstScale:         p.BurstScale,
+		BurstAlpha:         p.BurstAlpha,
+		BurstCap:           p.BurstCap,
+		BurstMinDur:        p.BurstMinDur.String(),
+		BurstMaxDur:        p.BurstMaxDur.String(),
+		BurstRepeatMaxDays: p.BurstRepeatMaxDays,
+		GrowthPerWeek:      p.GrowthPerWeek,
+	}
+}
+
+func (j jsonProfile) toProfile() (AppProfile, error) {
+	parse := func(s, field string) (time.Duration, error) {
+		if s == "" {
+			return 0, nil
+		}
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return 0, fmt.Errorf("workload: profile %q: %s: %w", j.ID, field, err)
+		}
+		return d, nil
+	}
+	minDur, err := parse(j.BurstMinDur, "burstMinDur")
+	if err != nil {
+		return AppProfile{}, err
+	}
+	maxDur, err := parse(j.BurstMaxDur, "burstMaxDur")
+	if err != nil {
+		return AppProfile{}, err
+	}
+	p := AppProfile{
+		ID:                 j.ID,
+		BaseCPU:            j.BaseCPU,
+		PeakCPU:            j.PeakCPU,
+		PeakHour:           j.PeakHour,
+		BusinessWidth:      j.BusinessWidth,
+		WeekendFactor:      j.WeekendFactor,
+		NoiseSigma:         j.NoiseSigma,
+		BurstsPerWeek:      j.BurstsPerWeek,
+		BurstScale:         j.BurstScale,
+		BurstAlpha:         j.BurstAlpha,
+		BurstCap:           j.BurstCap,
+		BurstMinDur:        minDur,
+		BurstMaxDur:        maxDur,
+		BurstRepeatMaxDays: j.BurstRepeatMaxDays,
+		GrowthPerWeek:      j.GrowthPerWeek,
+	}
+	return p, p.Validate()
+}
+
+// WriteProfiles serializes profiles as indented JSON.
+func WriteProfiles(w io.Writer, profiles []AppProfile) error {
+	if len(profiles) == 0 {
+		return fmt.Errorf("workload: no profiles to write")
+	}
+	out := make([]jsonProfile, len(profiles))
+	for i, p := range profiles {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		out[i] = toJSONProfile(p)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadProfiles parses a profile list previously written by WriteProfiles
+// (or authored by hand). Every profile is validated.
+func ReadProfiles(r io.Reader) ([]AppProfile, error) {
+	var raw []jsonProfile
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("workload: decode profiles: %w", err)
+	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("workload: no profiles in input")
+	}
+	seen := make(map[string]bool, len(raw))
+	profiles := make([]AppProfile, len(raw))
+	for i, j := range raw {
+		p, err := j.toProfile()
+		if err != nil {
+			return nil, err
+		}
+		if seen[p.ID] {
+			return nil, fmt.Errorf("workload: duplicate profile ID %q", p.ID)
+		}
+		seen[p.ID] = true
+		profiles[i] = p
+	}
+	return profiles, nil
+}
+
+// FleetFromProfiles generates an aligned trace set from explicit
+// profiles, deriving one deterministic sub-seed per application.
+func FleetFromProfiles(profiles []AppProfile, weeks int, interval time.Duration, seed int64) (trace.Set, error) {
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("workload: no profiles")
+	}
+	set := make(trace.Set, len(profiles))
+	for i, p := range profiles {
+		tr, err := p.Generate(weeks, interval, seed+int64(i)*7919)
+		if err != nil {
+			return nil, err
+		}
+		set[i] = tr
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}

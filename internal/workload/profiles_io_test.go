@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProfilesRoundTrip(t *testing.T) {
+	in := []AppProfile{validProfile()}
+	in[0].GrowthPerWeek = 0.05
+	var buf bytes.Buffer
+	if err := WriteProfiles(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadProfiles(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("%d profiles", len(out))
+	}
+	if out[0] != in[0] {
+		t.Errorf("round trip changed the profile:\n in: %+v\nout: %+v", in[0], out[0])
+	}
+}
+
+func TestWriteProfilesErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProfiles(&buf, nil); err == nil {
+		t.Error("empty list accepted")
+	}
+	bad := validProfile()
+	bad.ID = ""
+	if err := WriteProfiles(&buf, []AppProfile{bad}); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}
+
+func TestReadProfilesErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{name: "not json", in: "zz"},
+		{name: "empty list", in: "[]"},
+		{name: "bad duration", in: `[{"id":"a","peakCpu":1,"peakHour":1,"businessWidthHours":1,"burstMinDur":"??"}]`},
+		{name: "invalid profile", in: `[{"id":"a"}]`},
+		{
+			name: "duplicate ids",
+			in: `[{"id":"a","peakCpu":1,"peakHour":1,"businessWidthHours":1},
+			      {"id":"a","peakCpu":1,"peakHour":1,"businessWidthHours":1}]`,
+		},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadProfiles(strings.NewReader(tt.in)); err == nil {
+				t.Error("ReadProfiles should fail")
+			}
+		})
+	}
+}
+
+func TestFleetFromProfiles(t *testing.T) {
+	profiles := []AppProfile{validProfile()}
+	second := validProfile()
+	second.ID = "app-02"
+	profiles = append(profiles, second)
+
+	set, err := FleetFromProfiles(profiles, 1, time.Hour, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 || set[0].AppID != "app-01" || set[1].AppID != "app-02" {
+		t.Fatalf("unexpected set %v", set.IDs())
+	}
+	// Deterministic and per-app distinct.
+	again, err := FleetFromProfiles(profiles, 1, time.Hour, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range set {
+		for j := range set[i].Samples {
+			if set[i].Samples[j] != again[i].Samples[j] {
+				t.Fatal("FleetFromProfiles not deterministic")
+			}
+		}
+	}
+	same := true
+	for j := range set[0].Samples {
+		if set[0].Samples[j] != set[1].Samples[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("identical profiles produced identical samples — sub-seeds not applied")
+	}
+
+	if _, err := FleetFromProfiles(nil, 1, time.Hour, 5); err == nil {
+		t.Error("empty profile list accepted")
+	}
+	if _, err := FleetFromProfiles(profiles, 0, time.Hour, 5); err == nil {
+		t.Error("zero weeks accepted")
+	}
+}

@@ -1,0 +1,389 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"ropus/internal/stats"
+	"ropus/internal/trace"
+)
+
+func validProfile() AppProfile {
+	return AppProfile{
+		ID:            "app-01",
+		BaseCPU:       0.5,
+		PeakCPU:       3,
+		PeakHour:      14,
+		BusinessWidth: 6,
+		WeekendFactor: 0.3,
+		NoiseSigma:    0.2,
+		BurstsPerWeek: 4,
+		BurstScale:    1,
+		BurstAlpha:    1.5,
+		BurstCap:      4,
+		BurstMinDur:   10 * time.Minute,
+		BurstMaxDur:   2 * time.Hour,
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*AppProfile)
+		wantErr bool
+	}{
+		{name: "valid", mutate: func(p *AppProfile) {}},
+		{name: "no bursts ok", mutate: func(p *AppProfile) { p.BurstsPerWeek = 0 }},
+		{name: "missing ID", mutate: func(p *AppProfile) { p.ID = "" }, wantErr: true},
+		{name: "negative base", mutate: func(p *AppProfile) { p.BaseCPU = -1 }, wantErr: true},
+		{name: "peak below base", mutate: func(p *AppProfile) { p.PeakCPU = 0.1 }, wantErr: true},
+		{name: "peak hour 24", mutate: func(p *AppProfile) { p.PeakHour = 24 }, wantErr: true},
+		{name: "zero width", mutate: func(p *AppProfile) { p.BusinessWidth = 0 }, wantErr: true},
+		{name: "weekend factor above 1", mutate: func(p *AppProfile) { p.WeekendFactor = 1.1 }, wantErr: true},
+		{name: "negative noise", mutate: func(p *AppProfile) { p.NoiseSigma = -0.1 }, wantErr: true},
+		{name: "negative burst rate", mutate: func(p *AppProfile) { p.BurstsPerWeek = -1 }, wantErr: true},
+		{name: "bursts without scale", mutate: func(p *AppProfile) { p.BurstScale = 0 }, wantErr: true},
+		{name: "bursts without alpha", mutate: func(p *AppProfile) { p.BurstAlpha = 0 }, wantErr: true},
+		{name: "bursts without cap", mutate: func(p *AppProfile) { p.BurstCap = 0 }, wantErr: true},
+		{name: "burst duration inverted", mutate: func(p *AppProfile) { p.BurstMaxDur = time.Minute }, wantErr: true},
+		{name: "zero min duration", mutate: func(p *AppProfile) { p.BurstMinDur = 0 }, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := validProfile()
+			tt.mutate(&p)
+			err := p.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestGenerateArgumentErrors(t *testing.T) {
+	p := validProfile()
+	if _, err := p.Generate(0, trace.DefaultInterval, 1); err == nil {
+		t.Error("weeks=0 should fail")
+	}
+	if _, err := p.Generate(1, 7*time.Minute, 1); err == nil {
+		t.Error("non-dividing interval should fail")
+	}
+	if _, err := p.Generate(1, 0, 1); err == nil {
+		t.Error("zero interval should fail")
+	}
+	bad := p
+	bad.ID = ""
+	if _, err := bad.Generate(1, trace.DefaultInterval, 1); err == nil {
+		t.Error("invalid profile should fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := validProfile()
+	a, err := p.Generate(2, trace.DefaultInterval, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Generate(2, trace.DefaultInterval, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, a.Samples[i], b.Samples[i])
+		}
+	}
+	c, err := p.Generate(2, trace.DefaultInterval, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Samples {
+		if a.Samples[i] != c.Samples[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	p := validProfile()
+	p.BurstsPerWeek = 0 // isolate the deterministic shape
+	p.NoiseSigma = 0
+	tr, err := p.Generate(1, trace.DefaultInterval, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Len(); got != 7*288 {
+		t.Fatalf("Len = %d, want %d", got, 7*288)
+	}
+
+	// Demand at the peak hour on a weekday should equal PeakCPU, and at
+	// 2am should be near BaseCPU.
+	peakIdx := tr.Index(0, 0, int(14.0/24*288))
+	if got := tr.Samples[peakIdx]; got < p.PeakCPU*0.99 {
+		t.Errorf("weekday peak demand = %v, want ~%v", got, p.PeakCPU)
+	}
+	nightIdx := tr.Index(0, 0, int(2.0/24*288))
+	if got := tr.Samples[nightIdx]; got > p.BaseCPU*1.2 {
+		t.Errorf("night demand = %v, want ~%v", got, p.BaseCPU)
+	}
+
+	// Weekend peak should be scaled by WeekendFactor.
+	wkndIdx := tr.Index(0, 6, int(14.0/24*288))
+	wantWknd := p.BaseCPU + (p.PeakCPU-p.BaseCPU)*p.WeekendFactor
+	if got := tr.Samples[wkndIdx]; got > wantWknd*1.05 || got < wantWknd*0.95 {
+		t.Errorf("weekend peak demand = %v, want ~%v", got, wantWknd)
+	}
+}
+
+func TestGenerateBurstsRaisePeak(t *testing.T) {
+	p := validProfile()
+	p.NoiseSigma = 0
+	noBursts := p
+	noBursts.BurstsPerWeek = 0
+	quiet, err := noBursts.Generate(2, trace.DefaultInterval, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loud, err := p.Generate(2, trace.DefaultInterval, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loud.Peak() <= quiet.Peak() {
+		t.Errorf("bursts should raise the peak: %v <= %v", loud.Peak(), quiet.Peak())
+	}
+}
+
+func TestGrowthPerWeekTrend(t *testing.T) {
+	p := validProfile()
+	p.NoiseSigma = 0
+	p.BurstsPerWeek = 0
+	p.GrowthPerWeek = 0.1
+	tr, err := p.Generate(3, trace.DefaultInterval, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slotsPerWeek := 7 * tr.SlotsPerDay()
+	// Same slot position across weeks grows by exactly 10% per week.
+	pos := tr.Index(0, 2, 100)
+	w0 := tr.Samples[pos]
+	w1 := tr.Samples[pos+slotsPerWeek]
+	w2 := tr.Samples[pos+2*slotsPerWeek]
+	if w0 <= 0 {
+		t.Fatal("zero baseline sample")
+	}
+	if r := w1 / w0; r < 1.0999 || r > 1.1001 {
+		t.Errorf("week 1 growth ratio = %v, want 1.1", r)
+	}
+	if r := w2 / w0; r < 1.2099 || r > 1.2101 {
+		t.Errorf("week 2 growth ratio = %v, want 1.21", r)
+	}
+
+	p.GrowthPerWeek = -1
+	if err := p.Validate(); err == nil {
+		t.Error("GrowthPerWeek = -1 accepted")
+	}
+	p.GrowthPerWeek = -0.5 // shrinking is fine
+	if err := p.Validate(); err != nil {
+		t.Errorf("shrinking trend rejected: %v", err)
+	}
+}
+
+func TestFleetConfigValidate(t *testing.T) {
+	good := CaseStudyConfig(1)
+	if err := good.Validate(); err != nil {
+		t.Errorf("case study config rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*FleetConfig)
+	}{
+		{name: "no apps", mutate: func(c *FleetConfig) { c.Spiky, c.Bursty, c.Smooth = 0, 0, 0 }},
+		{name: "negative class", mutate: func(c *FleetConfig) { c.Spiky = -1 }},
+		{name: "zero weeks", mutate: func(c *FleetConfig) { c.Weeks = 0 }},
+		{name: "bad interval", mutate: func(c *FleetConfig) { c.Interval = 7 * time.Minute }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := CaseStudyConfig(1)
+			tt.mutate(&c)
+			if err := c.Validate(); err == nil {
+				t.Error("Validate() should fail")
+			}
+		})
+	}
+	if _, err := Fleet(FleetConfig{}); err == nil {
+		t.Error("Fleet with invalid config should fail")
+	}
+}
+
+func TestCaseStudyFleetCharacter(t *testing.T) {
+	set, err := Fleet(CaseStudyConfig(2006))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 26 {
+		t.Fatalf("fleet size = %d, want 26", len(set))
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := set[0].Len(); got != 4*7*288 {
+		t.Fatalf("trace length = %d, want %d", got, 4*7*288)
+	}
+
+	// Figure 6 character: the spiky apps have a 99.5th percentile far
+	// below the peak; bursty apps have P97 well below the peak; the
+	// pool is overbooked relative to a couple of 16-way servers.
+	for i := 0; i < 2; i++ {
+		p995, err := set[i].Percentile(99.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio := p995 / set[i].Peak(); ratio > 0.55 {
+			t.Errorf("spiky %s: P99.5/peak = %.2f, want <= 0.55", set[i].AppID, ratio)
+		}
+	}
+	burstyBelow := 0
+	for i := 2; i < 10; i++ {
+		p97, err := set[i].Percentile(97)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p97/set[i].Peak() < 0.6 {
+			burstyBelow++
+		}
+	}
+	if burstyBelow < 5 {
+		t.Errorf("only %d/8 bursty apps have P97 < 0.6*peak", burstyBelow)
+	}
+
+	total := set.TotalPeak()
+	if total < 40 || total > 250 {
+		t.Errorf("total peak demand = %.1f CPUs, want a case-study-like magnitude", total)
+	}
+}
+
+func TestParetoAndPoissonHelpers(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 1000; i++ {
+		v := pareto(rng, 1.2)
+		if v < 1 || v > 50 {
+			t.Fatalf("pareto draw %v outside [1,50]", v)
+		}
+	}
+	if got := poisson(rng, 0); got != 0 {
+		t.Errorf("poisson(0) = %d, want 0", got)
+	}
+	// Mean of many draws should be near the requested mean.
+	sum := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		sum += poisson(rng, 4)
+	}
+	mean := float64(sum) / n
+	if mean < 3.5 || mean > 4.5 {
+		t.Errorf("poisson mean = %v, want ~4", mean)
+	}
+	// Large-mean normal approximation should stay non-negative and
+	// roughly centred.
+	sum = 0
+	for i := 0; i < 200; i++ {
+		v := poisson(rng, 400)
+		if v < 0 {
+			t.Fatal("poisson returned negative count")
+		}
+		sum += v
+	}
+	mean = float64(sum) / 200
+	if mean < 360 || mean > 440 {
+		t.Errorf("poisson large mean = %v, want ~400", mean)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassSpiky.String() != "spiky" || ClassBursty.String() != "bursty" ||
+		ClassSmooth.String() != "smooth" || ClassBatch.String() != "batch" {
+		t.Error("unexpected Class strings")
+	}
+	if got := Class(42).String(); got != "Class(42)" {
+		t.Errorf("unknown class String = %q", got)
+	}
+}
+
+func TestBatchClassIsNocturnalAndSteady(t *testing.T) {
+	set, err := Fleet(FleetConfig{
+		Smooth: 1, Batch: 1,
+		Weeks: 1, Interval: time.Hour, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	interactive, batch := set[0], set[1]
+
+	// Batch demand peaks at night: the 3am weekday mean exceeds the
+	// 2pm mean; the interactive app is the other way round.
+	nightMean := func(tr *trace.Trace, hour int) float64 {
+		sum, n := 0.0, 0
+		for d := 0; d < 5; d++ {
+			sum += tr.Samples[tr.Index(0, d, hour)]
+			n++
+		}
+		return sum / float64(n)
+	}
+	if nightMean(batch, 3) <= nightMean(batch, 14) {
+		t.Errorf("batch 3am mean %v <= 2pm mean %v", nightMean(batch, 3), nightMean(batch, 14))
+	}
+	if nightMean(interactive, 14) <= nightMean(interactive, 3) {
+		t.Errorf("interactive 2pm mean %v <= 3am mean %v",
+			nightMean(interactive, 14), nightMean(interactive, 3))
+	}
+
+	// Batch runs weekends at full strength: Sunday 3am ~ Wednesday 3am.
+	sun := batch.Samples[batch.Index(0, 6, 3)]
+	wed := batch.Samples[batch.Index(0, 2, 3)]
+	if sun < wed*0.7 || sun > wed*1.3 {
+		t.Errorf("batch weekend level %v far from weekday %v", sun, wed)
+	}
+
+	// Interactive and batch anti-correlate — the property that makes
+	// them good co-tenants.
+	corr, err := stats.Correlation(interactive.Samples, batch.Samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corr >= 0 {
+		t.Errorf("interactive/batch correlation = %v, want negative", corr)
+	}
+}
+
+func TestFleetDemandIsBursty(t *testing.T) {
+	set, err := Fleet(CaseStudyConfig(2006))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The consolidation story requires aggregate demand well below the
+	// sum of peaks: peaks must not all coincide.
+	agg, err := set.Sum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggPeak, err := stats.Max(agg.Samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggPeak >= set.TotalPeak() {
+		t.Errorf("aggregate peak %v should be below sum of peaks %v", aggPeak, set.TotalPeak())
+	}
+}

@@ -1,0 +1,385 @@
+// Package ropus is a Go implementation of R-Opus, the composite
+// framework for application performability and QoS in shared resource
+// pools from Cherkasova & Rolia (DSN 2006).
+//
+// R-Opus brings four ingredients together:
+//
+//   - Per-application QoS requirements (qos.AppQoS) for normal and
+//     failure modes: an acceptable utilization-of-allocation range
+//     [Ulow, Uhigh], a budget Mdegr of measurements that may degrade up
+//     to Udegr, and a limit Tdegr on contiguous degradation.
+//   - Resource-pool QoS commitments (qos.PoolCommitment) for two classes
+//     of service: CoS1 is guaranteed, CoS2 offers capacity with a
+//     resource access probability θ and a make-up deadline.
+//   - A QoS translation (portfolio) that splits each application's
+//     demands across the two classes so the application requirement
+//     holds whenever the pool honours its commitment.
+//   - A workload placement service (sim + placement + failure) that
+//     consolidates the translated workloads onto few servers and reports
+//     whether single-server failures can be absorbed without a spare.
+//
+// The public API re-exports the internal building blocks with type
+// aliases, so the documented behaviour lives next to the implementation
+// while users import a single package:
+//
+//	f, err := ropus.NewFramework(ropus.Config{
+//	    Commitment:           ropus.PoolCommitment{Theta: 0.6, Deadline: time.Hour},
+//	    ServerCPUs:           16,
+//	    ServerCapacityPerCPU: 1,
+//	    GA:                   ropus.DefaultGAConfig(1),
+//	})
+//	report, err := f.Run(traces, ropus.Requirements{Default: req})
+//
+// See the examples directory for runnable end-to-end scenarios and
+// EXPERIMENTS.md for the reproduction of the paper's evaluation.
+package ropus
+
+import (
+	"io"
+	"time"
+
+	"ropus/internal/core"
+	"ropus/internal/failure"
+	"ropus/internal/placement"
+	"ropus/internal/planner"
+	"ropus/internal/pool"
+	"ropus/internal/portfolio"
+	"ropus/internal/qos"
+	"ropus/internal/rebalance"
+	"ropus/internal/report"
+	"ropus/internal/sim"
+	"ropus/internal/stress"
+	"ropus/internal/trace"
+	"ropus/internal/wlmgr"
+	"ropus/internal/workload"
+)
+
+// Application QoS vocabulary (paper section III).
+type (
+	// AppQoS is a per-application QoS requirement for one operating mode.
+	AppQoS = qos.AppQoS
+	// Requirement pairs normal-mode and failure-mode QoS.
+	Requirement = qos.Requirement
+	// PoolCommitment is the pool operator's CoS2 access commitment
+	// (paper section IV).
+	PoolCommitment = qos.PoolCommitment
+	// ClassOfService identifies CoS1 or CoS2.
+	ClassOfService = qos.ClassOfService
+)
+
+// The two classes of service.
+const (
+	CoS1 = qos.CoS1
+	CoS2 = qos.CoS2
+)
+
+// Consolidation score models (paper's U^(2Z) and a linear ablation).
+const (
+	ScorePaper  = placement.ScorePaper
+	ScoreLinear = placement.ScoreLinear
+)
+
+// Common additional capacity attributes (any string works).
+const (
+	AttrMemory  = placement.AttrMemory
+	AttrDiskIO  = placement.AttrDiskIO
+	AttrNetwork = placement.AttrNetwork
+)
+
+// Demand traces (paper section II).
+type (
+	// Trace is a demand time series for one application workload.
+	Trace = trace.Trace
+	// TraceSet is an aligned collection of traces.
+	TraceSet = trace.Set
+	// GapPolicy selects how invalid monitoring samples are repaired.
+	GapPolicy = trace.GapPolicy
+	// SanitizeResult reports what trace sanitization repaired.
+	SanitizeResult = trace.SanitizeResult
+)
+
+// Gap-repair policies for SanitizeSamples.
+const (
+	GapInterpolate = trace.GapInterpolate
+	GapZero        = trace.GapZero
+)
+
+// DefaultInterval is the paper's five-minute measurement interval.
+const DefaultInterval = trace.DefaultInterval
+
+// QoS translation (paper section V).
+type (
+	// Partition is the result of translating one application's demands
+	// onto the pool's two classes of service.
+	Partition = portfolio.Partition
+)
+
+// Workload placement (paper section VI).
+type (
+	// Workload is an application's translated per-CoS allocation traces
+	// for one capacity attribute.
+	Workload = sim.Workload
+	// Attribute names an additional capacity attribute.
+	Attribute = placement.Attribute
+	// PlacementApp is an application workload to place.
+	PlacementApp = placement.App
+	// Server describes one pool resource.
+	Server = placement.Server
+	// PlacementProblem is a consolidation exercise.
+	PlacementProblem = placement.Problem
+	// Assignment maps applications to servers.
+	Assignment = placement.Assignment
+	// Plan is an evaluated assignment.
+	Plan = placement.Plan
+	// GAConfig tunes the genetic consolidation search.
+	GAConfig = placement.GAConfig
+	// ScoreModel selects the consolidation score function.
+	ScoreModel = placement.ScoreModel
+	// FailureReport aggregates single-server failure scenarios.
+	FailureReport = failure.Report
+	// FailureScenario is the outcome for one server failure.
+	FailureScenario = failure.Scenario
+	// MultiFailureReport aggregates k-concurrent-failure scenarios.
+	MultiFailureReport = failure.MultiReport
+	// MultiFailureScenario is the outcome for one combination of
+	// concurrently failed servers.
+	MultiFailureScenario = failure.MultiScenario
+)
+
+// Time-domain pool simulation through a failure (performability).
+type (
+	// PoolApp couples a demand trace with normal/failure translations
+	// for the pool simulator.
+	PoolApp = pool.App
+	// PoolScenario describes the failure event to simulate.
+	PoolScenario = pool.Scenario
+	// PoolResult is the simulated outcome.
+	PoolResult = pool.Result
+)
+
+// SimulatePoolFailure replays the whole pool through a server failure
+// and migration, reporting what each application experienced.
+func SimulatePoolFailure(s *PoolScenario) (*PoolResult, error) { return pool.Run(s) }
+
+// Medium-term rebalancing (paper Figure 1 / section II).
+type (
+	// RebalanceAudit is the service-level evaluation of an assignment.
+	RebalanceAudit = rebalance.Audit
+	// RebalanceConfig tunes a rebalancing pass.
+	RebalanceConfig = rebalance.Config
+	// RebalanceProposal is the outcome of a rebalancing pass.
+	RebalanceProposal = rebalance.Proposal
+)
+
+// Long-term capacity planning (paper Figure 1).
+type (
+	// PlannerConfig parameterizes a capacity-planning run.
+	PlannerConfig = planner.Config
+	// PlannerStep is one horizon step of a capacity plan.
+	PlannerStep = planner.Step
+	// CapacityPlan is the outcome of a capacity-planning run.
+	CapacityPlan = planner.Plan
+	// Move is one container migration between servers.
+	Move = placement.Move
+)
+
+// The composite framework (paper Figure 2).
+type (
+	// Config parameterizes a Framework.
+	Config = core.Config
+	// Framework is the R-Opus capacity self-management system.
+	Framework = core.Framework
+	// Requirements maps applications to QoS requirements.
+	Requirements = core.Requirements
+	// Translation is the output of the QoS translation stage.
+	Translation = core.Translation
+	// Consolidation is the output of the placement stage.
+	Consolidation = core.Consolidation
+	// Report is the full output of a capacity-management pass.
+	Report = core.Report
+)
+
+// Synthetic workloads and the stress-test substrate.
+type (
+	// AppProfile parameterizes the synthetic demand generator.
+	AppProfile = workload.AppProfile
+	// FleetConfig describes a synthetic fleet.
+	FleetConfig = workload.FleetConfig
+	// StressApplication models a system under stress test.
+	StressApplication = stress.Application
+	// StressTargets are stress-test responsiveness goals.
+	StressTargets = stress.Targets
+	// UtilizationRange is a derived (Ulow, Uhigh) operating range.
+	UtilizationRange = stress.Range
+)
+
+// Workload-manager runtime simulation (paper section II).
+type (
+	// Container couples a demand trace with its translation for replay
+	// through the workload-manager simulator.
+	Container = wlmgr.Container
+	// Compliance summarizes achieved QoS against a requirement.
+	Compliance = wlmgr.Compliance
+)
+
+// NewFramework builds the composite framework from a configuration.
+func NewFramework(cfg Config) (*Framework, error) { return core.New(cfg) }
+
+// NewTrace builds a validated demand trace.
+func NewTrace(appID string, interval time.Duration, samples []float64) (*Trace, error) {
+	return trace.New(appID, interval, samples)
+}
+
+// SanitizeSamples builds a valid demand trace from raw monitoring
+// samples, repairing gaps (NaN) and garbage (negative, infinite)
+// according to the policy.
+func SanitizeSamples(appID string, interval time.Duration, samples []float64, policy GapPolicy) (*Trace, SanitizeResult, error) {
+	return trace.Sanitize(appID, interval, samples, policy)
+}
+
+// Translate maps one application's demand trace onto the pool's two
+// classes of service (paper section V).
+func Translate(tr *Trace, q AppQoS, theta float64) (*Partition, error) {
+	return portfolio.Translate(tr, q, theta)
+}
+
+// Breakpoint computes the CoS1/CoS2 demand breakpoint p (formula 1).
+func Breakpoint(uLow, uHigh, theta float64) (float64, error) {
+	return portfolio.Breakpoint(uLow, uHigh, theta)
+}
+
+// MaxCapReductionBound is the formula-5 bound 1 - Uhigh/Udegr on the
+// reduction of the maximum allocation from permitting degradation.
+func MaxCapReductionBound(uHigh, uDegr float64) float64 {
+	return portfolio.MaxCapReductionBound(uHigh, uDegr)
+}
+
+// GenerateFleet produces a deterministic synthetic fleet of application
+// demand traces (the substitute for the paper's proprietary data).
+func GenerateFleet(cfg FleetConfig) (TraceSet, error) { return workload.Fleet(cfg) }
+
+// GenerateFleetFromProfiles produces traces from explicit application
+// profiles (see ReadProfiles/WriteProfiles for the JSON form).
+func GenerateFleetFromProfiles(profiles []AppProfile, weeks int, interval time.Duration, seed int64) (TraceSet, error) {
+	return workload.FleetFromProfiles(profiles, weeks, interval, seed)
+}
+
+// ReadProfiles parses a JSON fleet specification.
+func ReadProfiles(r io.Reader) ([]AppProfile, error) { return workload.ReadProfiles(r) }
+
+// WriteProfiles serializes a fleet specification as JSON.
+func WriteProfiles(w io.Writer, profiles []AppProfile) error {
+	return workload.WriteProfiles(w, profiles)
+}
+
+// CaseStudyFleet returns the 26-application, four-week fleet standing in
+// for the paper's case study.
+func CaseStudyFleet(seed int64) (TraceSet, error) {
+	return workload.Fleet(workload.CaseStudyConfig(seed))
+}
+
+// DefaultGAConfig returns the genetic-search configuration used for the
+// case study.
+func DefaultGAConfig(seed int64) GAConfig { return placement.DefaultGAConfig(seed) }
+
+// EvaluatePlacement scores an assignment against a placement problem
+// without searching.
+func EvaluatePlacement(p *PlacementProblem, a Assignment) (*Plan, error) {
+	return placement.Evaluate(p, a)
+}
+
+// ConsolidatePlacement runs the genetic consolidation search from the
+// given initial assignment.
+func ConsolidatePlacement(p *PlacementProblem, initial Assignment, cfg GAConfig) (*Plan, error) {
+	return placement.Consolidate(p, initial, cfg)
+}
+
+// OneAppPerServer returns the trivial one-application-per-server
+// assignment used as the usual starting configuration.
+func OneAppPerServer(p *PlacementProblem) (Assignment, error) {
+	return placement.OneAppPerServer(p)
+}
+
+// FirstFitDecreasing runs the greedy first-fit-decreasing baseline.
+func FirstFitDecreasing(p *PlacementProblem) (*Plan, error) {
+	return placement.FirstFitDecreasing(p)
+}
+
+// BestFitDecreasing runs the greedy best-fit-decreasing baseline.
+func BestFitDecreasing(p *PlacementProblem) (*Plan, error) {
+	return placement.BestFitDecreasing(p)
+}
+
+// LeastCorrelatedFit runs the correlation-aware greedy heuristic the
+// paper's related-work section suggests exploring.
+func LeastCorrelatedFit(p *PlacementProblem) (*Plan, error) {
+	return placement.LeastCorrelatedFit(p)
+}
+
+// ExactPlacement finds the provably minimal number of servers by branch
+// and bound (practical only for small instances, like the ILP approach
+// the paper's earlier work abandoned for the genetic algorithm).
+func ExactPlacement(p *PlacementProblem, maxNodes int) (*Plan, error) {
+	return placement.Exact(p, maxNodes)
+}
+
+// Migrations returns the container moves needed to get from one
+// assignment to another over the same problem.
+func Migrations(p *PlacementProblem, from, to Assignment) ([]Move, error) {
+	return placement.Migrations(p, from, to)
+}
+
+// AuditPlacement evaluates whether an existing assignment still
+// satisfies the pool commitments under fresh traces.
+func AuditPlacement(p *PlacementProblem, current Assignment) (*RebalanceAudit, error) {
+	return rebalance.Evaluate(p, current)
+}
+
+// Rebalance audits an assignment and proposes migrations when the
+// commitments are violated or consolidation can free servers.
+func Rebalance(p *PlacementProblem, current Assignment, cfg RebalanceConfig) (*RebalanceProposal, error) {
+	return rebalance.Run(p, current, cfg)
+}
+
+// PlanCapacity projects demand over the configured horizon and reports
+// when the current pool will be exhausted (paper Figure 1's long-term
+// capacity planning).
+func PlanCapacity(cfg PlannerConfig, traces TraceSet) (*CapacityPlan, error) {
+	return planner.Run(cfg, traces)
+}
+
+// ForecastWeeks extrapolates a demand trace: the shape of the mean
+// observed week at the level of the weekly trend.
+func ForecastWeeks(tr *Trace, weeks int) (*Trace, error) {
+	return trace.ForecastWeeks(tr, weeks)
+}
+
+// WriteReportText renders a capacity report for terminals.
+func WriteReportText(w io.Writer, r *Report) error { return report.Text(w, r) }
+
+// WriteReportJSON renders a capacity report as JSON.
+func WriteReportJSON(w io.Writer, r *Report) error { return report.JSON(w, r) }
+
+// ReportSummary is the JSON-friendly distillation of a Report.
+type ReportSummary = report.Summary
+
+// SummarizeReport distills a Report into a ReportSummary.
+func SummarizeReport(r *Report) (*ReportSummary, error) { return report.Summarize(r) }
+
+// DeriveUtilizationRange runs the stress-test substrate to find the
+// (Ulow, Uhigh) operating range meeting the responsiveness targets.
+func DeriveUtilizationRange(app StressApplication, targets StressTargets) (UtilizationRange, error) {
+	return stress.DeriveRange(app, targets)
+}
+
+// RunWorkloadManager replays containers through the workload-manager
+// simulator at the given capacity and allocation lag.
+func RunWorkloadManager(capacity float64, containers []Container, lag int) (*wlmgr.RunResult, error) {
+	return wlmgr.Run(capacity, containers, lag)
+}
+
+// CheckCompliance evaluates achieved utilizations of allocation against
+// an application QoS requirement.
+func CheckCompliance(cs wlmgr.ContainerStats, q AppQoS, interval time.Duration) (Compliance, error) {
+	return wlmgr.CheckCompliance(cs, q, interval)
+}

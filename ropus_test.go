@@ -1,0 +1,144 @@
+package ropus
+
+import (
+	"testing"
+	"time"
+)
+
+// The facade tests exercise the library exactly as a downstream user
+// would: only through the root package's exported API.
+
+func caseStudyRequirement() Requirement {
+	return Requirement{
+		Normal:  AppQoS{ULow: 0.5, UHigh: 0.66, UDegr: 0.9, MPercent: 100},
+		Failure: AppQoS{ULow: 0.5, UHigh: 0.66, UDegr: 0.9, MPercent: 97, TDegr: 30 * time.Minute},
+	}
+}
+
+func smallFleet(t *testing.T) TraceSet {
+	t.Helper()
+	set, err := GenerateFleet(FleetConfig{
+		Spiky: 1, Bursty: 2, Smooth: 3,
+		Weeks: 1, Interval: time.Hour, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestPublicPipeline(t *testing.T) {
+	ga := DefaultGAConfig(3)
+	ga.MaxGenerations = 40
+	ga.Stagnation = 10
+	f, err := NewFramework(Config{
+		Commitment:           PoolCommitment{Theta: 0.6, Deadline: time.Hour},
+		ServerCPUs:           16,
+		ServerCapacityPerCPU: 1,
+		GA:                   ga,
+		Tolerance:            0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := smallFleet(t)
+	report, err := f.Run(set, Requirements{Default: caseStudyRequirement()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Consolidation.Plan.Feasible {
+		t.Error("plan infeasible")
+	}
+	if report.Consolidation.ServersUsed() >= len(set) {
+		t.Errorf("no consolidation: %d servers for %d apps",
+			report.Consolidation.ServersUsed(), len(set))
+	}
+	if report.Failures == nil {
+		t.Error("no failure report")
+	}
+}
+
+func TestPublicTranslate(t *testing.T) {
+	tr, err := NewTrace("a", DefaultInterval, []float64{1, 2, 4, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := AppQoS{ULow: 0.5, UHigh: 0.66, UDegr: 0.9, MPercent: 100}
+	part, err := Translate(tr, q, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.DMax != 4 {
+		t.Errorf("DMax = %v, want 4", part.DMax)
+	}
+	p, err := Breakpoint(0.5, 0.66, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.P != p {
+		t.Errorf("partition breakpoint %v != Breakpoint() %v", part.P, p)
+	}
+	if got := MaxCapReductionBound(0.66, 0.9); got < 0.26 || got > 0.27 {
+		t.Errorf("MaxCapReductionBound = %v, want ~0.267", got)
+	}
+}
+
+func TestPublicStressAndWorkloadManager(t *testing.T) {
+	r, err := DeriveUtilizationRange(
+		StressApplication{ServiceTime: 100 * time.Millisecond, CPUs: 1},
+		StressTargets{Ideal: 200 * time.Millisecond, Acceptable: 300 * time.Millisecond},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := AppQoS{ULow: r.ULow, UHigh: r.UHigh, UDegr: 0.9, MPercent: 97}
+	set := smallFleet(t)
+	part, err := Translate(set[0], q, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunWorkloadManager(part.MaxAllocation()+1, []Container{
+		{Demand: set[0], Partition: part},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := CheckCompliance(res.Containers[0], q, set[0].Interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !comp.Satisfied {
+		t.Errorf("lag-0 replay at full allocation should satisfy the QoS: %+v", comp)
+	}
+}
+
+func TestPublicCaseStudyFleet(t *testing.T) {
+	set, err := CaseStudyFleet(2006)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 26 {
+		t.Errorf("fleet size %d, want 26", len(set))
+	}
+	// Determinism through the public API.
+	again, err := CaseStudyFleet(2006)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range set {
+		for j := range set[i].Samples {
+			if set[i].Samples[j] != again[i].Samples[j] {
+				t.Fatalf("fleet not deterministic at app %d sample %d", i, j)
+			}
+		}
+	}
+}
+
+func TestPublicConstants(t *testing.T) {
+	if CoS1.String() != "CoS1" || CoS2.String() != "CoS2" {
+		t.Error("class-of-service constants broken")
+	}
+	if DefaultInterval != 5*time.Minute {
+		t.Errorf("DefaultInterval = %v, want 5m", DefaultInterval)
+	}
+}
