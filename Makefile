@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments fuzz clean
+.PHONY: all build vet test race cover bench experiments fuzz clean
 
-all: build vet test
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Per-function coverage report; the profile lands in cover.out for
+# `go tool cover -html=cover.out` drill-down.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -30,4 +36,4 @@ fuzz:
 	$(GO) test -fuzz FuzzReadJSON -fuzztime 30s ./internal/trace/
 
 clean:
-	rm -rf results test_output.txt bench_output.txt
+	rm -rf results test_output.txt bench_output.txt cover.out

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"ropus/internal/experiments"
+	"ropus/internal/telemetry"
 )
 
 func main() {
@@ -43,7 +44,18 @@ func realMain(run, out string, seed int64, quick bool) error {
 	if err != nil {
 		return err
 	}
-	cfg := experiments.Table1Config{GASeed: 42, Quick: quick}
+	// Every run records its telemetry alongside the result CSVs: a
+	// metrics snapshot (telemetry.json) and a Chrome trace_event file
+	// (telemetry_trace.json) for chrome://tracing or Perfetto.
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer()
+	hooks := telemetry.New(reg, tracer)
+	defer func() {
+		if err := writeTelemetry(out, reg, tracer); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: telemetry:", err)
+		}
+	}()
+	cfg := experiments.Table1Config{GASeed: 42, Quick: quick, Hooks: hooks}
 
 	want := func(name string) bool { return run == "all" || run == name }
 	ran := false
@@ -85,7 +97,7 @@ func realMain(run, out string, seed int64, quick bool) error {
 	}
 	if want("mix") {
 		ran = true
-		if err := runMix(out, seed, quick); err != nil {
+		if err := runMix(out, seed, quick, hooks); err != nil {
 			return err
 		}
 	}
@@ -93,6 +105,31 @@ func realMain(run, out string, seed int64, quick bool) error {
 		return fmt.Errorf("unknown experiment %q", run)
 	}
 	return nil
+}
+
+// writeTelemetry writes the run's metrics snapshot and span trace next
+// to the result CSVs.
+func writeTelemetry(out string, reg *telemetry.Registry, tracer *telemetry.Tracer) error {
+	mf, err := os.Create(filepath.Join(out, "telemetry.json"))
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(mf); err != nil {
+		mf.Close()
+		return err
+	}
+	if err := mf.Close(); err != nil {
+		return err
+	}
+	tf, err := os.Create(filepath.Join(out, "telemetry_trace.json"))
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteChromeTrace(tf); err != nil {
+		tf.Close()
+		return err
+	}
+	return tf.Close()
 }
 
 func writeCSV(path string, header []string, rows [][]string) error {
@@ -272,8 +309,8 @@ func runFailover(set experiments.TraceSet, cfg experiments.Table1Config) error {
 	return nil
 }
 
-func runMix(out string, seed int64, quick bool) error {
-	rows, err := experiments.Mix(experiments.MixConfig{Seed: seed, Quick: quick})
+func runMix(out string, seed int64, quick bool, hooks telemetry.Hooks) error {
+	rows, err := experiments.Mix(experiments.MixConfig{Seed: seed, Quick: quick, Hooks: hooks})
 	if err != nil {
 		return err
 	}

@@ -13,10 +13,22 @@ import (
 	"ropus/internal/qos"
 	"ropus/internal/report"
 	"ropus/internal/sim"
+	"ropus/internal/telemetry"
 	"ropus/internal/trace"
 	"ropus/internal/wlmgr"
 	"ropus/internal/workload"
 )
+
+// withTelemetry runs body with the hooks built from the parsed
+// telemetry flags and flushes the requested output files afterwards,
+// also on the error path, so aborted runs still leave evidence behind.
+func withTelemetry(o *telemetryOpts, body func(h telemetry.Hooks) error) error {
+	err := body(o.hooks())
+	if ferr := o.flush(); err == nil {
+		err = ferr
+	}
+	return err
+}
 
 // qosFlags registers the application-QoS flags shared by several
 // subcommands and returns a builder for the resulting AppQoS.
@@ -105,6 +117,7 @@ func cmdGen(args []string) error {
 func cmdTranslate(args []string) error {
 	fs := flag.NewFlagSet("translate", flag.ContinueOnError)
 	buildQoS := qosFlags(fs)
+	topts := telemetryFlags(fs)
 	var (
 		in    = fs.String("traces", "", "input trace CSV (required)")
 		theta = fs.Float64("theta", 0.6, "CoS2 resource access probability")
@@ -120,36 +133,39 @@ func cmdTranslate(args []string) error {
 		return err
 	}
 	q := buildQoS()
-	fmt.Printf("%-8s %10s %10s %10s %10s %12s %10s\n",
-		"app", "p", "Dmax", "DnewMax", "maxAlloc", "reduction%", "degraded%")
-	for _, tr := range set {
-		part, err := portfolio.Translate(tr, q, *theta)
-		if err != nil {
-			return err
+	return withTelemetry(topts, func(h telemetry.Hooks) error {
+		fmt.Printf("%-8s %10s %10s %10s %10s %12s %10s\n",
+			"app", "p", "Dmax", "DnewMax", "maxAlloc", "reduction%", "degraded%")
+		for _, tr := range set {
+			part, err := portfolio.TranslateWithHooks(tr, q, *theta, h)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-8s %10.3f %10.2f %10.2f %10.2f %12.2f %10.2f\n",
+				tr.AppID, part.P, part.DMax, part.DNewMax, part.MaxAllocation(),
+				part.MaxCapReduction()*100, part.DegradedFraction(tr)*100)
 		}
-		fmt.Printf("%-8s %10.3f %10.2f %10.2f %10.2f %12.2f %10.2f\n",
-			tr.AppID, part.P, part.DMax, part.DNewMax, part.MaxAllocation(),
-			part.MaxCapReduction()*100, part.DegradedFraction(tr)*100)
-	}
-	return nil
+		return nil
+	})
 }
 
 // frameworkFlags registers the pool/framework flags and returns a
-// builder.
-func frameworkFlags(fs *flag.FlagSet) func() (*core.Framework, error) {
+// builder taking the run's telemetry hooks.
+func frameworkFlags(fs *flag.FlagSet) func(h telemetry.Hooks) (*core.Framework, error) {
 	var (
 		theta    = fs.Float64("theta", 0.6, "CoS2 resource access probability")
 		deadline = fs.Duration("deadline", time.Hour, "CoS2 make-up deadline")
 		cpus     = fs.Int("cpus", 16, "CPUs per server")
 		seed     = fs.Int64("ga-seed", 42, "genetic search seed")
 	)
-	return func() (*core.Framework, error) {
+	return func(h telemetry.Hooks) (*core.Framework, error) {
 		return core.New(core.Config{
 			Commitment:           qos.PoolCommitment{Theta: *theta, Deadline: *deadline},
 			ServerCPUs:           *cpus,
 			ServerCapacityPerCPU: 1,
 			GA:                   placement.DefaultGAConfig(*seed),
 			Tolerance:            0.1,
+			Hooks:                h,
 		})
 	}
 }
@@ -168,6 +184,7 @@ func cmdPlace(args []string) error {
 	fs := flag.NewFlagSet("place", flag.ContinueOnError)
 	buildQoS := qosFlags(fs)
 	buildFramework := frameworkFlags(fs)
+	topts := telemetryFlags(fs)
 	in := fs.String("traces", "", "input trace CSV (required)")
 	diagnose := fs.Bool("diagnose", false, "show the worst resource-access groups per server")
 	if err := fs.Parse(args); err != nil {
@@ -180,29 +197,31 @@ func cmdPlace(args []string) error {
 	if err != nil {
 		return err
 	}
-	f, err := buildFramework()
-	if err != nil {
-		return err
-	}
-	q := buildQoS()
-	reqs := core.Requirements{Default: qos.Requirement{Normal: q, Failure: q}}
-	tr, err := f.Translate(set, reqs)
-	if err != nil {
-		return err
-	}
-	cons, err := f.Consolidate(tr)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("consolidated %d applications onto %d servers (sum of peak allocations %.1f CPUs, required %.1f CPUs)\n",
-		len(set), cons.ServersUsed(), tr.CPeakTotal(), cons.CRequTotal())
-	printPlan(cons.Plan, cons.Problem.Servers)
-	if *diagnose {
-		if err := printDiagnostics(cons); err != nil {
+	return withTelemetry(topts, func(h telemetry.Hooks) error {
+		f, err := buildFramework(h)
+		if err != nil {
 			return err
 		}
-	}
-	return nil
+		q := buildQoS()
+		reqs := core.Requirements{Default: qos.Requirement{Normal: q, Failure: q}}
+		tr, err := f.Translate(set, reqs)
+		if err != nil {
+			return err
+		}
+		cons, err := f.Consolidate(tr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("consolidated %d applications onto %d servers (sum of peak allocations %.1f CPUs, required %.1f CPUs)\n",
+			len(set), cons.ServersUsed(), tr.CPeakTotal(), cons.CRequTotal())
+		printPlan(cons.Plan, cons.Problem.Servers)
+		if *diagnose {
+			if err := printDiagnostics(cons); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 // printDiagnostics shows where each used server earns or loses its
@@ -243,6 +262,7 @@ func cmdFailover(args []string) error {
 	fs := flag.NewFlagSet("failover", flag.ContinueOnError)
 	buildQoS := qosFlags(fs)
 	buildFramework := frameworkFlags(fs)
+	topts := telemetryFlags(fs)
 	var (
 		in       = fs.String("traces", "", "input trace CSV (required)")
 		failM    = fs.Float64("fail-m", 97, "failure-mode percent of acceptable measurements")
@@ -259,28 +279,31 @@ func cmdFailover(args []string) error {
 	if err != nil {
 		return err
 	}
-	f, err := buildFramework()
-	if err != nil {
-		return err
-	}
-	normal := buildQoS()
-	failQoS := normal
-	failQoS.MPercent = *failM
-	failQoS.TDegr = *failTDeg
-	reqs := core.Requirements{Default: qos.Requirement{Normal: normal, Failure: failQoS}}
-	result, err := f.Run(set, reqs)
-	if err != nil {
-		return err
-	}
-	if *asJSON {
-		return report.JSON(os.Stdout, result)
-	}
-	return report.Text(os.Stdout, result)
+	return withTelemetry(topts, func(h telemetry.Hooks) error {
+		f, err := buildFramework(h)
+		if err != nil {
+			return err
+		}
+		normal := buildQoS()
+		failQoS := normal
+		failQoS.MPercent = *failM
+		failQoS.TDegr = *failTDeg
+		reqs := core.Requirements{Default: qos.Requirement{Normal: normal, Failure: failQoS}}
+		result, err := f.Run(set, reqs)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			return report.JSON(os.Stdout, result)
+		}
+		return report.Text(os.Stdout, result)
+	})
 }
 
 func cmdSimulate(args []string) error {
 	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
 	buildQoS := qosFlags(fs)
+	topts := telemetryFlags(fs)
 	var (
 		in       = fs.String("traces", "", "input trace CSV (required)")
 		theta    = fs.Float64("theta", 0.6, "CoS2 resource access probability used for translation")
@@ -297,39 +320,42 @@ func cmdSimulate(args []string) error {
 	if err != nil {
 		return err
 	}
-	q := buildQoS()
-	containers := make([]wlmgr.Container, len(set))
-	for i, tr := range set {
-		part, err := portfolio.Translate(tr, q, *theta)
+	return withTelemetry(topts, func(h telemetry.Hooks) error {
+		q := buildQoS()
+		containers := make([]wlmgr.Container, len(set))
+		for i, tr := range set {
+			part, err := portfolio.TranslateWithHooks(tr, q, *theta, h)
+			if err != nil {
+				return err
+			}
+			containers[i] = wlmgr.Container{Demand: tr, Partition: part}
+		}
+		res, err := wlmgr.RunWithHooks(*capacity, containers, *lag, h)
 		if err != nil {
 			return err
 		}
-		containers[i] = wlmgr.Container{Demand: tr, Partition: part}
-	}
-	res, err := wlmgr.Run(*capacity, containers, *lag)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("workload manager replay at %.1f CPUs, lag %d slot(s); CoS1 overloads: %d\n",
-		*capacity, *lag, res.CoS1Overload)
-	fmt.Printf("%-8s %12s %12s %12s %10s %10s\n",
-		"app", "acceptable%", "degraded%", "violated%", "maxU", "satisfied")
-	for _, cs := range res.Containers {
-		comp, err := wlmgr.CheckCompliance(cs, q, set[0].Interval)
-		if err != nil {
-			return err
+		fmt.Printf("workload manager replay at %.1f CPUs, lag %d slot(s); CoS1 overloads: %d\n",
+			*capacity, *lag, res.CoS1Overload)
+		fmt.Printf("%-8s %12s %12s %12s %10s %10s\n",
+			"app", "acceptable%", "degraded%", "violated%", "maxU", "satisfied")
+		for _, cs := range res.Containers {
+			comp, err := wlmgr.CheckCompliance(cs, q, set[0].Interval)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-8s %12.2f %12.2f %12.2f %10.3f %10v\n",
+				cs.AppID, comp.AcceptableFraction*100, comp.DegradedFraction*100,
+				comp.ViolatedFraction*100, comp.MaxUtilization, comp.Satisfied)
 		}
-		fmt.Printf("%-8s %12.2f %12.2f %12.2f %10.3f %10v\n",
-			cs.AppID, comp.AcceptableFraction*100, comp.DegradedFraction*100,
-			comp.ViolatedFraction*100, comp.MaxUtilization, comp.Satisfied)
-	}
-	return nil
+		return nil
+	})
 }
 
 func cmdPlan(args []string) error {
 	fs := flag.NewFlagSet("plan", flag.ContinueOnError)
 	buildQoS := qosFlags(fs)
 	buildFramework := frameworkFlags(fs)
+	topts := telemetryFlags(fs)
 	var (
 		in      = fs.String("traces", "", "input trace CSV (required)")
 		horizon = fs.Int("horizon-weeks", 12, "planning horizon in weeks")
@@ -346,36 +372,39 @@ func cmdPlan(args []string) error {
 	if err != nil {
 		return err
 	}
-	f, err := buildFramework()
-	if err != nil {
-		return err
-	}
-	q := buildQoS()
-	cfg := planner.Config{
-		Framework:    f,
-		Requirements: core.Requirements{Default: qos.Requirement{Normal: q, Failure: q}},
-		HorizonWeeks: *horizon,
-		StepWeeks:    *step,
-		PoolServers:  *pool,
-	}
-	plan, err := planner.Run(cfg, set)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("baseline: %d servers, required %.0f CPUs, peak allocations %.0f CPUs\n",
-		plan.Baseline.Servers, plan.Baseline.CRequ, plan.Baseline.CPeak)
-	fmt.Printf("%8s %10s %12s %12s\n", "+weeks", "servers", "CRequ CPU", "CPeak CPU")
-	for _, step := range plan.Steps {
-		if !step.Feasible {
-			fmt.Printf("%8d %10s %12s %12.0f\n", step.WeeksAhead, "-", "unplaceable", step.CPeak)
-			continue
+	return withTelemetry(topts, func(h telemetry.Hooks) error {
+		f, err := buildFramework(h)
+		if err != nil {
+			return err
 		}
-		fmt.Printf("%8d %10d %12.0f %12.0f\n", step.WeeksAhead, step.Servers, step.CRequ, step.CPeak)
-	}
-	if plan.ExhaustedAtWeeks > 0 {
-		fmt.Printf("pool of %d servers exhausted %d weeks out\n", *pool, plan.ExhaustedAtWeeks)
-	} else if *pool > 0 {
-		fmt.Printf("pool of %d servers suffices for the %d-week horizon\n", *pool, *horizon)
-	}
-	return nil
+		q := buildQoS()
+		cfg := planner.Config{
+			Framework:    f,
+			Requirements: core.Requirements{Default: qos.Requirement{Normal: q, Failure: q}},
+			HorizonWeeks: *horizon,
+			StepWeeks:    *step,
+			PoolServers:  *pool,
+			Hooks:        h,
+		}
+		plan, err := planner.Run(cfg, set)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("baseline: %d servers, required %.0f CPUs, peak allocations %.0f CPUs\n",
+			plan.Baseline.Servers, plan.Baseline.CRequ, plan.Baseline.CPeak)
+		fmt.Printf("%8s %10s %12s %12s\n", "+weeks", "servers", "CRequ CPU", "CPeak CPU")
+		for _, step := range plan.Steps {
+			if !step.Feasible {
+				fmt.Printf("%8d %10s %12s %12.0f\n", step.WeeksAhead, "-", "unplaceable", step.CPeak)
+				continue
+			}
+			fmt.Printf("%8d %10d %12.0f %12.0f\n", step.WeeksAhead, step.Servers, step.CRequ, step.CPeak)
+		}
+		if plan.ExhaustedAtWeeks > 0 {
+			fmt.Printf("pool of %d servers exhausted %d weeks out\n", *pool, plan.ExhaustedAtWeeks)
+		} else if *pool > 0 {
+			fmt.Printf("pool of %d servers suffices for the %d-week horizon\n", *pool, *horizon)
+		}
+		return nil
+	})
 }

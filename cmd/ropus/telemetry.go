@@ -1,0 +1,89 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof" // registered on the default mux for -pprof
+	"os"
+
+	"ropus/internal/telemetry"
+)
+
+// telemetryOpts holds the observability flags shared by all compute
+// subcommands: -metrics-out writes a metrics-registry JSON snapshot,
+// -trace-out writes a Chrome trace_event file loadable in Perfetto or
+// chrome://tracing, and -pprof serves net/http/pprof on the given
+// address for the lifetime of the command.
+type telemetryOpts struct {
+	metricsOut *string
+	traceOut   *string
+	pprofAddr  *string
+
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
+}
+
+// telemetryFlags registers the observability flags on fs.
+func telemetryFlags(fs *flag.FlagSet) *telemetryOpts {
+	o := &telemetryOpts{}
+	o.metricsOut = fs.String("metrics-out", "", "write a metrics JSON snapshot to this file")
+	o.traceOut = fs.String("trace-out", "", "write a Chrome trace_event JSON file to this file")
+	o.pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	return o
+}
+
+// hooks builds the telemetry sinks requested by the parsed flags and
+// returns the Hooks to thread through the run. With no telemetry flags
+// set it returns nil (the no-op path). It also starts the pprof server
+// when requested.
+func (o *telemetryOpts) hooks() telemetry.Hooks {
+	if *o.metricsOut != "" || *o.traceOut != "" {
+		// Both sinks are cheap; keeping them together means a -trace-out
+		// run still gets span-free metrics in memory and vice versa.
+		o.reg = telemetry.NewRegistry()
+		o.tracer = telemetry.NewTracer()
+	}
+	if *o.pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*o.pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "ropus: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "ropus: pprof listening on http://%s/debug/pprof/\n", *o.pprofAddr)
+	}
+	if o.reg == nil && o.tracer == nil {
+		return nil
+	}
+	return telemetry.New(o.reg, o.tracer)
+}
+
+// flush writes the requested telemetry files. Call it after the
+// subcommand's work, including on the error path, so partial runs still
+// leave evidence behind.
+func (o *telemetryOpts) flush() error {
+	if *o.metricsOut != "" && o.reg != nil {
+		if err := writeFileWith(*o.metricsOut, o.reg.WriteJSON); err != nil {
+			return fmt.Errorf("write metrics: %w", err)
+		}
+	}
+	if *o.traceOut != "" && o.tracer != nil {
+		if err := writeFileWith(*o.traceOut, o.tracer.WriteChromeTrace); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+	}
+	return nil
+}
+
+func writeFileWith(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -17,6 +17,7 @@ import (
 	"ropus/internal/portfolio"
 	"ropus/internal/qos"
 	"ropus/internal/sim"
+	"ropus/internal/telemetry"
 	"ropus/internal/trace"
 )
 
@@ -62,6 +63,10 @@ type Config struct {
 	Tolerance float64
 	// Score selects the placement score model (zero value = paper's).
 	Score placement.ScoreModel
+	// Hooks receives pipeline telemetry (stage spans, GA and simulator
+	// metrics); nil disables it. It is propagated to every stage:
+	// translation, consolidation and failure planning.
+	Hooks telemetry.Hooks
 }
 
 // Validate checks the configuration.
@@ -120,6 +125,9 @@ func (f *Framework) Translate(traces trace.Set, reqs Requirements) (*Translation
 	if err := reqs.Validate(); err != nil {
 		return nil, err
 	}
+	h := telemetry.OrNop(f.cfg.Hooks)
+	span := h.StartSpan("core.translate", telemetry.Int("apps", len(traces)))
+	defer span.End()
 	out := &Translation{
 		Traces:  traces,
 		Normal:  make([]*portfolio.Partition, len(traces)),
@@ -128,11 +136,11 @@ func (f *Framework) Translate(traces trace.Set, reqs Requirements) (*Translation
 	theta := f.cfg.Commitment.Theta
 	for i, tr := range traces {
 		req := reqs.For(tr.AppID)
-		normal, err := portfolio.Translate(tr, req.Normal, theta)
+		normal, err := portfolio.TranslateWithHooks(tr, req.Normal, theta, f.cfg.Hooks)
 		if err != nil {
 			return nil, fmt.Errorf("core: translate %q (normal): %w", tr.AppID, err)
 		}
-		fail, err := portfolio.Translate(tr, req.Failure, theta)
+		fail, err := portfolio.TranslateWithHooks(tr, req.Failure, theta, f.cfg.Hooks)
 		if err != nil {
 			return nil, fmt.Errorf("core: translate %q (failure): %w", tr.AppID, err)
 		}
@@ -187,7 +195,7 @@ func (f *Framework) PlanForFailures(t *Translation, c *Consolidation) (*failure.
 	for i, p := range t.Failure {
 		failApps[i] = partitionApp(p)
 	}
-	in := failure.Input{Problem: c.Problem, FailureApps: failApps, GA: f.cfg.GA}
+	in := failure.Input{Problem: c.Problem, FailureApps: failApps, GA: f.cfg.GA, Hooks: f.cfg.Hooks}
 	return failure.Analyze(in, c.Plan)
 }
 
@@ -203,7 +211,7 @@ func (f *Framework) PlanForMultiFailures(t *Translation, c *Consolidation, k int
 	for i, p := range t.Failure {
 		failApps[i] = partitionApp(p)
 	}
-	in := failure.Input{Problem: c.Problem, FailureApps: failApps, GA: f.cfg.GA}
+	in := failure.Input{Problem: c.Problem, FailureApps: failApps, GA: f.cfg.GA, Hooks: f.cfg.Hooks}
 	return failure.AnalyzeMulti(in, c.Plan, k)
 }
 
@@ -217,6 +225,9 @@ type Report struct {
 // Run executes the full pipeline: translate, consolidate, plan for
 // failures.
 func (f *Framework) Run(traces trace.Set, reqs Requirements) (*Report, error) {
+	span := telemetry.OrNop(f.cfg.Hooks).StartSpan("core.run",
+		telemetry.Int("apps", len(traces)))
+	defer span.End()
 	t, err := f.Translate(traces, reqs)
 	if err != nil {
 		return nil, err
@@ -259,6 +270,7 @@ func (f *Framework) problemFor(t *Translation, parts []*portfolio.Partition) (*p
 		DeadlineSlots: f.cfg.Commitment.DeadlineSlots(interval),
 		Tolerance:     f.cfg.Tolerance,
 		Score:         f.cfg.Score,
+		Hooks:         f.cfg.Hooks,
 	}, nil
 }
 

@@ -22,6 +22,7 @@ import (
 	"ropus/internal/placement"
 	"ropus/internal/portfolio"
 	"ropus/internal/qos"
+	"ropus/internal/telemetry"
 	"ropus/internal/trace"
 	"ropus/internal/workload"
 )
@@ -206,6 +207,8 @@ type Table1Config struct {
 	GASeed int64
 	// Quick trades search quality for speed (used by benchmarks).
 	Quick bool
+	// Hooks receives run telemetry (nil disables it).
+	Hooks telemetry.Hooks
 }
 
 // Table1 runs the six consolidation cases against the fleet.
@@ -252,6 +255,7 @@ func frameworkFor(theta float64, cfg Table1Config) (*core.Framework, error) {
 		ServerCapacityPerCPU: 1,
 		GA:                   ga,
 		Tolerance:            tolerance,
+		Hooks:                cfg.Hooks,
 	})
 }
 

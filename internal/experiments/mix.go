@@ -8,6 +8,7 @@ import (
 	"ropus/internal/portfolio"
 	"ropus/internal/qos"
 	"ropus/internal/sim"
+	"ropus/internal/telemetry"
 	"ropus/internal/workload"
 )
 
@@ -36,6 +37,8 @@ type MixConfig struct {
 	Seed int64
 	// Quick trades search quality for speed.
 	Quick bool
+	// Hooks receives run telemetry (nil disables it).
+	Hooks telemetry.Hooks
 }
 
 // Mix runs the mixed-fleet consolidation comparison.
@@ -80,6 +83,7 @@ func Mix(cfg MixConfig) ([]MixRow, error) {
 		SlotsPerDay:   set[0].SlotsPerDay(),
 		DeadlineSlots: 4,
 		Tolerance:     0.1,
+		Hooks:         cfg.Hooks,
 	}
 
 	ga := placement.DefaultGAConfig(cfg.Seed)

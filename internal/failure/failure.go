@@ -14,8 +14,10 @@ package failure
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"ropus/internal/placement"
+	"ropus/internal/telemetry"
 )
 
 // Input is everything the planner needs beyond the base plan.
@@ -28,6 +30,10 @@ type Input struct {
 	FailureApps []placement.App
 	// GA configures the re-consolidation searches.
 	GA placement.GAConfig
+	// Hooks receives planning telemetry (scenario counts, timings and
+	// per-scenario spans); nil disables it. It is also propagated to the
+	// reduced consolidation problems each scenario solves.
+	Hooks telemetry.Hooks
 }
 
 // Validate checks the input's structural invariants.
@@ -92,21 +98,36 @@ func Analyze(in Input, basePlan *placement.Plan) (*Report, error) {
 		return nil, err
 	}
 
+	h := telemetry.OrNop(in.Hooks)
+	span := h.StartSpan("failure.analyze",
+		telemetry.Int("servers", len(in.Problem.Servers)))
+	defer span.End()
+	scenarioC := h.Counter("failure_scenarios_total")
+	infeasibleC := h.Counter("failure_infeasible_scenarios_total")
+	scenarioSecs := h.Histogram("failure_scenario_seconds", nil)
+
 	report := &Report{}
 	for srvIdx, srv := range in.Problem.Servers {
 		affected := appsOn(basePlan.Assignment, srvIdx)
 		if len(affected) == 0 {
 			continue
 		}
+		start := time.Now()
 		scenario, err := analyzeOne(in, basePlan, srvIdx, affected)
 		if err != nil {
 			return nil, fmt.Errorf("failure: scenario %q: %w", srv.ID, err)
 		}
+		scenarioC.Inc()
+		scenarioSecs.Observe(time.Since(start).Seconds())
 		report.Scenarios = append(report.Scenarios, scenario)
 		if !scenario.Feasible {
+			infeasibleC.Inc()
 			report.SpareNeeded = true
 		}
 	}
+	span.SetAttr(
+		telemetry.Int("scenarios", len(report.Scenarios)),
+		telemetry.Bool("spare_needed", report.SpareNeeded))
 	return report, nil
 }
 
@@ -156,6 +177,7 @@ func analyzeOne(in Input, basePlan *placement.Plan, srvIdx int, affected []int) 
 		SlotsPerDay:   p.SlotsPerDay,
 		DeadlineSlots: p.DeadlineSlots,
 		Tolerance:     p.Tolerance,
+		Hooks:         in.Hooks,
 	}
 
 	// Initial assignment: unaffected applications stay put; affected

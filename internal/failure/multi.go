@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"ropus/internal/placement"
+	"ropus/internal/telemetry"
 )
 
 // Multi-node failure planning: the paper notes that the single-failure
@@ -89,17 +91,33 @@ func AnalyzeMulti(in Input, basePlan *placement.Plan, k int) (*MultiReport, erro
 		return nil, fmt.Errorf("failure: k=%d exceeds the %d servers in use", k, len(used))
 	}
 
+	h := telemetry.OrNop(in.Hooks)
+	span := h.StartSpan("failure.analyze_multi",
+		telemetry.Int("k", k),
+		telemetry.Int("servers_in_use", len(used)))
+	defer span.End()
+	scenarioC := h.Counter("failure_scenarios_total")
+	infeasibleC := h.Counter("failure_infeasible_scenarios_total")
+	scenarioSecs := h.Histogram("failure_scenario_seconds", nil)
+
 	report := &MultiReport{K: k}
 	for _, combo := range combinations(used, k) {
+		start := time.Now()
 		scenario, err := analyzeCombo(in, basePlan, combo)
 		if err != nil {
 			return nil, fmt.Errorf("failure: scenario %v: %w", combo, err)
 		}
+		scenarioC.Inc()
+		scenarioSecs.Observe(time.Since(start).Seconds())
 		report.Scenarios = append(report.Scenarios, scenario)
 		if !scenario.Feasible {
+			infeasibleC.Inc()
 			report.SparesNeeded = true
 		}
 	}
+	span.SetAttr(
+		telemetry.Int("scenarios", len(report.Scenarios)),
+		telemetry.Bool("spares_needed", report.SparesNeeded))
 	return report, nil
 }
 
@@ -157,6 +175,7 @@ func analyzeCombo(in Input, basePlan *placement.Plan, combo []int) (MultiScenari
 		SlotsPerDay:   p.SlotsPerDay,
 		DeadlineSlots: p.DeadlineSlots,
 		Tolerance:     p.Tolerance,
+		Hooks:         in.Hooks,
 	}
 	initial := make(placement.Assignment, len(apps))
 	next := 0

@@ -98,6 +98,7 @@ func (e *evaluator) evalAttributes(server int, apps []int) (map[Attribute]float6
 		Commitment:    e.p.Commitment,
 		SlotsPerDay:   e.p.SlotsPerDay,
 		DeadlineSlots: e.p.DeadlineSlots,
+		Hooks:         e.p.Hooks,
 	}
 	for _, attr := range attrs {
 		workloads := make([]sim.Workload, 0, len(apps))

@@ -7,6 +7,9 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
+
+	"ropus/internal/telemetry"
 )
 
 // ErrNoFeasible is returned by Consolidate when no assignment satisfying
@@ -67,7 +70,10 @@ func (c GAConfig) Validate() error {
 		return fmt.Errorf("placement: Elite %d outside [0,%d)", c.Elite, c.PopulationSize)
 	case c.TournamentK < 1:
 		return fmt.Errorf("placement: TournamentK %d < 1", c.TournamentK)
-	case c.MutationRate < 0 || c.MutationRate > 1:
+	case c.TournamentK > c.PopulationSize:
+		return fmt.Errorf("placement: TournamentK %d > PopulationSize %d", c.TournamentK, c.PopulationSize)
+	// Negated-range form so that a NaN rate is rejected too.
+	case !(c.MutationRate >= 0 && c.MutationRate <= 1):
 		return fmt.Errorf("placement: MutationRate %v outside [0,1]", c.MutationRate)
 	}
 	return nil
@@ -86,6 +92,24 @@ func Consolidate(p *Problem, initial Assignment, cfg GAConfig) (*Plan, error) {
 	if err := initial.Validate(p); err != nil {
 		return nil, err
 	}
+
+	h := telemetry.OrNop(p.Hooks)
+	span := h.StartSpan("placement.consolidate",
+		telemetry.Int("apps", len(p.Apps)),
+		telemetry.Int("servers", len(p.Servers)),
+		telemetry.Int("population", cfg.PopulationSize))
+	defer span.End()
+	var (
+		generations = h.Counter("ga_generations_total")
+		crossovers  = h.Counter("ga_crossovers_total")
+		mutations   = h.Counter("ga_mutations_total")
+		offspringC  = h.Counter("ga_offspring_evaluated_total")
+		bestScore   = h.Gauge("ga_best_score")
+		meanScore   = h.Gauge("ga_mean_score")
+		bestServers = h.Gauge("ga_best_feasible_servers")
+		staleGauge  = h.Gauge("ga_stagnation_generations")
+		genSeconds  = h.Histogram("ga_generation_seconds", nil)
+	)
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	ev := newEvaluator(p)
@@ -126,7 +150,9 @@ func Consolidate(p *Problem, initial Assignment, cfg GAConfig) (*Plan, error) {
 
 	best := bestFeasible(pop)
 	stale := 0
+	ran := 0
 	for gen := 0; gen < cfg.MaxGenerations && stale < cfg.Stagnation; gen++ {
+		genStart := time.Now()
 		next := make([]*Plan, 0, cfg.PopulationSize)
 		for i := 0; i < cfg.Elite && i < len(pop); i++ {
 			next = append(next, pop[i])
@@ -138,8 +164,10 @@ func Consolidate(p *Problem, initial Assignment, cfg GAConfig) (*Plan, error) {
 		for len(next)+len(offspring) < cfg.PopulationSize {
 			a := crossover(tournament(pop, cfg.TournamentK, rng).Assignment,
 				tournament(pop, cfg.TournamentK, rng).Assignment, rng)
+			crossovers.Inc()
 			if rng.Float64() < cfg.MutationRate {
 				mutate(a, p, rng)
+				mutations.Inc()
 			}
 			offspring = append(offspring, a)
 		}
@@ -156,11 +184,36 @@ func Consolidate(p *Problem, initial Assignment, cfg GAConfig) (*Plan, error) {
 		} else {
 			stale++
 		}
+		ran++
+
+		generations.Inc()
+		offspringC.Add(int64(len(plans)))
+		staleGauge.Set(float64(stale))
+		meanScore.Set(meanPlanScore(pop))
+		if best != nil {
+			bestScore.Set(best.Score)
+			bestServers.Set(float64(best.ServersUsed))
+		}
+		genSeconds.Observe(time.Since(genStart).Seconds())
 	}
+	span.SetAttr(telemetry.Int("generations", ran), telemetry.Bool("feasible", best != nil))
 	if best == nil {
 		return nil, fmt.Errorf("%w after %d generations", ErrNoFeasible, cfg.MaxGenerations)
 	}
+	span.SetAttr(telemetry.Int("servers_used", best.ServersUsed), telemetry.Float("score", best.Score))
 	return best, nil
+}
+
+// meanPlanScore returns the population's mean consolidation score.
+func meanPlanScore(pop []*Plan) float64 {
+	if len(pop) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, plan := range pop {
+		sum += plan.Score
+	}
+	return sum / float64(len(pop))
 }
 
 // evaluateAll evaluates assignments concurrently, preserving order. The

@@ -28,6 +28,7 @@ import (
 
 	"ropus/internal/qos"
 	"ropus/internal/sim"
+	"ropus/internal/telemetry"
 )
 
 // DefaultTolerance is the binary-search tolerance, in CPUs, used for
@@ -123,6 +124,10 @@ type Problem struct {
 	// Score selects the per-server value function; the zero value is
 	// the paper's U^(2Z) model.
 	Score ScoreModel
+	// Hooks receives search and simulation telemetry (GA generation
+	// progress, evaluator cache efficiency, bisection probes); nil
+	// disables it.
+	Hooks telemetry.Hooks
 
 	// attrs caches the sorted union of extra attributes; set by
 	// Validate.
@@ -290,10 +295,18 @@ type evaluator struct {
 	cache map[string]ServerUsage
 	// hits/misses are instrumentation for the ablation benchmarks.
 	hits, misses int
+	// hitC/missC mirror hits/misses into the problem's metrics registry.
+	hitC, missC *telemetry.Counter
 }
 
 func newEvaluator(p *Problem) *evaluator {
-	return &evaluator{p: p, cache: make(map[string]ServerUsage)}
+	h := telemetry.OrNop(p.Hooks)
+	return &evaluator{
+		p:     p,
+		cache: make(map[string]ServerUsage),
+		hitC:  h.Counter("placement_eval_cache_hits_total"),
+		missC: h.Counter("placement_eval_cache_misses_total"),
+	}
 }
 
 // key builds the cache key for a server and a sorted app-index group.
@@ -319,10 +332,12 @@ func (e *evaluator) evalServer(server int, apps []int) (ServerUsage, error) {
 	if u, ok := e.cache[k]; ok {
 		e.hits++
 		e.mu.Unlock()
+		e.hitC.Inc()
 		return u, nil
 	}
 	e.misses++
 	e.mu.Unlock()
+	e.missC.Inc()
 
 	workloads := make([]sim.Workload, len(apps))
 	ids := make([]string, len(apps))
@@ -338,6 +353,7 @@ func (e *evaluator) evalServer(server int, apps []int) (ServerUsage, error) {
 		Commitment:    e.p.Commitment,
 		SlotsPerDay:   e.p.SlotsPerDay,
 		DeadlineSlots: e.p.DeadlineSlots,
+		Hooks:         e.p.Hooks,
 	}
 	required, res, ok, err := agg.RequiredCapacity(cfg, srv.Capacity(), e.p.tolerance())
 	if err != nil {

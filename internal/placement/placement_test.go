@@ -312,7 +312,11 @@ func TestGAConfigValidate(t *testing.T) {
 		{name: "elite too big", mutate: func(c *GAConfig) { c.Elite = c.PopulationSize }},
 		{name: "negative elite", mutate: func(c *GAConfig) { c.Elite = -1 }},
 		{name: "zero tournament", mutate: func(c *GAConfig) { c.TournamentK = 0 }},
+		{name: "negative tournament", mutate: func(c *GAConfig) { c.TournamentK = -3 }},
+		{name: "tournament exceeds population", mutate: func(c *GAConfig) { c.TournamentK = c.PopulationSize + 1 }},
 		{name: "mutation rate above one", mutate: func(c *GAConfig) { c.MutationRate = 1.5 }},
+		{name: "negative mutation rate", mutate: func(c *GAConfig) { c.MutationRate = -0.1 }},
+		{name: "NaN mutation rate", mutate: func(c *GAConfig) { c.MutationRate = math.NaN() }},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

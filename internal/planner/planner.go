@@ -15,9 +15,11 @@ package planner
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"ropus/internal/core"
 	"ropus/internal/placement"
+	"ropus/internal/telemetry"
 	"ropus/internal/trace"
 )
 
@@ -40,6 +42,10 @@ type Config struct {
 	// PoolServers is the number of servers currently in the pool; the
 	// planner reports the first step needing more than this.
 	PoolServers int
+	// Hooks receives planning telemetry (per-step spans and timings);
+	// nil disables it. Note the Framework carries its own hooks for the
+	// translation and consolidation it performs.
+	Hooks telemetry.Hooks
 }
 
 // Validate checks the configuration.
@@ -117,24 +123,45 @@ func Run(cfg Config, traces trace.Set) (*Plan, error) {
 		}
 	}
 
+	h := telemetry.OrNop(cfg.Hooks)
+	span := h.StartSpan("planner.run",
+		telemetry.Int("horizon_weeks", cfg.HorizonWeeks),
+		telemetry.Int("step_weeks", cfg.StepWeeks))
+	defer span.End()
+	stepsC := h.Counter("planner_steps_total")
+	stepSecs := h.Histogram("planner_step_seconds", nil)
+
+	start := time.Now()
 	baseline, err := consolidateStep(cfg, traces)
 	if err != nil {
 		return nil, fmt.Errorf("planner: baseline: %w", err)
 	}
+	stepsC.Inc()
+	stepSecs.Observe(time.Since(start).Seconds())
 	plan := &Plan{Baseline: baseline}
 	if !baseline.Feasible {
 		return nil, errors.New("planner: current demand is already unplaceable")
 	}
 
 	for ahead := cfg.StepWeeks; ahead <= cfg.HorizonWeeks; ahead += cfg.StepWeeks {
+		stepSpan := h.StartSpan("planner.step", telemetry.Int("weeks_ahead", ahead))
+		start := time.Now()
 		projected, err := projectSet(cfg, traces, ahead)
 		if err != nil {
+			stepSpan.End()
 			return nil, fmt.Errorf("planner: project +%dw: %w", ahead, err)
 		}
 		step, err := consolidateStep(cfg, projected)
 		if err != nil {
+			stepSpan.End()
 			return nil, fmt.Errorf("planner: consolidate +%dw: %w", ahead, err)
 		}
+		stepsC.Inc()
+		stepSecs.Observe(time.Since(start).Seconds())
+		stepSpan.SetAttr(
+			telemetry.Bool("feasible", step.Feasible),
+			telemetry.Int("servers", step.Servers))
+		stepSpan.End()
 		step.WeeksAhead = ahead
 		plan.Steps = append(plan.Steps, step)
 		exhausted := !step.Feasible || (cfg.PoolServers > 0 && step.Servers > cfg.PoolServers)
@@ -142,6 +169,7 @@ func Run(cfg Config, traces trace.Set) (*Plan, error) {
 			plan.ExhaustedAtWeeks = ahead
 		}
 	}
+	span.SetAttr(telemetry.Int("exhausted_at_weeks", plan.ExhaustedAtWeeks))
 	return plan, nil
 }
 

@@ -26,9 +26,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"ropus/internal/qos"
 	"ropus/internal/stats"
+	"ropus/internal/telemetry"
 	"ropus/internal/trace"
 )
 
@@ -182,12 +184,31 @@ func degraded(u, uHigh float64) bool {
 // classes of service under the given QoS requirement and CoS2 access
 // probability θ (paper section V, all three steps).
 func Translate(tr *trace.Trace, q qos.AppQoS, theta float64) (*Partition, error) {
+	return TranslateWithHooks(tr, q, theta, nil)
+}
+
+// TranslateWithHooks is Translate with telemetry: a per-application
+// span, translation timing and cap-analysis iteration counters. A nil
+// Hooks disables all of it.
+func TranslateWithHooks(tr *trace.Trace, q qos.AppQoS, theta float64, hooks telemetry.Hooks) (*Partition, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	h := telemetry.OrNop(hooks)
+	start := time.Now()
+	span := h.StartSpan("portfolio.translate",
+		telemetry.String("app", tr.AppID),
+		telemetry.Float("theta", theta))
+	defer span.End()
+	defer func() {
+		h.Histogram("portfolio_translate_seconds", nil).Observe(time.Since(start).Seconds())
+	}()
+	h.Counter("portfolio_translations_total").Inc()
+	capIterations := h.Counter("portfolio_cap_iterations_total")
+
 	p, err := Breakpoint(q.ULow, q.UHigh, theta)
 	if err != nil {
 		return nil, err
@@ -199,17 +220,18 @@ func Translate(tr *trace.Trace, q qos.AppQoS, theta float64) (*Partition, error)
 		return nil, err
 	}
 	if r, limited := q.TDegrSlots(tr.Interval); limited {
-		cap, err = applyTDegr(tr.Samples, q, p, theta, cap, r)
+		cap, err = applyTDegr(tr.Samples, q, p, theta, cap, r, capIterations)
 		if err != nil {
 			return nil, fmt.Errorf("portfolio: app %q: %w", tr.AppID, err)
 		}
 	}
 	if q.MaxDegradedPerDay > 0 {
-		cap, err = applyDailyBudget(tr.Samples, q, p, theta, cap, tr.SlotsPerDay())
+		cap, err = applyDailyBudget(tr.Samples, q, p, theta, cap, tr.SlotsPerDay(), capIterations)
 		if err != nil {
 			return nil, fmt.Errorf("portfolio: app %q: %w", tr.AppID, err)
 		}
 	}
+	span.SetAttr(telemetry.Float("d_max", dMax), telemetry.Float("d_new_max", cap))
 
 	part := &Partition{
 		AppID:   tr.AppID,
@@ -259,7 +281,7 @@ func initialCap(tr *trace.Trace, q qos.AppQoS, dMax float64) (float64, error) {
 // run, finds its smallest demand D_min_degr among the first r+1
 // observations, and recomputes the cap so that D_min_degr is served at
 // utilization Uhigh exactly (formula 10), breaking the run.
-func applyTDegr(samples []float64, q qos.AppQoS, p, theta, cap float64, r int) (float64, error) {
+func applyTDegr(samples []float64, q qos.AppQoS, p, theta, cap float64, r int, iterC *telemetry.Counter) (float64, error) {
 	// Worst-case degraded <=> utilization > Uhigh. Expressed on demand:
 	// d > cap * (p + theta*(1-p)) * Uhigh/Ulow =: cap * k.
 	k := (p + theta*(1-p)) * q.UHigh / q.ULow
@@ -269,6 +291,7 @@ func applyTDegr(samples []float64, q qos.AppQoS, p, theta, cap float64, r int) (
 	// distinct trace demand times a constant, so it converges within
 	// len(samples) iterations.
 	for iter := 0; iter <= len(samples); iter++ {
+		iterC.Inc()
 		run, found := firstLongRunAbove(samples, cap*k, r)
 		if !found {
 			return cap, nil
@@ -299,7 +322,7 @@ func applyTDegr(samples []float64, q qos.AppQoS, p, theta, cap float64, r int) (
 // analysis, each iteration un-degrades the smallest degraded demand of
 // the first over-budget day, so the cap increases monotonically and the
 // loop converges within len(samples) iterations.
-func applyDailyBudget(samples []float64, q qos.AppQoS, p, theta, cap float64, slotsPerDay int) (float64, error) {
+func applyDailyBudget(samples []float64, q qos.AppQoS, p, theta, cap float64, slotsPerDay int, iterC *telemetry.Counter) (float64, error) {
 	if slotsPerDay <= 0 {
 		return 0, fmt.Errorf("portfolio: slotsPerDay %d <= 0", slotsPerDay)
 	}
@@ -307,6 +330,7 @@ func applyDailyBudget(samples []float64, q qos.AppQoS, p, theta, cap float64, sl
 	factor := q.ULow / (q.UHigh * (p*(1-theta) + theta))
 
 	for iter := 0; iter <= len(samples); iter++ {
+		iterC.Inc()
 		day, minDemand, found := firstOverBudgetDay(samples, cap*k, slotsPerDay, q.MaxDegradedPerDay)
 		if !found {
 			return cap, nil

@@ -463,7 +463,7 @@ func TestDegradedFraction(t *testing.T) {
 
 func TestApplyDailyBudgetBadSlots(t *testing.T) {
 	q := caseStudyQoS()
-	if _, err := applyDailyBudget([]float64{1}, q, 0.4, 0.6, 1, 0); err == nil {
+	if _, err := applyDailyBudget([]float64{1}, q, 0.4, 0.6, 1, 0, nil); err == nil {
 		t.Error("slotsPerDay=0 accepted")
 	}
 }

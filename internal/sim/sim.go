@@ -21,6 +21,7 @@ import (
 	"math"
 
 	"ropus/internal/qos"
+	"ropus/internal/telemetry"
 )
 
 // Workload is one application's translated allocation requirements on a
@@ -63,6 +64,8 @@ type Config struct {
 	SlotsPerDay int
 	// DeadlineSlots is the commitment deadline s expressed in slots.
 	DeadlineSlots int
+	// Hooks receives replay and search telemetry; nil disables it.
+	Hooks telemetry.Hooks
 }
 
 // Validate checks the replay configuration.
@@ -189,6 +192,7 @@ func (a *Aggregate) Replay(cfg Config) (Result, error) {
 
 	var backlog []backlogEntry
 	head := 0 // index of the first live backlog entry
+	deadlineMisses := int64(0)
 
 	for i := 0; i < n; i++ {
 		avail := cfg.Capacity - a.cos1[i]
@@ -214,6 +218,7 @@ func (a *Aggregate) Replay(cfg Config) (Result, error) {
 			if backlog[head].amount > eps {
 				res.DeadlineOK = false
 				res.UnservedTotal += backlog[head].amount
+				deadlineMisses++
 			}
 			head++
 		}
@@ -221,6 +226,7 @@ func (a *Aggregate) Replay(cfg Config) (Result, error) {
 			if cfg.DeadlineSlots == 0 {
 				res.DeadlineOK = false
 				res.UnservedTotal += deficit
+				deadlineMisses++
 			} else {
 				backlog = append(backlog, backlogEntry{due: i + cfg.DeadlineSlots, amount: deficit})
 			}
@@ -248,6 +254,15 @@ func (a *Aggregate) Replay(cfg Config) (Result, error) {
 			res.Theta = ratio
 		}
 	}
+
+	h := telemetry.OrNop(cfg.Hooks)
+	h.Counter("sim_replays_total").Inc()
+	h.Counter("sim_replay_slots_total").Add(int64(n))
+	h.Counter("sim_deadline_misses_total").Add(deadlineMisses)
+	if !res.DeadlineOK {
+		h.Counter("sim_deadline_violation_replays_total").Inc()
+	}
+	h.Histogram("sim_probe_theta", telemetry.RatioBuckets).Observe(res.Theta)
 	return res, nil
 }
 
@@ -264,11 +279,15 @@ func (a *Aggregate) RequiredCapacity(cfg Config, limit, tol float64) (capacity f
 	if limit <= 0 {
 		return 0, Result{}, false, fmt.Errorf("sim: capacity limit %v <= 0", limit)
 	}
+	h := telemetry.OrNop(cfg.Hooks)
+	h.Counter("sim_searches_total").Inc()
+	iterations := h.Counter("sim_search_iterations_total")
 	// The workloads cannot fit at any capacity <= limit if the
 	// guaranteed class alone exceeds it.
 	if a.cos1Peak > limit {
 		cfg.Capacity = limit
 		res, err = a.Replay(cfg)
+		h.Counter("sim_search_infeasible_total").Inc()
 		return limit, res, false, err
 	}
 
@@ -293,12 +312,14 @@ func (a *Aggregate) RequiredCapacity(cfg Config, limit, tol float64) (capacity f
 			hi = limit
 		}
 		if !hiRes.Fits(cfg.Commitment.Theta) {
+			h.Counter("sim_search_infeasible_total").Inc()
 			return hi, hiRes, false, nil
 		}
 	}
 
 	lo := a.cos1Peak
 	for hi-lo > tol {
+		iterations.Inc()
 		mid := (lo + hi) / 2
 		cfg.Capacity = mid
 		midRes, err := a.Replay(cfg)

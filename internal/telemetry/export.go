@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// HistogramSnapshot is the frozen state of one histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts is one longer, its
+	// last element counting observations above every bound (+Inf).
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot is a frozen, export-friendly view of a registry. Metrics
+// written while a snapshot is being taken may or may not be included;
+// each individual value is read atomically.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot freezes the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	for name, c := range counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range gauges {
+		snap.Gauges[name] = g.Value()
+	}
+	for name, h := range hists {
+		hs := HistogramSnapshot{
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]int64, len(h.counts)),
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		snap.Histograms[name] = hs
+	}
+	return snap
+}
+
+// WriteJSON writes the registry's snapshot as indented JSON with
+// deterministic (sorted) key order.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WritePrometheusText writes the registry's snapshot in the Prometheus
+// text exposition format (version 0.0.4). Metric names are sanitized:
+// any character outside [a-zA-Z0-9_:] becomes '_'.
+func (r *Registry) WritePrometheusText(w io.Writer) error {
+	snap := r.Snapshot()
+	bw := bufio.NewWriter(w)
+
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", n, n, snap.Counters[name])
+	}
+
+	names = names[:0]
+	for name := range snap.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(snap.Gauges[name]))
+	}
+
+	names = names[:0]
+	for name := range snap.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := promName(name)
+		hs := snap.Histograms[name]
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", n)
+		cumulative := int64(0)
+		for i, bound := range hs.Bounds {
+			cumulative += hs.Counts[i]
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", n, promFloat(bound), cumulative)
+		}
+		cumulative += hs.Counts[len(hs.Counts)-1]
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", n, cumulative)
+		fmt.Fprintf(bw, "%s_sum %s\n", n, promFloat(hs.Sum))
+		fmt.Fprintf(bw, "%s_count %d\n", n, hs.Count)
+	}
+	return bw.Flush()
+}
+
+// promName sanitizes a metric name for the Prometheus text format.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat formats a float the way Prometheus expects: shortest exact
+// representation, with infinities spelled out.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

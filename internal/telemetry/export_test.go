@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with deterministic contents covering
+// every metric kind.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("ga_generations_total").Add(12)
+	r.Counter("sim_search_iterations_total").Add(340)
+	r.Gauge("ga_best_score").Set(7.25)
+	r.Gauge("wlmgr_last_capacity_cpus").Set(16)
+	h := r.Histogram("sim_probe_theta", []float64{0.5, 0.9, 1})
+	for _, v := range []float64{0.4, 0.55, 0.95, 0.97, 1, 2} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/telemetry -run Golden -update`): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The export must be valid JSON regardless of the golden comparison.
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v", err)
+	}
+	if snap.Counters["ga_generations_total"] != 12 {
+		t.Fatalf("round-trip lost counter: %+v", snap.Counters)
+	}
+	checkGolden(t, "metrics.json.golden", buf.Bytes())
+}
+
+func TestWritePrometheusTextGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheusText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.prom.golden", buf.Bytes())
+}
+
+func TestSnapshotIsIsolated(t *testing.T) {
+	r := goldenRegistry()
+	snap := r.Snapshot()
+	r.Counter("ga_generations_total").Inc()
+	if snap.Counters["ga_generations_total"] != 12 {
+		t.Fatal("snapshot must not track later writes")
+	}
+	if _, ok := snap.Histograms["sim_probe_theta"]; !ok {
+		t.Fatal("snapshot lost the histogram")
+	}
+	hs := snap.Histograms["sim_probe_theta"]
+	if hs.Count != 6 {
+		t.Fatalf("histogram count = %d, want 6", hs.Count)
+	}
+	if len(hs.Counts) != len(hs.Bounds)+1 {
+		t.Fatalf("counts len %d, bounds len %d", len(hs.Counts), len(hs.Bounds))
+	}
+}
+
+func TestPromNameSanitizes(t *testing.T) {
+	cases := map[string]string{
+		"ga.best-score": "ga_best_score",
+		"1bad":          "_bad",
+		"ok_name:42":    "ok_name:42",
+		"sim probe θ":   "sim_probe__",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

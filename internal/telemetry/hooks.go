@@ -1,0 +1,60 @@
+package telemetry
+
+// Hooks is the seam long-running components accept: a source of metric
+// handles and spans. Components hold a Hooks, hoist the handles they
+// need before their hot loops, and never check for nil — the handles
+// returned by the no-op implementation discard everything at the cost
+// of an inlined nil check.
+type Hooks interface {
+	// Counter returns the named counter handle.
+	Counter(name string) *Counter
+	// Gauge returns the named gauge handle.
+	Gauge(name string) *Gauge
+	// Histogram returns the named histogram handle; nil bounds select
+	// DurationBuckets.
+	Histogram(name string, bounds []float64) *Histogram
+	// StartSpan opens a root span (End it to record it).
+	StartSpan(name string, attrs ...Attr) *Span
+}
+
+// nopHooks hands out nil handles, whose methods are no-ops.
+type nopHooks struct{}
+
+func (nopHooks) Counter(string) *Counter                { return nil }
+func (nopHooks) Gauge(string) *Gauge                    { return nil }
+func (nopHooks) Histogram(string, []float64) *Histogram { return nil }
+func (nopHooks) StartSpan(string, ...Attr) *Span        { return nil }
+
+// Nop discards all telemetry.
+var Nop Hooks = nopHooks{}
+
+// OrNop maps a nil Hooks to Nop so components can accept "no hooks"
+// configurations without branching at every emission site.
+func OrNop(h Hooks) Hooks {
+	if h == nil {
+		return Nop
+	}
+	return h
+}
+
+// hooks backs Hooks with a registry and/or a tracer; either may be nil,
+// in which case the corresponding handles are no-ops.
+type hooks struct {
+	reg    *Registry
+	tracer *Tracer
+}
+
+// New builds Hooks recording metrics into reg and spans into tracer.
+// Either may be nil to disable that half.
+func New(reg *Registry, tracer *Tracer) Hooks {
+	return hooks{reg: reg, tracer: tracer}
+}
+
+func (h hooks) Counter(name string) *Counter { return h.reg.Counter(name) }
+func (h hooks) Gauge(name string) *Gauge     { return h.reg.Gauge(name) }
+func (h hooks) Histogram(name string, bounds []float64) *Histogram {
+	return h.reg.Histogram(name, bounds)
+}
+func (h hooks) StartSpan(name string, attrs ...Attr) *Span {
+	return h.tracer.StartSpan(name, attrs...)
+}

@@ -1,0 +1,236 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key-value span attribute. Values should be strings,
+// integers, floats or bools so the Chrome trace export stays readable.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// String builds a string attribute.
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer attribute.
+func Int(key string, value int) Attr { return Attr{Key: key, Value: value} }
+
+// Float builds a float attribute.
+func Float(key string, value float64) Attr { return Attr{Key: key, Value: value} }
+
+// Bool builds a boolean attribute.
+func Bool(key string, value bool) Attr { return Attr{Key: key, Value: value} }
+
+// SpanRecord is one completed span.
+type SpanRecord struct {
+	// ID identifies the span; ParentID is 0 for root spans.
+	ID, ParentID int64
+	// RootID identifies the span's outermost ancestor; the Chrome trace
+	// export maps each root chain to its own track (tid).
+	RootID int64
+	Name   string
+	// Start is the offset from the tracer's epoch; Duration is the
+	// span's wall-clock length.
+	Start    time.Duration
+	Duration time.Duration
+	Attrs    []Attr
+}
+
+// DefaultMaxSpans bounds a tracer's retained spans; spans started past
+// the cap are timed but dropped on End, and counted in Dropped.
+const DefaultMaxSpans = 1 << 19
+
+// Tracer collects completed spans. It is safe for concurrent use. The
+// zero value is not usable; construct with NewTracer.
+type Tracer struct {
+	epoch    time.Time
+	nextID   atomic.Int64
+	dropped  atomic.Int64
+	maxSpans int
+
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// NewTracer returns a tracer whose span timestamps are relative to now.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now(), maxSpans: DefaultMaxSpans}
+}
+
+// StartSpan opens a root span. End it to record it.
+func (t *Tracer) StartSpan(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	id := t.nextID.Add(1)
+	return &Span{tracer: t, id: id, rootID: id, name: name, start: time.Now(), attrs: attrs}
+}
+
+// Dropped returns the number of spans discarded because the tracer was
+// at capacity.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// Spans returns a copy of the completed spans in completion order.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanRecord(nil), t.spans...)
+}
+
+func (t *Tracer) record(rec SpanRecord) {
+	t.mu.Lock()
+	if len(t.spans) >= t.maxSpans {
+		t.mu.Unlock()
+		t.dropped.Add(1)
+		return
+	}
+	t.spans = append(t.spans, rec)
+	t.mu.Unlock()
+}
+
+// Span is an in-flight operation. A nil span is a valid no-op, so code
+// can call Child/SetAttr/End unconditionally.
+type Span struct {
+	tracer *Tracer
+	id     int64
+	rootID int64
+	parent int64
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	ended bool
+}
+
+// Child opens a sub-span linked to s; it shares s's track in the Chrome
+// trace export.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{
+		tracer: s.tracer,
+		id:     s.tracer.nextID.Add(1),
+		rootID: s.rootID,
+		parent: s.id,
+		name:   name,
+		start:  time.Now(),
+		attrs:  attrs,
+	}
+}
+
+// SetAttr appends attributes to the span.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.mu.Unlock()
+}
+
+// End completes the span and records it with its wall-clock duration.
+// Ending a span twice records it once.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := time.Now()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+	s.tracer.record(SpanRecord{
+		ID:       s.id,
+		ParentID: s.parent,
+		RootID:   s.rootID,
+		Name:     s.name,
+		Start:    s.start.Sub(s.tracer.epoch),
+		Duration: end.Sub(s.start),
+		Attrs:    attrs,
+	})
+}
+
+// chromeEvent is one trace_event entry ("X" = complete event).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON object format of the trace_event spec.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace dumps the completed spans as a Chrome trace_event
+// JSON file loadable in chrome://tracing and Perfetto. Each root span
+// chain becomes its own track (tid), so concurrent operations do not
+// interleave.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
+	for _, sp := range spans {
+		args := make(map[string]any, len(sp.Attrs)+2)
+		args["span_id"] = sp.ID
+		if sp.ParentID != 0 {
+			args["parent_id"] = sp.ParentID
+		}
+		for _, a := range sp.Attrs {
+			args[a.Key] = a.Value
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: sp.Name,
+			Cat:  "ropus",
+			Ph:   "X",
+			Ts:   float64(sp.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(sp.Duration.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  sp.RootID,
+		})
+		out.TraceEvents[len(out.TraceEvents)-1].Args = args
+	}
+	if d := t.Dropped(); d > 0 {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "telemetry.spans_dropped",
+			Cat:  "ropus",
+			Ph:   "X",
+			Pid:  1,
+			Tid:  0,
+			Args: map[string]any{"dropped": d},
+		})
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("telemetry: chrome trace: %w", err)
+	}
+	return bw.Flush()
+}

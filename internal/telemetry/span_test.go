@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSpanParentChildOrdering(t *testing.T) {
+	tr := NewTracer()
+	root := tr.StartSpan("root", String("stage", "test"))
+	childA := root.Child("child-a")
+	grand := childA.Child("grandchild")
+	grand.End()
+	childA.End()
+	childB := root.Child("child-b")
+	childB.End()
+	root.SetAttr(Int("children", 2))
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	rootRec := byName["root"]
+	if rootRec.ParentID != 0 {
+		t.Fatalf("root has parent %d", rootRec.ParentID)
+	}
+	if byName["child-a"].ParentID != rootRec.ID || byName["child-b"].ParentID != rootRec.ID {
+		t.Fatal("children must link to the root span")
+	}
+	if byName["grandchild"].ParentID != byName["child-a"].ID {
+		t.Fatal("grandchild must link to child-a")
+	}
+	for name, s := range byName {
+		if s.RootID != rootRec.ID {
+			t.Fatalf("%s has RootID %d, want %d", name, s.RootID, rootRec.ID)
+		}
+	}
+	// Completion order: inner spans end first.
+	order := []string{spans[0].Name, spans[1].Name, spans[2].Name, spans[3].Name}
+	want := []string{"grandchild", "child-a", "child-b", "root"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("completion order %v, want %v", order, want)
+		}
+	}
+	// Child intervals nest within the parent's.
+	if byName["grandchild"].Start < byName["child-a"].Start {
+		t.Fatal("grandchild started before its parent")
+	}
+	childEnd := byName["child-a"].Start + byName["child-a"].Duration
+	grandEnd := byName["grandchild"].Start + byName["grandchild"].Duration
+	if grandEnd > childEnd {
+		t.Fatal("grandchild ended after its parent")
+	}
+}
+
+func TestSpanDoubleEndRecordsOnce(t *testing.T) {
+	tr := NewTracer()
+	s := tr.StartSpan("once")
+	s.End()
+	s.End()
+	if got := len(tr.Spans()); got != 1 {
+		t.Fatalf("got %d spans, want 1", got)
+	}
+}
+
+func TestTracerDropsAtCapacity(t *testing.T) {
+	tr := NewTracer()
+	tr.maxSpans = 2
+	for i := 0; i < 5; i++ {
+		tr.StartSpan("s").End()
+	}
+	if got := len(tr.Spans()); got != 2 {
+		t.Fatalf("retained %d spans, want 2", got)
+	}
+	if got := tr.Dropped(); got != 3 {
+		t.Fatalf("dropped = %d, want 3", got)
+	}
+}
+
+func TestWriteChromeTraceIsValidJSON(t *testing.T) {
+	tr := NewTracer()
+	root := tr.StartSpan("consolidate", Int("apps", 26))
+	root.Child("generation", Int("gen", 0)).End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int64          `json:"pid"`
+			Tid  int64          `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %q has phase %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Ts < 0 || ev.Dur < 0 {
+			t.Fatalf("event %q has negative timing", ev.Name)
+		}
+		if ev.Tid == 0 {
+			t.Fatalf("event %q has no track", ev.Name)
+		}
+	}
+	if !strings.Contains(buf.String(), `"parent_id"`) {
+		t.Fatal("child event must carry its parent_id in args")
+	}
+	if !strings.Contains(buf.String(), `"apps":26`) {
+		t.Fatal("root attrs must appear in args")
+	}
+}

@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(41)
+	c.Add(-5) // ignored: counters only go up
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("second lookup returned a different handle")
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g")
+	g.Set(1.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 1.0 {
+		t.Fatalf("gauge = %v, want 1.0", got)
+	}
+}
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var s *Span
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	s.SetAttr(Int("k", 1))
+	s.End()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	if child := s.Child("x"); child != nil {
+		t.Fatal("nil span must produce a nil child")
+	}
+
+	// The whole Nop/OrNop path must be inert too.
+	np := OrNop(nil)
+	np.Counter("x").Inc()
+	np.Gauge("x").Set(1)
+	np.Histogram("x", nil).Observe(1)
+	sp := np.StartSpan("x")
+	sp.Child("y").End()
+	sp.End()
+
+	// And a nil registry / tracer inside live hooks.
+	mixed := New(nil, nil)
+	mixed.Counter("x").Inc()
+	mixed.StartSpan("x").End()
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 2, 4})
+
+	cases := []struct {
+		v    float64
+		want int // bucket index expected to receive the observation
+	}{
+		{0.5, 0},
+		{1, 0}, // boundary values land in the bucket they bound (le semantics)
+		{math.Nextafter(1, 2), 1},
+		{2, 1},
+		{3, 2},
+		{4, 2},
+		{4.0001, 3}, // above every bound: overflow bucket
+		{math.Inf(1), 3},
+	}
+	for _, tc := range cases {
+		before := make([]int64, len(h.counts))
+		for i := range h.counts {
+			before[i] = h.counts[i].Load()
+		}
+		h.Observe(tc.v)
+		for i := range h.counts {
+			delta := h.counts[i].Load() - before[i]
+			if i == tc.want && delta != 1 {
+				t.Errorf("Observe(%v): bucket %d got %d increments, want 1", tc.v, i, delta)
+			}
+			if i != tc.want && delta != 0 {
+				t.Errorf("Observe(%v): bucket %d unexpectedly incremented", tc.v, i)
+			}
+		}
+	}
+	if got := h.Count(); got != int64(len(cases)) {
+		t.Fatalf("Count = %d, want %d", got, len(cases))
+	}
+	h.Observe(math.NaN()) // ignored
+	if got := h.Count(); got != int64(len(cases)) {
+		t.Fatalf("NaN observation must be ignored; Count = %d", got)
+	}
+}
+
+func TestHistogramUnsortedBoundsAreSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", []float64{4, 1, 2}).Observe(1.5)
+	hs := r.Snapshot().Histograms["h"]
+	if want := []float64{1, 2, 4}; len(hs.Bounds) != 3 ||
+		hs.Bounds[0] != want[0] || hs.Bounds[1] != want[1] || hs.Bounds[2] != want[2] {
+		t.Fatalf("bounds = %v, want %v", hs.Bounds, want)
+	}
+	if hs.Counts[1] != 1 {
+		t.Fatalf("1.5 should land in the (1,2] bucket, counts = %v", hs.Counts)
+	}
+}
+
+// TestConcurrentIncrements hammers every handle type from many
+// goroutines; run with -race to verify the hot paths are atomic.
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer()
+	h := New(r, tr)
+
+	const goroutines = 16
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := h.Counter("stress_total")
+			ga := h.Gauge("stress_gauge")
+			hi := h.Histogram("stress_hist", []float64{0.25, 0.5, 0.75})
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				ga.Add(1)
+				hi.Observe(float64(i%100) / 100)
+				if i%500 == 0 {
+					sp := h.StartSpan("stress_span", Int("i", i))
+					sp.Child("child").End()
+					sp.End()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	want := int64(goroutines * perG)
+	if got := r.Counter("stress_total").Value(); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+	if got := r.Gauge("stress_gauge").Value(); got != float64(want) {
+		t.Fatalf("gauge = %v, want %v", got, float64(want))
+	}
+	if got := r.Histogram("stress_hist", nil).Count(); got != want {
+		t.Fatalf("histogram count = %d, want %d", got, want)
+	}
+	sum := int64(0)
+	snap := r.Snapshot()
+	for _, c := range snap.Histograms["stress_hist"].Counts {
+		sum += c
+	}
+	if sum != want {
+		t.Fatalf("bucket counts sum to %d, want %d", sum, want)
+	}
+	if got := int64(len(tr.Spans())); got != goroutines*(perG/500)*2 {
+		t.Fatalf("spans = %d, want %d", got, goroutines*(perG/500)*2)
+	}
+}

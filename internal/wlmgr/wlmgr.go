@@ -21,6 +21,7 @@ import (
 	"ropus/internal/portfolio"
 	"ropus/internal/qos"
 	"ropus/internal/stats"
+	"ropus/internal/telemetry"
 	"ropus/internal/trace"
 )
 
@@ -74,6 +75,13 @@ type RunResult struct {
 // current interval), 1 models a manager that sizes allocations from the
 // previous interval's demand, and so on.
 func Run(capacity float64, containers []Container, lag int) (*RunResult, error) {
+	return RunWithHooks(capacity, containers, lag, nil)
+}
+
+// RunWithHooks is Run with telemetry: per-replay slot, CoS1-overload,
+// allocation-shortfall and degraded-slot counters, plus a replay span.
+// A nil Hooks disables all of it.
+func RunWithHooks(capacity float64, containers []Container, lag int, hooks telemetry.Hooks) (*RunResult, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("wlmgr: capacity %v <= 0", capacity)
 	}
@@ -94,6 +102,22 @@ func Run(capacity float64, containers []Container, lag int) (*RunResult, error) 
 			return nil, fmt.Errorf("wlmgr: app %q has %d slots, want %d", c.Demand.AppID, c.Demand.Len(), n)
 		}
 	}
+
+	h := telemetry.OrNop(hooks)
+	span := h.StartSpan("wlmgr.replay",
+		telemetry.Float("capacity", capacity),
+		telemetry.Int("containers", len(containers)),
+		telemetry.Int("lag", lag),
+		telemetry.Int("slots", n))
+	defer span.End()
+	var (
+		slotsC        = h.Counter("wlmgr_slots_total")
+		overloadC     = h.Counter("wlmgr_cos1_overload_slots_total")
+		shortfallC    = h.Counter("wlmgr_shortfall_slots_total")
+		degradedC     = h.Counter("wlmgr_degraded_container_slots_total")
+		shortfallHist = h.Histogram("wlmgr_slot_shortfall_cpus", telemetry.ExponentialBuckets(0.0625, 2, 12))
+	)
+	h.Counter("wlmgr_replays_total").Inc()
 
 	res := &RunResult{Containers: make([]ContainerStats, len(containers))}
 	for i, c := range containers {
@@ -132,6 +156,7 @@ func Run(capacity float64, containers []Container, lag int) (*RunResult, error) 
 		if sum1 > capacity {
 			scale1 = capacity / sum1
 			res.CoS1Overload++
+			overloadC.Inc()
 		}
 		remaining := capacity - sum1*scale1
 		scale2 := 1.0
@@ -141,6 +166,11 @@ func Run(capacity float64, containers []Container, lag int) (*RunResult, error) 
 			} else {
 				scale2 = 0
 			}
+		}
+		slotsC.Inc()
+		if shortfall := sum1*(1-scale1) + sum2*(1-scale2); shortfall > 1e-9 {
+			shortfallC.Inc()
+			shortfallHist.Observe(shortfall)
 		}
 
 		for i, c := range containers {
@@ -152,8 +182,14 @@ func Run(capacity float64, containers []Container, lag int) (*RunResult, error) 
 			} else if d > 0 {
 				res.Containers[i].Utilization[t] = 1 // starved: fully saturated
 			}
+			// A container-slot is degraded when the manager granted less
+			// than the demand (utilization of allocation above 1).
+			if d > got*(1+1e-9) {
+				degradedC.Inc()
+			}
 		}
 	}
+	span.SetAttr(telemetry.Int("cos1_overloads", res.CoS1Overload))
 	return res, nil
 }
 

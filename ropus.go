@@ -49,6 +49,7 @@ import (
 	"ropus/internal/report"
 	"ropus/internal/sim"
 	"ropus/internal/stress"
+	"ropus/internal/telemetry"
 	"ropus/internal/trace"
 	"ropus/internal/wlmgr"
 	"ropus/internal/workload"
@@ -222,6 +223,40 @@ type (
 	Compliance = wlmgr.Compliance
 )
 
+// Telemetry: zero-dependency metrics, span tracing and progress hooks.
+// Long-running components accept a Hooks (nil = no-op) via Config.Hooks,
+// PlacementProblem.Hooks, PlannerConfig.Hooks and the *WithHooks entry
+// points; see docs/OBSERVABILITY.md for the metric and span taxonomy.
+type (
+	// Hooks hands out metric and span handles to instrumented code.
+	Hooks = telemetry.Hooks
+	// MetricsRegistry is a concurrency-safe registry of counters,
+	// gauges and histograms.
+	MetricsRegistry = telemetry.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry.
+	MetricsSnapshot = telemetry.Snapshot
+	// Tracer records spans for Chrome trace_event export.
+	Tracer = telemetry.Tracer
+	// SpanAttr is a key-value span attribute.
+	SpanAttr = telemetry.Attr
+)
+
+// NopHooks is the no-op Hooks implementation instrumented code falls
+// back to; every handle it returns is free to use.
+var NopHooks = telemetry.Nop
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// NewTracer builds an empty span tracer.
+func NewTracer() *Tracer { return telemetry.NewTracer() }
+
+// NewHooks couples a registry and a tracer into a Hooks; either may be
+// nil to disable that half.
+func NewHooks(reg *MetricsRegistry, tracer *Tracer) Hooks {
+	return telemetry.New(reg, tracer)
+}
+
 // NewFramework builds the composite framework from a configuration.
 func NewFramework(cfg Config) (*Framework, error) { return core.New(cfg) }
 
@@ -376,6 +411,16 @@ func DeriveUtilizationRange(app StressApplication, targets StressTargets) (Utili
 // simulator at the given capacity and allocation lag.
 func RunWorkloadManager(capacity float64, containers []Container, lag int) (*wlmgr.RunResult, error) {
 	return wlmgr.Run(capacity, containers, lag)
+}
+
+// RunWorkloadManagerWithHooks is RunWorkloadManager with telemetry.
+func RunWorkloadManagerWithHooks(capacity float64, containers []Container, lag int, h Hooks) (*wlmgr.RunResult, error) {
+	return wlmgr.RunWithHooks(capacity, containers, lag, h)
+}
+
+// TranslateWithHooks is Translate with telemetry.
+func TranslateWithHooks(tr *Trace, q AppQoS, theta float64, h Hooks) (*Partition, error) {
+	return portfolio.TranslateWithHooks(tr, q, theta, h)
 }
 
 // CheckCompliance evaluates achieved utilizations of allocation against
