@@ -11,6 +11,7 @@ package ropus
 // the headline quantity (e.g. servers used) alongside the timing.
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -113,7 +114,7 @@ func BenchmarkTable1Consolidation(b *testing.B) {
 	b.ResetTimer()
 	servers := 0
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table1(set, cfg)
+		rows, err := experiments.Table1(context.Background(), set, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -130,7 +131,7 @@ func BenchmarkFailoverAnalysis(b *testing.B) {
 	cfg := experiments.Table1Config{GASeed: 42, Quick: true}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Failover(set, cfg)
+		res, err := experiments.Failover(context.Background(), set, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -173,6 +174,40 @@ func table1Problem(b *testing.B) *placement.Problem {
 	}
 }
 
+// BenchmarkConsolidateCtxCheck measures the cost of the per-generation
+// cancellation checks in the GA hot loop: the same search run against
+// context.Background() (Err is a nil-method call) and against a live
+// cancellable context (Err loads shared state). The two must stay
+// within noise of each other and of the pre-cancellation baseline in
+// BENCH_telemetry_baseline.json.
+func BenchmarkConsolidateCtxCheck(b *testing.B) {
+	problem := table1Problem(b)
+	run := func(b *testing.B, ctx context.Context) {
+		cfg := placement.DefaultGAConfig(42)
+		cfg.MaxGenerations = 60
+		cfg.Stagnation = 15
+		servers := 0
+		for i := 0; i < b.N; i++ {
+			initial, err := placement.OneAppPerServer(problem)
+			if err != nil {
+				b.Fatal(err)
+			}
+			plan, err := placement.Consolidate(ctx, problem, initial, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			servers = plan.ServersUsed
+		}
+		b.ReportMetric(float64(servers), "servers")
+	}
+	b.Run("background", func(b *testing.B) { run(b, context.Background()) })
+	b.Run("cancellable", func(b *testing.B) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		run(b, ctx)
+	})
+}
+
 // BenchmarkAblationPlacementSearch compares the genetic search (cold and
 // greedy-seeded) against the greedy baselines on the case-1 problem.
 // The servers-used metric is the quantity the paper's comparison is
@@ -191,7 +226,7 @@ func BenchmarkAblationPlacementSearch(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			plan, err := placement.Consolidate(problem, initial, cfg)
+			plan, err := placement.Consolidate(context.Background(), problem, initial, cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -205,7 +240,7 @@ func BenchmarkAblationPlacementSearch(b *testing.B) {
 	b.Run("first-fit-decreasing", func(b *testing.B) {
 		servers := 0
 		for i := 0; i < b.N; i++ {
-			plan, err := placement.FirstFitDecreasing(problem)
+			plan, err := placement.FirstFitDecreasing(context.Background(), problem)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -216,7 +251,7 @@ func BenchmarkAblationPlacementSearch(b *testing.B) {
 	b.Run("best-fit-decreasing", func(b *testing.B) {
 		servers := 0
 		for i := 0; i < b.N; i++ {
-			plan, err := placement.BestFitDecreasing(problem)
+			plan, err := placement.BestFitDecreasing(context.Background(), problem)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -227,7 +262,7 @@ func BenchmarkAblationPlacementSearch(b *testing.B) {
 	b.Run("least-correlated-fit", func(b *testing.B) {
 		servers := 0
 		for i := 0; i < b.N; i++ {
-			plan, err := placement.LeastCorrelatedFit(problem)
+			plan, err := placement.LeastCorrelatedFit(context.Background(), problem)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -253,7 +288,7 @@ func BenchmarkAblationExactVsHeuristics(b *testing.B) {
 	b.Run("exact", func(b *testing.B) {
 		servers := 0
 		for i := 0; i < b.N; i++ {
-			plan, err := placement.Exact(small, 2_000_000)
+			plan, err := placement.Exact(context.Background(), small, 2_000_000)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -271,7 +306,7 @@ func BenchmarkAblationExactVsHeuristics(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			plan, err := placement.Consolidate(small, initial, cfg)
+			plan, err := placement.Consolidate(context.Background(), small, initial, cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -282,7 +317,7 @@ func BenchmarkAblationExactVsHeuristics(b *testing.B) {
 	b.Run("ffd", func(b *testing.B) {
 		servers := 0
 		for i := 0; i < b.N; i++ {
-			plan, err := placement.FirstFitDecreasing(small)
+			plan, err := placement.FirstFitDecreasing(context.Background(), small)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -310,7 +345,7 @@ func BenchmarkAblationScoreModel(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				plan, err := placement.Consolidate(problem, initial, cfg)
+				plan, err := placement.Consolidate(context.Background(), problem, initial, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -356,7 +391,7 @@ func BenchmarkAblationBisectionTolerance(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, _, err := agg.RequiredCapacity(cfg, 16, tol); err != nil {
+				if _, _, _, err := agg.RequiredCapacity(context.Background(), cfg, 16, tol); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -432,7 +467,7 @@ func BenchmarkWorkloadManagerReplay(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := wlmgr.Run(16, containers, 1); err != nil {
+		if _, err := wlmgr.Run(context.Background(), 16, containers, 1); err != nil {
 			b.Fatal(err)
 		}
 	}

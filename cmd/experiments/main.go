@@ -9,13 +9,16 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"ropus/internal/experiments"
@@ -24,19 +27,29 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "experiment to run: all, fig3, fig6, fig7, fig8, table1, failover, mix")
-		out   = flag.String("out", "results", "output directory for CSV files")
-		seed  = flag.Int64("seed", 2006, "workload generator seed")
-		quick = flag.Bool("quick", false, "reduced search budget for smoke runs")
+		run     = flag.String("run", "all", "experiment to run: all, fig3, fig6, fig7, fig8, table1, failover, mix")
+		out     = flag.String("out", "results", "output directory for CSV files")
+		seed    = flag.Int64("seed", 2006, "workload generator seed")
+		quick   = flag.Bool("quick", false, "reduced search budget for smoke runs")
+		timeout = flag.Duration("timeout", 0, "cancel the run after this duration (0 = unlimited); telemetry files are still flushed")
 	)
 	flag.Parse()
-	if err := realMain(*run, *out, *seed, *quick); err != nil {
+	// SIGINT/SIGTERM and -timeout cancel the compute-heavy experiments;
+	// the deferred telemetry flush still writes the sidecar files.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := realMain(ctx, *run, *out, *seed, *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(run, out string, seed int64, quick bool) error {
+func realMain(ctx context.Context, run, out string, seed int64, quick bool) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
@@ -85,24 +98,27 @@ func realMain(run, out string, seed int64, quick bool) error {
 	}
 	if want("table1") {
 		ran = true
-		if err := runTable1(out, set, cfg); err != nil {
+		if err := runTable1(ctx, out, set, cfg); err != nil {
 			return err
 		}
 	}
 	if want("failover") {
 		ran = true
-		if err := runFailover(set, cfg); err != nil {
+		if err := runFailover(ctx, set, cfg); err != nil {
 			return err
 		}
 	}
 	if want("mix") {
 		ran = true
-		if err := runMix(out, seed, quick, hooks); err != nil {
+		if err := runMix(ctx, out, seed, quick, hooks); err != nil {
 			return err
 		}
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", run)
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("run cancelled: %w", context.Cause(ctx))
 	}
 	return nil
 }
@@ -248,9 +264,9 @@ func runSweep(out string, set experiments.TraceSet, name string, fn sweepFn, lab
 	return nil
 }
 
-func runTable1(out string, set experiments.TraceSet, cfg experiments.Table1Config) error {
+func runTable1(ctx context.Context, out string, set experiments.TraceSet, cfg experiments.Table1Config) error {
 	start := time.Now()
-	rows, err := experiments.Table1(set, cfg)
+	rows, err := experiments.Table1(ctx, set, cfg)
 	if err != nil {
 		return err
 	}
@@ -285,8 +301,8 @@ func runTable1(out string, set experiments.TraceSet, cfg experiments.Table1Confi
 	return nil
 }
 
-func runFailover(set experiments.TraceSet, cfg experiments.Table1Config) error {
-	res, err := experiments.Failover(set, cfg)
+func runFailover(ctx context.Context, set experiments.TraceSet, cfg experiments.Table1Config) error {
+	res, err := experiments.Failover(ctx, set, cfg)
 	if err != nil {
 		return err
 	}
@@ -309,8 +325,8 @@ func runFailover(set experiments.TraceSet, cfg experiments.Table1Config) error {
 	return nil
 }
 
-func runMix(out string, seed int64, quick bool, hooks telemetry.Hooks) error {
-	rows, err := experiments.Mix(experiments.MixConfig{Seed: seed, Quick: quick, Hooks: hooks})
+func runMix(ctx context.Context, out string, seed int64, quick bool, hooks telemetry.Hooks) error {
+	rows, err := experiments.Mix(ctx, experiments.MixConfig{Seed: seed, Quick: quick, Hooks: hooks})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCancelRopusTimeoutFlushesTelemetry(t *testing.T) {
+	traces := writeFleet(t)
+	metrics := filepath.Join(t.TempDir(), "metrics.json")
+	err := run([]string{"place", "-traces", traces, "-timeout", "1ns", "-metrics-out", metrics})
+	if err == nil {
+		t.Fatal("a timed-out run must exit non-zero")
+	}
+	if !strings.Contains(err.Error(), "cancel") && !strings.Contains(err.Error(), "deadline") {
+		t.Errorf("error should name the cancellation, got %v", err)
+	}
+	// The telemetry sidecar must still be flushed, and be valid JSON.
+	data, rerr := os.ReadFile(metrics)
+	if rerr != nil {
+		t.Fatalf("metrics sidecar not flushed: %v", rerr)
+	}
+	var snapshot map[string]any
+	if jerr := json.Unmarshal(data, &snapshot); jerr != nil {
+		t.Fatalf("metrics sidecar is not valid JSON: %v", jerr)
+	}
+}
+
+func TestCancelRopusTimeoutGenerousSucceeds(t *testing.T) {
+	traces := writeFleet(t)
+	if err := run([]string{"translate", "-traces", traces, "-timeout", "10m"}); err != nil {
+		t.Fatalf("a generous -timeout must not break a normal run: %v", err)
+	}
+}

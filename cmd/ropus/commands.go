@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,11 +22,19 @@ import (
 
 // withTelemetry runs body with the hooks built from the parsed
 // telemetry flags and flushes the requested output files afterwards,
-// also on the error path, so aborted runs still leave evidence behind.
-func withTelemetry(o *telemetryOpts, body func(h telemetry.Hooks) error) error {
-	err := body(o.hooks())
+// also on the error and cancellation paths, so aborted runs still
+// leave evidence behind. The -timeout flag bounds body's context, and
+// a run that was cancelled (by timeout or signal) exits non-zero even
+// when the pipeline degraded gracefully to a partial result.
+func withTelemetry(ctx context.Context, o *telemetryOpts, body func(ctx context.Context, h telemetry.Hooks) error) error {
+	ctx, cancel := o.runContext(ctx)
+	defer cancel()
+	err := body(ctx, o.hooks())
 	if ferr := o.flush(); err == nil {
 		err = ferr
+	}
+	if err == nil && ctx.Err() != nil {
+		err = fmt.Errorf("run cancelled: %w", context.Cause(ctx))
 	}
 	return err
 }
@@ -114,7 +123,7 @@ func cmdGen(args []string) error {
 	return nil
 }
 
-func cmdTranslate(args []string) error {
+func cmdTranslate(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("translate", flag.ContinueOnError)
 	buildQoS := qosFlags(fs)
 	topts := telemetryFlags(fs)
@@ -133,10 +142,13 @@ func cmdTranslate(args []string) error {
 		return err
 	}
 	q := buildQoS()
-	return withTelemetry(topts, func(h telemetry.Hooks) error {
+	return withTelemetry(ctx, topts, func(ctx context.Context, h telemetry.Hooks) error {
 		fmt.Printf("%-8s %10s %10s %10s %10s %12s %10s\n",
 			"app", "p", "Dmax", "DnewMax", "maxAlloc", "reduction%", "degraded%")
 		for _, tr := range set {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("translate: %w", err)
+			}
 			part, err := portfolio.TranslateWithHooks(tr, q, *theta, h)
 			if err != nil {
 				return err
@@ -180,7 +192,7 @@ func printPlan(plan *placement.Plan, servers []placement.Server) {
 	}
 }
 
-func cmdPlace(args []string) error {
+func cmdPlace(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("place", flag.ContinueOnError)
 	buildQoS := qosFlags(fs)
 	buildFramework := frameworkFlags(fs)
@@ -197,18 +209,18 @@ func cmdPlace(args []string) error {
 	if err != nil {
 		return err
 	}
-	return withTelemetry(topts, func(h telemetry.Hooks) error {
+	return withTelemetry(ctx, topts, func(ctx context.Context, h telemetry.Hooks) error {
 		f, err := buildFramework(h)
 		if err != nil {
 			return err
 		}
 		q := buildQoS()
 		reqs := core.Requirements{Default: qos.Requirement{Normal: q, Failure: q}}
-		tr, err := f.Translate(set, reqs)
+		tr, err := f.Translate(ctx, set, reqs)
 		if err != nil {
 			return err
 		}
-		cons, err := f.Consolidate(tr)
+		cons, err := f.Consolidate(ctx, tr)
 		if err != nil {
 			return err
 		}
@@ -258,7 +270,7 @@ func printDiagnostics(cons *core.Consolidation) error {
 	return nil
 }
 
-func cmdFailover(args []string) error {
+func cmdFailover(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("failover", flag.ContinueOnError)
 	buildQoS := qosFlags(fs)
 	buildFramework := frameworkFlags(fs)
@@ -279,7 +291,7 @@ func cmdFailover(args []string) error {
 	if err != nil {
 		return err
 	}
-	return withTelemetry(topts, func(h telemetry.Hooks) error {
+	return withTelemetry(ctx, topts, func(ctx context.Context, h telemetry.Hooks) error {
 		f, err := buildFramework(h)
 		if err != nil {
 			return err
@@ -289,7 +301,7 @@ func cmdFailover(args []string) error {
 		failQoS.MPercent = *failM
 		failQoS.TDegr = *failTDeg
 		reqs := core.Requirements{Default: qos.Requirement{Normal: normal, Failure: failQoS}}
-		result, err := f.Run(set, reqs)
+		result, err := f.Run(ctx, set, reqs)
 		if err != nil {
 			return err
 		}
@@ -300,7 +312,7 @@ func cmdFailover(args []string) error {
 	})
 }
 
-func cmdSimulate(args []string) error {
+func cmdSimulate(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
 	buildQoS := qosFlags(fs)
 	topts := telemetryFlags(fs)
@@ -320,17 +332,20 @@ func cmdSimulate(args []string) error {
 	if err != nil {
 		return err
 	}
-	return withTelemetry(topts, func(h telemetry.Hooks) error {
+	return withTelemetry(ctx, topts, func(ctx context.Context, h telemetry.Hooks) error {
 		q := buildQoS()
 		containers := make([]wlmgr.Container, len(set))
 		for i, tr := range set {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("simulate: %w", err)
+			}
 			part, err := portfolio.TranslateWithHooks(tr, q, *theta, h)
 			if err != nil {
 				return err
 			}
 			containers[i] = wlmgr.Container{Demand: tr, Partition: part}
 		}
-		res, err := wlmgr.RunWithHooks(*capacity, containers, *lag, h)
+		res, err := wlmgr.RunWithHooks(ctx, *capacity, containers, *lag, h)
 		if err != nil {
 			return err
 		}
@@ -351,7 +366,7 @@ func cmdSimulate(args []string) error {
 	})
 }
 
-func cmdPlan(args []string) error {
+func cmdPlan(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("plan", flag.ContinueOnError)
 	buildQoS := qosFlags(fs)
 	buildFramework := frameworkFlags(fs)
@@ -372,7 +387,7 @@ func cmdPlan(args []string) error {
 	if err != nil {
 		return err
 	}
-	return withTelemetry(topts, func(h telemetry.Hooks) error {
+	return withTelemetry(ctx, topts, func(ctx context.Context, h telemetry.Hooks) error {
 		f, err := buildFramework(h)
 		if err != nil {
 			return err
@@ -386,7 +401,7 @@ func cmdPlan(args []string) error {
 			PoolServers:  *pool,
 			Hooks:        h,
 		}
-		plan, err := planner.Run(cfg, set)
+		plan, err := planner.Run(ctx, cfg, set)
 		if err != nil {
 			return err
 		}
@@ -399,6 +414,10 @@ func cmdPlan(args []string) error {
 				continue
 			}
 			fmt.Printf("%8d %10d %12.0f %12.0f\n", step.WeeksAhead, step.Servers, step.CRequ, step.CPeak)
+		}
+		if plan.Truncated {
+			fmt.Printf("plan truncated by cancellation: %d of %d horizon steps evaluated\n",
+				len(plan.Steps), *horizon / *step)
 		}
 		if plan.ExhaustedAtWeeks > 0 {
 			fmt.Printf("pool of %d servers exhausted %d weeks out\n", *pool, plan.ExhaustedAtWeeks)

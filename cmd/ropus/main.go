@@ -14,8 +14,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 )
 
 func main() {
@@ -30,19 +33,24 @@ func run(args []string) error {
 		usage()
 		return fmt.Errorf("missing subcommand")
 	}
+	// SIGINT/SIGTERM cancel the pipeline; the compute subcommands
+	// degrade to best-so-far partial results and still flush their
+	// -metrics-out/-trace-out sidecars before exiting non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	switch args[0] {
 	case "gen":
 		return cmdGen(args[1:])
 	case "translate":
-		return cmdTranslate(args[1:])
+		return cmdTranslate(ctx, args[1:])
 	case "place":
-		return cmdPlace(args[1:])
+		return cmdPlace(ctx, args[1:])
 	case "failover":
-		return cmdFailover(args[1:])
+		return cmdFailover(ctx, args[1:])
 	case "simulate":
-		return cmdSimulate(args[1:])
+		return cmdSimulate(ctx, args[1:])
 	case "plan":
-		return cmdPlan(args[1:])
+		return cmdPlan(ctx, args[1:])
 	case "-h", "--help", "help":
 		usage()
 		return nil

@@ -1,25 +1,30 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	_ "net/http/pprof" // registered on the default mux for -pprof
 	"os"
+	"time"
 
 	"ropus/internal/telemetry"
 )
 
-// telemetryOpts holds the observability flags shared by all compute
-// subcommands: -metrics-out writes a metrics-registry JSON snapshot,
-// -trace-out writes a Chrome trace_event file loadable in Perfetto or
-// chrome://tracing, and -pprof serves net/http/pprof on the given
-// address for the lifetime of the command.
+// telemetryOpts holds the observability and robustness flags shared by
+// all compute subcommands: -metrics-out writes a metrics-registry JSON
+// snapshot, -trace-out writes a Chrome trace_event file loadable in
+// Perfetto or chrome://tracing, -pprof serves net/http/pprof on the
+// given address for the lifetime of the command, and -timeout bounds
+// the run's wall-clock time (the pipeline degrades to partial results
+// and the telemetry files are still flushed).
 type telemetryOpts struct {
 	metricsOut *string
 	traceOut   *string
 	pprofAddr  *string
+	timeout    *time.Duration
 
 	reg    *telemetry.Registry
 	tracer *telemetry.Tracer
@@ -31,7 +36,17 @@ func telemetryFlags(fs *flag.FlagSet) *telemetryOpts {
 	o.metricsOut = fs.String("metrics-out", "", "write a metrics JSON snapshot to this file")
 	o.traceOut = fs.String("trace-out", "", "write a Chrome trace_event JSON file to this file")
 	o.pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	o.timeout = fs.Duration("timeout", 0, "cancel the run after this duration (0 = unlimited); telemetry files are still flushed")
 	return o
+}
+
+// runContext derives the subcommand's context from the signal-aware
+// parent, applying the -timeout flag when set.
+func (o *telemetryOpts) runContext(parent context.Context) (context.Context, context.CancelFunc) {
+	if *o.timeout > 0 {
+		return context.WithTimeout(parent, *o.timeout)
+	}
+	return context.WithCancel(parent)
 }
 
 // hooks builds the telemetry sinks requested by the parsed flags and

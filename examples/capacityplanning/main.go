@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -51,7 +52,7 @@ func main() {
 		PoolServers: 4,
 	}
 
-	plan, err := ropus.PlanCapacity(cfg, traces)
+	plan, err := ropus.PlanCapacity(context.Background(), cfg, traces)
 	if err != nil {
 		log.Fatal(err)
 	}

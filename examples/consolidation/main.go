@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -43,11 +44,11 @@ func main() {
 			log.Fatal(err)
 		}
 		reqs := ropus.Requirements{Default: ropus.Requirement{Normal: scenario.q, Failure: scenario.q}}
-		translation, err := f.Translate(traces, reqs)
+		translation, err := f.Translate(context.Background(), traces, reqs)
 		if err != nil {
 			log.Fatal(err)
 		}
-		cons, err := f.Consolidate(translation)
+		cons, err := f.Consolidate(context.Background(), translation)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -40,7 +41,7 @@ func main() {
 		Failure: ropus.AppQoS{ULow: 0.5, UHigh: 0.66, UDegr: 0.9, MPercent: 97, TDegr: 30 * time.Minute},
 	}}
 
-	report, err := f.Run(traces, reqs)
+	report, err := f.Run(context.Background(), traces, reqs)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func main() {
 
 	// The paper notes the scenario extends to multiple node failures:
 	// check every pair of concurrent failures too.
-	multi, err := f.PlanForMultiFailures(report.Translation, report.Consolidation, 2)
+	multi, err := f.PlanForMultiFailures(context.Background(), report.Translation, report.Consolidation, 2)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -108,7 +109,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	plan, err := ropus.ConsolidatePlacement(problem, initial, ropus.DefaultGAConfig(4))
+	plan, err := ropus.ConsolidatePlacement(context.Background(), problem, initial, ropus.DefaultGAConfig(4))
 	if err != nil {
 		log.Fatal(err)
 	}

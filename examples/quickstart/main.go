@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -48,7 +49,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	report, err := f.Run(traces, ropus.Requirements{
+	report, err := f.Run(context.Background(), traces, ropus.Requirements{
 		Default: ropus.Requirement{Normal: normal, Failure: failureMode},
 	})
 	if err != nil {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -35,7 +36,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	plan, err := ropus.ConsolidatePlacement(problem, initial, ropus.DefaultGAConfig(1))
+	plan, err := ropus.ConsolidatePlacement(context.Background(), problem, initial, ropus.DefaultGAConfig(1))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func main() {
 		MaxMoves:     2,
 		MinScoreGain: 0.5,
 	}
-	proposal, err := ropus.Rebalance(fresh, plan.Assignment, cfg)
+	proposal, err := ropus.Rebalance(context.Background(), fresh, plan.Assignment, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -57,7 +58,7 @@ func main() {
 	// with ample capacity (clairvoyant allocation), then with a
 	// one-slot allocation lag like a real manager.
 	for _, lag := range []int{0, 1} {
-		res, err := ropus.RunWorkloadManager(part.MaxAllocation()+1, []ropus.Container{
+		res, err := ropus.RunWorkloadManager(context.Background(), part.MaxAllocation()+1, []ropus.Container{
 			{Demand: demand, Partition: part},
 		}, lag)
 		if err != nil {

@@ -6,6 +6,7 @@ package ropus
 // public surface only.
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -43,17 +44,17 @@ func facadeProblem(sizes []float64, cpus int) *PlacementProblem {
 func TestFacadePlacementAlgorithms(t *testing.T) {
 	p := facadeProblem([]float64{6, 6, 4, 4, 3, 3, 2}, 10)
 
-	exact, err := ExactPlacement(p, 500000)
+	exact, err := ExactPlacement(context.Background(), p, 500000)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if exact.ServersUsed != 3 {
 		t.Errorf("exact = %d servers, want 3", exact.ServersUsed)
 	}
-	for _, fn := range []func(*PlacementProblem) (*Plan, error){
+	for _, fn := range []func(context.Context, *PlacementProblem) (*Plan, error){
 		FirstFitDecreasing, BestFitDecreasing, LeastCorrelatedFit,
 	} {
-		plan, err := fn(p)
+		plan, err := fn(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,7 +70,7 @@ func TestFacadePlacementAlgorithms(t *testing.T) {
 	}
 	cfg := DefaultGAConfig(7)
 	cfg.MaxGenerations = 80
-	ga, err := ConsolidatePlacement(p, initial, cfg)
+	ga, err := ConsolidatePlacement(context.Background(), p, initial, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestFacadeRebalance(t *testing.T) {
 	if !audit.Feasible {
 		t.Fatal("spread assignment should be feasible")
 	}
-	prop, err := Rebalance(p, Assignment{0, 1}, cfg)
+	prop, err := Rebalance(context.Background(), p, Assignment{0, 1}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestFacadeCapacityPlanning(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := AppQoS{ULow: 0.5, UHigh: 0.66, UDegr: 0.9, MPercent: 97}
-	plan, err := PlanCapacity(PlannerConfig{
+	plan, err := PlanCapacity(context.Background(), PlannerConfig{
 		Framework:    f,
 		Requirements: Requirements{Default: Requirement{Normal: q, Failure: q}},
 		HorizonWeeks: 2,

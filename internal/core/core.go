@@ -9,13 +9,16 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"ropus/internal/failure"
+	"ropus/internal/faultinject"
 	"ropus/internal/placement"
 	"ropus/internal/portfolio"
 	"ropus/internal/qos"
+	"ropus/internal/robust"
 	"ropus/internal/sim"
 	"ropus/internal/telemetry"
 	"ropus/internal/trace"
@@ -67,6 +70,10 @@ type Config struct {
 	// metrics); nil disables it. It is propagated to every stage:
 	// translation, consolidation and failure planning.
 	Hooks telemetry.Hooks
+	// Inject is the test-only fault injector propagated to the placement
+	// problems and failure sweeps the framework builds; nil (the
+	// production default) injects nothing.
+	Inject faultinject.Injector
 }
 
 // Validate checks the configuration.
@@ -117,8 +124,10 @@ func (t *Translation) CPeakTotal() float64 {
 	return sum
 }
 
-// Translate runs the QoS translation for every application.
-func (f *Framework) Translate(traces trace.Set, reqs Requirements) (*Translation, error) {
+// Translate runs the QoS translation for every application. Cancelling
+// ctx aborts between per-application translations with a wrapped ctx
+// error (translations are fast; there is no partial result).
+func (f *Framework) Translate(ctx context.Context, traces trace.Set, reqs Requirements) (*Translation, error) {
 	if err := traces.Validate(); err != nil {
 		return nil, err
 	}
@@ -135,6 +144,9 @@ func (f *Framework) Translate(traces trace.Set, reqs Requirements) (*Translation
 	}
 	theta := f.cfg.Commitment.Theta
 	for i, tr := range traces {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: translate: %w", err)
+		}
 		req := reqs.For(tr.AppID)
 		normal, err := portfolio.TranslateWithHooks(tr, req.Normal, theta, f.cfg.Hooks)
 		if err != nil {
@@ -166,7 +178,7 @@ func (c *Consolidation) CRequTotal() float64 { return c.Plan.RequiredTotal }
 // Consolidate places the normal-mode translated workloads onto a pool of
 // identical servers (one per application to start with, as in the
 // paper's consolidation exercises) and runs the genetic search.
-func (f *Framework) Consolidate(t *Translation) (*Consolidation, error) {
+func (f *Framework) Consolidate(ctx context.Context, t *Translation) (*Consolidation, error) {
 	if t == nil || len(t.Normal) == 0 {
 		return nil, errors.New("core: nothing to consolidate")
 	}
@@ -178,7 +190,7 @@ func (f *Framework) Consolidate(t *Translation) (*Consolidation, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, err := placement.Consolidate(problem, initial, f.cfg.GA)
+	plan, err := placement.Consolidate(ctx, problem, initial, f.cfg.GA)
 	if err != nil {
 		return nil, err
 	}
@@ -187,7 +199,7 @@ func (f *Framework) Consolidate(t *Translation) (*Consolidation, error) {
 
 // PlanForFailures analyzes every single-server failure of the
 // consolidated configuration with the failure-mode translations.
-func (f *Framework) PlanForFailures(t *Translation, c *Consolidation) (*failure.Report, error) {
+func (f *Framework) PlanForFailures(ctx context.Context, t *Translation, c *Consolidation) (*failure.Report, error) {
 	if t == nil || c == nil {
 		return nil, errors.New("core: need a translation and a consolidation")
 	}
@@ -195,15 +207,15 @@ func (f *Framework) PlanForFailures(t *Translation, c *Consolidation) (*failure.
 	for i, p := range t.Failure {
 		failApps[i] = partitionApp(p)
 	}
-	in := failure.Input{Problem: c.Problem, FailureApps: failApps, GA: f.cfg.GA, Hooks: f.cfg.Hooks}
-	return failure.Analyze(in, c.Plan)
+	in := failure.Input{Problem: c.Problem, FailureApps: failApps, GA: f.cfg.GA, Hooks: f.cfg.Hooks, Inject: f.cfg.Inject}
+	return failure.Analyze(ctx, in, c.Plan)
 }
 
 // PlanForMultiFailures analyzes every combination of k concurrent
 // server failures of the consolidated configuration (the paper notes
 // the single-failure scenario "can be extended to multiple node
 // failures").
-func (f *Framework) PlanForMultiFailures(t *Translation, c *Consolidation, k int) (*failure.MultiReport, error) {
+func (f *Framework) PlanForMultiFailures(ctx context.Context, t *Translation, c *Consolidation, k int) (*failure.MultiReport, error) {
 	if t == nil || c == nil {
 		return nil, errors.New("core: need a translation and a consolidation")
 	}
@@ -211,8 +223,8 @@ func (f *Framework) PlanForMultiFailures(t *Translation, c *Consolidation, k int
 	for i, p := range t.Failure {
 		failApps[i] = partitionApp(p)
 	}
-	in := failure.Input{Problem: c.Problem, FailureApps: failApps, GA: f.cfg.GA, Hooks: f.cfg.Hooks}
-	return failure.AnalyzeMulti(in, c.Plan, k)
+	in := failure.Input{Problem: c.Problem, FailureApps: failApps, GA: f.cfg.GA, Hooks: f.cfg.Hooks, Inject: f.cfg.Inject}
+	return failure.AnalyzeMulti(ctx, in, c.Plan, k)
 }
 
 // Report is the full output of a capacity-management pass.
@@ -223,20 +235,24 @@ type Report struct {
 }
 
 // Run executes the full pipeline: translate, consolidate, plan for
-// failures.
-func (f *Framework) Run(traces trace.Set, reqs Requirements) (*Report, error) {
+// failures. Cancellation degrades per stage: the consolidation returns
+// its best-so-far plan (flagged Truncated) and the failure sweep its
+// completed prefix (Report.Truncated), so a cancelled Run still yields
+// whatever the pipeline had finished.
+func (f *Framework) Run(ctx context.Context, traces trace.Set, reqs Requirements) (report *Report, err error) {
+	defer robust.Recover("core.Run", &err)
 	span := telemetry.OrNop(f.cfg.Hooks).StartSpan("core.run",
 		telemetry.Int("apps", len(traces)))
 	defer span.End()
-	t, err := f.Translate(traces, reqs)
+	t, err := f.Translate(ctx, traces, reqs)
 	if err != nil {
 		return nil, err
 	}
-	c, err := f.Consolidate(t)
+	c, err := f.Consolidate(ctx, t)
 	if err != nil {
 		return nil, err
 	}
-	fr, err := f.PlanForFailures(t, c)
+	fr, err := f.PlanForFailures(ctx, t, c)
 	if err != nil {
 		return nil, err
 	}
@@ -271,6 +287,7 @@ func (f *Framework) problemFor(t *Translation, parts []*portfolio.Partition) (*p
 		Tolerance:     f.cfg.Tolerance,
 		Score:         f.cfg.Score,
 		Hooks:         f.cfg.Hooks,
+		Inject:        f.cfg.Inject,
 	}, nil
 }
 

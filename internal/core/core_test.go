@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -108,7 +109,7 @@ func TestTranslate(t *testing.T) {
 	}
 	set := smallFleet(t)
 	reqs := Requirements{Default: caseStudyRequirement()}
-	tr, err := f.Translate(set, reqs)
+	tr, err := f.Translate(context.Background(), set, reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,11 +140,11 @@ func TestTranslateErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	reqs := Requirements{Default: caseStudyRequirement()}
-	if _, err := f.Translate(trace.Set{}, reqs); err == nil {
+	if _, err := f.Translate(context.Background(), trace.Set{}, reqs); err == nil {
 		t.Error("empty trace set accepted")
 	}
 	set := smallFleet(t)
-	if _, err := f.Translate(set, Requirements{}); err == nil {
+	if _, err := f.Translate(context.Background(), set, Requirements{}); err == nil {
 		t.Error("invalid requirements accepted")
 	}
 }
@@ -155,7 +156,7 @@ func TestFullPipeline(t *testing.T) {
 	}
 	set := smallFleet(t)
 	reqs := Requirements{Default: caseStudyRequirement()}
-	report, err := f.Run(set, reqs)
+	report, err := f.Run(context.Background(), set, reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func TestPerAppRequirementsFlowThroughPipeline(t *testing.T) {
 	premium.Normal.MPercent = 100
 	premium.Normal.TDegr = 0
 
-	tr, err := f.Translate(set, Requirements{
+	tr, err := f.Translate(context.Background(), set, Requirements{
 		Default: standard,
 		PerApp:  map[string]qos.Requirement{premiumID: premium},
 	})
@@ -219,7 +220,7 @@ func TestPerAppRequirementsFlowThroughPipeline(t *testing.T) {
 		}
 	}
 	// And the whole pipeline still runs with mixed requirements.
-	cons, err := f.Consolidate(tr)
+	cons, err := f.Consolidate(context.Background(), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,18 +236,18 @@ func TestPlanForMultiFailures(t *testing.T) {
 	}
 	set := smallFleet(t)
 	reqs := Requirements{Default: caseStudyRequirement()}
-	tr, err := f.Translate(set, reqs)
+	tr, err := f.Translate(context.Background(), set, reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cons, err := f.Consolidate(tr)
+	cons, err := f.Consolidate(context.Background(), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cons.ServersUsed() < 2 {
 		t.Skip("fleet consolidated to a single server; k=2 not applicable")
 	}
-	report, err := f.PlanForMultiFailures(tr, cons, 2)
+	report, err := f.PlanForMultiFailures(context.Background(), tr, cons, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,10 +256,10 @@ func TestPlanForMultiFailures(t *testing.T) {
 	if len(report.Scenarios) != wantScenarios {
 		t.Errorf("%d scenarios, want C(%d,2)=%d", len(report.Scenarios), used, wantScenarios)
 	}
-	if _, err := f.PlanForMultiFailures(nil, nil, 2); err == nil {
+	if _, err := f.PlanForMultiFailures(context.Background(), nil, nil, 2); err == nil {
 		t.Error("nil inputs accepted")
 	}
-	if _, err := f.PlanForMultiFailures(tr, cons, 0); err == nil {
+	if _, err := f.PlanForMultiFailures(context.Background(), tr, cons, 0); err == nil {
 		t.Error("k=0 accepted")
 	}
 }
@@ -272,11 +273,11 @@ func TestLinearScoreConfig(t *testing.T) {
 	}
 	set := smallFleet(t)
 	reqs := Requirements{Default: caseStudyRequirement()}
-	tr, err := f.Translate(set, reqs)
+	tr, err := f.Translate(context.Background(), set, reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cons, err := f.Consolidate(tr)
+	cons, err := f.Consolidate(context.Background(), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,13 +294,13 @@ func TestConsolidateErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.Consolidate(nil); err == nil {
+	if _, err := f.Consolidate(context.Background(), nil); err == nil {
 		t.Error("nil translation accepted")
 	}
-	if _, err := f.Consolidate(&Translation{}); err == nil {
+	if _, err := f.Consolidate(context.Background(), &Translation{}); err == nil {
 		t.Error("empty translation accepted")
 	}
-	if _, err := f.PlanForFailures(nil, nil); err == nil {
+	if _, err := f.PlanForFailures(context.Background(), nil, nil); err == nil {
 		t.Error("nil inputs accepted")
 	}
 }

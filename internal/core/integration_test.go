@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -49,7 +50,7 @@ func TestPipelineInvariants(t *testing.T) {
 			t.Fatal(err)
 		}
 		q := qos.AppQoS{ULow: 0.5, UHigh: 0.66, UDegr: 0.9, MPercent: 97, TDegr: time.Hour}
-		report, err := f.Run(set, Requirements{Default: qos.Requirement{Normal: q, Failure: q}})
+		report, err := f.Run(context.Background(), set, Requirements{Default: qos.Requirement{Normal: q, Failure: q}})
 		if err != nil {
 			t.Fatalf("trial %d (seed %d, theta %v): %v", trial, seed, theta, err)
 		}
@@ -139,7 +140,7 @@ func checkWorkloadManagerAgreement(t *testing.T, r *Report) {
 				Partition: r.Translation.Normal[i],
 			})
 		}
-		res, err := wlmgr.Run(usage.Required+1e-9, containers, 0)
+		res, err := wlmgr.Run(context.Background(), usage.Required+1e-9, containers, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -168,7 +169,7 @@ func TestRequiredCapacityAgreesWithSim(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := qos.AppQoS{ULow: 0.5, UHigh: 0.66, UDegr: 0.9, MPercent: 97}
-	report, err := f.Run(set, Requirements{Default: qos.Requirement{Normal: q, Failure: q}})
+	report, err := f.Run(context.Background(), set, Requirements{Default: qos.Requirement{Normal: q, Failure: q}})
 	if err != nil {
 		t.Fatal(err)
 	}

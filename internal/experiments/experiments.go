@@ -14,6 +14,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -212,20 +213,23 @@ type Table1Config struct {
 }
 
 // Table1 runs the six consolidation cases against the fleet.
-func Table1(set trace.Set, cfg Table1Config) ([]Table1Row, error) {
+func Table1(ctx context.Context, set trace.Set, cfg Table1Config) ([]Table1Row, error) {
 	rows := make([]Table1Row, 0, len(Table1Cases))
 	for _, c := range Table1Cases {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiments: table 1: %w", err)
+		}
 		f, err := frameworkFor(c.Theta, cfg)
 		if err != nil {
 			return nil, err
 		}
 		q := CaseStudyQoS(100-c.MDegr, c.TDegr)
 		reqs := core.Requirements{Default: qos.Requirement{Normal: q, Failure: q}}
-		tr, err := f.Translate(set, reqs)
+		tr, err := f.Translate(ctx, set, reqs)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: case %d: %w", c.ID, err)
 		}
-		cons, err := f.Consolidate(tr)
+		cons, err := f.Consolidate(ctx, tr)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: case %d: %w", c.ID, err)
 		}
@@ -274,7 +278,7 @@ type FailoverResult struct {
 
 // Failover runs the full pipeline with case-1 normal QoS and case-2
 // failure QoS and reports whether a spare server is needed.
-func Failover(set trace.Set, cfg Table1Config) (*FailoverResult, error) {
+func Failover(ctx context.Context, set trace.Set, cfg Table1Config) (*FailoverResult, error) {
 	f, err := frameworkFor(0.60, cfg)
 	if err != nil {
 		return nil, err
@@ -283,7 +287,7 @@ func Failover(set trace.Set, cfg Table1Config) (*FailoverResult, error) {
 		Normal:  CaseStudyQoS(100, 0),
 		Failure: CaseStudyQoS(97, 30*time.Minute),
 	}}
-	report, err := f.Run(set, reqs)
+	report, err := f.Run(ctx, set, reqs)
 	if err != nil {
 		return nil, err
 	}

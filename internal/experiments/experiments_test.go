@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -170,7 +171,7 @@ func TestFig8ThetaOrdering(t *testing.T) {
 
 func TestTable1SmallFleet(t *testing.T) {
 	set := smallFleet(t)
-	rows, err := Table1(set, Table1Config{GASeed: 9, Quick: true})
+	rows, err := Table1(context.Background(), set, Table1Config{GASeed: 9, Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestTable1SmallFleet(t *testing.T) {
 
 func TestFailoverSmallFleet(t *testing.T) {
 	set := smallFleet(t)
-	res, err := Failover(set, Table1Config{GASeed: 9, Quick: true})
+	res, err := Failover(context.Background(), set, Table1Config{GASeed: 9, Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestFailoverSmallFleet(t *testing.T) {
 }
 
 func TestMixComparesAllAlgorithms(t *testing.T) {
-	rows, err := Mix(MixConfig{Interactive: 2, Batch: 2, Seed: 4, Quick: true})
+	rows, err := Mix(context.Background(), MixConfig{Interactive: 2, Batch: 2, Seed: 4, Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -42,7 +43,7 @@ type MixConfig struct {
 }
 
 // Mix runs the mixed-fleet consolidation comparison.
-func Mix(cfg MixConfig) ([]MixRow, error) {
+func Mix(ctx context.Context, cfg MixConfig) ([]MixRow, error) {
 	if cfg.Interactive <= 0 {
 		cfg.Interactive = 6
 	}
@@ -109,20 +110,20 @@ func Mix(cfg MixConfig) ([]MixRow, error) {
 		})
 	}
 	run("first-fit-decreasing", func() (*placement.Plan, error) {
-		return placement.FirstFitDecreasing(problem)
+		return placement.FirstFitDecreasing(ctx, problem)
 	})
 	run("best-fit-decreasing", func() (*placement.Plan, error) {
-		return placement.BestFitDecreasing(problem)
+		return placement.BestFitDecreasing(ctx, problem)
 	})
 	run("least-correlated-fit", func() (*placement.Plan, error) {
-		return placement.LeastCorrelatedFit(problem)
+		return placement.LeastCorrelatedFit(ctx, problem)
 	})
 	run("genetic", func() (*placement.Plan, error) {
 		initial, err := placement.OneAppPerServer(problem)
 		if err != nil {
 			return nil, err
 		}
-		return placement.Consolidate(problem, initial, ga)
+		return placement.Consolidate(ctx, problem, initial, ga)
 	})
 	return rows, nil
 }

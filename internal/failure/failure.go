@@ -12,11 +12,14 @@
 package failure
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
+	"ropus/internal/faultinject"
 	"ropus/internal/placement"
+	"ropus/internal/robust"
 	"ropus/internal/telemetry"
 )
 
@@ -34,6 +37,11 @@ type Input struct {
 	// per-scenario spans); nil disables it. It is also propagated to the
 	// reduced consolidation problems each scenario solves.
 	Hooks telemetry.Hooks
+	// Inject is the test-only fault injector consulted at the
+	// "failure.scenario" point (keyed by failed server ID or multi-failure
+	// Key) and propagated to the reduced consolidation problems; nil (the
+	// production default) injects nothing.
+	Inject faultinject.Injector
 }
 
 // Validate checks the input's structural invariants.
@@ -74,20 +82,48 @@ type Scenario struct {
 	Plan *placement.Plan
 	// Servers is the reduced server list the plan was computed against.
 	Servers []placement.Server
+	// Err records a scenario that could not be evaluated (solver error,
+	// injected fault, ...). An errored scenario proves nothing: Feasible
+	// is false but it does not count toward SpareNeeded, because the
+	// failure was in the analysis, not in the pool.
+	Err error
 }
 
 // Report aggregates all single-server failure scenarios.
 type Report struct {
 	Scenarios []Scenario
-	// SpareNeeded is true when at least one failure cannot be absorbed
-	// by the remaining servers.
+	// SpareNeeded is true when at least one failure was proven
+	// unabsorbable by the remaining servers. Errored scenarios (Err set)
+	// are inconclusive and do not set it.
 	SpareNeeded bool
+	// Truncated reports that the sweep was cancelled before every
+	// scenario was evaluated; Scenarios holds the completed prefix.
+	Truncated bool
+}
+
+// Errors returns the per-scenario errors recorded during the sweep, in
+// scenario order (empty when every scenario evaluated cleanly).
+func (r *Report) Errors() []error {
+	var errs []error
+	for _, s := range r.Scenarios {
+		if s.Err != nil {
+			errs = append(errs, s.Err)
+		}
+	}
+	return errs
 }
 
 // Analyze evaluates every single-server failure of the servers used by
 // basePlan (removing an unused server is a non-event). The base plan
 // must have been produced for in.Problem.
-func Analyze(in Input, basePlan *placement.Plan) (*Report, error) {
+//
+// The sweep degrades gracefully: a scenario that cannot be evaluated is
+// recorded with its Err and the sweep continues; only when every
+// scenario errors does Analyze return a top-level error. Cancelling ctx
+// stops the sweep at the next scenario boundary and returns the
+// completed prefix with Report.Truncated set and a nil error.
+func Analyze(ctx context.Context, in Input, basePlan *placement.Plan) (report *Report, err error) {
+	defer robust.Recover("failure.Analyze", &err)
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -104,35 +140,77 @@ func Analyze(in Input, basePlan *placement.Plan) (*Report, error) {
 	defer span.End()
 	scenarioC := h.Counter("failure_scenarios_total")
 	infeasibleC := h.Counter("failure_infeasible_scenarios_total")
+	errorC := h.Counter("failure_scenario_errors_total")
 	scenarioSecs := h.Histogram("failure_scenario_seconds", nil)
 
-	report := &Report{}
+	report = &Report{}
+	errored := 0
 	for srvIdx, srv := range in.Problem.Servers {
 		affected := appsOn(basePlan.Assignment, srvIdx)
 		if len(affected) == 0 {
 			continue
 		}
-		start := time.Now()
-		scenario, err := analyzeOne(in, basePlan, srvIdx, affected)
-		if err != nil {
-			return nil, fmt.Errorf("failure: scenario %q: %w", srv.ID, err)
+		if ctx.Err() != nil {
+			report.Truncated = true
+			break
 		}
+		start := time.Now()
+		scenario, err := analyzeScenario(ctx, in, basePlan, srvIdx, affected, srv.ID)
 		scenarioC.Inc()
 		scenarioSecs.Observe(time.Since(start).Seconds())
-		report.Scenarios = append(report.Scenarios, scenario)
-		if !scenario.Feasible {
+		if err != nil {
+			// Degrade: record the scenario as errored and keep sweeping.
+			// The remaining scenarios are independent analyses; one bad
+			// solver run must not cost the whole report.
+			scenario.Err = fmt.Errorf("failure: scenario %q: %w", srv.ID, err)
+			errorC.Inc()
+			errored++
+		} else if !scenario.Feasible {
 			infeasibleC.Inc()
 			report.SpareNeeded = true
 		}
+		report.Scenarios = append(report.Scenarios, scenario)
 	}
 	span.SetAttr(
 		telemetry.Int("scenarios", len(report.Scenarios)),
-		telemetry.Bool("spare_needed", report.SpareNeeded))
+		telemetry.Int("errors", errored),
+		telemetry.Bool("spare_needed", report.SpareNeeded),
+		telemetry.Bool("truncated", report.Truncated))
+	if errored > 0 && errored == len(report.Scenarios) {
+		return nil, fmt.Errorf("failure: every scenario failed to evaluate: %w", errors.Join(report.Errors()...))
+	}
 	return report, nil
 }
 
+// analyzeScenario wraps analyzeOne with the "failure.scenario" fault
+// injection point, preserving the scenario's identity (failed server,
+// affected apps) even when the analysis errors.
+func analyzeScenario(ctx context.Context, in Input, basePlan *placement.Plan, srvIdx int, affected []int, key string) (Scenario, error) {
+	scenario := Scenario{
+		FailedServer: in.Problem.Servers[srvIdx].ID,
+		AffectedApps: make([]string, 0, len(affected)),
+	}
+	for _, a := range affected {
+		scenario.AffectedApps = append(scenario.AffectedApps, in.Problem.Apps[a].ID)
+	}
+	if in.Inject != nil {
+		o := in.Inject.Hit("failure.scenario", key)
+		if o.Delay > 0 {
+			time.Sleep(o.Delay)
+		}
+		if o.Err != nil {
+			return scenario, o.Err
+		}
+	}
+	full, err := analyzeOne(ctx, in, basePlan, srvIdx, affected)
+	if err != nil {
+		return scenario, err
+	}
+	return full, nil
+}
+
 // analyzeOne re-consolidates after removing server srvIdx.
-func analyzeOne(in Input, basePlan *placement.Plan, srvIdx int, affected []int) (Scenario, error) {
+func analyzeOne(ctx context.Context, in Input, basePlan *placement.Plan, srvIdx int, affected []int) (Scenario, error) {
 	p := in.Problem
 	scenario := Scenario{
 		FailedServer: p.Servers[srvIdx].ID,
@@ -178,6 +256,7 @@ func analyzeOne(in Input, basePlan *placement.Plan, srvIdx int, affected []int) 
 		DeadlineSlots: p.DeadlineSlots,
 		Tolerance:     p.Tolerance,
 		Hooks:         in.Hooks,
+		Inject:        in.Inject,
 	}
 
 	// Initial assignment: unaffected applications stay put; affected
@@ -194,7 +273,7 @@ func analyzeOne(in Input, basePlan *placement.Plan, srvIdx int, affected []int) 
 		next++
 	}
 
-	plan, err := placement.Consolidate(reduced, initial, in.GA)
+	plan, err := placement.Consolidate(ctx, reduced, initial, in.GA)
 	if errors.Is(err, placement.ErrNoFeasible) {
 		return scenario, nil // infeasible, not an error
 	}

@@ -1,6 +1,7 @@
 package failure
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -74,7 +75,7 @@ func TestAnalyzeAbsorbableFailure(t *testing.T) {
 		t.Fatal("base plan should be feasible")
 	}
 	in := Input{Problem: p, FailureApps: failureApps(p, 0.5), GA: ga()}
-	report, err := Analyze(in, base)
+	report, err := Analyze(context.Background(), in, base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestAnalyzeSpareNeeded(t *testing.T) {
 		t.Fatal(err)
 	}
 	in := Input{Problem: p, FailureApps: failureApps(p, 1.0), GA: ga()}
-	report, err := Analyze(in, base)
+	report, err := Analyze(context.Background(), in, base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestAnalyzeWeakerFailureQoSAvoidsSpare(t *testing.T) {
 		t.Fatal(err)
 	}
 	in := Input{Problem: p, FailureApps: failureApps(p, 0.1), GA: ga()}
-	report, err := Analyze(in, base)
+	report, err := Analyze(context.Background(), in, base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestAnalyzeSingleServerPool(t *testing.T) {
 		t.Fatal(err)
 	}
 	in := Input{Problem: p, FailureApps: failureApps(p, 0.5), GA: ga()}
-	report, err := Analyze(in, base)
+	report, err := Analyze(context.Background(), in, base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestAnalyzeSkipsUnusedServers(t *testing.T) {
 		t.Fatal(err)
 	}
 	in := Input{Problem: p, FailureApps: failureApps(p, 0.5), GA: ga()}
-	report, err := Analyze(in, base)
+	report, err := Analyze(context.Background(), in, base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestScenarioMigrations(t *testing.T) {
 		t.Fatal(err)
 	}
 	in := Input{Problem: p, FailureApps: failureApps(p, 0.5), GA: ga()}
-	report, err := Analyze(in, base)
+	report, err := Analyze(context.Background(), in, base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,29 +226,29 @@ func TestAnalyzeInputErrors(t *testing.T) {
 	}
 	good := Input{Problem: p, FailureApps: failureApps(p, 0.5), GA: ga()}
 
-	if _, err := Analyze(Input{Problem: nil, FailureApps: good.FailureApps, GA: good.GA}, base); err == nil {
+	if _, err := Analyze(context.Background(), Input{Problem: nil, FailureApps: good.FailureApps, GA: good.GA}, base); err == nil {
 		t.Error("nil problem should fail")
 	}
 	short := good
 	short.FailureApps = short.FailureApps[:1]
-	if _, err := Analyze(short, base); err == nil {
+	if _, err := Analyze(context.Background(), short, base); err == nil {
 		t.Error("mismatched failure app count should fail")
 	}
 	renamed := Input{Problem: p, FailureApps: failureApps(p, 0.5), GA: good.GA}
 	renamed.FailureApps[0].ID = "zz"
-	if _, err := Analyze(renamed, base); err == nil {
+	if _, err := Analyze(context.Background(), renamed, base); err == nil {
 		t.Error("mismatched failure app ID should fail")
 	}
 	badGA := good
 	badGA.GA.PopulationSize = 0
-	if _, err := Analyze(badGA, base); err == nil {
+	if _, err := Analyze(context.Background(), badGA, base); err == nil {
 		t.Error("bad GA config should fail")
 	}
-	if _, err := Analyze(good, nil); err == nil {
+	if _, err := Analyze(context.Background(), good, nil); err == nil {
 		t.Error("nil base plan should fail")
 	}
 	badPlan := &placement.Plan{Assignment: placement.Assignment{0}}
-	if _, err := Analyze(good, badPlan); err == nil {
+	if _, err := Analyze(context.Background(), good, badPlan); err == nil {
 		t.Error("base plan with wrong assignment length should fail")
 	}
 }

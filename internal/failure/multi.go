@@ -1,6 +1,7 @@
 package failure
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"ropus/internal/placement"
+	"ropus/internal/robust"
 	"ropus/internal/telemetry"
 )
 
@@ -34,6 +36,10 @@ type MultiScenario struct {
 	// Servers is the surviving server list the plan was computed
 	// against.
 	Servers []placement.Server
+	// Err records a scenario that could not be evaluated; like the
+	// single-failure case it is inconclusive and does not count toward
+	// SparesNeeded.
+	Err error
 }
 
 // Key returns a stable identifier for the failed-server combination.
@@ -44,9 +50,25 @@ type MultiReport struct {
 	// K is the number of concurrent failures analyzed.
 	K         int
 	Scenarios []MultiScenario
-	// SparesNeeded is true when at least one combination cannot be
-	// absorbed by the surviving servers.
+	// SparesNeeded is true when at least one combination was proven
+	// unabsorbable by the surviving servers; errored scenarios are
+	// inconclusive and do not set it.
 	SparesNeeded bool
+	// Truncated reports that the sweep was cancelled before every
+	// combination was evaluated; Scenarios holds the completed prefix.
+	Truncated bool
+}
+
+// Errors returns the per-scenario errors recorded during the sweep, in
+// scenario order (empty when every scenario evaluated cleanly).
+func (r *MultiReport) Errors() []error {
+	var errs []error
+	for _, s := range r.Scenarios {
+		if s.Err != nil {
+			errs = append(errs, s.Err)
+		}
+	}
+	return errs
 }
 
 // Worst returns the scenario with the most affected applications among
@@ -67,7 +89,11 @@ func (r *MultiReport) Worst() *MultiScenario {
 
 // AnalyzeMulti evaluates every combination of k concurrent failures of
 // servers used by basePlan. k=1 degenerates to Analyze's scenarios.
-func AnalyzeMulti(in Input, basePlan *placement.Plan, k int) (*MultiReport, error) {
+// Degradation mirrors Analyze: errored combinations are recorded and
+// skipped, cancellation truncates the sweep at a combination boundary,
+// and a top-level error occurs only when every combination errors.
+func AnalyzeMulti(ctx context.Context, in Input, basePlan *placement.Plan, k int) (report *MultiReport, err error) {
+	defer robust.Recover("failure.AnalyzeMulti", &err)
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -98,37 +124,60 @@ func AnalyzeMulti(in Input, basePlan *placement.Plan, k int) (*MultiReport, erro
 	defer span.End()
 	scenarioC := h.Counter("failure_scenarios_total")
 	infeasibleC := h.Counter("failure_infeasible_scenarios_total")
+	errorC := h.Counter("failure_scenario_errors_total")
 	scenarioSecs := h.Histogram("failure_scenario_seconds", nil)
 
-	report := &MultiReport{K: k}
+	report = &MultiReport{K: k}
+	errored := 0
 	for _, combo := range combinations(used, k) {
-		start := time.Now()
-		scenario, err := analyzeCombo(in, basePlan, combo)
-		if err != nil {
-			return nil, fmt.Errorf("failure: scenario %v: %w", combo, err)
+		if ctx.Err() != nil {
+			report.Truncated = true
+			break
 		}
+		start := time.Now()
+		scenario, err := analyzeCombo(ctx, in, basePlan, combo)
 		scenarioC.Inc()
 		scenarioSecs.Observe(time.Since(start).Seconds())
-		report.Scenarios = append(report.Scenarios, scenario)
-		if !scenario.Feasible {
+		if err != nil {
+			scenario.Err = fmt.Errorf("failure: scenario %q: %w", scenario.Key(), err)
+			errorC.Inc()
+			errored++
+		} else if !scenario.Feasible {
 			infeasibleC.Inc()
 			report.SparesNeeded = true
 		}
+		report.Scenarios = append(report.Scenarios, scenario)
 	}
 	span.SetAttr(
 		telemetry.Int("scenarios", len(report.Scenarios)),
-		telemetry.Bool("spares_needed", report.SparesNeeded))
+		telemetry.Int("errors", errored),
+		telemetry.Bool("spares_needed", report.SparesNeeded),
+		telemetry.Bool("truncated", report.Truncated))
+	if errored > 0 && errored == len(report.Scenarios) {
+		return nil, fmt.Errorf("failure: every scenario failed to evaluate: %w", errors.Join(report.Errors()...))
+	}
 	return report, nil
 }
 
-// analyzeCombo re-consolidates after removing the given servers.
-func analyzeCombo(in Input, basePlan *placement.Plan, combo []int) (MultiScenario, error) {
+// analyzeCombo re-consolidates after removing the given servers. Even
+// when it errors, the returned scenario carries the combination's
+// identity so the report can record which analysis failed.
+func analyzeCombo(ctx context.Context, in Input, basePlan *placement.Plan, combo []int) (MultiScenario, error) {
 	p := in.Problem
 	failed := make(map[int]bool, len(combo))
 	scenario := MultiScenario{}
 	for _, s := range combo {
 		failed[s] = true
 		scenario.FailedServers = append(scenario.FailedServers, p.Servers[s].ID)
+	}
+	if in.Inject != nil {
+		o := in.Inject.Hit("failure.scenario", scenario.Key())
+		if o.Delay > 0 {
+			time.Sleep(o.Delay)
+		}
+		if o.Err != nil {
+			return scenario, o.Err
+		}
 	}
 
 	var affected []int
@@ -176,6 +225,7 @@ func analyzeCombo(in Input, basePlan *placement.Plan, combo []int) (MultiScenari
 		DeadlineSlots: p.DeadlineSlots,
 		Tolerance:     p.Tolerance,
 		Hooks:         in.Hooks,
+		Inject:        in.Inject,
 	}
 	initial := make(placement.Assignment, len(apps))
 	next := 0
@@ -188,12 +238,12 @@ func analyzeCombo(in Input, basePlan *placement.Plan, combo []int) (MultiScenari
 		next++
 	}
 
-	plan, err := placement.Consolidate(reduced, initial, in.GA)
+	plan, err := placement.Consolidate(ctx, reduced, initial, in.GA)
 	if errors.Is(err, placement.ErrNoFeasible) {
 		return scenario, nil
 	}
 	if err != nil {
-		return MultiScenario{}, err
+		return scenario, err
 	}
 	scenario.Feasible = true
 	scenario.Plan = plan

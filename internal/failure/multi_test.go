@@ -1,6 +1,7 @@
 package failure
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -41,11 +42,11 @@ func TestAnalyzeMultiMatchesSingle(t *testing.T) {
 	}
 	in := Input{Problem: p, FailureApps: failureApps(p, 0.5), GA: ga()}
 
-	single, err := Analyze(in, base)
+	single, err := Analyze(context.Background(), in, base)
 	if err != nil {
 		t.Fatal(err)
 	}
-	multi, err := AnalyzeMulti(in, base, 1)
+	multi, err := AnalyzeMulti(context.Background(), in, base, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestAnalyzeMultiDoubleFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	in := Input{Problem: p, FailureApps: failureApps(p, 0.5), GA: ga()}
-	report, err := AnalyzeMulti(in, base, 2)
+	report, err := AnalyzeMulti(context.Background(), in, base, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestAnalyzeMultiInfeasibleDouble(t *testing.T) {
 	in := Input{Problem: p, FailureApps: failureApps(p, 0.66), GA: ga()}
 
 	// Single failures are absorbable (5+5 = 10 fits)...
-	single, err := AnalyzeMulti(in, base, 1)
+	single, err := AnalyzeMulti(context.Background(), in, base, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestAnalyzeMultiInfeasibleDouble(t *testing.T) {
 		t.Error("single failures should be absorbable")
 	}
 	// ...but double failures are not.
-	double, err := AnalyzeMulti(in, base, 2)
+	double, err := AnalyzeMulti(context.Background(), in, base, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestAnalyzeMultiAllServersFail(t *testing.T) {
 		t.Fatal(err)
 	}
 	in := Input{Problem: p, FailureApps: failureApps(p, 0.5), GA: ga()}
-	report, err := AnalyzeMulti(in, base, 2)
+	report, err := AnalyzeMulti(context.Background(), in, base, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,18 +155,18 @@ func TestAnalyzeMultiArgumentErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	in := Input{Problem: p, FailureApps: failureApps(p, 0.5), GA: ga()}
-	if _, err := AnalyzeMulti(in, base, 0); err == nil {
+	if _, err := AnalyzeMulti(context.Background(), in, base, 0); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, err := AnalyzeMulti(in, base, 3); err == nil {
+	if _, err := AnalyzeMulti(context.Background(), in, base, 3); err == nil {
 		t.Error("k above used servers accepted")
 	}
-	if _, err := AnalyzeMulti(in, nil, 1); err == nil {
+	if _, err := AnalyzeMulti(context.Background(), in, nil, 1); err == nil {
 		t.Error("nil base plan accepted")
 	}
 	bad := in
 	bad.FailureApps = bad.FailureApps[:1]
-	if _, err := AnalyzeMulti(bad, base, 1); err == nil {
+	if _, err := AnalyzeMulti(context.Background(), bad, base, 1); err == nil {
 		t.Error("invalid input accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -86,12 +87,11 @@ func validateAttributes(p *Problem) error {
 // against the server's per-attribute capacity. It returns the required
 // capacities and whether all attributes fit. The apps slice must be
 // non-empty and sorted.
-func (e *evaluator) evalAttributes(server int, apps []int) (map[Attribute]float64, bool, error) {
+func (e *evaluator) evalAttributes(ctx context.Context, srv Server, apps []int) (map[Attribute]float64, bool, error) {
 	attrs := e.p.attrs
 	if len(attrs) == 0 {
 		return nil, true, nil
 	}
-	srv := e.p.Servers[server]
 	required := make(map[Attribute]float64, len(attrs))
 	allFit := true
 	cfg := sim.Config{
@@ -99,6 +99,8 @@ func (e *evaluator) evalAttributes(server int, apps []int) (map[Attribute]float6
 		SlotsPerDay:   e.p.SlotsPerDay,
 		DeadlineSlots: e.p.DeadlineSlots,
 		Hooks:         e.p.Hooks,
+		Inject:        e.p.Inject,
+		InjectKey:     srv.ID,
 	}
 	for _, attr := range attrs {
 		workloads := make([]sim.Workload, 0, len(apps))
@@ -115,7 +117,7 @@ func (e *evaluator) evalAttributes(server int, apps []int) (map[Attribute]float6
 		if err != nil {
 			return nil, false, err
 		}
-		req, _, ok, err := agg.RequiredCapacity(cfg, srv.Extra[attr], e.p.tolerance())
+		req, _, ok, err := agg.RequiredCapacity(ctx, cfg, srv.Extra[attr], e.p.tolerance())
 		if err != nil {
 			return nil, false, err
 		}

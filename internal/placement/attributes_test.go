@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -151,7 +152,7 @@ func TestMemoryAwareConsolidation(t *testing.T) {
 	}
 	cfg := DefaultGAConfig(5)
 	cfg.MaxGenerations = 80
-	plan, err := Consolidate(p, initial, cfg)
+	plan, err := Consolidate(context.Background(), p, initial, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,181 @@
+package placement
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ropus/internal/faultinject"
+	"ropus/internal/robust"
+)
+
+// cancelProblem is a packing with room to consolidate, so the GA has
+// real work left when a cancel lands.
+func cancelProblem() *Problem {
+	return binPackProblem([]float64{3, 3, 3, 2, 2, 2, 1, 1}, 8, 10)
+}
+
+func TestCancelConsolidateBestSoFar(t *testing.T) {
+	// A context cancelled before the first generation stops the search
+	// at the first boundary; the initial population (evaluated detached
+	// from the cancel) still yields a valid best-so-far plan.
+	run := func() *Plan {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		p := cancelProblem()
+		initial, err := OneAppPerServer(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := Consolidate(ctx, p, initial, DefaultGAConfig(7))
+		if err != nil {
+			t.Fatalf("cancelled Consolidate should degrade, got %v", err)
+		}
+		return plan
+	}
+	plan := run()
+	if !plan.Truncated {
+		t.Error("cancelled search should flag the plan Truncated")
+	}
+	if !plan.Feasible {
+		t.Error("best-so-far plan should be feasible")
+	}
+	if err := plan.Assignment.Validate(cancelProblem()); err != nil {
+		t.Errorf("best-so-far assignment invalid: %v", err)
+	}
+	// Same seed, same cancel point => same plan: degradation must not
+	// introduce nondeterminism.
+	again := run()
+	for i, s := range plan.Assignment {
+		if again.Assignment[i] != s {
+			t.Fatalf("same seed produced different best-so-far assignments:\n%v\n%v",
+				plan.Assignment, again.Assignment)
+		}
+	}
+}
+
+func TestCancelConsolidateTimeBudget(t *testing.T) {
+	p := cancelProblem()
+	initial, err := OneAppPerServer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultGAConfig(7)
+	cfg.TimeBudget = time.Nanosecond
+	plan, err := Consolidate(context.Background(), p, initial, cfg)
+	if err != nil {
+		t.Fatalf("over-budget Consolidate should degrade, got %v", err)
+	}
+	if !plan.Truncated || !plan.Feasible {
+		t.Errorf("want truncated feasible plan, got truncated=%v feasible=%v",
+			plan.Truncated, plan.Feasible)
+	}
+}
+
+func TestCancelConsolidateNoFeasibleErrs(t *testing.T) {
+	// When nothing fits, a cancelled search has no best-so-far to return
+	// and must surface the cancellation as an error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := binPackProblem([]float64{9, 9, 9}, 3, 10)
+	p.Servers = p.Servers[:1] // 27 CPUs of demand on one 10-CPU server
+	plan, err := Consolidate(ctx, p, Assignment{0, 0, 0}, DefaultGAConfig(7))
+	if err == nil {
+		t.Fatalf("want error, got plan %+v", plan)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error should wrap context.Canceled, got %v", err)
+	}
+}
+
+func TestCancelGreedyExactAndCorrelation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := cancelProblem()
+	for name, fn := range map[string]func() error{
+		"FirstFitDecreasing": func() error { _, err := FirstFitDecreasing(ctx, p); return err },
+		"BestFitDecreasing":  func() error { _, err := BestFitDecreasing(ctx, p); return err },
+		"LeastCorrelatedFit": func() error { _, err := LeastCorrelatedFit(ctx, p); return err },
+		"Exact":              func() error { _, err := Exact(ctx, p, 100000); return err },
+	} {
+		if err := fn(); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: error should wrap context.Canceled, got %v", name, err)
+		}
+	}
+}
+
+// TestChaosEvaluatorConcurrent drives many goroutines through the
+// evaluator's singleflight cache (run under -race by the CI chaos job).
+func TestChaosEvaluatorConcurrent(t *testing.T) {
+	p := cancelProblem()
+	ev := newEvaluator(p)
+	assignments := []Assignment{
+		{0, 0, 1, 1, 2, 2, 3, 3},
+		{0, 0, 1, 1, 2, 2, 3, 3}, // duplicate: exercises dedup
+		{0, 1, 0, 1, 0, 1, 0, 1},
+		{3, 3, 3, 2, 2, 2, 1, 1},
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				a := assignments[(g+i)%len(assignments)]
+				if _, err := ev.evaluate(context.Background(), a); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	if len(ev.inflight) != 0 {
+		t.Errorf("%d in-flight entries leaked", len(ev.inflight))
+	}
+}
+
+func TestChaosInjectedSolverError(t *testing.T) {
+	p := cancelProblem()
+	p.Inject = faultinject.MustScript(1,
+		faultinject.Rule{Point: "sim.required_capacity", Key: p.Servers[0].ID})
+	_, err := Evaluate(p, Assignment{0, 0, 1, 1, 2, 2, 3, 3})
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Errorf("error should wrap faultinject.ErrInjected, got %v", err)
+	}
+	// Other servers keep working: an assignment avoiding srv 0 is fine.
+	if _, err := Evaluate(p, Assignment{1, 1, 2, 2, 3, 3, 4, 4}); err != nil {
+		t.Errorf("uninjected servers should evaluate, got %v", err)
+	}
+}
+
+func TestChaosConsolidatePanicRecovered(t *testing.T) {
+	p := cancelProblem()
+	p.Inject = faultinject.Func(func(point, key string) faultinject.Outcome {
+		panic("injected panic for " + point)
+	})
+	initial, err := OneAppPerServer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Consolidate(context.Background(), p, initial, DefaultGAConfig(7))
+	if err == nil {
+		t.Fatalf("want recovered panic error, got plan %+v", plan)
+	}
+	if !errors.Is(err, robust.ErrPanic) {
+		t.Errorf("error should wrap robust.ErrPanic, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "injected panic") {
+		t.Errorf("error should carry the panic value, got %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -23,7 +24,7 @@ import (
 // opened only when no used server can host the application, so
 // consolidation still comes first and correlation decides between
 // feasible homes — the multiplexing intuition without over-spreading.
-func LeastCorrelatedFit(p *Problem) (*Plan, error) {
+func LeastCorrelatedFit(ctx context.Context, p *Problem) (*Plan, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -56,6 +57,9 @@ func LeastCorrelatedFit(p *Problem) (*Plan, error) {
 	assignment := make(Assignment, len(p.Apps))
 
 	for _, app := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("placement: least-correlated fit: %w", err)
+		}
 		bestServer := -1
 		bestCorr := 0.0
 		firstEmpty := -1
@@ -68,7 +72,7 @@ func LeastCorrelatedFit(p *Problem) (*Plan, error) {
 			}
 			group := append(append([]int(nil), groups[s]...), app)
 			sort.Ints(group)
-			usage, err := ev.evalServer(s, group)
+			usage, err := ev.evalServer(ctx, s, group)
 			if err != nil {
 				return nil, err
 			}
@@ -85,7 +89,7 @@ func LeastCorrelatedFit(p *Problem) (*Plan, error) {
 			}
 		}
 		if bestServer < 0 && firstEmpty >= 0 {
-			usage, err := ev.evalServer(firstEmpty, []int{app})
+			usage, err := ev.evalServer(ctx, firstEmpty, []int{app})
 			if err != nil {
 				return nil, err
 			}
@@ -106,5 +110,5 @@ func LeastCorrelatedFit(p *Problem) (*Plan, error) {
 		}
 		assignment[app] = bestServer
 	}
-	return ev.evaluate(assignment)
+	return ev.evaluate(ctx, assignment)
 }

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -44,7 +45,7 @@ func TestLeastCorrelatedFitPairsOpposites(t *testing.T) {
 		DeadlineSlots: 0,
 		Tolerance:     0.01,
 	}
-	plan, err := LeastCorrelatedFit(p)
+	plan, err := LeastCorrelatedFit(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,12 +77,12 @@ func TestLeastCorrelatedFitPairsOpposites(t *testing.T) {
 
 func TestLeastCorrelatedFitImpossible(t *testing.T) {
 	p := binPackProblem([]float64{20}, 1, 10)
-	if _, err := LeastCorrelatedFit(p); err == nil {
+	if _, err := LeastCorrelatedFit(context.Background(), p); err == nil {
 		t.Error("oversized app accepted")
 	}
 	broken := binPackProblem([]float64{1}, 1, 10)
 	broken.SlotsPerDay = 0
-	if _, err := LeastCorrelatedFit(broken); err == nil {
+	if _, err := LeastCorrelatedFit(context.Background(), broken); err == nil {
 		t.Error("invalid problem accepted")
 	}
 }
@@ -90,7 +91,7 @@ func TestLeastCorrelatedFitPlainBinPacking(t *testing.T) {
 	// On flat (zero-variance) workloads correlation is defined as 0, so
 	// the heuristic degenerates to a feasible greedy packing.
 	p := binPackProblem([]float64{6, 6, 4, 4, 3, 3, 2}, 7, 10)
-	plan, err := LeastCorrelatedFit(p)
+	plan, err := LeastCorrelatedFit(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -32,7 +33,10 @@ var ErrSearchBudget = errors.New("placement: exact search budget exhausted")
 // Exact finds an assignment using the provably minimal number of
 // servers, exploring at most maxNodes branch-and-bound nodes. It
 // requires identical servers (the symmetry the solver exploits).
-func Exact(p *Problem, maxNodes int) (*Plan, error) {
+// Cancelling ctx aborts the search between branch-and-bound nodes with
+// a wrapped ctx error; a partial exact search certifies nothing, so
+// there is no best-so-far result.
+func Exact(ctx context.Context, p *Problem, maxNodes int) (*Plan, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -63,6 +67,7 @@ func Exact(p *Problem, maxNodes int) (*Plan, error) {
 	sort.SliceStable(order, func(i, j int) bool { return peaks[order[i]] > peaks[order[j]] })
 
 	s := &exactSearch{
+		ctx:      ctx,
 		p:        p,
 		ev:       ev,
 		order:    order,
@@ -83,11 +88,12 @@ func Exact(p *Problem, maxNodes int) (*Plan, error) {
 			assignment[app] = srv
 		}
 	}
-	return ev.evaluate(assignment)
+	return ev.evaluate(ctx, assignment)
 }
 
 // exactSearch carries the branch-and-bound state.
 type exactSearch struct {
+	ctx        context.Context
 	p          *Problem
 	ev         *evaluator
 	order      []int
@@ -103,6 +109,9 @@ func (s *exactSearch) explore(level int) error {
 	s.nodes++
 	if s.nodes > s.maxNodes {
 		return ErrSearchBudget
+	}
+	if err := s.ctx.Err(); err != nil {
+		return fmt.Errorf("placement: exact search: %w", err)
 	}
 	if len(s.groups) >= s.best {
 		return nil // cannot beat the incumbent
@@ -121,7 +130,7 @@ func (s *exactSearch) explore(level int) error {
 	for gi := range s.groups {
 		candidate := append(append([]int(nil), s.groups[gi]...), app)
 		sort.Ints(candidate)
-		usage, err := s.ev.evalServer(gi, candidate)
+		usage, err := s.ev.evalServer(s.ctx, gi, candidate)
 		if err != nil {
 			return err
 		}
@@ -139,7 +148,7 @@ func (s *exactSearch) explore(level int) error {
 	// Open one new server (identical servers: a single branch suffices).
 	if len(s.groups) < len(s.p.Servers) && len(s.groups)+1 < s.best {
 		gi := len(s.groups)
-		usage, err := s.ev.evalServer(gi, []int{app})
+		usage, err := s.ev.evalServer(s.ctx, gi, []int{app})
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"errors"
 	"testing"
 )
@@ -8,7 +9,7 @@ import (
 func TestExactOptimalBinPacking(t *testing.T) {
 	// Sizes with a known optimum of 3 servers of capacity 10.
 	p := binPackProblem([]float64{6, 6, 4, 4, 3, 3, 2}, 7, 10)
-	plan, err := Exact(p, 200000)
+	plan, err := Exact(context.Background(), p, 200000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,7 +23,7 @@ func TestExactOptimalBinPacking(t *testing.T) {
 
 func TestExactSingleServer(t *testing.T) {
 	p := binPackProblem([]float64{2, 3, 4}, 3, 10)
-	plan, err := Exact(p, 10000)
+	plan, err := Exact(context.Background(), p, 10000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestExactSingleServer(t *testing.T) {
 
 func TestExactInfeasible(t *testing.T) {
 	p := binPackProblem([]float64{20}, 1, 10)
-	_, err := Exact(p, 10000)
+	_, err := Exact(context.Background(), p, 10000)
 	if !errors.Is(err, ErrNoFeasible) {
 		t.Errorf("err = %v, want ErrNoFeasible", err)
 	}
@@ -41,7 +42,7 @@ func TestExactInfeasible(t *testing.T) {
 
 func TestExactBudgetExhausted(t *testing.T) {
 	p := binPackProblem([]float64{6, 6, 4, 4, 3, 3, 2}, 7, 10)
-	_, err := Exact(p, 3)
+	_, err := Exact(context.Background(), p, 3)
 	if !errors.Is(err, ErrSearchBudget) {
 		t.Errorf("err = %v, want ErrSearchBudget", err)
 	}
@@ -49,17 +50,17 @@ func TestExactBudgetExhausted(t *testing.T) {
 
 func TestExactArgumentErrors(t *testing.T) {
 	p := binPackProblem([]float64{1}, 1, 10)
-	if _, err := Exact(p, 0); err == nil {
+	if _, err := Exact(context.Background(), p, 0); err == nil {
 		t.Error("zero budget accepted")
 	}
 	hetero := binPackProblem([]float64{1, 2}, 2, 10)
 	hetero.Servers[1].CPUs = 4
-	if _, err := Exact(hetero, 100); err == nil {
+	if _, err := Exact(context.Background(), hetero, 100); err == nil {
 		t.Error("heterogeneous servers accepted")
 	}
 	broken := binPackProblem([]float64{1}, 1, 10)
 	broken.SlotsPerDay = 0
-	if _, err := Exact(broken, 100); err == nil {
+	if _, err := Exact(context.Background(), broken, 100); err == nil {
 		t.Error("invalid problem accepted")
 	}
 }
@@ -75,7 +76,7 @@ func TestGAMatchesExactOnSmallInstances(t *testing.T) {
 	}
 	for i, sizes := range cases {
 		p := binPackProblem(sizes, len(sizes), 10)
-		exact, err := Exact(p, 500000)
+		exact, err := Exact(context.Background(), p, 500000)
 		if err != nil {
 			t.Fatalf("case %d: %v", i, err)
 		}
@@ -85,7 +86,7 @@ func TestGAMatchesExactOnSmallInstances(t *testing.T) {
 		}
 		cfg := DefaultGAConfig(int64(i + 1))
 		cfg.MaxGenerations = 120
-		ga, err := Consolidate(p, initial, cfg)
+		ga, err := Consolidate(context.Background(), p, initial, cfg)
 		if err != nil {
 			t.Fatalf("case %d: %v", i, err)
 		}

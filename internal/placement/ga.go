@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -9,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"ropus/internal/robust"
 	"ropus/internal/telemetry"
 )
 
@@ -41,6 +43,10 @@ type GAConfig struct {
 	SeedGreedy bool
 	// Seed makes the search deterministic.
 	Seed int64
+	// TimeBudget bounds the search's wall-clock time; when it elapses the
+	// search stops at the next generation boundary and returns its best
+	// plan so far, flagged Truncated. Zero means no budget.
+	TimeBudget time.Duration
 }
 
 // DefaultGAConfig returns the configuration used for the case study.
@@ -75,6 +81,8 @@ func (c GAConfig) Validate() error {
 	// Negated-range form so that a NaN rate is rejected too.
 	case !(c.MutationRate >= 0 && c.MutationRate <= 1):
 		return fmt.Errorf("placement: MutationRate %v outside [0,1]", c.MutationRate)
+	case c.TimeBudget < 0:
+		return fmt.Errorf("placement: TimeBudget %v < 0", c.TimeBudget)
 	}
 	return nil
 }
@@ -82,7 +90,17 @@ func (c GAConfig) Validate() error {
 // Consolidate runs the genetic search from the given initial assignment
 // and returns the best feasible plan found. It returns an error if no
 // feasible assignment is discovered (including the initial one).
-func Consolidate(p *Problem, initial Assignment, cfg GAConfig) (*Plan, error) {
+//
+// Cancellation degrades gracefully: ctx is checked at every generation
+// boundary (and by the parallel offspring evaluations), and a cancelled
+// or over-budget search returns its best feasible plan so far with
+// Plan.Truncated set and a nil error. Only when cancellation strikes
+// before any feasible plan exists does Consolidate return an error. The
+// initial population is always evaluated to completion (detached from
+// ctx's cancellation) so that a given seed yields the same best-so-far
+// plan no matter when the cancel lands.
+func Consolidate(ctx context.Context, p *Problem, initial Assignment, cfg GAConfig) (plan *Plan, err error) {
+	defer robust.Recover("placement.Consolidate", &err)
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -104,6 +122,7 @@ func Consolidate(p *Problem, initial Assignment, cfg GAConfig) (*Plan, error) {
 		crossovers  = h.Counter("ga_crossovers_total")
 		mutations   = h.Counter("ga_mutations_total")
 		offspringC  = h.Counter("ga_offspring_evaluated_total")
+		truncatedC  = h.Counter("ga_truncated_total")
 		bestScore   = h.Gauge("ga_best_score")
 		meanScore   = h.Gauge("ga_mean_score")
 		bestServers = h.Gauge("ga_best_feasible_servers")
@@ -114,23 +133,32 @@ func Consolidate(p *Problem, initial Assignment, cfg GAConfig) (*Plan, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	ev := newEvaluator(p)
 
+	var deadline time.Time
+	if cfg.TimeBudget > 0 {
+		deadline = time.Now().Add(cfg.TimeBudget)
+	}
+	// The initial population is evaluated detached from cancellation:
+	// it is the floor every truncated search can still return, and
+	// keeping it complete makes best-so-far deterministic per seed.
+	seedCtx := context.WithoutCancel(ctx)
+
 	// Seed the population with the initial assignment, optional greedy
 	// packings, and mutated copies of the initial assignment.
 	pop := make([]*Plan, 0, cfg.PopulationSize)
-	first, err := ev.evaluate(initial)
+	first, err := ev.evaluate(seedCtx, initial)
 	if err != nil {
 		return nil, err
 	}
 	pop = append(pop, first)
 	if cfg.SeedGreedy {
-		for _, greedyFn := range []func(*Problem) (*Plan, error){FirstFitDecreasing, BestFitDecreasing} {
-			plan, err := greedyFn(p)
+		for _, greedyFn := range []func(context.Context, *Problem) (*Plan, error){FirstFitDecreasing, BestFitDecreasing} {
+			plan, err := greedyFn(seedCtx, p)
 			if err != nil {
 				continue // a greedy failure just means no warm start
 			}
 			// Re-evaluate through this run's evaluator so the plan
 			// shares its cache and tolerance.
-			seeded, err := ev.evaluate(plan.Assignment)
+			seeded, err := ev.evaluate(seedCtx, plan.Assignment)
 			if err != nil {
 				return nil, err
 			}
@@ -140,7 +168,7 @@ func Consolidate(p *Problem, initial Assignment, cfg GAConfig) (*Plan, error) {
 	for len(pop) < cfg.PopulationSize {
 		a := initial.Clone()
 		mutate(a, p, rng)
-		plan, err := ev.evaluate(a)
+		plan, err := ev.evaluate(seedCtx, a)
 		if err != nil {
 			return nil, err
 		}
@@ -151,7 +179,15 @@ func Consolidate(p *Problem, initial Assignment, cfg GAConfig) (*Plan, error) {
 	best := bestFeasible(pop)
 	stale := 0
 	ran := 0
+	truncated := false
 	for gen := 0; gen < cfg.MaxGenerations && stale < cfg.Stagnation; gen++ {
+		// Cheap per-generation degradation check: a cancelled context or
+		// an exhausted time budget stops the search at this boundary with
+		// whatever has been found so far.
+		if ctx.Err() != nil || (!deadline.IsZero() && !time.Now().Before(deadline)) {
+			truncated = true
+			break
+		}
 		genStart := time.Now()
 		next := make([]*Plan, 0, cfg.PopulationSize)
 		for i := 0; i < cfg.Elite && i < len(pop); i++ {
@@ -171,8 +207,14 @@ func Consolidate(p *Problem, initial Assignment, cfg GAConfig) (*Plan, error) {
 			}
 			offspring = append(offspring, a)
 		}
-		plans, err := evaluateAll(ev, offspring)
+		plans, err := evaluateAll(ctx, ev, offspring)
 		if err != nil {
+			if ctx.Err() != nil {
+				// Cancellation mid-generation: discard the partial
+				// generation and fall back to the best completed one.
+				truncated = true
+				break
+			}
 			return nil, err
 		}
 		pop = append(next, plans...)
@@ -196,9 +238,26 @@ func Consolidate(p *Problem, initial Assignment, cfg GAConfig) (*Plan, error) {
 		}
 		genSeconds.Observe(time.Since(genStart).Seconds())
 	}
-	span.SetAttr(telemetry.Int("generations", ran), telemetry.Bool("feasible", best != nil))
+	span.SetAttr(telemetry.Int("generations", ran),
+		telemetry.Bool("feasible", best != nil),
+		telemetry.Bool("truncated", truncated))
 	if best == nil {
+		if truncated {
+			cause := ctx.Err()
+			if cause == nil {
+				cause = context.DeadlineExceeded // time budget elapsed
+			}
+			return nil, fmt.Errorf("placement: consolidation cancelled after %d generations with no feasible plan: %w", ran, cause)
+		}
 		return nil, fmt.Errorf("%w after %d generations", ErrNoFeasible, cfg.MaxGenerations)
+	}
+	if truncated {
+		truncatedC.Inc()
+		// Copy before flagging: best may alias a population member that
+		// the evaluator's cache or the caller's initial plan shares.
+		partial := *best
+		partial.Truncated = true
+		best = &partial
 	}
 	span.SetAttr(telemetry.Int("servers_used", best.ServersUsed), telemetry.Float("score", best.Score))
 	return best, nil
@@ -219,7 +278,7 @@ func meanPlanScore(pop []*Plan) float64 {
 // evaluateAll evaluates assignments concurrently, preserving order. The
 // worker count follows GOMAXPROCS; the evaluator's cache is shared and
 // thread-safe, so duplicate groupings are still computed only ~once.
-func evaluateAll(ev *evaluator, assignments []Assignment) ([]*Plan, error) {
+func evaluateAll(ctx context.Context, ev *evaluator, assignments []Assignment) ([]*Plan, error) {
 	plans := make([]*Plan, len(assignments))
 	errs := make([]error, len(assignments))
 	workers := runtime.GOMAXPROCS(0)
@@ -228,7 +287,7 @@ func evaluateAll(ev *evaluator, assignments []Assignment) ([]*Plan, error) {
 	}
 	if workers <= 1 {
 		for i, a := range assignments {
-			plan, err := ev.evaluate(a)
+			plan, err := ev.evaluate(ctx, a)
 			if err != nil {
 				return nil, err
 			}
@@ -243,7 +302,7 @@ func evaluateAll(ev *evaluator, assignments []Assignment) ([]*Plan, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				plans[i], errs[i] = ev.evaluate(assignments[i])
+				plans[i], errs[i] = ev.evaluate(ctx, assignments[i])
 			}
 		}()
 	}

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -13,16 +14,18 @@ import (
 // FirstFitDecreasing places applications in order of decreasing peak
 // allocation, each onto the first (lowest-index) server where the
 // commitments remain satisfiable. It returns an error if some
-// application fits on no server.
-func FirstFitDecreasing(p *Problem) (*Plan, error) {
-	return greedy(p, pickFirstFit)
+// application fits on no server. Cancelling ctx aborts between
+// per-application placement steps with a wrapped ctx error (greedy
+// packings have no useful partial result).
+func FirstFitDecreasing(ctx context.Context, p *Problem) (*Plan, error) {
+	return greedy(ctx, p, pickFirstFit)
 }
 
 // BestFitDecreasing places applications in order of decreasing peak
 // allocation, each onto the feasible server whose resulting required
 // capacity leaves the least headroom (the tightest fit).
-func BestFitDecreasing(p *Problem) (*Plan, error) {
-	return greedy(p, pickBestFit)
+func BestFitDecreasing(ctx context.Context, p *Problem) (*Plan, error) {
+	return greedy(ctx, p, pickBestFit)
 }
 
 // candidate is a feasible placement option for one application.
@@ -54,7 +57,7 @@ func pickBestFit(cands []candidate) candidate {
 	return best
 }
 
-func greedy(p *Problem, pick func([]candidate) candidate) (*Plan, error) {
+func greedy(ctx context.Context, p *Problem, pick func([]candidate) candidate) (*Plan, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -80,11 +83,14 @@ func greedy(p *Problem, pick func([]candidate) candidate) (*Plan, error) {
 	groups := make([][]int, len(p.Servers))
 	assignment := make(Assignment, len(p.Apps))
 	for _, app := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("placement: greedy packing: %w", err)
+		}
 		var cands []candidate
 		for s := range p.Servers {
 			group := append(append([]int(nil), groups[s]...), app)
 			sort.Ints(group)
-			usage, err := ev.evalServer(s, group)
+			usage, err := ev.evalServer(ctx, s, group)
 			if err != nil {
 				return nil, err
 			}
@@ -105,5 +111,5 @@ func greedy(p *Problem, pick func([]candidate) candidate) (*Plan, error) {
 		sort.Ints(groups[chosen.server])
 		assignment[app] = chosen.server
 	}
-	return ev.evaluate(assignment)
+	return ev.evaluate(ctx, assignment)
 }

@@ -18,6 +18,7 @@
 package placement
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -26,6 +27,7 @@ import (
 	"strings"
 	"sync"
 
+	"ropus/internal/faultinject"
 	"ropus/internal/qos"
 	"ropus/internal/sim"
 	"ropus/internal/telemetry"
@@ -128,6 +130,10 @@ type Problem struct {
 	// progress, evaluator cache efficiency, bisection probes); nil
 	// disables it.
 	Hooks telemetry.Hooks
+	// Inject is the test-only fault injector forwarded to the simulator
+	// (points "sim.required_capacity" and "sim.replay", keyed by server
+	// ID); nil (the production default) injects nothing.
+	Inject faultinject.Injector
 
 	// attrs caches the sorted union of extra attributes; set by
 	// Validate.
@@ -265,6 +271,10 @@ type Plan struct {
 	// RequiredTotal is the sum of per-server required capacities over
 	// used servers (the paper's ΣC_requ).
 	RequiredTotal float64
+	// Truncated reports that the search producing this plan was cancelled
+	// (context or time budget) and the plan is the best found so far, not
+	// the converged optimum.
+	Truncated bool
 }
 
 // serverValue implements the per-server score contribution: +1 for an
@@ -283,16 +293,27 @@ func serverValue(u float64, z, nApps int, feasible bool, model ScoreModel) float
 	return math.Pow(u, 2*float64(z))
 }
 
+// inflightEval tracks one in-progress per-server simulation so that
+// concurrent callers needing the same (server, app-group) wait for the
+// single computation instead of racing to duplicate it.
+type inflightEval struct {
+	done  chan struct{}
+	usage ServerUsage
+	err   error
+}
+
 // evaluator evaluates assignments against a problem, caching per-server
 // simulations: the GA revisits the same app groupings constantly, so the
 // cache turns most evaluations into lookups. It is safe for concurrent
-// use; simulations run outside the lock, so two goroutines may race to
-// compute the same group once, which is harmless.
+// use; simulations run outside the lock and are deduplicated through an
+// in-flight table (singleflight style), so each (server, group) pair is
+// computed exactly once no matter how many goroutines ask for it.
 type evaluator struct {
 	p *Problem
 
-	mu    sync.Mutex
-	cache map[string]ServerUsage
+	mu       sync.Mutex
+	cache    map[string]ServerUsage
+	inflight map[string]*inflightEval
 	// hits/misses are instrumentation for the ablation benchmarks.
 	hits, misses int
 	// hitC/missC mirror hits/misses into the problem's metrics registry.
@@ -302,10 +323,11 @@ type evaluator struct {
 func newEvaluator(p *Problem) *evaluator {
 	h := telemetry.OrNop(p.Hooks)
 	return &evaluator{
-		p:     p,
-		cache: make(map[string]ServerUsage),
-		hitC:  h.Counter("placement_eval_cache_hits_total"),
-		missC: h.Counter("placement_eval_cache_misses_total"),
+		p:        p,
+		cache:    make(map[string]ServerUsage),
+		inflight: make(map[string]*inflightEval),
+		hitC:     h.Counter("placement_eval_cache_hits_total"),
+		missC:    h.Counter("placement_eval_cache_misses_total"),
 	}
 }
 
@@ -321,24 +343,60 @@ func (e *evaluator) key(server int, apps []int) string {
 }
 
 // evalServer simulates the given apps on the given server. The apps
-// slice must be sorted ascending.
-func (e *evaluator) evalServer(server int, apps []int) (ServerUsage, error) {
+// slice must be sorted ascending. Concurrent calls for the same group
+// share one computation; waiters give up when ctx is cancelled.
+func (e *evaluator) evalServer(ctx context.Context, server int, apps []int) (ServerUsage, error) {
 	srv := e.p.Servers[server]
 	if len(apps) == 0 {
 		return ServerUsage{Server: srv, Feasible: true, Value: 1}, nil
 	}
 	k := e.key(server, apps)
-	e.mu.Lock()
-	if u, ok := e.cache[k]; ok {
-		e.hits++
+	for {
+		e.mu.Lock()
+		if u, ok := e.cache[k]; ok {
+			e.hits++
+			e.mu.Unlock()
+			e.hitC.Inc()
+			return u, nil
+		}
+		if fl, ok := e.inflight[k]; ok {
+			e.mu.Unlock()
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return ServerUsage{}, fmt.Errorf("placement: evaluate server %q: %w", srv.ID, ctx.Err())
+			}
+			if fl.err != nil {
+				// The leader failed; nothing was cached, so loop around and
+				// recompute (the failure may have been ctx-specific).
+				if ctx.Err() != nil {
+					return ServerUsage{}, fl.err
+				}
+				continue
+			}
+			e.hitC.Inc()
+			return fl.usage, nil
+		}
+		fl := &inflightEval{done: make(chan struct{})}
+		e.inflight[k] = fl
+		e.misses++
 		e.mu.Unlock()
-		e.hitC.Inc()
-		return u, nil
-	}
-	e.misses++
-	e.mu.Unlock()
-	e.missC.Inc()
+		e.missC.Inc()
 
+		fl.usage, fl.err = e.computeServer(ctx, srv, apps)
+		e.mu.Lock()
+		if fl.err == nil {
+			e.cache[k] = fl.usage
+		}
+		delete(e.inflight, k)
+		e.mu.Unlock()
+		close(fl.done)
+		return fl.usage, fl.err
+	}
+}
+
+// computeServer runs the simulator for one (server, app-group) pair.
+func (e *evaluator) computeServer(ctx context.Context, srv Server, apps []int) (ServerUsage, error) {
 	workloads := make([]sim.Workload, len(apps))
 	ids := make([]string, len(apps))
 	for i, a := range apps {
@@ -354,12 +412,14 @@ func (e *evaluator) evalServer(server int, apps []int) (ServerUsage, error) {
 		SlotsPerDay:   e.p.SlotsPerDay,
 		DeadlineSlots: e.p.DeadlineSlots,
 		Hooks:         e.p.Hooks,
+		Inject:        e.p.Inject,
+		InjectKey:     srv.ID,
 	}
-	required, res, ok, err := agg.RequiredCapacity(cfg, srv.Capacity(), e.p.tolerance())
+	required, res, ok, err := agg.RequiredCapacity(ctx, cfg, srv.Capacity(), e.p.tolerance())
 	if err != nil {
 		return ServerUsage{}, err
 	}
-	extraRequired, extraOK, err := e.evalAttributes(server, apps)
+	extraRequired, extraOK, err := e.evalAttributes(ctx, srv, apps)
 	if err != nil {
 		return ServerUsage{}, err
 	}
@@ -372,14 +432,11 @@ func (e *evaluator) evalServer(server int, apps []int) (ServerUsage, error) {
 		ExtraRequired: extraRequired,
 	}
 	usage.Value = serverValue(usage.Utilization(), srv.CPUs, len(apps), usage.Feasible, e.p.Score)
-	e.mu.Lock()
-	e.cache[k] = usage
-	e.mu.Unlock()
 	return usage, nil
 }
 
 // evaluate scores a full assignment.
-func (e *evaluator) evaluate(a Assignment) (*Plan, error) {
+func (e *evaluator) evaluate(ctx context.Context, a Assignment) (*Plan, error) {
 	if err := a.Validate(e.p); err != nil {
 		return nil, err
 	}
@@ -390,7 +447,7 @@ func (e *evaluator) evaluate(a Assignment) (*Plan, error) {
 		Feasible:   true,
 	}
 	for s := range e.p.Servers {
-		usage, err := e.evalServer(s, groups[s])
+		usage, err := e.evalServer(ctx, s, groups[s])
 		if err != nil {
 			return nil, err
 		}
@@ -420,12 +477,14 @@ func groupByServer(a Assignment, servers int) [][]int {
 	return groups
 }
 
-// Evaluate scores an assignment against a problem without searching.
+// Evaluate scores an assignment against a problem without searching. A
+// single evaluation is cheap relative to the searches, so it takes no
+// context; use the searching entry points for cancellable work.
 func Evaluate(p *Problem, a Assignment) (*Plan, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return newEvaluator(p).evaluate(a)
+	return newEvaluator(p).evaluate(context.Background(), a)
 }
 
 // OneAppPerServer returns the trivial assignment placing application i

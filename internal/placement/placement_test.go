@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -171,7 +172,7 @@ func TestConsolidateLinearScoreStillPacks(t *testing.T) {
 	}
 	cfg := DefaultGAConfig(7)
 	cfg.MaxGenerations = 120
-	plan, err := Consolidate(p, initial, cfg)
+	plan, err := Consolidate(context.Background(), p, initial, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func TestGreedyBinPacking(t *testing.T) {
 	sizes := []float64{6, 6, 4, 4, 3, 3, 2}
 	p := binPackProblem(sizes, 7, 10)
 
-	ffd, err := FirstFitDecreasing(p)
+	ffd, err := FirstFitDecreasing(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +276,7 @@ func TestGreedyBinPacking(t *testing.T) {
 		t.Errorf("FFD ServersUsed = %d, want 3", ffd.ServersUsed)
 	}
 
-	bfd, err := BestFitDecreasing(p)
+	bfd, err := BestFitDecreasing(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,10 +290,10 @@ func TestGreedyBinPacking(t *testing.T) {
 
 func TestGreedyImpossible(t *testing.T) {
 	p := binPackProblem([]float64{20}, 2, 10)
-	if _, err := FirstFitDecreasing(p); err == nil {
+	if _, err := FirstFitDecreasing(context.Background(), p); err == nil {
 		t.Error("oversized app should fail FFD")
 	}
-	if _, err := BestFitDecreasing(p); err == nil {
+	if _, err := BestFitDecreasing(context.Background(), p); err == nil {
 		t.Error("oversized app should fail BFD")
 	}
 }
@@ -338,7 +339,7 @@ func TestConsolidateBinPacking(t *testing.T) {
 	}
 	cfg := DefaultGAConfig(7)
 	cfg.MaxGenerations = 120
-	plan, err := Consolidate(p, initial, cfg)
+	plan, err := Consolidate(context.Background(), p, initial, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,7 +368,7 @@ func TestConsolidateDeterministic(t *testing.T) {
 		}
 		cfg := DefaultGAConfig(99)
 		cfg.MaxGenerations = 60
-		plan, err := Consolidate(p, initial, cfg)
+		plan, err := Consolidate(context.Background(), p, initial, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -388,24 +389,24 @@ func TestConsolidateDeterministic(t *testing.T) {
 func TestConsolidateInfeasibleProblem(t *testing.T) {
 	p := binPackProblem([]float64{20, 20}, 2, 10)
 	initial := Assignment{0, 1}
-	if _, err := Consolidate(p, initial, DefaultGAConfig(1)); err == nil {
+	if _, err := Consolidate(context.Background(), p, initial, DefaultGAConfig(1)); err == nil {
 		t.Error("unsatisfiable problem should error")
 	}
 }
 
 func TestConsolidateInputErrors(t *testing.T) {
 	p := binPackProblem([]float64{1}, 1, 10)
-	if _, err := Consolidate(p, Assignment{0, 0}, DefaultGAConfig(1)); err == nil {
+	if _, err := Consolidate(context.Background(), p, Assignment{0, 0}, DefaultGAConfig(1)); err == nil {
 		t.Error("wrong-length assignment should fail")
 	}
 	bad := DefaultGAConfig(1)
 	bad.PopulationSize = 0
-	if _, err := Consolidate(p, Assignment{0}, bad); err == nil {
+	if _, err := Consolidate(context.Background(), p, Assignment{0}, bad); err == nil {
 		t.Error("bad GA config should fail")
 	}
 	broken := binPackProblem([]float64{1}, 1, 10)
 	broken.SlotsPerDay = 0
-	if _, err := Consolidate(broken, Assignment{0}, DefaultGAConfig(1)); err == nil {
+	if _, err := Consolidate(context.Background(), broken, Assignment{0}, DefaultGAConfig(1)); err == nil {
 		t.Error("bad problem should fail")
 	}
 }
@@ -416,11 +417,11 @@ func TestEvaluatorCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	ev := newEvaluator(p)
-	if _, err := ev.evaluate(Assignment{0, 0}); err != nil {
+	if _, err := ev.evaluate(context.Background(), Assignment{0, 0}); err != nil {
 		t.Fatal(err)
 	}
 	missesAfterFirst := ev.misses
-	if _, err := ev.evaluate(Assignment{0, 0}); err != nil {
+	if _, err := ev.evaluate(context.Background(), Assignment{0, 0}); err != nil {
 		t.Fatal(err)
 	}
 	if ev.misses != missesAfterFirst {

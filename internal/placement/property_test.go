@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -30,7 +31,7 @@ func TestQuickConsolidateAlwaysFeasibleOrErrNoFeasible(t *testing.T) {
 		cfg.MaxGenerations = 40
 		cfg.Stagnation = 10
 
-		plan, err := Consolidate(p, initial, cfg)
+		plan, err := Consolidate(context.Background(), p, initial, cfg)
 		if err != nil {
 			// Allowed only when some app alone exceeds every server.
 			maxSize := 0.0
@@ -82,10 +83,10 @@ func TestQuickGreedyNeverWorseThanOnePerServer(t *testing.T) {
 			sizes[i] = 0.5 + rng.Float64()*float64(cpus)*0.9 // always placeable
 		}
 		p := binPackProblem(sizes, nApps, cpus)
-		for _, fn := range []func(*Problem) (*Plan, error){
+		for _, fn := range []func(context.Context, *Problem) (*Plan, error){
 			FirstFitDecreasing, BestFitDecreasing, LeastCorrelatedFit,
 		} {
-			plan, err := fn(p)
+			plan, err := fn(context.Background(), p)
 			if err != nil {
 				t.Fatalf("trial %d: %v (sizes %v, cpus %d)", trial, err, sizes, cpus)
 			}

@@ -1,0 +1,62 @@
+package planner
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ropus/internal/faultinject"
+)
+
+func TestCancelPlannerPartialPlan(t *testing.T) {
+	cfg := validConfig(t) // horizon 4, step 2: baseline + steps at +2w, +4w
+	set := fleet(t, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Cancel when the planner reaches the +4w step: the baseline and
+	// the +2w step have completed, so the plan degrades to that prefix.
+	cfg.Inject = faultinject.Func(func(point, key string) faultinject.Outcome {
+		if point == "planner.step" && key == "4" {
+			cancel()
+		}
+		return faultinject.Outcome{}
+	})
+	plan, err := Run(ctx, cfg, set)
+	if err != nil {
+		t.Fatalf("cancelled planning should degrade, got %v", err)
+	}
+	if !plan.Truncated {
+		t.Error("cancelled plan should be flagged Truncated")
+	}
+	if len(plan.Steps) != 1 || plan.Steps[0].WeeksAhead != 2 {
+		t.Errorf("want the completed +2w prefix, got %+v", plan.Steps)
+	}
+	if !plan.Baseline.Feasible {
+		t.Error("baseline should have completed before the cancel")
+	}
+}
+
+func TestCancelPlannerBeforeBaseline(t *testing.T) {
+	cfg := validConfig(t)
+	set := fleet(t, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Without a baseline there is no useful partial plan: the
+	// cancellation surfaces as an error.
+	if _, err := Run(ctx, cfg, set); !errors.Is(err, context.Canceled) {
+		t.Errorf("error should wrap context.Canceled, got %v", err)
+	}
+}
+
+func TestChaosPlannerStepInjectedError(t *testing.T) {
+	cfg := validConfig(t)
+	set := fleet(t, 3)
+	// A scripted error at a horizon step (not the baseline, not a
+	// cancellation) is a real failure and must abort with context.
+	cfg.Inject = faultinject.MustScript(1,
+		faultinject.Rule{Point: "planner.step", Key: "2"})
+	_, err := Run(context.Background(), cfg, set)
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Errorf("error should wrap faultinject.ErrInjected, got %v", err)
+	}
+}

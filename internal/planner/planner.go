@@ -13,12 +13,16 @@
 package planner
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"ropus/internal/core"
+	"ropus/internal/faultinject"
 	"ropus/internal/placement"
+	"ropus/internal/robust"
 	"ropus/internal/telemetry"
 	"ropus/internal/trace"
 )
@@ -46,6 +50,10 @@ type Config struct {
 	// nil disables it. Note the Framework carries its own hooks for the
 	// translation and consolidation it performs.
 	Hooks telemetry.Hooks
+	// Inject is the test-only fault injector consulted at the
+	// "planner.step" point (keyed by weeks ahead, "0" for the baseline);
+	// nil (the production default) injects nothing.
+	Inject faultinject.Injector
 }
 
 // Validate checks the configuration.
@@ -104,10 +112,18 @@ type Plan struct {
 	// more than PoolServers servers are needed; 0 when the pool
 	// suffices for the whole horizon.
 	ExhaustedAtWeeks int
+	// Truncated reports that the run was cancelled before every horizon
+	// step was evaluated; Steps holds the completed prefix (nearest
+	// horizons first, which are also the most actionable ones).
+	Truncated bool
 }
 
 // Run projects the traces and consolidates at every horizon step.
-func Run(cfg Config, traces trace.Set) (*Plan, error) {
+// Cancelling ctx stops the projection at the next step boundary and
+// returns the completed prefix of steps with Plan.Truncated set and a
+// nil error; the baseline must complete for any plan to be returned.
+func Run(ctx context.Context, cfg Config, traces trace.Set) (plan *Plan, err error) {
+	defer robust.Recover("planner.Run", &err)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -129,21 +145,26 @@ func Run(cfg Config, traces trace.Set) (*Plan, error) {
 		telemetry.Int("step_weeks", cfg.StepWeeks))
 	defer span.End()
 	stepsC := h.Counter("planner_steps_total")
+	truncatedC := h.Counter("planner_truncated_total")
 	stepSecs := h.Histogram("planner_step_seconds", nil)
 
 	start := time.Now()
-	baseline, err := consolidateStep(cfg, traces)
+	baseline, err := consolidateStep(ctx, cfg, traces, 0)
 	if err != nil {
 		return nil, fmt.Errorf("planner: baseline: %w", err)
 	}
 	stepsC.Inc()
 	stepSecs.Observe(time.Since(start).Seconds())
-	plan := &Plan{Baseline: baseline}
+	plan = &Plan{Baseline: baseline}
 	if !baseline.Feasible {
 		return nil, errors.New("planner: current demand is already unplaceable")
 	}
 
 	for ahead := cfg.StepWeeks; ahead <= cfg.HorizonWeeks; ahead += cfg.StepWeeks {
+		if ctx.Err() != nil {
+			plan.Truncated = true
+			break
+		}
 		stepSpan := h.StartSpan("planner.step", telemetry.Int("weeks_ahead", ahead))
 		start := time.Now()
 		projected, err := projectSet(cfg, traces, ahead)
@@ -151,9 +172,15 @@ func Run(cfg Config, traces trace.Set) (*Plan, error) {
 			stepSpan.End()
 			return nil, fmt.Errorf("planner: project +%dw: %w", ahead, err)
 		}
-		step, err := consolidateStep(cfg, projected)
+		step, err := consolidateStep(ctx, cfg, projected, ahead)
 		if err != nil {
 			stepSpan.End()
+			if ctx.Err() != nil {
+				// Cancellation surfaced through the consolidation stack:
+				// degrade to the completed prefix of steps.
+				plan.Truncated = true
+				break
+			}
 			return nil, fmt.Errorf("planner: consolidate +%dw: %w", ahead, err)
 		}
 		stepsC.Inc()
@@ -169,7 +196,12 @@ func Run(cfg Config, traces trace.Set) (*Plan, error) {
 			plan.ExhaustedAtWeeks = ahead
 		}
 	}
-	span.SetAttr(telemetry.Int("exhausted_at_weeks", plan.ExhaustedAtWeeks))
+	if plan.Truncated {
+		truncatedC.Inc()
+	}
+	span.SetAttr(
+		telemetry.Int("exhausted_at_weeks", plan.ExhaustedAtWeeks),
+		telemetry.Bool("truncated", plan.Truncated))
 	return plan, nil
 }
 
@@ -209,13 +241,22 @@ func projectSet(cfg Config, traces trace.Set, ahead int) (trace.Set, error) {
 // consolidateStep translates and consolidates one trace set. A
 // placement that fits on no pool configuration is reported as an
 // infeasible step, not an error.
-func consolidateStep(cfg Config, traces trace.Set) (Step, error) {
-	translation, err := cfg.Framework.Translate(traces, cfg.Requirements)
+func consolidateStep(ctx context.Context, cfg Config, traces trace.Set, ahead int) (Step, error) {
+	if cfg.Inject != nil {
+		o := cfg.Inject.Hit("planner.step", strconv.Itoa(ahead))
+		if o.Delay > 0 {
+			time.Sleep(o.Delay)
+		}
+		if o.Err != nil {
+			return Step{}, o.Err
+		}
+	}
+	translation, err := cfg.Framework.Translate(ctx, traces, cfg.Requirements)
 	if err != nil {
 		return Step{}, err
 	}
 	step := Step{CPeak: translation.CPeakTotal()}
-	cons, err := cfg.Framework.Consolidate(translation)
+	cons, err := cfg.Framework.Consolidate(ctx, translation)
 	if errors.Is(err, placement.ErrNoFeasible) {
 		return step, nil
 	}

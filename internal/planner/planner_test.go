@@ -1,6 +1,7 @@
 package planner
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -86,7 +87,7 @@ func TestConfigValidate(t *testing.T) {
 func TestRunFlatDemandStaysFlat(t *testing.T) {
 	cfg := validConfig(t)
 	set := fleet(t, 3)
-	plan, err := Run(cfg, set)
+	plan, err := Run(context.Background(), cfg, set)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestRunGrowthExhaustsPool(t *testing.T) {
 	cfg := validConfig(t)
 	set := fleet(t, 3)
 	// Set the pool size to the baseline so any growth overflows it.
-	base, err := Run(cfg, set)
+	base, err := Run(context.Background(), cfg, set)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestRunGrowthExhaustsPool(t *testing.T) {
 	for _, tr := range set {
 		cfg.Growth[tr.AppID] = 4 // 4x demand by the end of the horizon
 	}
-	plan, err := Run(cfg, set)
+	plan, err := Run(context.Background(), cfg, set)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,21 +144,21 @@ func TestRunGrowthExhaustsPool(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	cfg := validConfig(t)
-	if _, err := Run(cfg, trace.Set{}); err == nil {
+	if _, err := Run(context.Background(), cfg, trace.Set{}); err == nil {
 		t.Error("empty trace set accepted")
 	}
 	oneWeek := fleet(t, 1)
-	if _, err := Run(cfg, oneWeek); err == nil {
+	if _, err := Run(context.Background(), cfg, oneWeek); err == nil {
 		t.Error("single-week history accepted")
 	}
 	set := fleet(t, 3)
 	cfg.Growth = map[string]float64{"unknown-app": 2}
-	if _, err := Run(cfg, set); err == nil {
+	if _, err := Run(context.Background(), cfg, set); err == nil {
 		t.Error("growth for unknown app accepted")
 	}
 	bad := validConfig(t)
 	bad.HorizonWeeks = 0
-	if _, err := Run(bad, set); err == nil {
+	if _, err := Run(context.Background(), bad, set); err == nil {
 		t.Error("invalid config accepted")
 	}
 }

@@ -10,6 +10,7 @@
 package rebalance
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -98,7 +99,7 @@ type Proposal struct {
 // operators naturally favour nearby configurations, and the proposal is
 // then trimmed: moves that can be reverted without breaking feasibility
 // or using more servers are dropped until the migration budget holds.
-func Run(p *placement.Problem, current placement.Assignment, cfg Config) (*Proposal, error) {
+func Run(ctx context.Context, p *placement.Problem, current placement.Assignment, cfg Config) (*Proposal, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -107,7 +108,7 @@ func Run(p *placement.Problem, current placement.Assignment, cfg Config) (*Propo
 		return nil, err
 	}
 
-	plan, err := placement.Consolidate(p, current, cfg.GA)
+	plan, err := placement.Consolidate(ctx, p, current, cfg.GA)
 	if errors.Is(err, placement.ErrNoFeasible) {
 		// Nothing feasible found at all; keep what we have and report.
 		return &Proposal{Audit: audit, Keep: true, BudgetExceeded: !audit.Feasible}, nil

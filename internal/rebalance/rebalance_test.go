@@ -1,6 +1,7 @@
 package rebalance
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -70,7 +71,7 @@ func TestEvaluateReportsViolations(t *testing.T) {
 func TestRunKeepsGoodAssignment(t *testing.T) {
 	// Already optimally packed: nothing to do.
 	p := problem([]float64{5, 4}, 2, 10)
-	prop, err := Run(p, placement.Assignment{0, 0}, Config{GA: ga(), MinScoreGain: 0.1})
+	prop, err := Run(context.Background(), p, placement.Assignment{0, 0}, Config{GA: ga(), MinScoreGain: 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestRunKeepsGoodAssignment(t *testing.T) {
 func TestRunRepairsViolation(t *testing.T) {
 	// Two apps overloading one server while another sits empty.
 	p := problem([]float64{6, 6}, 2, 10)
-	prop, err := Run(p, placement.Assignment{0, 0}, Config{GA: ga()})
+	prop, err := Run(context.Background(), p, placement.Assignment{0, 0}, Config{GA: ga()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestRunConsolidatesWhenWorthIt(t *testing.T) {
 	// Two half-empty servers that fit on one: consolidation frees a
 	// server (+1 score), above the gain threshold.
 	p := problem([]float64{3, 3}, 2, 10)
-	prop, err := Run(p, placement.Assignment{0, 1}, Config{GA: ga(), MinScoreGain: 0.5})
+	prop, err := Run(context.Background(), p, placement.Assignment{0, 1}, Config{GA: ga(), MinScoreGain: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestRunRespectsMigrationBudget(t *testing.T) {
 	// trim walk reverts moves while it can keep feasibility and server
 	// count; pairing two apps per server needs only 2 moves.
 	p := problem([]float64{2, 2, 2, 2}, 4, 10)
-	prop, err := Run(p, placement.Assignment{0, 1, 2, 3}, Config{GA: ga(), MaxMoves: 2})
+	prop, err := Run(context.Background(), p, placement.Assignment{0, 1, 2, 3}, Config{GA: ga(), MaxMoves: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestRunRespectsMigrationBudget(t *testing.T) {
 func TestRunUnrepairableReportsBudgetExceeded(t *testing.T) {
 	// A single oversized app: no feasible assignment exists at all.
 	p := problem([]float64{20}, 1, 10)
-	prop, err := Run(p, placement.Assignment{0}, Config{GA: ga()})
+	prop, err := Run(context.Background(), p, placement.Assignment{0}, Config{GA: ga()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,10 +173,10 @@ func TestConfigValidate(t *testing.T) {
 		t.Error("bad GA accepted")
 	}
 	p := problem([]float64{1}, 1, 10)
-	if _, err := Run(p, placement.Assignment{0}, Config{GA: bad}); err == nil {
+	if _, err := Run(context.Background(), p, placement.Assignment{0}, Config{GA: bad}); err == nil {
 		t.Error("Run with bad config accepted")
 	}
-	if _, err := Run(p, placement.Assignment{0, 1}, Config{GA: ga()}); err == nil {
+	if _, err := Run(context.Background(), p, placement.Assignment{0, 1}, Config{GA: ga()}); err == nil {
 		t.Error("Run with bad assignment accepted")
 	}
 }

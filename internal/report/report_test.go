@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -36,7 +37,7 @@ func sampleReport(t *testing.T) *core.Report {
 		t.Fatal(err)
 	}
 	q := qos.AppQoS{ULow: 0.5, UHigh: 0.66, UDegr: 0.9, MPercent: 97}
-	r, err := f.Run(set, core.Requirements{Default: qos.Requirement{Normal: q, Failure: q}})
+	r, err := f.Run(context.Background(), set, core.Requirements{Default: qos.Requirement{Normal: q, Failure: q}})
 	if err != nil {
 		t.Fatal(err)
 	}

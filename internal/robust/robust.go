@@ -1,0 +1,31 @@
+// Package robust holds the shared pieces of the pipeline's robustness
+// layer: panic-to-error recovery at package API boundaries. Long-running
+// entry points (placement.Consolidate, failure.Analyze, planner.Run,
+// core's pipeline, the workload-manager replay) defer Recover so that a
+// bug deep in a search or replay surfaces as a wrapped error the caller
+// can log and degrade on, instead of tearing down a whole planning
+// process that may be midway through other scenarios.
+package robust
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// ErrPanic marks an error produced by recovering a panic at an API
+// boundary; match it with errors.Is.
+var ErrPanic = errors.New("panic recovered")
+
+// Recover converts an in-flight panic into an error assigned to *errp,
+// wrapping ErrPanic and capturing the stack. Use it in a defer with a
+// named error return:
+//
+//	func Solve(...) (plan *Plan, err error) {
+//	    defer robust.Recover("placement.Consolidate", &err)
+//	    ...
+func Recover(op string, errp *error) {
+	if r := recover(); r != nil {
+		*errp = fmt.Errorf("%s: %w: %v\n%s", op, ErrPanic, r, debug.Stack())
+	}
+}

@@ -1,0 +1,41 @@
+package robust
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestChaosRecoverConvertsPanic(t *testing.T) {
+	f := func() (err error) {
+		defer Recover("pkg.Op", &err)
+		panic("kaboom")
+	}
+	err := f()
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("error should wrap ErrPanic, got %v", err)
+	}
+	for _, want := range []string{"pkg.Op", "kaboom", "robust_test.go"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error should contain %q, got:\n%v", want, err)
+		}
+	}
+}
+
+func TestChaosRecoverNoPanicKeepsError(t *testing.T) {
+	sentinel := errors.New("real failure")
+	f := func() (err error) {
+		defer Recover("pkg.Op", &err)
+		return sentinel
+	}
+	if err := f(); !errors.Is(err, sentinel) {
+		t.Errorf("Recover must not touch a normal error, got %v", err)
+	}
+	g := func() (err error) {
+		defer Recover("pkg.Op", &err)
+		return nil
+	}
+	if err := g(); err != nil {
+		t.Errorf("Recover must not invent an error, got %v", err)
+	}
+}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"ropus/internal/faultinject"
+)
+
+func cancelAggregate(t *testing.T) *Aggregate {
+	t.Helper()
+	agg, err := NewAggregate([]Workload{
+		{AppID: "a", CoS1: []float64{1, 2, 1, 2}, CoS2: []float64{3, 1, 3, 1}},
+		{AppID: "b", CoS1: []float64{2, 1, 2, 1}, CoS2: []float64{1, 3, 1, 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agg
+}
+
+func TestCancelRequiredCapacity(t *testing.T) {
+	agg := cancelAggregate(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, _, err := agg.RequiredCapacity(ctx, cfg(0, 0.9, 4, 2), 20, 0.01)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error should wrap context.Canceled, got %v", err)
+	}
+	// A live context searches normally.
+	capacity, _, ok, err := agg.RequiredCapacity(context.Background(), cfg(0, 0.9, 4, 2), 20, 0.01)
+	if err != nil || !ok {
+		t.Fatalf("live search failed: capacity=%v ok=%v err=%v", capacity, ok, err)
+	}
+}
+
+func TestChaosReplayInjectedError(t *testing.T) {
+	agg := cancelAggregate(t)
+	c := cfg(10, 0.9, 4, 2)
+	c.Inject = faultinject.MustScript(1, faultinject.Rule{Point: "sim.replay", Key: "srv-x"})
+	c.InjectKey = "srv-x"
+	if _, err := agg.Replay(c); !errors.Is(err, faultinject.ErrInjected) {
+		t.Errorf("error should wrap faultinject.ErrInjected, got %v", err)
+	}
+	// A different key leaves the replay alone.
+	c.InjectKey = "srv-y"
+	if _, err := agg.Replay(c); err != nil {
+		t.Errorf("unkeyed replay should succeed, got %v", err)
+	}
+}
+
+func TestChaosReplayCorruptedSlotDetected(t *testing.T) {
+	agg := cancelAggregate(t)
+	c := cfg(10, 0.9, 4, 2)
+	c.Inject = faultinject.MustScript(1,
+		faultinject.Rule{Point: "sim.replay", Corrupt: true})
+	_, err := agg.Replay(c)
+	if err == nil {
+		t.Fatal("corrupted replay should be detected, not silently averaged")
+	}
+	if !strings.Contains(err.Error(), "NaN") {
+		t.Errorf("error should name the NaN statistics, got %v", err)
+	}
+}
+
+func TestChaosCorruptedWorkloadRejected(t *testing.T) {
+	// NaN slots from a corrupted monitoring feed must be rejected at
+	// workload validation, before they can poison the statistics.
+	samples := faultinject.CorruptSlots([]float64{1, 2, 3, 4}, 0.25, 9)
+	w := Workload{AppID: "a", CoS1: samples, CoS2: []float64{0, 0, 0, 0}}
+	if err := w.Validate(); err == nil {
+		t.Error("workload with NaN slots accepted")
+	}
+	if _, err := NewAggregate([]Workload{w}); err == nil {
+		t.Error("aggregate built from NaN workload")
+	}
+	if !math.IsNaN(samples[0]) && !math.IsNaN(samples[1]) &&
+		!math.IsNaN(samples[2]) && !math.IsNaN(samples[3]) {
+		t.Fatal("CorruptSlots corrupted nothing")
+	}
+}
+
+func TestChaosRequiredCapacityInjectedError(t *testing.T) {
+	agg := cancelAggregate(t)
+	c := cfg(0, 0.9, 4, 2)
+	c.Inject = faultinject.MustScript(1, faultinject.Rule{Point: "sim.required_capacity"})
+	_, _, _, err := agg.RequiredCapacity(context.Background(), c, 20, 0.01)
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Errorf("error should wrap faultinject.ErrInjected, got %v", err)
+	}
+}

@@ -16,10 +16,13 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
+	"ropus/internal/faultinject"
 	"ropus/internal/qos"
 	"ropus/internal/telemetry"
 )
@@ -66,6 +69,13 @@ type Config struct {
 	DeadlineSlots int
 	// Hooks receives replay and search telemetry; nil disables it.
 	Hooks telemetry.Hooks
+	// Inject is the test-only fault injector consulted at the
+	// "sim.replay" and "sim.required_capacity" points; nil (the
+	// production default) injects nothing.
+	Inject faultinject.Injector
+	// InjectKey is the occurrence key passed to Inject (for example the
+	// server ID the replay is evaluating).
+	InjectKey string
 }
 
 // Validate checks the replay configuration.
@@ -171,6 +181,20 @@ func (a *Aggregate) Replay(cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
+	corrupted := false
+	if cfg.Inject != nil {
+		o := cfg.Inject.Hit("sim.replay", cfg.InjectKey)
+		if o.Delay > 0 {
+			time.Sleep(o.Delay)
+		}
+		if o.Err != nil {
+			return Result{}, fmt.Errorf("sim: replay %q: %w", cfg.InjectKey, o.Err)
+		}
+		// A corruption fault poisons the first slot's CoS2 request with
+		// NaN, modelling a corrupted trace slot reaching the replay; the
+		// NaN propagates into θ and trips the guard below.
+		corrupted = o.Corrupt
+	}
 	const eps = 1e-9
 	res := Result{
 		CoS1Peak:      a.cos1Peak,
@@ -200,6 +224,9 @@ func (a *Aggregate) Replay(cfg Config) (Result, error) {
 			avail = 0
 		}
 		requested := a.cos2[i]
+		if corrupted && i == 0 {
+			requested = math.NaN()
+		}
 		served := math.Min(requested, avail)
 		avail -= served
 
@@ -246,6 +273,12 @@ func (a *Aggregate) Replay(cfg Config) (Result, error) {
 
 	res.Theta = 1
 	for _, g := range groups {
+		if math.IsNaN(g.requested) || math.IsNaN(g.served) {
+			// Corrupted (NaN) slots would otherwise make the θ
+			// comparisons silently false; surface them as an error the
+			// callers' skip-and-continue paths can record.
+			return Result{}, errors.New("sim: replay produced NaN statistics (corrupted trace slot?)")
+		}
 		ratio := 1.0
 		if g.requested > eps {
 			ratio = g.served / g.requested
@@ -271,13 +304,26 @@ func (a *Aggregate) Replay(cfg Config) (Result, error) {
 // bisection as in Figure 4. It returns the capacity and the replay
 // result at that capacity. If even the limit does not satisfy the
 // commitments, ok is false and the returned result describes the replay
-// at the limit.
-func (a *Aggregate) RequiredCapacity(cfg Config, limit, tol float64) (capacity float64, res Result, ok bool, err error) {
+// at the limit. Cancelling ctx aborts the search between bisection
+// iterations with a wrapped ctx error.
+func (a *Aggregate) RequiredCapacity(ctx context.Context, cfg Config, limit, tol float64) (capacity float64, res Result, ok bool, err error) {
 	if tol <= 0 {
 		return 0, Result{}, false, fmt.Errorf("sim: tolerance %v <= 0", tol)
 	}
 	if limit <= 0 {
 		return 0, Result{}, false, fmt.Errorf("sim: capacity limit %v <= 0", limit)
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, Result{}, false, fmt.Errorf("sim: required-capacity search: %w", err)
+	}
+	if cfg.Inject != nil {
+		o := cfg.Inject.Hit("sim.required_capacity", cfg.InjectKey)
+		if o.Delay > 0 {
+			time.Sleep(o.Delay)
+		}
+		if o.Err != nil {
+			return 0, Result{}, false, fmt.Errorf("sim: required-capacity search %q: %w", cfg.InjectKey, o.Err)
+		}
 	}
 	h := telemetry.OrNop(cfg.Hooks)
 	h.Counter("sim_searches_total").Inc()
@@ -319,6 +365,9 @@ func (a *Aggregate) RequiredCapacity(cfg Config, limit, tol float64) (capacity f
 
 	lo := a.cos1Peak
 	for hi-lo > tol {
+		if err := ctx.Err(); err != nil {
+			return 0, Result{}, false, fmt.Errorf("sim: required-capacity search: %w", err)
+		}
 		iterations.Inc()
 		mid := (lo + hi) / 2
 		cfg.Capacity = mid

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -265,7 +266,7 @@ func TestRequiredCapacityThetaOne(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := cfg(0, 1, 3, 1)
-	got, res, ok, err := agg.RequiredCapacity(c, 100, 0.01)
+	got, res, ok, err := agg.RequiredCapacity(context.Background(), c, 100, 0.01)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +293,7 @@ func TestRequiredCapacityLowTheta(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := cfg(0, 0.5, 2, 4)
-	got, res, ok, err := agg.RequiredCapacity(c, 100, 0.01)
+	got, res, ok, err := agg.RequiredCapacity(context.Background(), c, 100, 0.01)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,10 +316,10 @@ func TestRequiredCapacityCoS1Dominates(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := cfg(0, 0.9, 2, 1)
-	if _, _, ok, err := agg.RequiredCapacity(c, 5, 0.01); err != nil || ok {
+	if _, _, ok, err := agg.RequiredCapacity(context.Background(), c, 5, 0.01); err != nil || ok {
 		t.Errorf("CoS1 peak 7 over limit 5: ok=%v err=%v, want unsatisfiable", ok, err)
 	}
-	got, _, ok, err := agg.RequiredCapacity(c, 10, 0.01)
+	got, _, ok, err := agg.RequiredCapacity(context.Background(), c, 10, 0.01)
 	if err != nil || !ok {
 		t.Fatalf("ok=%v err=%v", ok, err)
 	}
@@ -333,10 +334,10 @@ func TestRequiredCapacityArgumentErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := cfg(0, 0.9, 1, 1)
-	if _, _, _, err := agg.RequiredCapacity(c, 10, 0); err == nil {
+	if _, _, _, err := agg.RequiredCapacity(context.Background(), c, 10, 0); err == nil {
 		t.Error("zero tolerance should fail")
 	}
-	if _, _, _, err := agg.RequiredCapacity(c, 0, 0.1); err == nil {
+	if _, _, _, err := agg.RequiredCapacity(context.Background(), c, 0, 0.1); err == nil {
 		t.Error("zero limit should fail")
 	}
 }
@@ -346,7 +347,7 @@ func TestRequiredCapacityZeroWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, ok, err := agg.RequiredCapacity(cfg(0, 0.9, 2, 1), 10, 0.01)
+	got, _, ok, err := agg.RequiredCapacity(context.Background(), cfg(0, 0.9, 2, 1), 10, 0.01)
 	if err != nil || !ok {
 		t.Fatalf("ok=%v err=%v", ok, err)
 	}
@@ -376,7 +377,7 @@ func TestQuickRequiredCapacityInvariants(t *testing.T) {
 		theta := 0.05 + float64(thetaRaw)/255*0.95
 		c := cfg(0, theta, 4, 3)
 		const limit = 1000
-		got, res, ok, err := agg.RequiredCapacity(c, limit, 0.05)
+		got, res, ok, err := agg.RequiredCapacity(context.Background(), c, limit, 0.05)
 		if err != nil {
 			return false
 		}

@@ -14,12 +14,15 @@
 package wlmgr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
+	"ropus/internal/faultinject"
 	"ropus/internal/portfolio"
 	"ropus/internal/qos"
+	"ropus/internal/robust"
 	"ropus/internal/stats"
 	"ropus/internal/telemetry"
 	"ropus/internal/trace"
@@ -59,6 +62,11 @@ type ContainerStats struct {
 	Received []float64
 	// Utilization is demand/received per slot (0 where demand is 0).
 	Utilization []float64
+	// Err marks a container that dropped out of the replay (injected
+	// fault or corrupted data); its slices stay zero from the start and
+	// it requests no capacity, mirroring a crashed container whose
+	// manager reclaims its share.
+	Err error
 }
 
 // RunResult is the outcome of simulating a manager over a full trace.
@@ -67,21 +75,51 @@ type RunResult struct {
 	// CoS1Overload is the number of slots where even the guaranteed
 	// class outstripped capacity (a placement bug if it happens).
 	CoS1Overload int
+	// SlotsReplayed is how many slots were actually simulated; equal to
+	// the trace length unless the replay was cancelled.
+	SlotsReplayed int
+	// Truncated reports that the replay was cancelled before the end of
+	// the trace; per-container slices are valid up to SlotsReplayed.
+	Truncated bool
+}
+
+// Options configures a Replay beyond its capacity and containers.
+type Options struct {
+	// Lag is the allocation delay in slots: 0 replays the trace-based
+	// analysis exactly (allocations react to the current interval), 1
+	// models a manager that sizes allocations from the previous
+	// interval's demand, and so on.
+	Lag int
+	// Hooks receives replay telemetry; nil disables it.
+	Hooks telemetry.Hooks
+	// Inject is the test-only fault injector consulted once per
+	// container at the "wlmgr.container" point (keyed by application
+	// ID); nil (the production default) injects nothing.
+	Inject faultinject.Injector
 }
 
 // Run simulates a workload manager with the given capacity over the
-// containers' aligned traces. lag is the allocation delay in slots: 0
-// replays the trace-based analysis exactly (allocations react to the
-// current interval), 1 models a manager that sizes allocations from the
-// previous interval's demand, and so on.
-func Run(capacity float64, containers []Container, lag int) (*RunResult, error) {
-	return RunWithHooks(capacity, containers, lag, nil)
+// containers' aligned traces; see Replay for the lag semantics.
+func Run(ctx context.Context, capacity float64, containers []Container, lag int) (*RunResult, error) {
+	return Replay(ctx, capacity, containers, Options{Lag: lag})
 }
 
 // RunWithHooks is Run with telemetry: per-replay slot, CoS1-overload,
 // allocation-shortfall and degraded-slot counters, plus a replay span.
 // A nil Hooks disables all of it.
-func RunWithHooks(capacity float64, containers []Container, lag int, hooks telemetry.Hooks) (*RunResult, error) {
+func RunWithHooks(ctx context.Context, capacity float64, containers []Container, lag int, hooks telemetry.Hooks) (*RunResult, error) {
+	return Replay(ctx, capacity, containers, Options{Lag: lag, Hooks: hooks})
+}
+
+// Replay simulates a workload manager with the given capacity over the
+// containers' aligned traces. Cancelling ctx stops the replay at a slot
+// boundary (checked every 256 slots) and returns the partial result
+// with Truncated set and a nil error; per-container faults mark the
+// container's Err and exclude it from arbitration while the rest of the
+// replay continues.
+func Replay(ctx context.Context, capacity float64, containers []Container, opts Options) (res *RunResult, err error) {
+	defer robust.Recover("wlmgr.Replay", &err)
+	lag := opts.Lag
 	if capacity <= 0 {
 		return nil, fmt.Errorf("wlmgr: capacity %v <= 0", capacity)
 	}
@@ -103,7 +141,7 @@ func RunWithHooks(capacity float64, containers []Container, lag int, hooks telem
 		}
 	}
 
-	h := telemetry.OrNop(hooks)
+	h := telemetry.OrNop(opts.Hooks)
 	span := h.StartSpan("wlmgr.replay",
 		telemetry.Float("capacity", capacity),
 		telemetry.Int("containers", len(containers)),
@@ -111,30 +149,60 @@ func RunWithHooks(capacity float64, containers []Container, lag int, hooks telem
 		telemetry.Int("slots", n))
 	defer span.End()
 	var (
-		slotsC        = h.Counter("wlmgr_slots_total")
-		overloadC     = h.Counter("wlmgr_cos1_overload_slots_total")
-		shortfallC    = h.Counter("wlmgr_shortfall_slots_total")
-		degradedC     = h.Counter("wlmgr_degraded_container_slots_total")
-		shortfallHist = h.Histogram("wlmgr_slot_shortfall_cpus", telemetry.ExponentialBuckets(0.0625, 2, 12))
+		slotsC         = h.Counter("wlmgr_slots_total")
+		overloadC      = h.Counter("wlmgr_cos1_overload_slots_total")
+		shortfallC     = h.Counter("wlmgr_shortfall_slots_total")
+		degradedC      = h.Counter("wlmgr_degraded_container_slots_total")
+		containerErrsC = h.Counter("wlmgr_container_errors_total")
+		shortfallHist  = h.Histogram("wlmgr_slot_shortfall_cpus", telemetry.ExponentialBuckets(0.0625, 2, 12))
 	)
 	h.Counter("wlmgr_replays_total").Inc()
 
-	res := &RunResult{Containers: make([]ContainerStats, len(containers))}
+	res = &RunResult{Containers: make([]ContainerStats, len(containers))}
+	live := make([]bool, len(containers))
 	for i, c := range containers {
 		res.Containers[i] = ContainerStats{
 			AppID:       c.Demand.AppID,
 			Received:    make([]float64, n),
 			Utilization: make([]float64, n),
 		}
+		live[i] = true
+		if opts.Inject == nil {
+			continue
+		}
+		o := opts.Inject.Hit("wlmgr.container", c.Demand.AppID)
+		if o.Delay > 0 {
+			time.Sleep(o.Delay)
+		}
+		switch {
+		case o.Err != nil:
+			res.Containers[i].Err = fmt.Errorf("wlmgr: container %q: %w", c.Demand.AppID, o.Err)
+		case o.Corrupt:
+			res.Containers[i].Err = fmt.Errorf("wlmgr: container %q: corrupted demand trace", c.Demand.AppID)
+		default:
+			continue
+		}
+		live[i] = false
+		containerErrsC.Inc()
 	}
 
 	req1 := make([]float64, len(containers))
 	req2 := make([]float64, len(containers))
 	for t := 0; t < n; t++ {
+		// Cancellation check amortized over 256 slots: cheap enough for
+		// the hot loop, responsive enough for interactive aborts.
+		if t&0xff == 0 && ctx.Err() != nil {
+			res.Truncated = true
+			break
+		}
 		// Requests come from the translated allocation traces, lagged.
 		src := t - lag
 		var sum1, sum2 float64
 		for i, c := range containers {
+			if !live[i] {
+				req1[i], req2[i] = 0, 0
+				continue
+			}
 			if src < 0 {
 				// Before the first measurement the manager has no
 				// demand estimate; grant the slot's request directly
@@ -174,6 +242,9 @@ func RunWithHooks(capacity float64, containers []Container, lag int, hooks telem
 		}
 
 		for i, c := range containers {
+			if !live[i] {
+				continue
+			}
 			got := req1[i]*scale1 + req2[i]*scale2
 			res.Containers[i].Received[t] = got
 			d := c.Demand.Samples[t]
@@ -188,8 +259,12 @@ func RunWithHooks(capacity float64, containers []Container, lag int, hooks telem
 				degradedC.Inc()
 			}
 		}
+		res.SlotsReplayed = t + 1
 	}
-	span.SetAttr(telemetry.Int("cos1_overloads", res.CoS1Overload))
+	span.SetAttr(
+		telemetry.Int("cos1_overloads", res.CoS1Overload),
+		telemetry.Int("slots_replayed", res.SlotsReplayed),
+		telemetry.Bool("truncated", res.Truncated))
 	return res, nil
 }
 

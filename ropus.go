@@ -35,11 +35,13 @@
 package ropus
 
 import (
+	"context"
 	"io"
 	"time"
 
 	"ropus/internal/core"
 	"ropus/internal/failure"
+	"ropus/internal/faultinject"
 	"ropus/internal/placement"
 	"ropus/internal/planner"
 	"ropus/internal/pool"
@@ -221,7 +223,38 @@ type (
 	Container = wlmgr.Container
 	// Compliance summarizes achieved QoS against a requirement.
 	Compliance = wlmgr.Compliance
+	// WorkloadManagerOptions configures a workload-manager replay (lag,
+	// telemetry hooks, fault injection).
+	WorkloadManagerOptions = wlmgr.Options
 )
+
+// Robustness: deterministic fault injection and graceful degradation.
+// Long-running components accept a FaultInjector (nil = no faults) via
+// Config.Inject, PlacementProblem.Inject, PlannerConfig.Inject and
+// WorkloadManagerOptions.Inject; see docs/ROBUSTNESS.md for the
+// injection points and the degradation semantics.
+type (
+	// FaultInjector decides the fate of each instrumented operation.
+	FaultInjector = faultinject.Injector
+	// FaultOutcome is what one injection decision produced.
+	FaultOutcome = faultinject.Outcome
+	// FaultRule scripts faults for one injection point.
+	FaultRule = faultinject.Rule
+	// FaultScript is a deterministic, seeded injector driven by rules.
+	FaultScript = faultinject.Script
+	// FaultFunc adapts a plain function to the FaultInjector interface.
+	FaultFunc = faultinject.Func
+)
+
+// ErrFaultInjected is the base error of every scripted fault; match
+// injected failures with errors.Is.
+var ErrFaultInjected = faultinject.ErrInjected
+
+// NewFaultScript builds a deterministic fault-injection script from
+// validated rules.
+func NewFaultScript(seed int64, rules ...FaultRule) (*FaultScript, error) {
+	return faultinject.NewScript(seed, rules...)
+}
 
 // Telemetry: zero-dependency metrics, span tracing and progress hooks.
 // Long-running components accept a Hooks (nil = no-op) via Config.Hooks,
@@ -324,9 +357,11 @@ func EvaluatePlacement(p *PlacementProblem, a Assignment) (*Plan, error) {
 }
 
 // ConsolidatePlacement runs the genetic consolidation search from the
-// given initial assignment.
-func ConsolidatePlacement(p *PlacementProblem, initial Assignment, cfg GAConfig) (*Plan, error) {
-	return placement.Consolidate(p, initial, cfg)
+// given initial assignment. Cancelling ctx (or exhausting the
+// GAConfig.TimeBudget) returns the best feasible plan found so far with
+// Plan.Truncated set; see docs/ROBUSTNESS.md for the degradation rules.
+func ConsolidatePlacement(ctx context.Context, p *PlacementProblem, initial Assignment, cfg GAConfig) (*Plan, error) {
+	return placement.Consolidate(ctx, p, initial, cfg)
 }
 
 // OneAppPerServer returns the trivial one-application-per-server
@@ -336,26 +371,26 @@ func OneAppPerServer(p *PlacementProblem) (Assignment, error) {
 }
 
 // FirstFitDecreasing runs the greedy first-fit-decreasing baseline.
-func FirstFitDecreasing(p *PlacementProblem) (*Plan, error) {
-	return placement.FirstFitDecreasing(p)
+func FirstFitDecreasing(ctx context.Context, p *PlacementProblem) (*Plan, error) {
+	return placement.FirstFitDecreasing(ctx, p)
 }
 
 // BestFitDecreasing runs the greedy best-fit-decreasing baseline.
-func BestFitDecreasing(p *PlacementProblem) (*Plan, error) {
-	return placement.BestFitDecreasing(p)
+func BestFitDecreasing(ctx context.Context, p *PlacementProblem) (*Plan, error) {
+	return placement.BestFitDecreasing(ctx, p)
 }
 
 // LeastCorrelatedFit runs the correlation-aware greedy heuristic the
 // paper's related-work section suggests exploring.
-func LeastCorrelatedFit(p *PlacementProblem) (*Plan, error) {
-	return placement.LeastCorrelatedFit(p)
+func LeastCorrelatedFit(ctx context.Context, p *PlacementProblem) (*Plan, error) {
+	return placement.LeastCorrelatedFit(ctx, p)
 }
 
 // ExactPlacement finds the provably minimal number of servers by branch
 // and bound (practical only for small instances, like the ILP approach
 // the paper's earlier work abandoned for the genetic algorithm).
-func ExactPlacement(p *PlacementProblem, maxNodes int) (*Plan, error) {
-	return placement.Exact(p, maxNodes)
+func ExactPlacement(ctx context.Context, p *PlacementProblem, maxNodes int) (*Plan, error) {
+	return placement.Exact(ctx, p, maxNodes)
 }
 
 // Migrations returns the container moves needed to get from one
@@ -372,15 +407,17 @@ func AuditPlacement(p *PlacementProblem, current Assignment) (*RebalanceAudit, e
 
 // Rebalance audits an assignment and proposes migrations when the
 // commitments are violated or consolidation can free servers.
-func Rebalance(p *PlacementProblem, current Assignment, cfg RebalanceConfig) (*RebalanceProposal, error) {
-	return rebalance.Run(p, current, cfg)
+func Rebalance(ctx context.Context, p *PlacementProblem, current Assignment, cfg RebalanceConfig) (*RebalanceProposal, error) {
+	return rebalance.Run(ctx, p, current, cfg)
 }
 
 // PlanCapacity projects demand over the configured horizon and reports
 // when the current pool will be exhausted (paper Figure 1's long-term
 // capacity planning).
-func PlanCapacity(cfg PlannerConfig, traces TraceSet) (*CapacityPlan, error) {
-	return planner.Run(cfg, traces)
+// Cancelling ctx returns the completed prefix of horizon steps with
+// CapacityPlan.Truncated set.
+func PlanCapacity(ctx context.Context, cfg PlannerConfig, traces TraceSet) (*CapacityPlan, error) {
+	return planner.Run(ctx, cfg, traces)
 }
 
 // ForecastWeeks extrapolates a demand trace: the shape of the mean
@@ -409,13 +446,19 @@ func DeriveUtilizationRange(app StressApplication, targets StressTargets) (Utili
 
 // RunWorkloadManager replays containers through the workload-manager
 // simulator at the given capacity and allocation lag.
-func RunWorkloadManager(capacity float64, containers []Container, lag int) (*wlmgr.RunResult, error) {
-	return wlmgr.Run(capacity, containers, lag)
+func RunWorkloadManager(ctx context.Context, capacity float64, containers []Container, lag int) (*wlmgr.RunResult, error) {
+	return wlmgr.Run(ctx, capacity, containers, lag)
 }
 
 // RunWorkloadManagerWithHooks is RunWorkloadManager with telemetry.
-func RunWorkloadManagerWithHooks(capacity float64, containers []Container, lag int, h Hooks) (*wlmgr.RunResult, error) {
-	return wlmgr.RunWithHooks(capacity, containers, lag, h)
+func RunWorkloadManagerWithHooks(ctx context.Context, capacity float64, containers []Container, lag int, h Hooks) (*wlmgr.RunResult, error) {
+	return wlmgr.RunWithHooks(ctx, capacity, containers, lag, h)
+}
+
+// ReplayWorkloadManager is the fully-optioned workload-manager replay:
+// lag, telemetry hooks and fault injection in one Options struct.
+func ReplayWorkloadManager(ctx context.Context, capacity float64, containers []Container, opts WorkloadManagerOptions) (*wlmgr.RunResult, error) {
+	return wlmgr.Replay(ctx, capacity, containers, opts)
 }
 
 // TranslateWithHooks is Translate with telemetry.

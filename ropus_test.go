@@ -1,6 +1,7 @@
 package ropus
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -42,7 +43,7 @@ func TestPublicPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	set := smallFleet(t)
-	report, err := f.Run(set, Requirements{Default: caseStudyRequirement()})
+	report, err := f.Run(context.Background(), set, Requirements{Default: caseStudyRequirement()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestPublicStressAndWorkloadManager(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunWorkloadManager(part.MaxAllocation()+1, []Container{
+	res, err := RunWorkloadManager(context.Background(), part.MaxAllocation()+1, []Container{
 		{Demand: set[0], Partition: part},
 	}, 0)
 	if err != nil {
