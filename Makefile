@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench experiments fuzz clean
+.PHONY: all build vet test race cover bench bench-smoke experiments fuzz clean
 
 all: build vet test race
 
@@ -27,6 +27,11 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Quick benchmark pass: every benchmark at a 100ms budget. CI runs this
+# as a smoke job and uploads the output next to BENCH_perf_parallel.json.
+bench-smoke:
+	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=100ms ./... | tee bench_smoke.txt
+
 # Regenerate every table and figure of the paper's evaluation into results/.
 experiments:
 	$(GO) run ./cmd/experiments
@@ -36,4 +41,4 @@ fuzz:
 	$(GO) test -fuzz FuzzReadJSON -fuzztime 30s ./internal/trace/
 
 clean:
-	rm -rf results test_output.txt bench_output.txt cover.out
+	rm -rf results test_output.txt bench_output.txt bench_smoke.txt cover.out

@@ -32,6 +32,7 @@ func main() {
 		seed    = flag.Int64("seed", 2006, "workload generator seed")
 		quick   = flag.Bool("quick", false, "reduced search budget for smoke runs")
 		timeout = flag.Duration("timeout", 0, "cancel the run after this duration (0 = unlimited); telemetry files are still flushed")
+		workers = flag.Int("workers", 0, "parallel workers for table1/failover/mix (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 	)
 	flag.Parse()
 	// SIGINT/SIGTERM and -timeout cancel the compute-heavy experiments;
@@ -43,13 +44,13 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := realMain(ctx, *run, *out, *seed, *quick); err != nil {
+	if err := realMain(ctx, *run, *out, *seed, *quick, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(ctx context.Context, run, out string, seed int64, quick bool) error {
+func realMain(ctx context.Context, run, out string, seed int64, quick bool, workers int) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
@@ -68,7 +69,7 @@ func realMain(ctx context.Context, run, out string, seed int64, quick bool) erro
 			fmt.Fprintln(os.Stderr, "experiments: telemetry:", err)
 		}
 	}()
-	cfg := experiments.Table1Config{GASeed: 42, Quick: quick, Hooks: hooks}
+	cfg := experiments.Table1Config{GASeed: 42, Quick: quick, Hooks: hooks, Workers: workers}
 
 	want := func(name string) bool { return run == "all" || run == name }
 	ran := false
@@ -110,7 +111,7 @@ func realMain(ctx context.Context, run, out string, seed int64, quick bool) erro
 	}
 	if want("mix") {
 		ran = true
-		if err := runMix(ctx, out, seed, quick, hooks); err != nil {
+		if err := runMix(ctx, out, seed, quick, workers, hooks); err != nil {
 			return err
 		}
 	}
@@ -325,8 +326,8 @@ func runFailover(ctx context.Context, set experiments.TraceSet, cfg experiments.
 	return nil
 }
 
-func runMix(ctx context.Context, out string, seed int64, quick bool, hooks telemetry.Hooks) error {
-	rows, err := experiments.Mix(ctx, experiments.MixConfig{Seed: seed, Quick: quick, Hooks: hooks})
+func runMix(ctx context.Context, out string, seed int64, quick bool, workers int, hooks telemetry.Hooks) error {
+	rows, err := experiments.Mix(ctx, experiments.MixConfig{Seed: seed, Quick: quick, Hooks: hooks, Workers: workers})
 	if err != nil {
 		return err
 	}

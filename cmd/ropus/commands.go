@@ -169,8 +169,14 @@ func frameworkFlags(fs *flag.FlagSet) func(h telemetry.Hooks) (*core.Framework, 
 		deadline = fs.Duration("deadline", time.Hour, "CoS2 make-up deadline")
 		cpus     = fs.Int("cpus", 16, "CPUs per server")
 		seed     = fs.Int64("ga-seed", 42, "genetic search seed")
+		workers  = fs.Int("workers", 0, "parallel failure-sweep workers (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+		cacheMB  = fs.Int64("sim-cache-mb", 0, "shared simulation cache bound in MiB (0 = default, negative disables)")
 	)
 	return func(h telemetry.Hooks) (*core.Framework, error) {
+		cacheBytes := *cacheMB << 20
+		if *cacheMB < 0 {
+			cacheBytes = -1
+		}
 		return core.New(core.Config{
 			Commitment:           qos.PoolCommitment{Theta: *theta, Deadline: *deadline},
 			ServerCPUs:           *cpus,
@@ -178,6 +184,8 @@ func frameworkFlags(fs *flag.FlagSet) func(h telemetry.Hooks) (*core.Framework, 
 			GA:                   placement.DefaultGAConfig(*seed),
 			Tolerance:            0.1,
 			Hooks:                h,
+			Workers:              *workers,
+			CacheBytes:           cacheBytes,
 		})
 	}
 }

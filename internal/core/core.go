@@ -74,6 +74,17 @@ type Config struct {
 	// problems and failure sweeps the framework builds; nil (the
 	// production default) injects nothing.
 	Inject faultinject.Injector
+	// Workers bounds how many failure scenarios are analyzed
+	// concurrently: 0 selects GOMAXPROCS, 1 forces the sequential sweep.
+	// Results are identical at every worker count.
+	Workers int
+	// CacheBytes bounds the framework's shared simulation cache, which
+	// memoizes per-(server-shape, app-group) results across the base
+	// consolidation, every failure scenario, and the capacity planner.
+	// 0 selects the default bound (placement.DefaultSimCacheBytes);
+	// negative disables the cache. Cached reuse is bit-exact, so results
+	// do not depend on this setting.
+	CacheBytes int64
 }
 
 // Validate checks the configuration.
@@ -96,6 +107,9 @@ func (c Config) Validate() error {
 // Framework is the R-Opus capacity self-management system.
 type Framework struct {
 	cfg Config
+	// cache is the shared cross-run simulation cache every placement
+	// problem the framework builds points at (nil when disabled).
+	cache *placement.SimCache
 }
 
 // New builds a Framework from a validated configuration.
@@ -103,7 +117,20 @@ func New(cfg Config) (*Framework, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Framework{cfg: cfg}, nil
+	f := &Framework{cfg: cfg}
+	if cfg.CacheBytes >= 0 {
+		f.cache = placement.NewSimCache(cfg.CacheBytes)
+	}
+	return f, nil
+}
+
+// CacheStats snapshots the shared simulation cache's counters; the zero
+// value is returned when the cache is disabled.
+func (f *Framework) CacheStats() placement.CacheStats {
+	if f.cache == nil {
+		return placement.CacheStats{}
+	}
+	return f.cache.Stats()
 }
 
 // Translation is the output of the QoS translation stage: normal- and
@@ -207,7 +234,7 @@ func (f *Framework) PlanForFailures(ctx context.Context, t *Translation, c *Cons
 	for i, p := range t.Failure {
 		failApps[i] = partitionApp(p)
 	}
-	in := failure.Input{Problem: c.Problem, FailureApps: failApps, GA: f.cfg.GA, Hooks: f.cfg.Hooks, Inject: f.cfg.Inject}
+	in := failure.Input{Problem: c.Problem, FailureApps: failApps, GA: f.cfg.GA, Hooks: f.cfg.Hooks, Inject: f.cfg.Inject, Workers: f.cfg.Workers}
 	return failure.Analyze(ctx, in, c.Plan)
 }
 
@@ -223,7 +250,7 @@ func (f *Framework) PlanForMultiFailures(ctx context.Context, t *Translation, c 
 	for i, p := range t.Failure {
 		failApps[i] = partitionApp(p)
 	}
-	in := failure.Input{Problem: c.Problem, FailureApps: failApps, GA: f.cfg.GA, Hooks: f.cfg.Hooks, Inject: f.cfg.Inject}
+	in := failure.Input{Problem: c.Problem, FailureApps: failApps, GA: f.cfg.GA, Hooks: f.cfg.Hooks, Inject: f.cfg.Inject, Workers: f.cfg.Workers}
 	return failure.AnalyzeMulti(ctx, in, c.Plan, k)
 }
 
@@ -288,6 +315,7 @@ func (f *Framework) problemFor(t *Translation, parts []*portfolio.Partition) (*p
 		Score:         f.cfg.Score,
 		Hooks:         f.cfg.Hooks,
 		Inject:        f.cfg.Inject,
+		Cache:         f.cache,
 	}, nil
 }
 

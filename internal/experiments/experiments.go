@@ -17,9 +17,11 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"ropus/internal/core"
+	"ropus/internal/parallel"
 	"ropus/internal/placement"
 	"ropus/internal/portfolio"
 	"ropus/internal/qos"
@@ -210,35 +212,58 @@ type Table1Config struct {
 	Quick bool
 	// Hooks receives run telemetry (nil disables it).
 	Hooks telemetry.Hooks
+	// Workers bounds how many cases (and, inside each framework, failure
+	// scenarios) run concurrently: 0 selects GOMAXPROCS, 1 is sequential.
+	// Results are identical at every worker count.
+	Workers int
 }
 
 // Table1 runs the six consolidation cases against the fleet.
 func Table1(ctx context.Context, set trace.Set, cfg Table1Config) ([]Table1Row, error) {
-	rows := make([]Table1Row, 0, len(Table1Cases))
-	for _, c := range Table1Cases {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("experiments: table 1: %w", err)
-		}
+	rows := make([]Table1Row, len(Table1Cases))
+	errs := make([]error, len(Table1Cases))
+	var failed atomic.Bool
+	runCase := func(i int) error {
+		c := Table1Cases[i]
 		f, err := frameworkFor(c.Theta, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		q := CaseStudyQoS(100-c.MDegr, c.TDegr)
 		reqs := core.Requirements{Default: qos.Requirement{Normal: q, Failure: q}}
 		tr, err := f.Translate(ctx, set, reqs)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: case %d: %w", c.ID, err)
+			return fmt.Errorf("experiments: case %d: %w", c.ID, err)
 		}
 		cons, err := f.Consolidate(ctx, tr)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: case %d: %w", c.ID, err)
+			return fmt.Errorf("experiments: case %d: %w", c.ID, err)
 		}
-		rows = append(rows, Table1Row{
+		rows[i] = Table1Row{
 			Case:    c,
 			Servers: cons.ServersUsed(),
 			CRequ:   cons.CRequTotal(),
 			CPeak:   tr.CPeakTotal(),
-		})
+		}
+		return nil
+	}
+	done := parallel.ForEach(ctx, cfg.Workers, len(Table1Cases), func(i int) {
+		if failed.Load() {
+			return // a case already failed; don't burn cycles on the rest
+		}
+		if errs[i] = runCase(i); errs[i] != nil {
+			failed.Store(true)
+		}
+	})
+	// The first error by case index is the one a sequential run would
+	// have returned.
+	for i := 0; i < done; i++ {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+	}
+	if done < len(Table1Cases) {
+		return nil, fmt.Errorf("experiments: table 1: %w", ctx.Err())
 	}
 	return rows, nil
 }
@@ -260,6 +285,7 @@ func frameworkFor(theta float64, cfg Table1Config) (*core.Framework, error) {
 		GA:                   ga,
 		Tolerance:            tolerance,
 		Hooks:                cfg.Hooks,
+		Workers:              cfg.Workers,
 	})
 }
 

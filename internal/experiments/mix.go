@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"ropus/internal/parallel"
 	"ropus/internal/placement"
 	"ropus/internal/portfolio"
 	"ropus/internal/qos"
@@ -40,6 +41,9 @@ type MixConfig struct {
 	Quick bool
 	// Hooks receives run telemetry (nil disables it).
 	Hooks telemetry.Hooks
+	// Workers bounds how many algorithms run concurrently: 0 selects
+	// GOMAXPROCS, 1 is sequential. Results are identical either way.
+	Workers int
 }
 
 // Mix runs the mixed-fleet consolidation comparison.
@@ -85,6 +89,7 @@ func Mix(ctx context.Context, cfg MixConfig) ([]MixRow, error) {
 		DeadlineSlots: 4,
 		Tolerance:     0.1,
 		Hooks:         cfg.Hooks,
+		Cache:         placement.NewSimCache(0),
 	}
 
 	ga := placement.DefaultGAConfig(cfg.Seed)
@@ -95,35 +100,46 @@ func Mix(ctx context.Context, cfg MixConfig) ([]MixRow, error) {
 		problem.Tolerance = 0.25
 	}
 
-	rows := make([]MixRow, 0, 4)
-	run := func(name string, fn func() (*placement.Plan, error)) {
-		plan, err := fn()
+	algos := []struct {
+		name string
+		fn   func(p *placement.Problem) (*placement.Plan, error)
+	}{
+		{"first-fit-decreasing", func(p *placement.Problem) (*placement.Plan, error) {
+			return placement.FirstFitDecreasing(ctx, p)
+		}},
+		{"best-fit-decreasing", func(p *placement.Problem) (*placement.Plan, error) {
+			return placement.BestFitDecreasing(ctx, p)
+		}},
+		{"least-correlated-fit", func(p *placement.Problem) (*placement.Plan, error) {
+			return placement.LeastCorrelatedFit(ctx, p)
+		}},
+		{"genetic", func(p *placement.Problem) (*placement.Plan, error) {
+			initial, err := placement.OneAppPerServer(p)
+			if err != nil {
+				return nil, err
+			}
+			return placement.Consolidate(ctx, p, initial, ga)
+		}},
+	}
+	// An algorithm that errors (or is never dispatched after a cancel)
+	// reports just its name, as the sequential code did.
+	rows := make([]MixRow, len(algos))
+	for i := range rows {
+		rows[i].Algorithm = algos[i].name
+	}
+	parallel.ForEach(ctx, cfg.Workers, len(algos), func(i int) {
+		// Each algorithm gets its own shallow Problem copy: Validate
+		// memoizes the attribute union on the struct, which would race.
+		// The copies still share the one simulation cache, so every
+		// (server, group) any algorithm solves is solved once.
+		p := *problem
+		plan, err := algos[i].fn(&p)
 		if err != nil {
-			rows = append(rows, MixRow{Algorithm: name})
 			return
 		}
-		rows = append(rows, MixRow{
-			Algorithm: name,
-			Servers:   plan.ServersUsed,
-			CRequ:     plan.RequiredTotal,
-			Feasible:  plan.Feasible,
-		})
-	}
-	run("first-fit-decreasing", func() (*placement.Plan, error) {
-		return placement.FirstFitDecreasing(ctx, problem)
-	})
-	run("best-fit-decreasing", func() (*placement.Plan, error) {
-		return placement.BestFitDecreasing(ctx, problem)
-	})
-	run("least-correlated-fit", func() (*placement.Plan, error) {
-		return placement.LeastCorrelatedFit(ctx, problem)
-	})
-	run("genetic", func() (*placement.Plan, error) {
-		initial, err := placement.OneAppPerServer(problem)
-		if err != nil {
-			return nil, err
-		}
-		return placement.Consolidate(ctx, problem, initial, ga)
+		rows[i].Servers = plan.ServersUsed
+		rows[i].CRequ = plan.RequiredTotal
+		rows[i].Feasible = plan.Feasible
 	})
 	return rows, nil
 }

@@ -94,6 +94,7 @@ func TestCancelAnalyzePartialReport(t *testing.T) {
 		Problem:     p,
 		FailureApps: failureApps(p, 0.5),
 		GA:          ga(),
+		Workers:     1, // the completed-count assertion below assumes a serial sweep
 		Inject: faultinject.Func(func(point, key string) faultinject.Outcome {
 			cancel()
 			return faultinject.Outcome{}

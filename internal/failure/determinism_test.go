@@ -1,0 +1,166 @@
+package failure
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync/atomic"
+	"testing"
+
+	"ropus/internal/faultinject"
+	"ropus/internal/placement"
+)
+
+// The acceptance contract of the parallel sweep: for a fixed seed, the
+// report is byte-identical at every worker count, with and without the
+// shared simulation cache. Run these under -race (the CI race job does)
+// to double as the concurrency-safety suite.
+
+// reportJSON canonicalizes a report for byte comparison.
+func reportJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// sweepInput builds a 4-server pool whose failures are absorbable, so
+// every scenario carries a full re-consolidated plan to compare.
+func sweepInput(workers int, cache *placement.SimCache) (Input, *placement.Plan, error) {
+	p := problem([]float64{5, 5, 5, 5}, 4, 10)
+	p.Cache = cache
+	base, err := placement.Evaluate(p, placement.Assignment{0, 1, 2, 3})
+	if err != nil {
+		return Input{}, nil, err
+	}
+	in := Input{
+		Problem:     p,
+		FailureApps: failureApps(p, 0.5),
+		GA:          ga(),
+		Workers:     workers,
+	}
+	return in, base, nil
+}
+
+func TestAnalyzeParallelMatchesSequential(t *testing.T) {
+	ctx := context.Background()
+	var want []byte
+	for _, tc := range []struct {
+		name    string
+		workers int
+		cache   *placement.SimCache
+	}{
+		{"workers=1/cache=off", 1, nil},
+		{"workers=1/cache=on", 1, placement.NewSimCache(0)},
+		{"workers=8/cache=off", 8, nil},
+		{"workers=8/cache=on", 8, placement.NewSimCache(0)},
+		{"workers=8/cache=shared-twice", 8, placement.NewSimCache(0)},
+	} {
+		in, base, err := sweepInput(tc.workers, tc.cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs := 1
+		if tc.name == "workers=8/cache=shared-twice" {
+			runs = 2 // second pass over a hot cache must not drift either
+		}
+		for r := 0; r < runs; r++ {
+			report, err := Analyze(ctx, in, base)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			got := reportJSON(t, report)
+			if want == nil {
+				want = got
+				continue
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s (run %d): report diverges from the sequential baseline", tc.name, r)
+			}
+		}
+	}
+}
+
+func TestAnalyzeMultiParallelMatchesSequential(t *testing.T) {
+	ctx := context.Background()
+	var want []byte
+	for _, workers := range []int{1, 8} {
+		in, base, err := sweepInput(workers, placement.NewSimCache(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		report, err := AnalyzeMulti(ctx, in, base, 2)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := reportJSON(t, report)
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: multi-failure report diverges from sequential", workers)
+		}
+	}
+}
+
+// TestAnalyzeParallelCancellation cancels mid-sweep at every worker
+// count. The set of completed scenarios legitimately depends on cancel
+// timing, so the assertions are structural: the completed scenarios are
+// a prefix of the scenario order, each matches the sequential run's
+// scenario identity at that index, and Truncated is set iff the prefix
+// is short.
+func TestAnalyzeParallelCancellation(t *testing.T) {
+	ctx := context.Background()
+	seqIn, base, err := sweepInput(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Analyze(ctx, seqIn, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 8} {
+		cctx, cancel := context.WithCancel(ctx)
+		in, base, err := sweepInput(workers, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fired atomic.Int32
+		in.Inject = faultinject.Func(func(point, key string) faultinject.Outcome {
+			if point == "failure.scenario" && fired.Add(1) == 2 {
+				cancel() // cancel while the second scenario is in flight
+			}
+			return faultinject.Outcome{}
+		})
+		report, err := Analyze(cctx, in, base)
+		cancel()
+		if err != nil {
+			t.Fatalf("workers=%d: cancelled sweep should degrade, got %v", workers, err)
+		}
+		if len(report.Scenarios) >= len(full.Scenarios) && report.Truncated {
+			t.Errorf("workers=%d: full sweep flagged Truncated", workers)
+		}
+		if len(report.Scenarios) < len(full.Scenarios) && !report.Truncated {
+			t.Errorf("workers=%d: short sweep (%d/%d) not flagged Truncated",
+				workers, len(report.Scenarios), len(full.Scenarios))
+		}
+		for i, sc := range report.Scenarios {
+			want := full.Scenarios[i]
+			if sc.FailedServer != want.FailedServer {
+				t.Errorf("workers=%d: scenario %d is %q, want prefix order %q",
+					workers, i, sc.FailedServer, want.FailedServer)
+			}
+			if sc.Err != nil {
+				// A scenario caught mid-GA by the cancel may degrade, but
+				// its identity must survive.
+				if sc.AffectedApps == nil {
+					t.Errorf("workers=%d: errored scenario %d lost its identity", workers, i)
+				}
+			}
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"ropus/internal/faultinject"
+	"ropus/internal/parallel"
 	"ropus/internal/placement"
 	"ropus/internal/robust"
 	"ropus/internal/telemetry"
@@ -42,6 +43,13 @@ type Input struct {
 	// Key) and propagated to the reduced consolidation problems; nil (the
 	// production default) injects nothing.
 	Inject faultinject.Injector
+	// Workers bounds the number of scenarios analyzed concurrently: 0
+	// selects GOMAXPROCS and 1 forces the sequential sweep. Scenario
+	// order, per-scenario results and the Truncated/error semantics are
+	// identical at every worker count (scenarios are independent
+	// analyses; Problem.Cache, when set, keeps their results bit-exact
+	// regardless of completion order).
+	Workers int
 }
 
 // Validate checks the input's structural invariants.
@@ -143,26 +151,41 @@ func Analyze(ctx context.Context, in Input, basePlan *placement.Plan) (report *R
 	errorC := h.Counter("failure_scenario_errors_total")
 	scenarioSecs := h.Histogram("failure_scenario_seconds", nil)
 
-	report = &Report{}
-	errored := 0
-	for srvIdx, srv := range in.Problem.Servers {
-		affected := appsOn(basePlan.Assignment, srvIdx)
-		if len(affected) == 0 {
-			continue
+	// Enumerate the scenarios up front (failing an unused server is a
+	// non-event), then fan them out on the worker pool. Results land in
+	// index order; ForEach's contiguous-prefix contract preserves the
+	// sequential sweep's completed-prefix truncation semantics.
+	type job struct {
+		srvIdx   int
+		affected []int
+	}
+	var jobs []job
+	for srvIdx := range in.Problem.Servers {
+		if affected := appsOn(basePlan.Assignment, srvIdx); len(affected) > 0 {
+			jobs = append(jobs, job{srvIdx: srvIdx, affected: affected})
 		}
-		if ctx.Err() != nil {
-			report.Truncated = true
-			break
-		}
+	}
+
+	scenarios := make([]Scenario, len(jobs))
+	scenarioErrs := make([]error, len(jobs))
+	done := parallel.ForEach(ctx, in.Workers, len(jobs), func(i int) {
+		j := jobs[i]
 		start := time.Now()
-		scenario, err := analyzeScenario(ctx, in, basePlan, srvIdx, affected, srv.ID)
+		scenario, err := analyzeScenario(ctx, in, basePlan, j.srvIdx, j.affected, in.Problem.Servers[j.srvIdx].ID)
 		scenarioC.Inc()
 		scenarioSecs.Observe(time.Since(start).Seconds())
-		if err != nil {
+		scenarios[i], scenarioErrs[i] = scenario, err
+	})
+
+	report = &Report{Truncated: done < len(jobs)}
+	errored := 0
+	for i := 0; i < done; i++ {
+		scenario := scenarios[i]
+		if err := scenarioErrs[i]; err != nil {
 			// Degrade: record the scenario as errored and keep sweeping.
 			// The remaining scenarios are independent analyses; one bad
 			// solver run must not cost the whole report.
-			scenario.Err = fmt.Errorf("failure: scenario %q: %w", srv.ID, err)
+			scenario.Err = fmt.Errorf("failure: scenario %q: %w", scenario.FailedServer, err)
 			errorC.Inc()
 			errored++
 		} else if !scenario.Feasible {
@@ -257,6 +280,10 @@ func analyzeOne(ctx context.Context, in Input, basePlan *placement.Plan, srvIdx 
 		Tolerance:     p.Tolerance,
 		Hooks:         in.Hooks,
 		Inject:        in.Inject,
+		// The shared simulation cache crosses scenario boundaries: a
+		// failed server changes which groups are legal, not what a group
+		// costs on a survivor, so base-plan results are valid here.
+		Cache: p.Cache,
 	}
 
 	// Initial assignment: unaffected applications stay put; affected

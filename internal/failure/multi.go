@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"ropus/internal/parallel"
 	"ropus/internal/placement"
 	"ropus/internal/robust"
 	"ropus/internal/telemetry"
@@ -127,18 +128,25 @@ func AnalyzeMulti(ctx context.Context, in Input, basePlan *placement.Plan, k int
 	errorC := h.Counter("failure_scenario_errors_total")
 	scenarioSecs := h.Histogram("failure_scenario_seconds", nil)
 
-	report = &MultiReport{K: k}
-	errored := 0
-	for _, combo := range combinations(used, k) {
-		if ctx.Err() != nil {
-			report.Truncated = true
-			break
-		}
+	// Fan the combinations out on the worker pool; like Analyze, results
+	// land in combination order and the dispatched prefix is contiguous,
+	// so truncation semantics match the sequential sweep.
+	combos := combinations(used, k)
+	scenarios := make([]MultiScenario, len(combos))
+	scenarioErrs := make([]error, len(combos))
+	done := parallel.ForEach(ctx, in.Workers, len(combos), func(i int) {
 		start := time.Now()
-		scenario, err := analyzeCombo(ctx, in, basePlan, combo)
+		scenario, err := analyzeCombo(ctx, in, basePlan, combos[i])
 		scenarioC.Inc()
 		scenarioSecs.Observe(time.Since(start).Seconds())
-		if err != nil {
+		scenarios[i], scenarioErrs[i] = scenario, err
+	})
+
+	report = &MultiReport{K: k, Truncated: done < len(combos)}
+	errored := 0
+	for i := 0; i < done; i++ {
+		scenario := scenarios[i]
+		if err := scenarioErrs[i]; err != nil {
 			scenario.Err = fmt.Errorf("failure: scenario %q: %w", scenario.Key(), err)
 			errorC.Inc()
 			errored++
@@ -226,6 +234,7 @@ func analyzeCombo(ctx context.Context, in Input, basePlan *placement.Plan, combo
 		Tolerance:     p.Tolerance,
 		Hooks:         in.Hooks,
 		Inject:        in.Inject,
+		Cache:         p.Cache,
 	}
 	initial := make(placement.Assignment, len(apps))
 	next := 0

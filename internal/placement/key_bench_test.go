@@ -1,0 +1,30 @@
+package placement
+
+import "testing"
+
+// The evaluator key is built on every per-server cache lookup — once
+// per server per offspring per generation — so its cost and allocation
+// behaviour are on the GA's hottest path. These benchmarks compare the
+// legacy strings.Builder key with the FNV-1a replacement; run with
+// -benchmem to see the allocation win (the FNV key allocates nothing).
+
+var benchGroup = []int{0, 3, 5, 7, 11, 12, 17, 19, 23, 24}
+
+func BenchmarkEvaluatorKeyLegacyString(b *testing.B) {
+	b.ReportAllocs()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += len(legacyKey(7, benchGroup))
+	}
+	_ = sink
+}
+
+func BenchmarkEvaluatorKeyFNV(b *testing.B) {
+	b.ReportAllocs()
+	e := &evaluator{}
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += e.key(7, benchGroup)
+	}
+	_ = sink
+}

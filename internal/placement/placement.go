@@ -23,8 +23,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"strconv"
-	"strings"
 	"sync"
 
 	"ropus/internal/faultinject"
@@ -134,6 +132,14 @@ type Problem struct {
 	// (points "sim.required_capacity" and "sim.replay", keyed by server
 	// ID); nil (the production default) injects nothing.
 	Inject faultinject.Injector
+	// Cache is an optional shared cross-run simulation cache (see
+	// NewSimCache): per-(server-shape, app-group) results persist across
+	// Consolidate/Evaluate calls and across Problems, keyed by content,
+	// so the failure sweep, rebalancing and the planner stop re-solving
+	// groups the base plan already solved. Cached reuse is bit-exact, so
+	// plans are identical with or without it. Ignored while Inject is
+	// set: fault-injection points must fire per evaluation.
+	Cache *SimCache
 
 	// attrs caches the sorted union of extra attributes; set by
 	// Validate.
@@ -311,9 +317,21 @@ type inflightEval struct {
 type evaluator struct {
 	p *Problem
 
+	// shared is the cross-run cache (nil when the problem has none or
+	// carries a fault injector); the signatures below are precomputed
+	// once per evaluator so hot-path keys are a few integer folds.
+	shared      *SimCache
+	cfgSig      uint64
+	serverSigs  []uint64
+	appHashes   []uint64
+	sharedHitC  *telemetry.Counter
+	sharedMissC *telemetry.Counter
+	warmHitC    *telemetry.Counter
+	evictC      *telemetry.Counter
+
 	mu       sync.Mutex
-	cache    map[string]ServerUsage
-	inflight map[string]*inflightEval
+	cache    map[uint64]ServerUsage
+	inflight map[uint64]*inflightEval
 	// hits/misses are instrumentation for the ablation benchmarks.
 	hits, misses int
 	// hitC/missC mirror hits/misses into the problem's metrics registry.
@@ -322,24 +340,42 @@ type evaluator struct {
 
 func newEvaluator(p *Problem) *evaluator {
 	h := telemetry.OrNop(p.Hooks)
-	return &evaluator{
+	e := &evaluator{
 		p:        p,
-		cache:    make(map[string]ServerUsage),
-		inflight: make(map[string]*inflightEval),
+		cache:    make(map[uint64]ServerUsage),
+		inflight: make(map[uint64]*inflightEval),
 		hitC:     h.Counter("placement_eval_cache_hits_total"),
 		missC:    h.Counter("placement_eval_cache_misses_total"),
 	}
+	if p.Cache != nil && p.Inject == nil {
+		e.shared = p.Cache
+		e.cfgSig = hashConfig(p)
+		e.serverSigs = make([]uint64, len(p.Servers))
+		for i, s := range p.Servers {
+			e.serverSigs[i] = hashServerShape(s, p.attrs)
+		}
+		e.appHashes = make([]uint64, len(p.Apps))
+		for i, a := range p.Apps {
+			e.appHashes[i] = hashApp(a, p.attrs)
+		}
+		e.sharedHitC = h.Counter("placement_shared_cache_hits_total")
+		e.sharedMissC = h.Counter("placement_shared_cache_misses_total")
+		e.warmHitC = h.Counter("placement_shared_cache_warm_hits_total")
+		e.evictC = h.Counter("placement_shared_cache_evictions_total")
+	}
+	return e
 }
 
-// key builds the cache key for a server and a sorted app-index group.
-func (e *evaluator) key(server int, apps []int) string {
-	var b strings.Builder
-	b.WriteString(strconv.Itoa(server))
+// key builds the per-run cache key for a server and a sorted app-index
+// group: an FNV-1a fold of the indexes, replacing the string key whose
+// strconv/Builder allocations dominated hot lookups.
+func (e *evaluator) key(server int, apps []int) uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvInt(h, server)
 	for _, a := range apps {
-		b.WriteByte(':')
-		b.WriteString(strconv.Itoa(a))
+		h = fnvInt(h, a)
 	}
-	return b.String()
+	return h
 }
 
 // evalServer simulates the given apps on the given server. The apps
@@ -383,7 +419,7 @@ func (e *evaluator) evalServer(ctx context.Context, server int, apps []int) (Ser
 		e.mu.Unlock()
 		e.missC.Inc()
 
-		fl.usage, fl.err = e.computeServer(ctx, srv, apps)
+		fl.usage, fl.err = e.loadOrCompute(ctx, server, srv, apps)
 		e.mu.Lock()
 		if fl.err == nil {
 			e.cache[k] = fl.usage
@@ -395,27 +431,39 @@ func (e *evaluator) evalServer(ctx context.Context, server int, apps []int) (Ser
 	}
 }
 
+// loadOrCompute checks the shared cross-run cache for the full
+// (server-shape, group) result before falling back to a fresh
+// computation, which it then publishes for every later run.
+func (e *evaluator) loadOrCompute(ctx context.Context, server int, srv Server, apps []int) (ServerUsage, error) {
+	if e.shared == nil {
+		return e.computeServer(ctx, srv, apps)
+	}
+	k := usageKey{cfg: e.cfgSig, server: e.serverSigs[server], group: hashGroup(e.appHashes, apps)}
+	if u, ok := e.shared.getUsage(k); ok {
+		e.sharedHitC.Inc()
+		u.Server = srv // cached entries are server-identity-agnostic
+		return u, nil
+	}
+	e.sharedMissC.Inc()
+	u, err := e.computeServer(ctx, srv, apps)
+	if err != nil {
+		return u, err
+	}
+	stored := u
+	stored.Server = Server{} // any same-shape server may claim it
+	if n := e.shared.putUsage(k, stored); n > 0 {
+		e.evictC.Add(int64(n))
+	}
+	return u, nil
+}
+
 // computeServer runs the simulator for one (server, app-group) pair.
 func (e *evaluator) computeServer(ctx context.Context, srv Server, apps []int) (ServerUsage, error) {
-	workloads := make([]sim.Workload, len(apps))
 	ids := make([]string, len(apps))
 	for i, a := range apps {
-		workloads[i] = e.p.Apps[a].Workload
 		ids[i] = e.p.Apps[a].ID
 	}
-	agg, err := sim.NewAggregate(workloads)
-	if err != nil {
-		return ServerUsage{}, err
-	}
-	cfg := sim.Config{
-		Commitment:    e.p.Commitment,
-		SlotsPerDay:   e.p.SlotsPerDay,
-		DeadlineSlots: e.p.DeadlineSlots,
-		Hooks:         e.p.Hooks,
-		Inject:        e.p.Inject,
-		InjectKey:     srv.ID,
-	}
-	required, res, ok, err := agg.RequiredCapacity(ctx, cfg, srv.Capacity(), e.p.tolerance())
+	required, res, ok, err := e.searchPrimary(ctx, srv, apps)
 	if err != nil {
 		return ServerUsage{}, err
 	}
@@ -433,6 +481,51 @@ func (e *evaluator) computeServer(ctx context.Context, srv Server, apps []int) (
 	}
 	usage.Value = serverValue(usage.Utilization(), srv.CPUs, len(apps), usage.Feasible, e.p.Score)
 	return usage, nil
+}
+
+// searchPrimary runs (or warm-starts) the primary-attribute
+// required-capacity search for a sorted app group on a server. A warm
+// hit reuses the bisection outcome of the same group computed on a
+// server of a *different* capacity: when the original search was
+// Unclamped, its interval [CoS1Peak, TotalPeak] is limit-independent,
+// so any server with capacity >= the group's TotalPeak would reproduce
+// it bit for bit — the gate getWarm enforces.
+func (e *evaluator) searchPrimary(ctx context.Context, srv Server, apps []int) (float64, sim.Result, bool, error) {
+	var wk warmKey
+	if e.shared != nil {
+		wk = warmKey{cfg: e.cfgSig, group: hashGroup(e.appHashes, apps)}
+		if w, ok := e.shared.getWarm(wk, srv.Capacity()); ok {
+			e.warmHitC.Inc()
+			return w.required, w.result, true, nil
+		}
+	}
+	workloads := make([]sim.Workload, len(apps))
+	for i, a := range apps {
+		workloads[i] = e.p.Apps[a].Workload
+	}
+	agg, err := sim.NewAggregate(workloads)
+	if err != nil {
+		return 0, sim.Result{}, false, err
+	}
+	cfg := sim.Config{
+		Commitment:    e.p.Commitment,
+		SlotsPerDay:   e.p.SlotsPerDay,
+		DeadlineSlots: e.p.DeadlineSlots,
+		Hooks:         e.p.Hooks,
+		Inject:        e.p.Inject,
+		InjectKey:     srv.ID,
+	}
+	out, err := agg.Search(ctx, cfg, srv.Capacity(), e.p.tolerance())
+	if err != nil {
+		return 0, sim.Result{}, false, err
+	}
+	if e.shared != nil && out.Feasible && out.Unclamped {
+		w := warmResult{required: out.Capacity, result: out.Result, totalPeak: agg.TotalPeak()}
+		if n := e.shared.putWarm(wk, w); n > 0 {
+			e.evictC.Add(int64(n))
+		}
+	}
+	return out.Capacity, out.Result, out.Feasible, nil
 }
 
 // evaluate scores a full assignment.

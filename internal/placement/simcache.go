@@ -1,0 +1,342 @@
+package placement
+
+import (
+	"container/list"
+	"math"
+	"sync"
+
+	"ropus/internal/sim"
+)
+
+// The shared cross-run simulation cache. A consolidation exercise's
+// expensive unit of work is the (server-capacity, app-group) simulation:
+// one bisection search over replays of the aggregated traces. The GA
+// re-creates its per-run evaluator for every Consolidate call, so the
+// base-plan search, the N failure-scenario searches, the greedy seeds,
+// rebalancing audits and the capacity planner all keep re-simulating
+// groups the pipeline has already solved. A SimCache hoists those
+// results out of the run: entries are keyed by content (a hash of the
+// traces in the group, the commitment/tolerance configuration, and the
+// server's capacity signature — not its identity), so a result computed
+// for the base plan is valid verbatim in every failure scenario where
+// the same group lands on a server of the same shape. A failed server
+// changes which groups are legal, not what a group costs on a survivor.
+//
+// Two entry kinds live in one LRU:
+//
+//   - usage entries: the full ServerUsage for (cfg, server-shape,
+//     group). Hits skip the simulation entirely.
+//   - warm entries: the primary-attribute search outcome for (cfg,
+//     group) when the search was Unclamped (see sim.SearchOutcome): the
+//     bisection ran over [CoS1Peak, TotalPeak] and is therefore valid,
+//     bit for bit, for any server whose capacity is >= the group's
+//     TotalPeak — including capacities never simulated before.
+//
+// Both reuse paths reproduce exactly what a cold computation would
+// produce, so cached and uncached runs yield byte-identical plans; that
+// property is what lets the parallel sweeps stay deterministic.
+//
+// The cache is bypassed when a Problem carries a fault injector:
+// injection points must keep firing per evaluation.
+
+// DefaultSimCacheBytes is the byte bound used when NewSimCache is given
+// a non-positive size.
+const DefaultSimCacheBytes = 256 << 20
+
+// usageKey identifies a full ServerUsage: three independent FNV-1a
+// lanes (configuration, server shape, group content) to keep the
+// effective key width at 192 bits.
+type usageKey struct{ cfg, server, group uint64 }
+
+// warmKey identifies a primary-attribute search outcome, independent of
+// any server.
+type warmKey struct{ cfg, group uint64 }
+
+// warmResult is an Unclamped search outcome plus the TotalPeak gate
+// deciding which capacities may reuse it.
+type warmResult struct {
+	required  float64
+	result    sim.Result
+	totalPeak float64
+}
+
+// cacheEntry is one LRU node; exactly one of the two keys is live,
+// selected by warm.
+type cacheEntry struct {
+	warm bool
+	uk   usageKey
+	wk   warmKey
+
+	usage ServerUsage
+	res   warmResult
+	bytes int64
+}
+
+// CacheStats is a point-in-time snapshot of a SimCache's counters.
+type CacheStats struct {
+	// Hits and Misses count full-usage lookups.
+	Hits, Misses int64
+	// WarmHits counts cross-capacity warm-start reuses of a search.
+	WarmHits int64
+	// Evictions counts entries dropped to honour the byte bound.
+	Evictions int64
+	// Entries and Bytes describe the current contents.
+	Entries int
+	Bytes   int64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// SimCache is a size-bounded (LRU, byte-accounted) concurrent cache of
+// per-(server-shape, app-group) simulation results, shared across
+// consolidation runs via Problem.Cache. The zero value is not usable;
+// construct with NewSimCache.
+type SimCache struct {
+	mu    sync.Mutex
+	max   int64
+	bytes int64
+	ll    *list.List // front = most recently used
+	usage map[usageKey]*list.Element
+	warm  map[warmKey]*list.Element
+
+	hits, misses, warmHits, evictions int64
+}
+
+// NewSimCache builds a cache bounded to maxBytes of accounted entry
+// payload (estimated, not exact); maxBytes <= 0 selects
+// DefaultSimCacheBytes.
+func NewSimCache(maxBytes int64) *SimCache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultSimCacheBytes
+	}
+	return &SimCache{
+		max:   maxBytes,
+		ll:    list.New(),
+		usage: make(map[usageKey]*list.Element),
+		warm:  make(map[warmKey]*list.Element),
+	}
+}
+
+// Stats snapshots the cache counters.
+func (c *SimCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		WarmHits:  c.warmHits,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+	}
+}
+
+// getUsage looks up a full usage entry. The returned ServerUsage has a
+// zero Server field (results are server-identity-agnostic); the caller
+// fills in the concrete server.
+func (c *SimCache) getUsage(k usageKey) (ServerUsage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.usage[k]
+	if !ok {
+		c.misses++
+		return ServerUsage{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).usage, true
+}
+
+// putUsage stores a full usage entry and returns how many entries were
+// evicted to make room. The stored value must already have its Server
+// field zeroed.
+func (c *SimCache) putUsage(k usageKey, u ServerUsage) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.usage[k]; ok { // concurrent computations of one key race benignly
+		c.ll.MoveToFront(el)
+		return 0
+	}
+	e := &cacheEntry{uk: k, usage: u, bytes: usageBytes(u)}
+	c.usage[k] = c.ll.PushFront(e)
+	c.bytes += e.bytes
+	return c.evict()
+}
+
+// getWarm looks up a warm search outcome reusable at capacity: the
+// cached search must gate at or below it.
+func (c *SimCache) getWarm(k warmKey, capacity float64) (warmResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.warm[k]
+	if !ok {
+		return warmResult{}, false
+	}
+	w := el.Value.(*cacheEntry).res
+	if capacity < w.totalPeak {
+		return warmResult{}, false
+	}
+	c.warmHits++
+	c.ll.MoveToFront(el)
+	return w, true
+}
+
+// putWarm stores an Unclamped primary-attribute search outcome and
+// returns how many entries were evicted.
+func (c *SimCache) putWarm(k warmKey, w warmResult) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.warm[k]; ok {
+		c.ll.MoveToFront(el)
+		return 0
+	}
+	e := &cacheEntry{warm: true, wk: k, res: w, bytes: warmEntryBytes}
+	c.warm[k] = c.ll.PushFront(e)
+	c.bytes += e.bytes
+	return c.evict()
+}
+
+// evict drops least-recently-used entries until the byte bound holds.
+// Called with mu held.
+func (c *SimCache) evict() int {
+	n := 0
+	for c.bytes > c.max && c.ll.Len() > 0 {
+		el := c.ll.Back()
+		e := el.Value.(*cacheEntry)
+		c.ll.Remove(el)
+		c.bytes -= e.bytes
+		if e.warm {
+			delete(c.warm, e.wk)
+		} else {
+			delete(c.usage, e.uk)
+		}
+		n++
+	}
+	c.evictions += int64(n)
+	return n
+}
+
+// warmEntryBytes is the accounted size of a warm entry: the struct, two
+// map words and an LRU node.
+const warmEntryBytes = 160
+
+// usageBytes estimates the retained size of a usage entry.
+func usageBytes(u ServerUsage) int64 {
+	b := int64(240) // struct, LRU node, map overhead
+	for _, id := range u.AppIDs {
+		b += 16 + int64(len(id))
+	}
+	b += int64(len(u.ExtraRequired)) * 64
+	return b
+}
+
+// ---------------------------------------------------------------------
+// Content hashing (FNV-1a, 64-bit). The cache keys must identify the
+// simulation inputs by value: trace contents, commitment parameters and
+// server capacities, never slice identities or server IDs.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvU64 folds an 8-byte value into an FNV-1a state.
+func fnvU64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// fnvF64 folds a float64 by its bit pattern.
+func fnvF64(h uint64, v float64) uint64 { return fnvU64(h, math.Float64bits(v)) }
+
+// fnvInt folds an int.
+func fnvInt(h uint64, v int) uint64 { return fnvU64(h, uint64(int64(v))) }
+
+// fnvString folds a length-delimited string.
+func fnvString(h uint64, s string) uint64 {
+	h = fnvInt(h, len(s))
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// fnvSamples folds a trace's samples by value.
+func fnvSamples(h uint64, s []float64) uint64 {
+	h = fnvInt(h, len(s))
+	for _, v := range s {
+		h = fnvF64(h, v)
+	}
+	return h
+}
+
+// hashConfig digests every Problem field that parameterizes a
+// simulation outcome (the commitment, slot geometry, bisection
+// tolerance and score model). New simulation-relevant Problem fields
+// must be folded in here, or stale shared-cache hits will alias them.
+func hashConfig(p *Problem) uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvF64(h, p.Commitment.Theta)
+	h = fnvU64(h, uint64(p.Commitment.Deadline))
+	h = fnvInt(h, p.SlotsPerDay)
+	h = fnvInt(h, p.DeadlineSlots)
+	h = fnvF64(h, p.tolerance())
+	h = fnvInt(h, int(p.Score))
+	return h
+}
+
+// hashServerShape digests a server's capacity signature — everything a
+// simulation reads except its identity, so same-shape servers share
+// entries.
+func hashServerShape(s Server, attrs []Attribute) uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvInt(h, s.CPUs)
+	h = fnvF64(h, s.CPUCapacity)
+	for _, attr := range attrs { // attrs is sorted by Validate
+		h = fnvString(h, string(attr))
+		h = fnvF64(h, s.Extra[attr])
+	}
+	return h
+}
+
+// hashApp digests one application's translated traces (primary and
+// extra attributes) by content. Failure-mode translations share the app
+// ID but carry different samples, so they hash apart.
+func hashApp(a App, attrs []Attribute) uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvString(h, a.ID)
+	h = fnvSamples(h, a.Workload.CoS1)
+	h = fnvSamples(h, a.Workload.CoS2)
+	for _, attr := range attrs {
+		w, ok := a.Extra[attr]
+		if !ok {
+			continue
+		}
+		h = fnvString(h, string(attr))
+		h = fnvSamples(h, w.CoS1)
+		h = fnvSamples(h, w.CoS2)
+	}
+	return h
+}
+
+// hashGroup digests a sorted app-index group through the per-app
+// content hashes.
+func hashGroup(appHashes []uint64, apps []int) uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvInt(h, len(apps))
+	for _, a := range apps {
+		h = fnvU64(h, appHashes[a])
+	}
+	return h
+}

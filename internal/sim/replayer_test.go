@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ropus/internal/qos"
+)
+
+// replayFixture builds an aggregate with a daily burst pattern plus a
+// config whose deadline forces backlog activity.
+func replayFixture(t *testing.T) (*Aggregate, Config) {
+	t.Helper()
+	slots := 7 * 8 * 2 // two weeks, 8 slots/day
+	c1 := make([]float64, slots)
+	c2 := make([]float64, slots)
+	for i := range c2 {
+		c1[i] = 1
+		c2[i] = float64(i % 8)
+	}
+	agg, err := NewAggregate([]Workload{{AppID: "a", CoS1: c1, CoS2: c2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Capacity:      4,
+		Commitment:    qos.PoolCommitment{Theta: 0.7, Deadline: time.Hour},
+		SlotsPerDay:   8,
+		DeadlineSlots: 2,
+	}
+	return agg, cfg
+}
+
+func TestReplayWithMatchesReplay(t *testing.T) {
+	agg, cfg := replayFixture(t)
+	want, err := agg.Replay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReplayer()
+	for i := 0; i < 3; i++ { // reuse must not leak state across replays
+		got, err := agg.ReplayWith(r, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("replay %d through a reused Replayer diverged:\ngot  %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func TestReplayWithZeroAllocsSteadyState(t *testing.T) {
+	agg, cfg := replayFixture(t)
+	r := NewReplayer()
+	if _, err := agg.ReplayWith(r, cfg); err != nil { // warm the buffers
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := agg.ReplayWith(r, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("warm ReplayWith allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+func TestSearchMatchesRequiredCapacity(t *testing.T) {
+	agg, cfg := replayFixture(t)
+	ctx := context.Background()
+	for _, limit := range []float64{6, 8, 16} {
+		capacity, res, ok, err := agg.RequiredCapacity(ctx, cfg, limit, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := agg.Search(ctx, cfg, limit, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Capacity != capacity || out.Result != res || out.Feasible != ok {
+			t.Errorf("limit %v: Search %+v diverges from RequiredCapacity (%v, %+v, %v)",
+				limit, out, capacity, res, ok)
+		}
+	}
+}
+
+func TestSearchUnclampedFlag(t *testing.T) {
+	agg, cfg := replayFixture(t)
+	ctx := context.Background()
+
+	// Limit above TotalPeak: the bisection interval is [CoS1Peak,
+	// TotalPeak], independent of the limit.
+	wide, err := agg.Search(ctx, cfg, agg.TotalPeak()+10, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wide.Feasible || !wide.Unclamped {
+		t.Fatalf("limit above TotalPeak should be feasible and unclamped, got %+v", wide)
+	}
+	// The warm-start contract: any other limit >= TotalPeak reproduces
+	// the outcome exactly.
+	other, err := agg.Search(ctx, cfg, agg.TotalPeak()+1000, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other != wide {
+		t.Fatalf("unclamped outcomes must be limit-invariant: %+v vs %+v", other, wide)
+	}
+
+	// Limit below TotalPeak: the interval is clamped by the limit.
+	narrow, err := agg.Search(ctx, cfg, agg.TotalPeak()-1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.Unclamped {
+		t.Fatalf("limit below TotalPeak must not claim unclamped, got %+v", narrow)
+	}
+}

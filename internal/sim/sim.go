@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"ropus/internal/faultinject"
@@ -175,9 +176,42 @@ type backlogEntry struct {
 	amount float64
 }
 
+// groupSums accumulates the per-(week, time-of-day-slot) requested and
+// served totals behind the θ statistic.
+type groupSums struct{ requested, served float64 }
+
+// Replayer carries the scratch buffers one replay needs (the θ group
+// sums and the CoS2 backlog queue), so a capacity search or a batch of
+// evaluations can reuse them instead of re-allocating per probe. A
+// Replayer is not safe for concurrent use; use one per goroutine (or
+// let Replay draw from the internal pool).
+type Replayer struct {
+	groups  []groupSums
+	backlog []backlogEntry
+}
+
+// NewReplayer returns an empty Replayer; buffers grow on first use and
+// are retained across replays.
+func NewReplayer() *Replayer { return &Replayer{} }
+
+// replayerPool recycles scratch buffers for the plain Replay entry
+// point, which keeps its allocation-free hot path without an API
+// change.
+var replayerPool = sync.Pool{New: func() any { return NewReplayer() }}
+
 // Replay replays the aggregate against cfg.Capacity and computes the
-// resource access CoS statistics (Figure 4's simulator loop).
+// resource access CoS statistics (Figure 4's simulator loop). Scratch
+// buffers come from an internal pool; use ReplayWith to manage them
+// explicitly.
 func (a *Aggregate) Replay(cfg Config) (Result, error) {
+	r := replayerPool.Get().(*Replayer)
+	res, err := a.ReplayWith(r, cfg)
+	replayerPool.Put(r)
+	return res, err
+}
+
+// ReplayWith is Replay using the caller's scratch buffers.
+func (a *Aggregate) ReplayWith(r *Replayer, cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -211,10 +245,18 @@ func (a *Aggregate) Replay(cfg Config) (Result, error) {
 	if weeks == 0 {
 		weeks = 1 // partial trace: treat everything as week 0
 	}
-	type groupSums struct{ requested, served float64 }
-	groups := make([]groupSums, weeks*t)
+	need := weeks * t
+	if cap(r.groups) < need {
+		r.groups = make([]groupSums, need)
+	} else {
+		r.groups = r.groups[:need]
+		for i := range r.groups {
+			r.groups[i] = groupSums{}
+		}
+	}
+	groups := r.groups
 
-	var backlog []backlogEntry
+	backlog := r.backlog[:0]
 	head := 0 // index of the first live backlog entry
 	deadlineMisses := int64(0)
 
@@ -271,6 +313,10 @@ func (a *Aggregate) Replay(cfg Config) (Result, error) {
 	// Deficits still pending at the end of the trace are not counted as
 	// violations: their deadlines lie beyond the observation window.
 
+	// Keep whatever capacity the backlog queue grew to for the next
+	// replay through this Replayer.
+	r.backlog = backlog[:0]
+
 	res.Theta = 1
 	for _, g := range groups {
 		if math.IsNaN(g.requested) || math.IsNaN(g.served) {
@@ -299,6 +345,23 @@ func (a *Aggregate) Replay(cfg Config) (Result, error) {
 	return res, nil
 }
 
+// SearchOutcome is the detailed result of a required-capacity search.
+type SearchOutcome struct {
+	// Capacity is the capacity the search settled on.
+	Capacity float64
+	// Result is the replay outcome at Capacity.
+	Result Result
+	// Feasible reports whether the commitments are satisfied within the
+	// search limit.
+	Feasible bool
+	// Unclamped reports that the bisection ran over the limit-independent
+	// interval [CoS1Peak, TotalPeak] — the limit was at least TotalPeak
+	// and no escalation to the limit was needed — so the same outcome
+	// would be produced, bit for bit, by a search against any limit >=
+	// TotalPeak. Cross-capacity caches key warm starts on this flag.
+	Unclamped bool
+}
+
 // RequiredCapacity finds the smallest capacity (within tol CPUs) that
 // satisfies the CoS commitments, searching [CoS1Peak, limit] by
 // bisection as in Figure 4. It returns the capacity and the replay
@@ -307,14 +370,21 @@ func (a *Aggregate) Replay(cfg Config) (Result, error) {
 // at the limit. Cancelling ctx aborts the search between bisection
 // iterations with a wrapped ctx error.
 func (a *Aggregate) RequiredCapacity(ctx context.Context, cfg Config, limit, tol float64) (capacity float64, res Result, ok bool, err error) {
+	out, err := a.Search(ctx, cfg, limit, tol)
+	return out.Capacity, out.Result, out.Feasible, err
+}
+
+// Search is RequiredCapacity with the full outcome detail; one Replayer
+// serves every probe of the bisection.
+func (a *Aggregate) Search(ctx context.Context, cfg Config, limit, tol float64) (SearchOutcome, error) {
 	if tol <= 0 {
-		return 0, Result{}, false, fmt.Errorf("sim: tolerance %v <= 0", tol)
+		return SearchOutcome{}, fmt.Errorf("sim: tolerance %v <= 0", tol)
 	}
 	if limit <= 0 {
-		return 0, Result{}, false, fmt.Errorf("sim: capacity limit %v <= 0", limit)
+		return SearchOutcome{}, fmt.Errorf("sim: capacity limit %v <= 0", limit)
 	}
 	if err := ctx.Err(); err != nil {
-		return 0, Result{}, false, fmt.Errorf("sim: required-capacity search: %w", err)
+		return SearchOutcome{}, fmt.Errorf("sim: required-capacity search: %w", err)
 	}
 	if cfg.Inject != nil {
 		o := cfg.Inject.Hit("sim.required_capacity", cfg.InjectKey)
@@ -322,9 +392,11 @@ func (a *Aggregate) RequiredCapacity(ctx context.Context, cfg Config, limit, tol
 			time.Sleep(o.Delay)
 		}
 		if o.Err != nil {
-			return 0, Result{}, false, fmt.Errorf("sim: required-capacity search %q: %w", cfg.InjectKey, o.Err)
+			return SearchOutcome{}, fmt.Errorf("sim: required-capacity search %q: %w", cfg.InjectKey, o.Err)
 		}
 	}
+	r := replayerPool.Get().(*Replayer)
+	defer replayerPool.Put(r)
 	h := telemetry.OrNop(cfg.Hooks)
 	h.Counter("sim_searches_total").Inc()
 	iterations := h.Counter("sim_search_iterations_total")
@@ -332,48 +404,53 @@ func (a *Aggregate) RequiredCapacity(ctx context.Context, cfg Config, limit, tol
 	// guaranteed class alone exceeds it.
 	if a.cos1Peak > limit {
 		cfg.Capacity = limit
-		res, err = a.Replay(cfg)
+		res, err := a.ReplayWith(r, cfg)
 		h.Counter("sim_search_infeasible_total").Inc()
-		return limit, res, false, err
+		return SearchOutcome{Capacity: limit, Result: res}, err
 	}
+
+	// With limit >= TotalPeak the whole search is independent of the
+	// limit (barring an escalation below, which clears the flag).
+	unclamped := limit >= a.totalPeak
 
 	hi := math.Min(limit, a.totalPeak) // capacity beyond the total peak is never needed
 	if hi <= 0 {
 		hi = tol // all-zero workloads: any positive capacity fits
 	}
 	cfg.Capacity = hi
-	hiRes, err := a.Replay(cfg)
+	hiRes, err := a.ReplayWith(r, cfg)
 	if err != nil {
-		return 0, Result{}, false, err
+		return SearchOutcome{}, err
 	}
 	if !hiRes.Fits(cfg.Commitment.Theta) {
 		// θ or deadline unsatisfiable even at the peak: try the full
 		// limit before giving up (deadline backlogs can need headroom).
+		unclamped = false
 		if hi < limit {
 			cfg.Capacity = limit
-			hiRes, err = a.Replay(cfg)
+			hiRes, err = a.ReplayWith(r, cfg)
 			if err != nil {
-				return 0, Result{}, false, err
+				return SearchOutcome{}, err
 			}
 			hi = limit
 		}
 		if !hiRes.Fits(cfg.Commitment.Theta) {
 			h.Counter("sim_search_infeasible_total").Inc()
-			return hi, hiRes, false, nil
+			return SearchOutcome{Capacity: hi, Result: hiRes}, nil
 		}
 	}
 
 	lo := a.cos1Peak
 	for hi-lo > tol {
 		if err := ctx.Err(); err != nil {
-			return 0, Result{}, false, fmt.Errorf("sim: required-capacity search: %w", err)
+			return SearchOutcome{}, fmt.Errorf("sim: required-capacity search: %w", err)
 		}
 		iterations.Inc()
 		mid := (lo + hi) / 2
 		cfg.Capacity = mid
-		midRes, err := a.Replay(cfg)
+		midRes, err := a.ReplayWith(r, cfg)
 		if err != nil {
-			return 0, Result{}, false, err
+			return SearchOutcome{}, err
 		}
 		if midRes.Fits(cfg.Commitment.Theta) {
 			hi = mid
@@ -382,5 +459,5 @@ func (a *Aggregate) RequiredCapacity(ctx context.Context, cfg Config, limit, tol
 			lo = mid
 		}
 	}
-	return hi, hiRes, true, nil
+	return SearchOutcome{Capacity: hi, Result: hiRes, Feasible: true, Unclamped: unclamped}, nil
 }

@@ -1,0 +1,125 @@
+package ropus
+
+// Benchmarks for the perf work on the failure sweep: scenario
+// parallelism (Config.Workers), the shared cross-run simulation cache
+// (Config.CacheBytes) and the allocation-free replay underneath. The
+// headline comparison is the cache ablation — the same sweep with the
+// cache disabled, shared, and shared-and-warm — recorded in
+// BENCH_perf_parallel.json. Run with:
+//
+//	go test -bench=FailureSweep -benchmem -benchtime=100ms
+//
+// Results are identical across all variants (cached reuse is bit-exact
+// and the worker pool preserves scenario order), so the benchmark also
+// cross-checks the reports against the sequential baseline.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"ropus/internal/core"
+	"ropus/internal/experiments"
+	"ropus/internal/placement"
+	"ropus/internal/qos"
+	"ropus/internal/trace"
+	"ropus/internal/workload"
+)
+
+// sweepBenchFleet is sized so the sweep is dominated by per-scenario
+// consolidations (the paper's expensive step) but a cache=off run still
+// finishes in benchmark time.
+func sweepBenchFleet(b *testing.B) trace.Set {
+	b.Helper()
+	set, err := workload.Fleet(workload.FleetConfig{
+		Spiky: 1, Bursty: 3, Smooth: 4,
+		Weeks: 1, Interval: time.Hour, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return set
+}
+
+// sweepBenchSetup builds a framework with the given sweep settings and
+// runs the translation + base consolidation it needs (untimed); with a
+// shared cache those stages also warm it, which is exactly the
+// cross-run reuse the cache exists for.
+func sweepBenchSetup(b *testing.B, workers int, cacheBytes int64) (*core.Framework, *core.Translation, *core.Consolidation) {
+	b.Helper()
+	ga := placement.DefaultGAConfig(42)
+	ga.MaxGenerations = 40
+	ga.Stagnation = 10
+	ga.PopulationSize = 16
+	f, err := core.New(core.Config{
+		Commitment:           qos.PoolCommitment{Theta: 0.6, Deadline: time.Hour},
+		ServerCPUs:           16,
+		ServerCapacityPerCPU: 1,
+		GA:                   ga,
+		Tolerance:            0.25,
+		Workers:              workers,
+		CacheBytes:           cacheBytes,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := experiments.CaseStudyQoS(97, 30*time.Minute)
+	reqs := core.Requirements{Default: qos.Requirement{Normal: q, Failure: q}}
+	ctx := context.Background()
+	tr, err := f.Translate(ctx, sweepBenchFleet(b), reqs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cons, err := f.Consolidate(ctx, tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f, tr, cons
+}
+
+func BenchmarkFailureSweep(b *testing.B) {
+	var baseline []byte
+	for _, tc := range []struct {
+		name       string
+		workers    int
+		cacheBytes int64
+	}{
+		{"workers=1/cache=off", 1, -1},
+		{"workers=1/cache=shared", 1, 0},
+		{"workers=8/cache=shared", 8, 0},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			f, tr, cons := sweepBenchSetup(b, tc.workers, tc.cacheBytes)
+			ctx := context.Background()
+			var report []byte
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := f.PlanForFailures(ctx, tr, cons)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.Scenarios) == 0 {
+					b.Fatal("empty sweep")
+				}
+				if i == 0 {
+					b.StopTimer()
+					if report, err = json.Marshal(rep); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+			}
+			b.StopTimer()
+			if baseline == nil {
+				baseline = report
+			} else if !bytes.Equal(report, baseline) {
+				b.Fatal("sweep report diverges from the sequential cache-off baseline")
+			}
+			if s := f.CacheStats(); s.Hits+s.Misses > 0 {
+				b.ReportMetric(s.HitRate(), "hit-rate")
+			}
+		})
+	}
+}

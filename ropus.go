@@ -147,7 +147,18 @@ type (
 	// MultiFailureScenario is the outcome for one combination of
 	// concurrently failed servers.
 	MultiFailureScenario = failure.MultiScenario
+	// SimCache is a shared, size-bounded cross-run simulation cache;
+	// attach one via PlacementProblem.Cache (or let the Framework manage
+	// one via Config.CacheBytes) to reuse per-(server-shape, app-group)
+	// results bit-exactly across searches, failure sweeps and planning.
+	SimCache = placement.SimCache
+	// SimCacheStats is a point-in-time snapshot of a SimCache's counters.
+	SimCacheStats = placement.CacheStats
 )
+
+// NewSimCache builds a shared simulation cache bounded to maxBytes of
+// accounted entry memory (<= 0 selects the default bound).
+func NewSimCache(maxBytes int64) *SimCache { return placement.NewSimCache(maxBytes) }
 
 // Time-domain pool simulation through a failure (performability).
 type (
