@@ -39,6 +39,7 @@ experiments:
 fuzz:
 	$(GO) test -fuzz FuzzReadCSV -fuzztime 30s ./internal/trace/
 	$(GO) test -fuzz FuzzReadJSON -fuzztime 30s ./internal/trace/
+	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/checkpoint/
 
 clean:
 	rm -rf results test_output.txt bench_output.txt bench_smoke.txt cover.out

@@ -21,7 +21,9 @@ import (
 	"syscall"
 	"time"
 
+	"ropus/internal/checkpoint"
 	"ropus/internal/experiments"
+	"ropus/internal/resilience"
 	"ropus/internal/telemetry"
 )
 
@@ -33,6 +35,10 @@ func main() {
 		quick   = flag.Bool("quick", false, "reduced search budget for smoke runs")
 		timeout = flag.Duration("timeout", 0, "cancel the run after this duration (0 = unlimited); telemetry files are still flushed")
 		workers = flag.Int("workers", 0, "parallel workers for table1/failover/mix (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+		ckpt    = flag.String("checkpoint", "", "crash-safe journal file for table1/failover/mix; completed units are fsync'd as they finish")
+		resume  = flag.Bool("resume", false, "replay completed units from the -checkpoint journal instead of recomputing them")
+		retries = flag.Int("retries", 2, "extra attempts per work unit after a transient failure (0 disables retry)")
+		sdl     = flag.Duration("scenario-deadline", 0, "per-attempt deadline for each case/scenario; a timed-out attempt is retried (0 = none)")
 	)
 	flag.Parse()
 	// SIGINT/SIGTERM and -timeout cancel the compute-heavy experiments;
@@ -44,13 +50,61 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := realMain(ctx, *run, *out, *seed, *quick, *workers); err != nil {
+	heal := healOpts{path: *ckpt, resume: *resume, retries: *retries, deadline: *sdl}
+	if err := realMain(ctx, *run, *out, *seed, *quick, *workers, heal); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(ctx context.Context, run, out string, seed int64, quick bool, workers int) error {
+// healOpts carries the parsed self-healing flags: retry policy plus
+// crash-safe checkpoint/resume for the cancellable experiments.
+type healOpts struct {
+	path     string
+	resume   bool
+	retries  int
+	deadline time.Duration
+}
+
+// policy builds the deterministic retry policy. The backoff seed is
+// fixed so a resumed run replays the same jitter schedule.
+func (o healOpts) policy(h telemetry.Hooks) resilience.Policy {
+	return resilience.Policy{
+		MaxAttempts:    o.retries + 1,
+		BaseDelay:      100 * time.Millisecond,
+		MaxDelay:       2 * time.Second,
+		Jitter:         0.2,
+		Seed:           1,
+		AttemptTimeout: o.deadline,
+		Hooks:          h,
+	}
+}
+
+// journal opens the checkpoint journal, binding it to the knobs that
+// determine results (experiment selection, seed, quick) but not to the
+// worker count, so a journal resumes at any parallelism. Status goes to
+// stderr to keep stdout byte-identical across interrupted/resumed runs.
+func (o healOpts) journal(run string, seed int64, quick bool, h telemetry.Hooks) (*checkpoint.Journal, error) {
+	if o.path == "" {
+		if o.resume {
+			return nil, fmt.Errorf("-resume requires -checkpoint")
+		}
+		return nil, nil
+	}
+	hash := checkpoint.NewHasher().String("experiments").String(run).Int(seed).Bool(quick).Sum()
+	j, err := checkpoint.Open(o.path, hash, o.resume, h)
+	if err != nil {
+		return nil, err
+	}
+	if o.resume {
+		fmt.Fprintf(os.Stderr, "experiments: checkpoint: replaying %d completed unit(s) from %s\n", j.Replayed(), o.path)
+	} else {
+		fmt.Fprintf(os.Stderr, "experiments: checkpoint: journaling completed units to %s\n", o.path)
+	}
+	return j, nil
+}
+
+func realMain(ctx context.Context, run, out string, seed int64, quick bool, workers int, heal healOpts) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
@@ -69,7 +123,15 @@ func realMain(ctx context.Context, run, out string, seed int64, quick bool, work
 			fmt.Fprintln(os.Stderr, "experiments: telemetry:", err)
 		}
 	}()
-	cfg := experiments.Table1Config{GASeed: 42, Quick: quick, Hooks: hooks, Workers: workers}
+	journal, err := heal.journal(run, seed, quick, hooks)
+	if err != nil {
+		return err
+	}
+	defer journal.Close()
+	cfg := experiments.Table1Config{
+		GASeed: 42, Quick: quick, Hooks: hooks, Workers: workers,
+		Retry: heal.policy(hooks), Journal: journal,
+	}
 
 	want := func(name string) bool { return run == "all" || run == name }
 	ran := false
@@ -111,7 +173,7 @@ func realMain(ctx context.Context, run, out string, seed int64, quick bool, work
 	}
 	if want("mix") {
 		ran = true
-		if err := runMix(ctx, out, seed, quick, workers, hooks); err != nil {
+		if err := runMix(ctx, out, seed, quick, workers, hooks, heal.policy(hooks), journal); err != nil {
 			return err
 		}
 	}
@@ -311,11 +373,21 @@ func runFailover(ctx context.Context, set experiments.TraceSet, cfg experiments.
 	fmt.Printf("normal mode servers: %d\n", res.NormalServers)
 	for _, sc := range res.Report.Failures.Scenarios {
 		verdict := "absorbed by remaining servers"
-		if !sc.Feasible {
+		switch {
+		case sc.Err != nil:
+			verdict = "INCONCLUSIVE (analysis failed)"
+		case !sc.Feasible:
 			verdict = "NOT absorbable"
+		}
+		if sc.Recovered {
+			verdict += fmt.Sprintf(" (recovered on attempt %d)", sc.Attempts)
 		}
 		fmt.Printf("  failure of %-8s -> %d apps affected, %s\n",
 			sc.FailedServer, len(sc.AffectedApps), verdict)
+	}
+	if extra, recovered, gaveUp := res.Report.Failures.Retries(); recovered > 0 || gaveUp > 0 {
+		fmt.Printf("self-healing: %d extra attempt(s), %d scenario(s) recovered, %d gave up\n",
+			extra, recovered, gaveUp)
 	}
 	if res.Report.Failures.SpareNeeded {
 		fmt.Println("verdict: a spare server IS needed")
@@ -326,8 +398,11 @@ func runFailover(ctx context.Context, set experiments.TraceSet, cfg experiments.
 	return nil
 }
 
-func runMix(ctx context.Context, out string, seed int64, quick bool, workers int, hooks telemetry.Hooks) error {
-	rows, err := experiments.Mix(ctx, experiments.MixConfig{Seed: seed, Quick: quick, Hooks: hooks, Workers: workers})
+func runMix(ctx context.Context, out string, seed int64, quick bool, workers int, hooks telemetry.Hooks, retry resilience.Policy, journal *checkpoint.Journal) error {
+	rows, err := experiments.Mix(ctx, experiments.MixConfig{
+		Seed: seed, Quick: quick, Hooks: hooks, Workers: workers,
+		Retry: retry, Journal: journal,
+	})
 	if err != nil {
 		return err
 	}

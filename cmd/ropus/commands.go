@@ -7,12 +7,14 @@ import (
 	"os"
 	"time"
 
+	"ropus/internal/checkpoint"
 	"ropus/internal/core"
 	"ropus/internal/placement"
 	"ropus/internal/planner"
 	"ropus/internal/portfolio"
 	"ropus/internal/qos"
 	"ropus/internal/report"
+	"ropus/internal/resilience"
 	"ropus/internal/sim"
 	"ropus/internal/telemetry"
 	"ropus/internal/trace"
@@ -161,33 +163,124 @@ func cmdTranslate(ctx context.Context, args []string) error {
 	})
 }
 
-// frameworkFlags registers the pool/framework flags and returns a
-// builder taking the run's telemetry hooks.
-func frameworkFlags(fs *flag.FlagSet) func(h telemetry.Hooks) (*core.Framework, error) {
-	var (
-		theta    = fs.Float64("theta", 0.6, "CoS2 resource access probability")
-		deadline = fs.Duration("deadline", time.Hour, "CoS2 make-up deadline")
-		cpus     = fs.Int("cpus", 16, "CPUs per server")
-		seed     = fs.Int64("ga-seed", 42, "genetic search seed")
-		workers  = fs.Int("workers", 0, "parallel failure-sweep workers (0 = GOMAXPROCS, 1 = sequential; results are identical)")
-		cacheMB  = fs.Int64("sim-cache-mb", 0, "shared simulation cache bound in MiB (0 = default, negative disables)")
-	)
-	return func(h telemetry.Hooks) (*core.Framework, error) {
-		cacheBytes := *cacheMB << 20
-		if *cacheMB < 0 {
-			cacheBytes = -1
-		}
-		return core.New(core.Config{
-			Commitment:           qos.PoolCommitment{Theta: *theta, Deadline: *deadline},
-			ServerCPUs:           *cpus,
-			ServerCapacityPerCPU: 1,
-			GA:                   placement.DefaultGAConfig(*seed),
-			Tolerance:            0.1,
-			Hooks:                h,
-			Workers:              *workers,
-			CacheBytes:           cacheBytes,
-		})
+// frameworkOpts holds the parsed pool/framework flags. The knobs that
+// determine results (theta, deadline, cpus, ga-seed) feed the
+// checkpoint run hash via fold; workers and cache size deliberately do
+// not, so a journal can be resumed at any parallelism.
+type frameworkOpts struct {
+	theta    *float64
+	deadline *time.Duration
+	cpus     *int
+	seed     *int64
+	workers  *int
+	cacheMB  *int64
+}
+
+// frameworkFlags registers the pool/framework flags.
+func frameworkFlags(fs *flag.FlagSet) *frameworkOpts {
+	return &frameworkOpts{
+		theta:    fs.Float64("theta", 0.6, "CoS2 resource access probability"),
+		deadline: fs.Duration("deadline", time.Hour, "CoS2 make-up deadline"),
+		cpus:     fs.Int("cpus", 16, "CPUs per server"),
+		seed:     fs.Int64("ga-seed", 42, "genetic search seed"),
+		workers:  fs.Int("workers", 0, "parallel failure-sweep workers (0 = GOMAXPROCS, 1 = sequential; results are identical)"),
+		cacheMB:  fs.Int64("sim-cache-mb", 0, "shared simulation cache bound in MiB (0 = default, negative disables)"),
 	}
+}
+
+// build constructs the framework with the given retry policy and
+// checkpoint journal (both may be zero/nil).
+func (o *frameworkOpts) build(h telemetry.Hooks, retry resilience.Policy, journal *checkpoint.Journal) (*core.Framework, error) {
+	cacheBytes := *o.cacheMB << 20
+	if *o.cacheMB < 0 {
+		cacheBytes = -1
+	}
+	return core.New(core.Config{
+		Commitment:           qos.PoolCommitment{Theta: *o.theta, Deadline: *o.deadline},
+		ServerCPUs:           *o.cpus,
+		ServerCapacityPerCPU: 1,
+		GA:                   placement.DefaultGAConfig(*o.seed),
+		Tolerance:            0.1,
+		Hooks:                h,
+		Workers:              *o.workers,
+		CacheBytes:           cacheBytes,
+		Retry:                retry,
+		Journal:              journal,
+	})
+}
+
+// fold mixes the result-determining framework knobs into a run hash.
+func (o *frameworkOpts) fold(hash *checkpoint.Hasher) {
+	hash.Float(*o.theta).Int(int64(*o.deadline)).Int(int64(*o.cpus)).Int(*o.seed)
+}
+
+// foldQoS mixes an application QoS into a run hash.
+func foldQoS(hash *checkpoint.Hasher, q qos.AppQoS) {
+	hash.Float(q.ULow).Float(q.UHigh).Float(q.UDegr).Float(q.MPercent).Int(int64(q.TDegr))
+}
+
+// foldTraces mixes the trace contents into a run hash, so a journal
+// recorded for one input file cannot silently resume another.
+func foldTraces(hash *checkpoint.Hasher, set trace.Set) {
+	hash.Int(int64(len(set)))
+	for _, tr := range set {
+		hash.String(tr.AppID).Int(int64(tr.Interval)).Floats(tr.Samples)
+	}
+}
+
+// resilienceOpts holds the parsed self-healing flags shared by the
+// failover and plan subcommands.
+type resilienceOpts struct {
+	path     *string
+	resume   *bool
+	retries  *int
+	deadline *time.Duration
+}
+
+func resilienceFlags(fs *flag.FlagSet) *resilienceOpts {
+	return &resilienceOpts{
+		path:     fs.String("checkpoint", "", "crash-safe journal file; completed units are fsync'd as they finish"),
+		resume:   fs.Bool("resume", false, "replay completed units from the -checkpoint journal instead of recomputing them"),
+		retries:  fs.Int("retries", 2, "extra attempts per work unit after a transient failure (0 disables retry)"),
+		deadline: fs.Duration("scenario-deadline", 0, "per-attempt deadline for each scenario/step; a timed-out attempt is retried (0 = none)"),
+	}
+}
+
+// policy builds the deterministic retry policy from the flags. The
+// backoff seed is fixed: the jitter schedule must not depend on
+// anything that varies between a run and its resume.
+func (o *resilienceOpts) policy(h telemetry.Hooks) resilience.Policy {
+	return resilience.Policy{
+		MaxAttempts:    *o.retries + 1,
+		BaseDelay:      100 * time.Millisecond,
+		MaxDelay:       2 * time.Second,
+		Jitter:         0.2,
+		Seed:           1,
+		AttemptTimeout: *o.deadline,
+		Hooks:          h,
+	}
+}
+
+// journal opens the checkpoint journal bound to runHash, or returns
+// nil when checkpointing is disabled. Status goes to stderr so stdout
+// stays byte-identical between interrupted and resumed runs.
+func (o *resilienceOpts) journal(runHash uint64, h telemetry.Hooks) (*checkpoint.Journal, error) {
+	if *o.path == "" {
+		if *o.resume {
+			return nil, fmt.Errorf("-resume requires -checkpoint")
+		}
+		return nil, nil
+	}
+	j, err := checkpoint.Open(*o.path, runHash, *o.resume, h)
+	if err != nil {
+		return nil, err
+	}
+	if *o.resume {
+		fmt.Fprintf(os.Stderr, "checkpoint: replaying %d completed unit(s) from %s\n", j.Replayed(), *o.path)
+	} else {
+		fmt.Fprintf(os.Stderr, "checkpoint: journaling completed units to %s\n", *o.path)
+	}
+	return j, nil
 }
 
 func printPlan(plan *placement.Plan, servers []placement.Server) {
@@ -203,7 +296,7 @@ func printPlan(plan *placement.Plan, servers []placement.Server) {
 func cmdPlace(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("place", flag.ContinueOnError)
 	buildQoS := qosFlags(fs)
-	buildFramework := frameworkFlags(fs)
+	fwk := frameworkFlags(fs)
 	topts := telemetryFlags(fs)
 	in := fs.String("traces", "", "input trace CSV (required)")
 	diagnose := fs.Bool("diagnose", false, "show the worst resource-access groups per server")
@@ -218,7 +311,7 @@ func cmdPlace(ctx context.Context, args []string) error {
 		return err
 	}
 	return withTelemetry(ctx, topts, func(ctx context.Context, h telemetry.Hooks) error {
-		f, err := buildFramework(h)
+		f, err := fwk.build(h, resilience.Policy{}, nil)
 		if err != nil {
 			return err
 		}
@@ -281,7 +374,8 @@ func printDiagnostics(cons *core.Consolidation) error {
 func cmdFailover(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("failover", flag.ContinueOnError)
 	buildQoS := qosFlags(fs)
-	buildFramework := frameworkFlags(fs)
+	fwk := frameworkFlags(fs)
+	ropts := resilienceFlags(fs)
 	topts := telemetryFlags(fs)
 	var (
 		in       = fs.String("traces", "", "input trace CSV (required)")
@@ -300,14 +394,24 @@ func cmdFailover(ctx context.Context, args []string) error {
 		return err
 	}
 	return withTelemetry(ctx, topts, func(ctx context.Context, h telemetry.Hooks) error {
-		f, err := buildFramework(h)
-		if err != nil {
-			return err
-		}
 		normal := buildQoS()
 		failQoS := normal
 		failQoS.MPercent = *failM
 		failQoS.TDegr = *failTDeg
+		hash := checkpoint.NewHasher().String("failover")
+		foldQoS(hash, normal)
+		foldQoS(hash, failQoS)
+		fwk.fold(hash)
+		foldTraces(hash, set)
+		j, err := ropts.journal(hash.Sum(), h)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		f, err := fwk.build(h, ropts.policy(h), j)
+		if err != nil {
+			return err
+		}
 		reqs := core.Requirements{Default: qos.Requirement{Normal: normal, Failure: failQoS}}
 		result, err := f.Run(ctx, set, reqs)
 		if err != nil {
@@ -377,7 +481,8 @@ func cmdSimulate(ctx context.Context, args []string) error {
 func cmdPlan(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("plan", flag.ContinueOnError)
 	buildQoS := qosFlags(fs)
-	buildFramework := frameworkFlags(fs)
+	fwk := frameworkFlags(fs)
+	ropts := resilienceFlags(fs)
 	topts := telemetryFlags(fs)
 	var (
 		in      = fs.String("traces", "", "input trace CSV (required)")
@@ -396,11 +501,21 @@ func cmdPlan(ctx context.Context, args []string) error {
 		return err
 	}
 	return withTelemetry(ctx, topts, func(ctx context.Context, h telemetry.Hooks) error {
-		f, err := buildFramework(h)
+		q := buildQoS()
+		hash := checkpoint.NewHasher().String("plan")
+		foldQoS(hash, q)
+		fwk.fold(hash)
+		hash.Int(int64(*horizon)).Int(int64(*step)).Int(int64(*pool))
+		foldTraces(hash, set)
+		j, err := ropts.journal(hash.Sum(), h)
 		if err != nil {
 			return err
 		}
-		q := buildQoS()
+		defer j.Close()
+		f, err := fwk.build(h, resilience.Policy{}, nil)
+		if err != nil {
+			return err
+		}
 		cfg := planner.Config{
 			Framework:    f,
 			Requirements: core.Requirements{Default: qos.Requirement{Normal: q, Failure: q}},
@@ -408,6 +523,8 @@ func cmdPlan(ctx context.Context, args []string) error {
 			StepWeeks:    *step,
 			PoolServers:  *pool,
 			Hooks:        h,
+			Retry:        ropts.policy(h),
+			Journal:      j,
 		}
 		plan, err := planner.Run(ctx, cfg, set)
 		if err != nil {

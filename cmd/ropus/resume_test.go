@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ropus/internal/checkpoint"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a buffer.
+func captureStdout(t *testing.T, fn func() error) ([]byte, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	done := make(chan []byte)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- data
+	}()
+	ferr := fn()
+	w.Close()
+	out := <-done
+	return out, ferr
+}
+
+// TestCmdFailoverCheckpointResume: a journaled failover run resumed from
+// its own checkpoint must print a byte-identical report.
+func TestCmdFailoverCheckpointResume(t *testing.T) {
+	path := writeFleet(t)
+	ckpt := filepath.Join(t.TempDir(), "failover.ckpt")
+
+	want, err := captureStdout(t, func() error {
+		return run([]string{"failover", "-traces", path, "-json", "-checkpoint", ckpt})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := captureStdout(t, func() error {
+		return run([]string{"failover", "-traces", path, "-json",
+			"-checkpoint", ckpt, "-resume", "-workers", "1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("resumed report differs from original:\n--- original\n%s\n--- resumed\n%s", want, got)
+	}
+}
+
+// TestCmdFailoverResumeRequiresCheckpoint: -resume without -checkpoint
+// is a usage error, not a silent no-op.
+func TestCmdFailoverResumeRequiresCheckpoint(t *testing.T) {
+	path := writeFleet(t)
+	if err := run([]string{"failover", "-traces", path, "-resume"}); err == nil {
+		t.Error("-resume without -checkpoint accepted")
+	}
+}
+
+// TestCmdFailoverResumeRejectsOtherRun: resuming a journal recorded
+// with different result-determining flags must fail with ErrRunMismatch
+// instead of splicing foreign results into the report.
+func TestCmdFailoverResumeRejectsOtherRun(t *testing.T) {
+	path := writeFleet(t)
+	ckpt := filepath.Join(t.TempDir(), "failover.ckpt")
+	if _, err := captureStdout(t, func() error {
+		return run([]string{"failover", "-traces", path, "-json", "-checkpoint", ckpt})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"failover", "-traces", path, "-json",
+		"-checkpoint", ckpt, "-resume", "-theta", "0.9"})
+	if !errors.Is(err, checkpoint.ErrRunMismatch) {
+		t.Errorf("resume with different theta: got %v, want ErrRunMismatch", err)
+	}
+}
+
+// TestCmdPlanCheckpointResume: same byte-identity contract for the
+// planner subcommand.
+func TestCmdPlanCheckpointResume(t *testing.T) {
+	path := writeFleetWeeks(t, 3)
+	ckpt := filepath.Join(t.TempDir(), "plan.ckpt")
+	args := []string{"plan", "-traces", path, "-horizon-weeks", "2",
+		"-step-weeks", "1", "-checkpoint", ckpt}
+
+	want, err := captureStdout(t, func() error { return run(args) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := captureStdout(t, func() error { return run(append(args, "-resume")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("resumed plan differs from original:\n--- original\n%s\n--- resumed\n%s", want, got)
+	}
+}

@@ -1,0 +1,239 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"ropus/internal/telemetry"
+)
+
+type unit struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	const run = uint64(0xdeadbeef)
+
+	j, err := Open(path, run, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []unit{
+		{Name: "a", Value: 1.0000000000000002}, // float that needs full precision
+		{Name: "b", Value: -0},
+		{Name: "c", Value: 1e-300},
+	}
+	for i, u := range want {
+		if err := j.Append("test.unit", uint64(i), u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.Written() != 3 {
+		t.Errorf("Written = %d, want 3", j.Written())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path, run, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Replayed() != 3 {
+		t.Fatalf("Replayed = %d, want 3", r.Replayed())
+	}
+	for i, w := range want {
+		var got unit
+		ok, err := r.Lookup("test.unit", uint64(i), &got)
+		if err != nil || !ok {
+			t.Fatalf("Lookup(%d) = %v, %v", i, ok, err)
+		}
+		if got != w {
+			t.Errorf("unit %d round-tripped to %+v, want %+v", i, got, w)
+		}
+	}
+	var missing unit
+	if ok, _ := r.Lookup("test.unit", 99, &missing); ok {
+		t.Error("Lookup found a record that was never appended")
+	}
+	if ok, _ := r.Lookup("other.unit", 0, &missing); ok {
+		t.Error("Lookup crossed unit namespaces")
+	}
+}
+
+func TestJournalRunMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	j, err := Open(path, 1, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append("u", 0, unit{Name: "x"})
+	j.Close()
+
+	if _, err := Open(path, 2, true, nil); !errors.Is(err, ErrRunMismatch) {
+		t.Errorf("resume with a different run hash: err = %v, want ErrRunMismatch", err)
+	}
+	// Without -resume the journal is truncated regardless of its run.
+	j2, err := Open(path, 2, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	var got unit
+	if ok, _ := j2.Lookup("u", 0, &got); ok {
+		t.Error("truncating open kept old records")
+	}
+}
+
+func TestJournalTornTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	j, err := Open(path, 7, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append("u", 0, unit{Name: "complete"})
+	j.Append("u", 1, unit{Name: "doomed"})
+	j.Close()
+
+	// Simulate a SIGKILL mid-append: chop bytes off the tail.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < 40; cut += 7 {
+		if err := os.WriteFile(path, raw[:len(raw)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(path, 7, true, nil)
+		if err != nil {
+			t.Fatalf("cut %d bytes: resume failed: %v", cut, err)
+		}
+		var got unit
+		ok, err := r.Lookup("u", 0, &got)
+		if err != nil || !ok || got.Name != "complete" {
+			t.Fatalf("cut %d bytes: first record lost: %v %v %+v", cut, ok, err, got)
+		}
+		if ok, _ := r.Lookup("u", 1, &got); ok {
+			t.Fatalf("cut %d bytes: torn record trusted", cut)
+		}
+		if r.Replayed() != 1 {
+			t.Fatalf("cut %d bytes: Replayed = %d, want 1", cut, r.Replayed())
+		}
+		r.Close()
+	}
+}
+
+func TestJournalRejectsMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	j, err := Open(path, 7, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append("u", 0, unit{Name: "first"})
+	j.Append("u", 1, unit{Name: "second"})
+	j.Close()
+
+	raw, _ := os.ReadFile(path)
+	lines := strings.SplitAfter(string(raw), "\n")
+	// Flip a data byte inside the first record (line index 1): the
+	// checksum must catch it, and mid-file damage is not a torn tail.
+	corrupt := strings.Replace(lines[1], "first", "fIrst", 1)
+	os.WriteFile(path, []byte(lines[0]+corrupt+lines[2]), 0o644)
+	if _, err := Open(path, 7, true, nil); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("mid-file corruption: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestJournalVersionSkew(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	os.WriteFile(path, []byte(`{"kind":"ropus-checkpoint","version":99,"run":"0000000000000001"}`+"\n"), 0o644)
+	if _, err := Open(path, 1, true, nil); !errors.Is(err, ErrVersion) {
+		t.Errorf("version skew: err = %v, want ErrVersion", err)
+	}
+}
+
+func TestJournalResumeMissingFileStartsEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	j, err := Open(path, 1, true, nil)
+	if err != nil {
+		t.Fatalf("resume with no journal must start empty: %v", err)
+	}
+	defer j.Close()
+	if j.Replayed() != 0 {
+		t.Errorf("Replayed = %d, want 0", j.Replayed())
+	}
+}
+
+func TestNilJournalIsNoop(t *testing.T) {
+	var j *Journal
+	if err := j.Append("u", 0, unit{}); err != nil {
+		t.Errorf("nil Append: %v", err)
+	}
+	var got unit
+	if ok, err := j.Lookup("u", 0, &got); ok || err != nil {
+		t.Errorf("nil Lookup = %v, %v", ok, err)
+	}
+	if j.Replayed() != 0 || j.Written() != 0 || j.Close() != nil {
+		t.Error("nil journal accessors must be no-ops")
+	}
+}
+
+func TestJournalConcurrentAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	reg := telemetry.NewRegistry()
+	j, err := Open(path, 3, false, telemetry.New(reg, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := j.Append("u", uint64(i), unit{Name: "n", Value: float64(i)}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	j.Close()
+
+	r, err := Open(path, 3, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Replayed() != n {
+		t.Fatalf("Replayed = %d, want %d", r.Replayed(), n)
+	}
+	if got := reg.Snapshot().Counters["checkpoint_records_written_total"]; got != n {
+		t.Errorf("checkpoint_records_written_total = %d, want %d", got, n)
+	}
+}
+
+func TestHasherDelimitsFields(t *testing.T) {
+	a := NewHasher().String("ab").String("c").Sum()
+	b := NewHasher().String("a").String("bc").Sum()
+	if a == b {
+		t.Error("string folding must be length-delimited")
+	}
+	x := NewHasher().Floats([]float64{1, 2}).Floats(nil).Sum()
+	y := NewHasher().Floats([]float64{1}).Floats([]float64{2}).Sum()
+	if x == y {
+		t.Error("float-slice folding must be length-delimited")
+	}
+	if NewHasher().Bool(true).Sum() == NewHasher().Bool(false).Sum() {
+		t.Error("bools must hash differently")
+	}
+	if NewHasher().Int(5).Sum() != NewHasher().Int(5).Sum() {
+		t.Error("hashing must be deterministic")
+	}
+}

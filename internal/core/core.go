@@ -13,11 +13,13 @@ import (
 	"errors"
 	"fmt"
 
+	"ropus/internal/checkpoint"
 	"ropus/internal/failure"
 	"ropus/internal/faultinject"
 	"ropus/internal/placement"
 	"ropus/internal/portfolio"
 	"ropus/internal/qos"
+	"ropus/internal/resilience"
 	"ropus/internal/robust"
 	"ropus/internal/sim"
 	"ropus/internal/telemetry"
@@ -85,6 +87,15 @@ type Config struct {
 	// negative disables the cache. Cached reuse is bit-exact, so results
 	// do not depend on this setting.
 	CacheBytes int64
+	// Retry is the self-healing policy applied to every failure scenario
+	// the framework sweeps: transient analysis faults are re-attempted
+	// under it before a scenario is recorded inconclusive. The zero value
+	// makes a single attempt (the historical behaviour).
+	Retry resilience.Policy
+	// Journal, when non-nil, checkpoints completed failure scenarios so
+	// an interrupted sweep can resume without recomputing them; see
+	// failure.Input.Journal.
+	Journal *checkpoint.Journal
 }
 
 // Validate checks the configuration.
@@ -100,6 +111,9 @@ func (c Config) Validate() error {
 	}
 	if c.Tolerance < 0 {
 		return fmt.Errorf("core: Tolerance %v < 0", c.Tolerance)
+	}
+	if err := c.Retry.Validate(); err != nil {
+		return err
 	}
 	return c.GA.Validate()
 }
@@ -234,7 +248,7 @@ func (f *Framework) PlanForFailures(ctx context.Context, t *Translation, c *Cons
 	for i, p := range t.Failure {
 		failApps[i] = partitionApp(p)
 	}
-	in := failure.Input{Problem: c.Problem, FailureApps: failApps, GA: f.cfg.GA, Hooks: f.cfg.Hooks, Inject: f.cfg.Inject, Workers: f.cfg.Workers}
+	in := failure.Input{Problem: c.Problem, FailureApps: failApps, GA: f.cfg.GA, Hooks: f.cfg.Hooks, Inject: f.cfg.Inject, Workers: f.cfg.Workers, Retry: f.cfg.Retry, Journal: f.cfg.Journal}
 	return failure.Analyze(ctx, in, c.Plan)
 }
 
@@ -250,7 +264,7 @@ func (f *Framework) PlanForMultiFailures(ctx context.Context, t *Translation, c 
 	for i, p := range t.Failure {
 		failApps[i] = partitionApp(p)
 	}
-	in := failure.Input{Problem: c.Problem, FailureApps: failApps, GA: f.cfg.GA, Hooks: f.cfg.Hooks, Inject: f.cfg.Inject, Workers: f.cfg.Workers}
+	in := failure.Input{Problem: c.Problem, FailureApps: failApps, GA: f.cfg.GA, Hooks: f.cfg.Hooks, Inject: f.cfg.Inject, Workers: f.cfg.Workers, Retry: f.cfg.Retry, Journal: f.cfg.Journal}
 	return failure.AnalyzeMulti(ctx, in, c.Plan, k)
 }
 

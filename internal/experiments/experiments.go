@@ -20,14 +20,22 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ropus/internal/checkpoint"
 	"ropus/internal/core"
 	"ropus/internal/parallel"
 	"ropus/internal/placement"
 	"ropus/internal/portfolio"
 	"ropus/internal/qos"
+	"ropus/internal/resilience"
 	"ropus/internal/telemetry"
 	"ropus/internal/trace"
 	"ropus/internal/workload"
+)
+
+// Checkpoint-journal units for resumable experiment sweeps.
+const (
+	unitTable1 = "experiments.table1"
+	unitMix    = "experiments.mix"
 )
 
 // TraceSet aliases trace.Set for the cmd/experiments binary.
@@ -216,44 +224,84 @@ type Table1Config struct {
 	// scenarios) run concurrently: 0 selects GOMAXPROCS, 1 is sequential.
 	// Results are identical at every worker count.
 	Workers int
+	// Retry re-attempts a case (or, inside Failover's framework, a
+	// failure scenario) that failed transiently. The zero value makes a
+	// single attempt.
+	Retry resilience.Policy
+	// Journal, when non-nil, checkpoints completed cases (and the
+	// failure scenarios Failover sweeps) so an interrupted run can
+	// resume without recomputing them; replay is bit-exact.
+	Journal *checkpoint.Journal
 }
 
 // Table1 runs the six consolidation cases against the fleet.
 func Table1(ctx context.Context, set trace.Set, cfg Table1Config) ([]Table1Row, error) {
+	h := telemetry.OrNop(cfg.Hooks)
+	replayC := h.Counter("experiments_cases_replayed_total")
+	appendErrC := h.Counter("checkpoint_append_errors_total")
+	retry := cfg.Retry
+	if retry.Hooks == nil {
+		retry.Hooks = cfg.Hooks
+	}
+
 	rows := make([]Table1Row, len(Table1Cases))
 	errs := make([]error, len(Table1Cases))
 	var failed atomic.Bool
-	runCase := func(i int) error {
+	runCase := func(actx context.Context, i int) (Table1Row, error) {
 		c := Table1Cases[i]
 		f, err := frameworkFor(c.Theta, cfg)
 		if err != nil {
-			return err
+			return Table1Row{}, err
 		}
 		q := CaseStudyQoS(100-c.MDegr, c.TDegr)
 		reqs := core.Requirements{Default: qos.Requirement{Normal: q, Failure: q}}
-		tr, err := f.Translate(ctx, set, reqs)
+		tr, err := f.Translate(actx, set, reqs)
 		if err != nil {
-			return fmt.Errorf("experiments: case %d: %w", c.ID, err)
+			return Table1Row{}, fmt.Errorf("experiments: case %d: %w", c.ID, err)
 		}
-		cons, err := f.Consolidate(ctx, tr)
+		cons, err := f.Consolidate(actx, tr)
 		if err != nil {
-			return fmt.Errorf("experiments: case %d: %w", c.ID, err)
+			return Table1Row{}, fmt.Errorf("experiments: case %d: %w", c.ID, err)
 		}
-		rows[i] = Table1Row{
+		if cons.Plan != nil && cons.Plan.Truncated && actx.Err() != nil && ctx.Err() == nil {
+			return Table1Row{}, resilience.MarkTransient(
+				fmt.Errorf("experiments: case %d: attempt deadline cut the search short", c.ID))
+		}
+		return Table1Row{
 			Case:    c,
 			Servers: cons.ServersUsed(),
 			CRequ:   cons.CRequTotal(),
 			CPeak:   tr.CPeakTotal(),
-		}
-		return nil
+		}, nil
 	}
 	done := parallel.ForEach(ctx, cfg.Workers, len(Table1Cases), func(i int) {
 		if failed.Load() {
 			return // a case already failed; don't burn cycles on the rest
 		}
-		if errs[i] = runCase(i); errs[i] != nil {
-			failed.Store(true)
+		key := checkpoint.NewHasher().Int(int64(Table1Cases[i].ID)).Sum()
+		var cached Table1Row
+		if ok, cerr := cfg.Journal.Lookup(unitTable1, key, &cached); cerr == nil && ok {
+			rows[i] = cached
+			replayC.Inc()
+			return
 		}
+		row, _, err := resilience.Do(ctx, retry, fmt.Sprintf("case-%d", Table1Cases[i].ID),
+			func(attemptCtx context.Context) (Table1Row, error) {
+				return runCase(attemptCtx, i)
+			})
+		if err == nil {
+			rows[i] = row
+			// Never checkpoint a case computed under cancellation: its
+			// search may have been cut short.
+			if ctx.Err() == nil {
+				if aerr := cfg.Journal.Append(unitTable1, key, row); aerr != nil {
+					appendErrC.Inc()
+				}
+			}
+			return
+		}
+		errs[i] = err
+		failed.Store(true)
 	})
 	// The first error by case index is the one a sequential run would
 	// have returned.
@@ -286,6 +334,8 @@ func frameworkFor(theta float64, cfg Table1Config) (*core.Framework, error) {
 		Tolerance:            tolerance,
 		Hooks:                cfg.Hooks,
 		Workers:              cfg.Workers,
+		Retry:                cfg.Retry,
+		Journal:              cfg.Journal,
 	})
 }
 

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"time"
 
+	"ropus/internal/checkpoint"
 	"ropus/internal/parallel"
 	"ropus/internal/placement"
 	"ropus/internal/portfolio"
 	"ropus/internal/qos"
+	"ropus/internal/resilience"
 	"ropus/internal/sim"
 	"ropus/internal/telemetry"
 	"ropus/internal/workload"
@@ -44,6 +46,12 @@ type MixConfig struct {
 	// Workers bounds how many algorithms run concurrently: 0 selects
 	// GOMAXPROCS, 1 is sequential. Results are identical either way.
 	Workers int
+	// Retry re-attempts an algorithm that failed transiently; the zero
+	// value makes a single attempt.
+	Retry resilience.Policy
+	// Journal, when non-nil, checkpoints each algorithm's completed row
+	// so an interrupted comparison can resume without recomputing it.
+	Journal *checkpoint.Journal
 }
 
 // Mix runs the mixed-fleet consolidation comparison.
@@ -121,6 +129,14 @@ func Mix(ctx context.Context, cfg MixConfig) ([]MixRow, error) {
 			return placement.Consolidate(ctx, p, initial, ga)
 		}},
 	}
+	h := telemetry.OrNop(cfg.Hooks)
+	replayC := h.Counter("experiments_cases_replayed_total")
+	appendErrC := h.Counter("checkpoint_append_errors_total")
+	retry := cfg.Retry
+	if retry.Hooks == nil {
+		retry.Hooks = cfg.Hooks
+	}
+
 	// An algorithm that errors (or is never dispatched after a cancel)
 	// reports just its name, as the sequential code did.
 	rows := make([]MixRow, len(algos))
@@ -128,18 +144,42 @@ func Mix(ctx context.Context, cfg MixConfig) ([]MixRow, error) {
 		rows[i].Algorithm = algos[i].name
 	}
 	parallel.ForEach(ctx, cfg.Workers, len(algos), func(i int) {
-		// Each algorithm gets its own shallow Problem copy: Validate
-		// memoizes the attribute union on the struct, which would race.
-		// The copies still share the one simulation cache, so every
-		// (server, group) any algorithm solves is solved once.
-		p := *problem
-		plan, err := algos[i].fn(&p)
+		key := checkpoint.NewHasher().String(algos[i].name).Sum()
+		var cached MixRow
+		if ok, cerr := cfg.Journal.Lookup(unitMix, key, &cached); cerr == nil && ok {
+			rows[i] = cached
+			replayC.Inc()
+			return
+		}
+		row, _, err := resilience.Do(ctx, retry, algos[i].name,
+			func(context.Context) (MixRow, error) {
+				// Each algorithm gets its own shallow Problem copy: Validate
+				// memoizes the attribute union on the struct, which would
+				// race. The copies still share the one simulation cache, so
+				// every (server, group) any algorithm solves is solved once.
+				p := *problem
+				plan, err := algos[i].fn(&p)
+				if err != nil {
+					return MixRow{Algorithm: algos[i].name}, err
+				}
+				return MixRow{
+					Algorithm: algos[i].name,
+					Servers:   plan.ServersUsed,
+					CRequ:     plan.RequiredTotal,
+					Feasible:  plan.Feasible,
+				}, nil
+			})
 		if err != nil {
 			return
 		}
-		rows[i].Servers = plan.ServersUsed
-		rows[i].CRequ = plan.RequiredTotal
-		rows[i].Feasible = plan.Feasible
+		rows[i] = row
+		// Never checkpoint a row computed under cancellation: its search
+		// may have been cut short.
+		if ctx.Err() == nil {
+			if aerr := cfg.Journal.Append(unitMix, key, row); aerr != nil {
+				appendErrC.Inc()
+			}
+		}
 	})
 	return rows, nil
 }

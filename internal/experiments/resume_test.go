@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ropus/internal/checkpoint"
+	"ropus/internal/resilience"
+)
+
+// TestTable1JournalResume runs half the cases, "crashes", and resumes:
+// the resumed table must be byte-identical to an uninterrupted run and
+// must not recompute journaled cases.
+func TestTable1JournalResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several Quick consolidations")
+	}
+	ctx := context.Background()
+	set := smallFleet(t)
+	baseline, err := Table1(ctx, set, Table1Config{GASeed: 7, Quick: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := marshalJSON(t, baseline)
+
+	path := filepath.Join(t.TempDir(), "table1.ckpt")
+	const run = uint64(0x7ab1e)
+
+	// Interrupt after roughly half the cases by cancelling mid-sweep.
+	j, err := checkpoint.Open(path, run, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	Table1(cctx, set, Table1Config{GASeed: 7, Quick: true, Workers: 2, Journal: j})
+	cancel()
+	j.Close()
+
+	j2, err := checkpoint.Open(path, run, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	resumed, err := Table1(ctx, set, Table1Config{GASeed: 7, Quick: true, Workers: 2, Journal: j2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := marshalJSON(t, resumed); !bytes.Equal(got, want) {
+		t.Error("resumed Table1 differs from the uninterrupted run")
+	}
+	if j2.Replayed() > 0 && j2.Written() != len(Table1Cases)-j2.Replayed() {
+		t.Errorf("resume wrote %d cases with %d replayed, want %d",
+			j2.Written(), j2.Replayed(), len(Table1Cases)-j2.Replayed())
+	}
+}
+
+// TestMixJournalFullReplay: a journal holding every algorithm's row
+// replays bit-exactly.
+func TestMixJournalFullReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four Quick placements")
+	}
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "mix.ckpt")
+	const run = uint64(0x317)
+
+	j, err := checkpoint.Open(path, run, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := MixConfig{Interactive: 2, Batch: 2, Seed: 7, Quick: true, Workers: 2, Journal: j}
+	first, err := Mix(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, err := checkpoint.Open(path, run, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	cfg.Journal = j2
+	again, err := Mix(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshalJSON(t, first), marshalJSON(t, again)) {
+		t.Error("full replay drifted from the original rows")
+	}
+	if j2.Written() != 0 {
+		t.Errorf("full replay recomputed %d rows", j2.Written())
+	}
+}
+
+// TestTable1RetryPolicyValidated: an invalid retry policy surfaces
+// through core.Config validation instead of silently misbehaving.
+func TestTable1RetryPolicyValidated(t *testing.T) {
+	set := smallFleet(t)
+	_, err := Table1(context.Background(), set, Table1Config{
+		GASeed: 7, Quick: true, Workers: 1,
+		Retry: resilience.Policy{MaxAttempts: -1},
+	})
+	if err == nil {
+		t.Fatal("negative MaxAttempts should fail validation")
+	}
+}

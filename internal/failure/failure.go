@@ -17,11 +17,19 @@ import (
 	"fmt"
 	"time"
 
+	"ropus/internal/checkpoint"
 	"ropus/internal/faultinject"
 	"ropus/internal/parallel"
 	"ropus/internal/placement"
+	"ropus/internal/resilience"
 	"ropus/internal/robust"
 	"ropus/internal/telemetry"
+)
+
+// Journal unit names for checkpointed sweep results.
+const (
+	unitScenario = "failure.scenario"
+	unitMulti    = "failure.multi"
 )
 
 // Input is everything the planner needs beyond the base plan.
@@ -50,6 +58,20 @@ type Input struct {
 	// analyses; Problem.Cache, when set, keeps their results bit-exact
 	// regardless of completion order).
 	Workers int
+	// Retry governs self-healing: a scenario whose analysis fails with a
+	// transient error (resilience.Transient, or an expired per-attempt
+	// deadline) is re-attempted under this policy before being recorded
+	// inconclusive. The zero value makes a single attempt, preserving
+	// the historical record-and-continue behaviour.
+	Retry resilience.Policy
+	// Journal, when non-nil, checkpoints every successfully analyzed
+	// scenario and replays scenarios already journaled by a resumed run.
+	// Replay is bit-exact, so a resumed sweep reports byte-identical
+	// results. Journal write failures degrade gracefully: the scenario
+	// result is kept, the failed append is counted
+	// (checkpoint_append_errors_total) and the sweep continues — a lost
+	// checkpoint only costs recompute on the next resume.
+	Journal *checkpoint.Journal
 }
 
 // Validate checks the input's structural invariants.
@@ -73,6 +95,9 @@ func (in Input) Validate() error {
 			return err
 		}
 	}
+	if err := in.Retry.Validate(); err != nil {
+		return err
+	}
 	return in.GA.Validate()
 }
 
@@ -90,11 +115,20 @@ type Scenario struct {
 	Plan *placement.Plan
 	// Servers is the reduced server list the plan was computed against.
 	Servers []placement.Server
+	// Attempts is how many analysis attempts the scenario took (1 when
+	// the first try succeeded; 0 only for a scenario never started).
+	Attempts int
+	// Recovered reports a scenario that failed transiently and then
+	// succeeded on a retry: the verdict is as trustworthy as any other,
+	// but the recovery is worth surfacing next to gave-up scenarios.
+	Recovered bool
 	// Err records a scenario that could not be evaluated (solver error,
-	// injected fault, ...). An errored scenario proves nothing: Feasible
-	// is false but it does not count toward SpareNeeded, because the
-	// failure was in the analysis, not in the pool.
-	Err error
+	// injected fault that exhausted the retry policy, ...). An errored
+	// scenario proves nothing: Feasible is false but it does not count
+	// toward SpareNeeded, because the failure was in the analysis, not
+	// in the pool. Errored scenarios are never checkpointed, so a
+	// resumed run re-attempts them.
+	Err error `json:"-"`
 }
 
 // Report aggregates all single-server failure scenarios.
@@ -119,6 +153,25 @@ func (r *Report) Errors() []error {
 		}
 	}
 	return errs
+}
+
+// Retries summarizes the sweep's self-healing: extra is the number of
+// attempts beyond each scenario's first, recovered counts scenarios
+// that succeeded after retrying, and gaveUp counts scenarios recorded
+// inconclusive even after exhausting the retry policy.
+func (r *Report) Retries() (extra, recovered, gaveUp int) {
+	for _, s := range r.Scenarios {
+		if s.Attempts > 1 {
+			extra += s.Attempts - 1
+		}
+		if s.Recovered {
+			recovered++
+		}
+		if s.Err != nil && s.Attempts > 1 {
+			gaveUp++
+		}
+	}
+	return extra, recovered, gaveUp
 }
 
 // Analyze evaluates every single-server failure of the servers used by
@@ -149,7 +202,16 @@ func Analyze(ctx context.Context, in Input, basePlan *placement.Plan) (report *R
 	scenarioC := h.Counter("failure_scenarios_total")
 	infeasibleC := h.Counter("failure_infeasible_scenarios_total")
 	errorC := h.Counter("failure_scenario_errors_total")
+	replayC := h.Counter("failure_scenarios_replayed_total")
+	appendErrC := h.Counter("checkpoint_append_errors_total")
 	scenarioSecs := h.Histogram("failure_scenario_seconds", nil)
+
+	// The retry policy reports through the sweep's hooks unless the
+	// caller wired its own.
+	retry := in.Retry
+	if retry.Hooks == nil {
+		retry.Hooks = in.Hooks
+	}
 
 	// Enumerate the scenarios up front (failing an unused server is a
 	// non-event), then fan them out on the worker pool. Results land in
@@ -170,10 +232,37 @@ func Analyze(ctx context.Context, in Input, basePlan *placement.Plan) (report *R
 	scenarioErrs := make([]error, len(jobs))
 	done := parallel.ForEach(ctx, in.Workers, len(jobs), func(i int) {
 		j := jobs[i]
+		serverID := in.Problem.Servers[j.srvIdx].ID
+		key := checkpoint.NewHasher().String(serverID).Sum()
+		var cached Scenario
+		if ok, cerr := in.Journal.Lookup(unitScenario, key, &cached); cerr == nil && ok {
+			// Replayed from a prior run's checkpoint: bit-exact, so the
+			// resumed report is byte-identical to an uninterrupted one.
+			scenarios[i] = cached
+			scenarioC.Inc()
+			replayC.Inc()
+			return
+		}
 		start := time.Now()
-		scenario, err := analyzeScenario(ctx, in, basePlan, j.srvIdx, j.affected, in.Problem.Servers[j.srvIdx].ID)
+		scenario, stats, err := resilience.Do(ctx, retry, serverID,
+			func(attemptCtx context.Context) (Scenario, error) {
+				return analyzeScenario(attemptCtx, ctx, in, basePlan, j.srvIdx, j.affected, serverID)
+			})
+		scenario.Attempts = stats.Attempts
+		scenario.Recovered = stats.Recovered
 		scenarioC.Inc()
 		scenarioSecs.Observe(time.Since(start).Seconds())
+		// Only clean, complete verdicts are checkpointed: errored
+		// scenarios are inconclusive and should be re-attempted on
+		// resume, and a scenario whose search was cut short by the
+		// sweep's cancellation (best-so-far Truncated plan) would replay
+		// a partial result an uninterrupted run never produces. A failed
+		// append never fails the sweep — it only costs recompute later.
+		if err == nil && ctx.Err() == nil && (scenario.Plan == nil || !scenario.Plan.Truncated) {
+			if aerr := in.Journal.Append(unitScenario, key, scenario); aerr != nil {
+				appendErrC.Inc()
+			}
+		}
 		scenarios[i], scenarioErrs[i] = scenario, err
 	})
 
@@ -207,8 +296,10 @@ func Analyze(ctx context.Context, in Input, basePlan *placement.Plan) (report *R
 
 // analyzeScenario wraps analyzeOne with the "failure.scenario" fault
 // injection point, preserving the scenario's identity (failed server,
-// affected apps) even when the analysis errors.
-func analyzeScenario(ctx context.Context, in Input, basePlan *placement.Plan, srvIdx int, affected []int, key string) (Scenario, error) {
+// affected apps) even when the analysis errors. ctx is the (possibly
+// deadline-bounded) attempt context; parent is the sweep context, used
+// to tell an expired attempt deadline — retryable — from cancellation.
+func analyzeScenario(ctx, parent context.Context, in Input, basePlan *placement.Plan, srvIdx int, affected []int, key string) (Scenario, error) {
 	scenario := Scenario{
 		FailedServer: in.Problem.Servers[srvIdx].ID,
 		AffectedApps: make([]string, 0, len(affected)),
@@ -219,7 +310,13 @@ func analyzeScenario(ctx context.Context, in Input, basePlan *placement.Plan, sr
 	if in.Inject != nil {
 		o := in.Inject.Hit("failure.scenario", key)
 		if o.Delay > 0 {
-			time.Sleep(o.Delay)
+			t := time.NewTimer(o.Delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return scenario, ctx.Err()
+			}
 		}
 		if o.Err != nil {
 			return scenario, o.Err
@@ -228,6 +325,14 @@ func analyzeScenario(ctx context.Context, in Input, basePlan *placement.Plan, sr
 	full, err := analyzeOne(ctx, in, basePlan, srvIdx, affected)
 	if err != nil {
 		return scenario, err
+	}
+	// Consolidate reports context expiry as a Truncated plan with a nil
+	// error. Under a per-attempt deadline a silently partial plan must
+	// become a transient error so the policy retries it; only parent
+	// cancellation may truncate a sweep.
+	if full.Plan != nil && full.Plan.Truncated && ctx.Err() != nil && parent.Err() == nil {
+		return scenario, resilience.MarkTransient(
+			fmt.Errorf("failure: scenario %q: attempt deadline cut the search short", scenario.FailedServer))
 	}
 	return full, nil
 }

@@ -8,8 +8,10 @@ import (
 	"strings"
 	"time"
 
+	"ropus/internal/checkpoint"
 	"ropus/internal/parallel"
 	"ropus/internal/placement"
+	"ropus/internal/resilience"
 	"ropus/internal/robust"
 	"ropus/internal/telemetry"
 )
@@ -37,10 +39,15 @@ type MultiScenario struct {
 	// Servers is the surviving server list the plan was computed
 	// against.
 	Servers []placement.Server
+	// Attempts is how many analysis attempts the combination took.
+	Attempts int
+	// Recovered reports a combination that succeeded only after a retry.
+	Recovered bool
 	// Err records a scenario that could not be evaluated; like the
-	// single-failure case it is inconclusive and does not count toward
-	// SparesNeeded.
-	Err error
+	// single-failure case it is inconclusive, does not count toward
+	// SparesNeeded, and is never checkpointed (a resumed run
+	// re-attempts it).
+	Err error `json:"-"`
 }
 
 // Key returns a stable identifier for the failed-server combination.
@@ -70,6 +77,22 @@ func (r *MultiReport) Errors() []error {
 		}
 	}
 	return errs
+}
+
+// Retries summarizes the sweep's self-healing; see Report.Retries.
+func (r *MultiReport) Retries() (extra, recovered, gaveUp int) {
+	for _, s := range r.Scenarios {
+		if s.Attempts > 1 {
+			extra += s.Attempts - 1
+		}
+		if s.Recovered {
+			recovered++
+		}
+		if s.Err != nil && s.Attempts > 1 {
+			gaveUp++
+		}
+	}
+	return extra, recovered, gaveUp
 }
 
 // Worst returns the scenario with the most affected applications among
@@ -126,7 +149,14 @@ func AnalyzeMulti(ctx context.Context, in Input, basePlan *placement.Plan, k int
 	scenarioC := h.Counter("failure_scenarios_total")
 	infeasibleC := h.Counter("failure_infeasible_scenarios_total")
 	errorC := h.Counter("failure_scenario_errors_total")
+	replayC := h.Counter("failure_scenarios_replayed_total")
+	appendErrC := h.Counter("checkpoint_append_errors_total")
 	scenarioSecs := h.Histogram("failure_scenario_seconds", nil)
+
+	retry := in.Retry
+	if retry.Hooks == nil {
+		retry.Hooks = in.Hooks
+	}
 
 	// Fan the combinations out on the worker pool; like Analyze, results
 	// land in combination order and the dispatched prefix is contiguous,
@@ -135,10 +165,30 @@ func AnalyzeMulti(ctx context.Context, in Input, basePlan *placement.Plan, k int
 	scenarios := make([]MultiScenario, len(combos))
 	scenarioErrs := make([]error, len(combos))
 	done := parallel.ForEach(ctx, in.Workers, len(combos), func(i int) {
+		comboKey := comboID(in.Problem, combos[i])
+		key := checkpoint.NewHasher().Int(int64(k)).String(comboKey).Sum()
+		var cached MultiScenario
+		if ok, cerr := in.Journal.Lookup(unitMulti, key, &cached); cerr == nil && ok {
+			scenarios[i] = cached
+			scenarioC.Inc()
+			replayC.Inc()
+			return
+		}
 		start := time.Now()
-		scenario, err := analyzeCombo(ctx, in, basePlan, combos[i])
+		scenario, stats, err := resilience.Do(ctx, retry, comboKey,
+			func(attemptCtx context.Context) (MultiScenario, error) {
+				return analyzeCombo(attemptCtx, ctx, in, basePlan, combos[i])
+			})
+		scenario.Attempts = stats.Attempts
+		scenario.Recovered = stats.Recovered
 		scenarioC.Inc()
 		scenarioSecs.Observe(time.Since(start).Seconds())
+		// See Analyze: only clean, complete verdicts are checkpointed.
+		if err == nil && ctx.Err() == nil && (scenario.Plan == nil || !scenario.Plan.Truncated) {
+			if aerr := in.Journal.Append(unitMulti, key, scenario); aerr != nil {
+				appendErrC.Inc()
+			}
+		}
 		scenarios[i], scenarioErrs[i] = scenario, err
 	})
 
@@ -167,10 +217,21 @@ func AnalyzeMulti(ctx context.Context, in Input, basePlan *placement.Plan, k int
 	return report, nil
 }
 
+// comboID is the stable identifier of a failed-server combination,
+// matching MultiScenario.Key for the same combination.
+func comboID(p *placement.Problem, combo []int) string {
+	ids := make([]string, 0, len(combo))
+	for _, s := range combo {
+		ids = append(ids, p.Servers[s].ID)
+	}
+	return strings.Join(ids, "+")
+}
+
 // analyzeCombo re-consolidates after removing the given servers. Even
 // when it errors, the returned scenario carries the combination's
-// identity so the report can record which analysis failed.
-func analyzeCombo(ctx context.Context, in Input, basePlan *placement.Plan, combo []int) (MultiScenario, error) {
+// identity so the report can record which analysis failed. ctx is the
+// attempt context, parent the sweep context (see analyzeScenario).
+func analyzeCombo(ctx, parent context.Context, in Input, basePlan *placement.Plan, combo []int) (MultiScenario, error) {
 	p := in.Problem
 	failed := make(map[int]bool, len(combo))
 	scenario := MultiScenario{}
@@ -181,7 +242,13 @@ func analyzeCombo(ctx context.Context, in Input, basePlan *placement.Plan, combo
 	if in.Inject != nil {
 		o := in.Inject.Hit("failure.scenario", scenario.Key())
 		if o.Delay > 0 {
-			time.Sleep(o.Delay)
+			t := time.NewTimer(o.Delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return scenario, ctx.Err()
+			}
 		}
 		if o.Err != nil {
 			return scenario, o.Err
@@ -253,6 +320,10 @@ func analyzeCombo(ctx context.Context, in Input, basePlan *placement.Plan, combo
 	}
 	if err != nil {
 		return scenario, err
+	}
+	if plan != nil && plan.Truncated && ctx.Err() != nil && parent.Err() == nil {
+		return scenario, resilience.MarkTransient(
+			fmt.Errorf("failure: scenario %q: attempt deadline cut the search short", scenario.Key()))
 	}
 	scenario.Feasible = true
 	scenario.Plan = plan

@@ -18,7 +18,8 @@
 //	sim.replay              key = Config.InjectKey
 //	wlmgr.container         key = application ID
 //
-// The package is stdlib-only and safe for concurrent use.
+// The package is dependency-free (stdlib plus the repo's resilience
+// classification) and safe for concurrent use.
 package faultinject
 
 import (
@@ -28,6 +29,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"ropus/internal/resilience"
 )
 
 // ErrInjected is the base error of every scripted fault, so tests and
@@ -38,7 +41,10 @@ var ErrInjected = errors.New("faultinject: injected fault")
 // surface, a delay to impose, and a request to corrupt the data at the
 // injection point. The zero Outcome means "proceed normally".
 type Outcome struct {
-	// Err is the scripted error, nil when no error fault fired.
+	// Err is the scripted error, nil when no error fault fired. A
+	// transient fault's Err is wrapped with resilience.MarkTransient, so
+	// resilience.Transient(Err) and errors.Is(Err, resilience.ErrTransient)
+	// both classify it.
 	Err error
 	// Delay is an artificial latency the component should impose
 	// (modelling a slow stage); zero when none fired.
@@ -46,6 +52,10 @@ type Outcome struct {
 	// Corrupt asks the component to corrupt the data flowing through
 	// the point (e.g. a NaN trace slot) and exercise its detection path.
 	Corrupt bool
+	// Transient classifies the injected fault: true models a blip a
+	// retry could absorb, false (the default — existing scripts keep
+	// their behaviour) a permanent failure that retrying cannot fix.
+	Transient bool
 }
 
 // Injector decides the fate of each instrumented operation. A nil
@@ -87,6 +97,10 @@ type Rule struct {
 	Delay time.Duration
 	// Corrupt requests data corruption at the point.
 	Corrupt bool
+	// Transient marks the injected error as transient (retryable under
+	// a resilience.Policy). The zero value keeps the historical
+	// behaviour: injected faults are permanent and never retried.
+	Transient bool
 }
 
 // Validate checks the rule.
@@ -175,10 +189,18 @@ func (s *Script) Hit(point, key string) Outcome {
 		if r.Corrupt {
 			out.Corrupt = true
 		}
+		var injected error
 		if r.Err != nil {
-			out.Err = r.Err
+			injected = r.Err
 		} else if r.Delay == 0 && !r.Corrupt && out.Err == nil {
-			out.Err = fmt.Errorf("%w at %s[%s]", ErrInjected, point, key)
+			injected = fmt.Errorf("%w at %s[%s]", ErrInjected, point, key)
+		}
+		if injected != nil {
+			if r.Transient {
+				injected = resilience.MarkTransient(injected)
+			}
+			out.Err = injected
+			out.Transient = r.Transient
 		}
 	}
 	if out.Err != nil || out.Delay > 0 || out.Corrupt {

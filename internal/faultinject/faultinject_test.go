@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"ropus/internal/resilience"
 )
 
 func TestChaosRuleValidate(t *testing.T) {
@@ -189,5 +191,40 @@ func TestChaosChurn(t *testing.T) {
 	}
 	if got := Churn(in, 0, 5); len(got) != len(in) {
 		t.Errorf("drop 0 should keep everything, kept %d", len(got))
+	}
+}
+
+func TestChaosTransientClassification(t *testing.T) {
+	s := MustScript(1,
+		Rule{Point: "p", Key: "flaky", Transient: true},
+		Rule{Point: "p", Key: "dead"},
+		Rule{Point: "p", Key: "custom", Err: errors.New("wrapped blip"), Transient: true},
+	)
+
+	flaky := s.Hit("p", "flaky")
+	if flaky.Err == nil || !flaky.Transient {
+		t.Fatalf("transient rule outcome = %+v", flaky)
+	}
+	if !resilience.Transient(flaky.Err) {
+		t.Error("transient injected error must classify via resilience.Transient")
+	}
+	if !errors.Is(flaky.Err, ErrInjected) {
+		t.Error("transient wrapping must preserve the ErrInjected chain")
+	}
+	if !errors.Is(flaky.Err, resilience.ErrTransient) {
+		t.Error("transient injected error must match resilience.ErrTransient")
+	}
+
+	dead := s.Hit("p", "dead")
+	if dead.Err == nil || dead.Transient {
+		t.Fatalf("permanent rule outcome = %+v", dead)
+	}
+	if resilience.Transient(dead.Err) {
+		t.Error("the permanent default must not classify as transient")
+	}
+
+	custom := s.Hit("p", "custom")
+	if !resilience.Transient(custom.Err) || custom.Err.Error() != "wrapped blip" {
+		t.Errorf("custom transient error = %v (transient %v)", custom.Err, custom.Transient)
 	}
 }

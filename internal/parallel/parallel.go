@@ -7,6 +7,13 @@
 // dispatched runs to completion, and the dispatched jobs always form a
 // contiguous prefix of the index range, so callers can keep their
 // "completed prefix + Truncated flag" reporting semantics unchanged.
+//
+// The per-job boundary is also where the self-healing machinery hangs:
+// callers wrap each job in a resilience retry and journal its completed
+// result to a checkpoint (see internal/resilience and
+// internal/checkpoint). Because jobs are index-addressed and results
+// are written by index, a resumed sweep replays journaled jobs and
+// recomputes the rest at any worker count with identical output.
 package parallel
 
 import (

@@ -19,13 +19,18 @@ import (
 	"strconv"
 	"time"
 
+	"ropus/internal/checkpoint"
 	"ropus/internal/core"
 	"ropus/internal/faultinject"
 	"ropus/internal/placement"
+	"ropus/internal/resilience"
 	"ropus/internal/robust"
 	"ropus/internal/telemetry"
 	"ropus/internal/trace"
 )
+
+// unitStep is the checkpoint-journal unit for completed horizon steps.
+const unitStep = "planner.step"
 
 // Config parameterizes a planning run.
 type Config struct {
@@ -54,6 +59,15 @@ type Config struct {
 	// "planner.step" point (keyed by weeks ahead, "0" for the baseline);
 	// nil (the production default) injects nothing.
 	Inject faultinject.Injector
+	// Retry re-attempts a horizon step whose consolidation failed with a
+	// transient error (or whose per-attempt deadline expired) before the
+	// run gives up on it. The zero value makes a single attempt.
+	Retry resilience.Policy
+	// Journal, when non-nil, checkpoints every completed horizon step
+	// (keyed by weeks ahead) and replays steps already journaled by a
+	// resumed run; replay is bit-exact. Append failures are counted
+	// (checkpoint_append_errors_total) and otherwise ignored.
+	Journal *checkpoint.Journal
 }
 
 // Validate checks the configuration.
@@ -79,7 +93,7 @@ func (c Config) Validate() error {
 	if c.PoolServers < 0 {
 		return fmt.Errorf("planner: PoolServers %d < 0", c.PoolServers)
 	}
-	return nil
+	return c.Retry.Validate()
 }
 
 // Step is the consolidation outcome for one future horizon step.
@@ -146,15 +160,50 @@ func Run(ctx context.Context, cfg Config, traces trace.Set) (plan *Plan, err err
 	defer span.End()
 	stepsC := h.Counter("planner_steps_total")
 	truncatedC := h.Counter("planner_truncated_total")
+	replayC := h.Counter("planner_steps_replayed_total")
+	appendErrC := h.Counter("checkpoint_append_errors_total")
 	stepSecs := h.Histogram("planner_step_seconds", nil)
 
-	start := time.Now()
-	baseline, err := consolidateStep(ctx, cfg, traces, 0)
-	if err != nil {
-		return nil, fmt.Errorf("planner: baseline: %w", err)
+	retry := cfg.Retry
+	if retry.Hooks == nil {
+		retry.Hooks = cfg.Hooks
 	}
-	stepsC.Inc()
-	stepSecs.Observe(time.Since(start).Seconds())
+	// lookupStep replays a horizon step already checkpointed by a prior
+	// run; recordStep journals a freshly computed one (append failures
+	// only cost recompute on the next resume, never the run).
+	lookupStep := func(ahead int) (Step, bool) {
+		var cached Step
+		ok, cerr := cfg.Journal.Lookup(unitStep, checkpoint.NewHasher().Int(int64(ahead)).Sum(), &cached)
+		if cerr == nil && ok {
+			replayC.Inc()
+			stepsC.Inc()
+			return cached, true
+		}
+		return Step{}, false
+	}
+	recordStep := func(ahead int, step Step) {
+		if ctx.Err() != nil {
+			return // a cancellation may have cut this step's search short
+		}
+		if aerr := cfg.Journal.Append(unitStep, checkpoint.NewHasher().Int(int64(ahead)).Sum(), step); aerr != nil {
+			appendErrC.Inc()
+		}
+	}
+
+	baseline, replayed := lookupStep(0)
+	if !replayed {
+		start := time.Now()
+		baseline, _, err = resilience.Do(ctx, retry, "0",
+			func(attemptCtx context.Context) (Step, error) {
+				return consolidateStep(attemptCtx, ctx, cfg, traces, 0)
+			})
+		if err != nil {
+			return nil, fmt.Errorf("planner: baseline: %w", err)
+		}
+		stepsC.Inc()
+		stepSecs.Observe(time.Since(start).Seconds())
+		recordStep(0, baseline)
+	}
 	plan = &Plan{Baseline: baseline}
 	if !baseline.Feasible {
 		return nil, errors.New("planner: current demand is already unplaceable")
@@ -165,31 +214,38 @@ func Run(ctx context.Context, cfg Config, traces trace.Set) (plan *Plan, err err
 			plan.Truncated = true
 			break
 		}
-		stepSpan := h.StartSpan("planner.step", telemetry.Int("weeks_ahead", ahead))
-		start := time.Now()
-		projected, err := projectSet(cfg, traces, ahead)
-		if err != nil {
-			stepSpan.End()
-			return nil, fmt.Errorf("planner: project +%dw: %w", ahead, err)
-		}
-		step, err := consolidateStep(ctx, cfg, projected, ahead)
-		if err != nil {
-			stepSpan.End()
-			if ctx.Err() != nil {
-				// Cancellation surfaced through the consolidation stack:
-				// degrade to the completed prefix of steps.
-				plan.Truncated = true
-				break
+		step, replayed := lookupStep(ahead)
+		if !replayed {
+			stepSpan := h.StartSpan("planner.step", telemetry.Int("weeks_ahead", ahead))
+			start := time.Now()
+			projected, err := projectSet(cfg, traces, ahead)
+			if err != nil {
+				stepSpan.End()
+				return nil, fmt.Errorf("planner: project +%dw: %w", ahead, err)
 			}
-			return nil, fmt.Errorf("planner: consolidate +%dw: %w", ahead, err)
+			step, _, err = resilience.Do(ctx, retry, strconv.Itoa(ahead),
+				func(attemptCtx context.Context) (Step, error) {
+					return consolidateStep(attemptCtx, ctx, cfg, projected, ahead)
+				})
+			if err != nil {
+				stepSpan.End()
+				if ctx.Err() != nil {
+					// Cancellation surfaced through the consolidation stack:
+					// degrade to the completed prefix of steps.
+					plan.Truncated = true
+					break
+				}
+				return nil, fmt.Errorf("planner: consolidate +%dw: %w", ahead, err)
+			}
+			stepsC.Inc()
+			stepSecs.Observe(time.Since(start).Seconds())
+			stepSpan.SetAttr(
+				telemetry.Bool("feasible", step.Feasible),
+				telemetry.Int("servers", step.Servers))
+			stepSpan.End()
+			step.WeeksAhead = ahead
+			recordStep(ahead, step)
 		}
-		stepsC.Inc()
-		stepSecs.Observe(time.Since(start).Seconds())
-		stepSpan.SetAttr(
-			telemetry.Bool("feasible", step.Feasible),
-			telemetry.Int("servers", step.Servers))
-		stepSpan.End()
-		step.WeeksAhead = ahead
 		plan.Steps = append(plan.Steps, step)
 		exhausted := !step.Feasible || (cfg.PoolServers > 0 && step.Servers > cfg.PoolServers)
 		if plan.ExhaustedAtWeeks == 0 && exhausted {
@@ -240,12 +296,20 @@ func projectSet(cfg Config, traces trace.Set, ahead int) (trace.Set, error) {
 
 // consolidateStep translates and consolidates one trace set. A
 // placement that fits on no pool configuration is reported as an
-// infeasible step, not an error.
-func consolidateStep(ctx context.Context, cfg Config, traces trace.Set, ahead int) (Step, error) {
+// infeasible step, not an error. ctx is the (possibly deadline-bounded)
+// attempt context; parent is the run context, used to convert an
+// attempt-deadline-truncated search into a retryable error.
+func consolidateStep(ctx, parent context.Context, cfg Config, traces trace.Set, ahead int) (Step, error) {
 	if cfg.Inject != nil {
 		o := cfg.Inject.Hit("planner.step", strconv.Itoa(ahead))
 		if o.Delay > 0 {
-			time.Sleep(o.Delay)
+			t := time.NewTimer(o.Delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return Step{}, ctx.Err()
+			}
 		}
 		if o.Err != nil {
 			return Step{}, o.Err
@@ -262,6 +326,10 @@ func consolidateStep(ctx context.Context, cfg Config, traces trace.Set, ahead in
 	}
 	if err != nil {
 		return Step{}, err
+	}
+	if cons.Plan != nil && cons.Plan.Truncated && ctx.Err() != nil && parent.Err() == nil {
+		return Step{}, resilience.MarkTransient(
+			fmt.Errorf("planner: step +%dw: attempt deadline cut the search short", ahead))
 	}
 	step.Feasible = true
 	step.Servers = cons.ServersUsed()

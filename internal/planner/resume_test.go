@@ -1,0 +1,89 @@
+package planner
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"ropus/internal/checkpoint"
+	"ropus/internal/faultinject"
+)
+
+// TestRunJournalResume interrupts a checkpointed planning run after the
+// baseline and resumes it: the resumed plan must be byte-identical to
+// an uninterrupted, journal-free run, and the journaled steps must not
+// be recomputed.
+func TestRunJournalResume(t *testing.T) {
+	ctx := context.Background()
+	set := fleet(t, 3)
+
+	cfg := validConfig(t)
+	baseline, err := Run(ctx, cfg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "plan.ckpt")
+	const run = uint64(0x9a)
+
+	// First pass: cancel after the first horizon step completes, so the
+	// journal holds the baseline and step +2w but not +4w.
+	j, err := checkpoint.Open(path, run, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	icfg := validConfig(t)
+	icfg.Journal = j
+	hits := 0
+	icfg.Inject = faultinject.Func(func(point, key string) faultinject.Outcome {
+		if point == "planner.step" {
+			hits++
+			if hits == 3 { // baseline, +2w, then cancel before +4w finishes
+				cancel()
+			}
+		}
+		return faultinject.Outcome{}
+	})
+	if _, err := Run(cctx, icfg, set); err != nil {
+		t.Fatalf("interrupted run should degrade: %v", err)
+	}
+	cancel()
+	j.Close()
+
+	// Resume: journaled steps replay, the rest compute fresh. A poisoned
+	// injector on already-journaled keys proves they are not recomputed.
+	j2, err := checkpoint.Open(path, run, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Replayed() == 0 {
+		t.Fatal("interrupted run journaled nothing")
+	}
+	rcfg := validConfig(t)
+	rcfg.Journal = j2
+	rcfg.Inject = faultinject.Func(func(point, key string) faultinject.Outcome {
+		if point == "planner.step" && (key == "0" || key == "2") {
+			t.Errorf("journaled step %q recomputed on resume", key)
+		}
+		return faultinject.Outcome{}
+	})
+	resumed, err := Run(ctx, rcfg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("resumed plan differs from the uninterrupted baseline")
+	}
+}

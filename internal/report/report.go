@@ -43,6 +43,17 @@ type FailureSummary struct {
 	FailedServer string   `json:"failedServer"`
 	AffectedApps []string `json:"affectedApps"`
 	Absorbable   bool     `json:"absorbable"`
+	// Attempts is how many analysis attempts the scenario took; > 1
+	// means the retry policy re-attempted a transient fault.
+	Attempts int `json:"attempts"`
+	// Recovered marks a scenario that failed transiently and then
+	// succeeded on a retry.
+	Recovered bool `json:"recovered,omitempty"`
+	// Inconclusive marks a scenario whose analysis failed even after
+	// exhausting the retry policy: Absorbable proves nothing for it.
+	Inconclusive bool `json:"inconclusive,omitempty"`
+	// Error carries the inconclusive scenario's last error message.
+	Error string `json:"error,omitempty"`
 }
 
 // Summary is the JSON-friendly distillation of a core.Report.
@@ -53,6 +64,13 @@ type Summary struct {
 	CRequCPU       float64 `json:"cRequCpu"`
 	SavingsPercent float64 `json:"savingsPercent"`
 	SpareNeeded    bool    `json:"spareNeeded"`
+
+	// Retry accounting for the failure sweep: extra attempts beyond
+	// each scenario's first, scenarios recovered by a retry, and
+	// scenarios recorded inconclusive after exhausting the policy.
+	ExtraAttempts      int `json:"extraAttempts,omitempty"`
+	RecoveredScenarios int `json:"recoveredScenarios,omitempty"`
+	GaveUpScenarios    int `json:"gaveUpScenarios,omitempty"`
 
 	Apps     []AppSummary     `json:"apps"`
 	Servers  []ServerSummary  `json:"servers"`
@@ -97,12 +115,20 @@ func Summarize(r *core.Report) (*Summary, error) {
 	}
 	if r.Failures != nil {
 		s.SpareNeeded = r.Failures.SpareNeeded
+		s.ExtraAttempts, s.RecoveredScenarios, s.GaveUpScenarios = r.Failures.Retries()
 		for _, sc := range r.Failures.Scenarios {
-			s.Failures = append(s.Failures, FailureSummary{
+			fs := FailureSummary{
 				FailedServer: sc.FailedServer,
 				AffectedApps: sc.AffectedApps,
 				Absorbable:   sc.Feasible,
-			})
+				Attempts:     sc.Attempts,
+				Recovered:    sc.Recovered,
+			}
+			if sc.Err != nil {
+				fs.Inconclusive = true
+				fs.Error = sc.Err.Error()
+			}
+			s.Failures = append(s.Failures, fs)
 		}
 	}
 	return s, nil
@@ -148,10 +174,24 @@ func Text(w io.Writer, r *core.Report) error {
 		fmt.Fprintln(w, "\nfailure scenarios:")
 		for _, f := range s.Failures {
 			verdict := "absorbable"
-			if !f.Absorbable {
+			switch {
+			case f.Inconclusive:
+				verdict = "INCONCLUSIVE (analysis failed"
+				if f.Attempts > 1 {
+					verdict += fmt.Sprintf(", gave up after %d attempts", f.Attempts)
+				}
+				verdict += ")"
+			case !f.Absorbable:
 				verdict = "NOT absorbable"
 			}
+			if f.Recovered {
+				verdict += fmt.Sprintf(" (recovered on attempt %d)", f.Attempts)
+			}
 			fmt.Fprintf(w, "  %-10s %d apps affected: %s\n", f.FailedServer, len(f.AffectedApps), verdict)
+		}
+		if s.RecoveredScenarios > 0 || s.GaveUpScenarios > 0 {
+			fmt.Fprintf(w, "self-healing: %d extra attempt(s), %d scenario(s) recovered, %d gave up\n",
+				s.ExtraAttempts, s.RecoveredScenarios, s.GaveUpScenarios)
 		}
 		if s.SpareNeeded {
 			fmt.Fprintln(w, "verdict: a spare server is needed")

@@ -81,35 +81,99 @@ type AppProfile struct {
 	GrowthPerWeek float64
 }
 
-// Validate checks the profile parameters.
-func (p AppProfile) Validate() error {
-	switch {
-	case p.ID == "":
-		return errors.New("workload: profile needs an ID")
-	case p.BaseCPU < 0:
-		return fmt.Errorf("workload: %s: BaseCPU %v < 0", p.ID, p.BaseCPU)
-	case p.PeakCPU < p.BaseCPU:
-		return fmt.Errorf("workload: %s: PeakCPU %v < BaseCPU %v", p.ID, p.PeakCPU, p.BaseCPU)
-	case p.PeakHour < 0 || p.PeakHour >= 24:
-		return fmt.Errorf("workload: %s: PeakHour %v outside [0,24)", p.ID, p.PeakHour)
-	case p.BusinessWidth <= 0:
-		return fmt.Errorf("workload: %s: BusinessWidth %v <= 0", p.ID, p.BusinessWidth)
-	case p.WeekendFactor < 0 || p.WeekendFactor > 1:
-		return fmt.Errorf("workload: %s: WeekendFactor %v outside [0,1]", p.ID, p.WeekendFactor)
-	case p.NoiseSigma < 0:
-		return fmt.Errorf("workload: %s: NoiseSigma %v < 0", p.ID, p.NoiseSigma)
-	case p.BurstsPerWeek < 0:
-		return fmt.Errorf("workload: %s: BurstsPerWeek %v < 0", p.ID, p.BurstsPerWeek)
-	case p.BurstsPerWeek > 0 && (p.BurstScale <= 0 || p.BurstAlpha <= 0 || p.BurstCap <= 0):
-		return fmt.Errorf("workload: %s: bursts need positive BurstScale/BurstAlpha/BurstCap", p.ID)
-	case p.BurstsPerWeek > 0 && (p.BurstMinDur <= 0 || p.BurstMaxDur < p.BurstMinDur):
-		return fmt.Errorf("workload: %s: need 0 < BurstMinDur <= BurstMaxDur", p.ID)
-	case p.BurstRepeatMaxDays < 0:
-		return fmt.Errorf("workload: %s: BurstRepeatMaxDays %d < 0", p.ID, p.BurstRepeatMaxDays)
-	case p.GrowthPerWeek <= -1:
-		return fmt.Errorf("workload: %s: GrowthPerWeek %v <= -1", p.ID, p.GrowthPerWeek)
+// FieldError pinpoints one invalid field of a profile, so a hand-edited
+// JSON fleet specification fails with the exact field and reason rather
+// than a generic message. Use errors.As to recover it from Validate's
+// (possibly joined) error.
+type FieldError struct {
+	// Profile is the profile's ID ("" when the ID itself is missing).
+	Profile string
+	// Field is the Go field name, matching the JSON key up to casing.
+	Field string
+	// Value is the rejected value.
+	Value any
+	// Reason says what the field violated.
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *FieldError) Error() string {
+	id := e.Profile
+	if id == "" {
+		id = "(unnamed)"
 	}
-	return nil
+	return fmt.Sprintf("workload: profile %s: %s = %v: %s", id, e.Field, e.Value, e.Reason)
+}
+
+// Validate checks the profile parameters. Every violation is reported —
+// the returned error joins one FieldError per invalid field — so a bad
+// profile can be fixed in one pass. NaN and infinite values are
+// rejected everywhere: they would silently poison the generated traces
+// and everything downstream of them.
+func (p AppProfile) Validate() error {
+	var errs []error
+	bad := func(field string, value any, reason string) {
+		errs = append(errs, &FieldError{Profile: p.ID, Field: field, Value: value, Reason: reason})
+	}
+	// finite reports (and records) non-finite float fields; further
+	// range checks on a non-finite field are skipped as redundant.
+	finite := func(field string, v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			bad(field, v, "must be a finite number")
+			return false
+		}
+		return true
+	}
+
+	if p.ID == "" {
+		errs = append(errs, &FieldError{Field: "ID", Value: "", Reason: "profile needs an ID"})
+	}
+	baseOK := finite("BaseCPU", p.BaseCPU)
+	if baseOK && p.BaseCPU < 0 {
+		bad("BaseCPU", p.BaseCPU, "must be >= 0")
+	}
+	if finite("PeakCPU", p.PeakCPU) && baseOK && p.PeakCPU < p.BaseCPU {
+		bad("PeakCPU", p.PeakCPU, fmt.Sprintf("must be >= BaseCPU (%v)", p.BaseCPU))
+	}
+	if finite("PeakHour", p.PeakHour) && (p.PeakHour < 0 || p.PeakHour >= 24) {
+		bad("PeakHour", p.PeakHour, "must be in [0,24)")
+	}
+	if finite("BusinessWidth", p.BusinessWidth) && p.BusinessWidth <= 0 {
+		bad("BusinessWidth", p.BusinessWidth, "must be > 0")
+	}
+	if finite("WeekendFactor", p.WeekendFactor) && (p.WeekendFactor < 0 || p.WeekendFactor > 1) {
+		bad("WeekendFactor", p.WeekendFactor, "must be in [0,1]")
+	}
+	if finite("NoiseSigma", p.NoiseSigma) && p.NoiseSigma < 0 {
+		bad("NoiseSigma", p.NoiseSigma, "must be >= 0")
+	}
+	burstsOK := finite("BurstsPerWeek", p.BurstsPerWeek)
+	if burstsOK && p.BurstsPerWeek < 0 {
+		bad("BurstsPerWeek", p.BurstsPerWeek, "must be >= 0")
+	}
+	if burstsOK && p.BurstsPerWeek > 0 {
+		if finite("BurstScale", p.BurstScale) && p.BurstScale <= 0 {
+			bad("BurstScale", p.BurstScale, "must be > 0 when bursts are enabled")
+		}
+		if finite("BurstAlpha", p.BurstAlpha) && p.BurstAlpha <= 0 {
+			bad("BurstAlpha", p.BurstAlpha, "must be > 0 when bursts are enabled")
+		}
+		if finite("BurstCap", p.BurstCap) && p.BurstCap <= 0 {
+			bad("BurstCap", p.BurstCap, "must be > 0 when bursts are enabled")
+		}
+		if p.BurstMinDur <= 0 {
+			bad("BurstMinDur", p.BurstMinDur, "must be > 0 when bursts are enabled")
+		} else if p.BurstMaxDur < p.BurstMinDur {
+			bad("BurstMaxDur", p.BurstMaxDur, fmt.Sprintf("must be >= BurstMinDur (%v)", p.BurstMinDur))
+		}
+	}
+	if p.BurstRepeatMaxDays < 0 {
+		bad("BurstRepeatMaxDays", p.BurstRepeatMaxDays, "must be >= 0")
+	}
+	if finite("GrowthPerWeek", p.GrowthPerWeek) && p.GrowthPerWeek <= -1 {
+		bad("GrowthPerWeek", p.GrowthPerWeek, "must be > -1")
+	}
+	return errors.Join(errs...)
 }
 
 // Generate produces a demand trace of the given number of weeks at the

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestProfileValidateNonFinite: NaN/Inf in any float field must be
+// rejected — they slip through plain range comparisons and would poison
+// every downstream simulation.
+func TestProfileValidateNonFinite(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*AppProfile)
+		field  string
+	}{
+		{name: "NaN base", mutate: func(p *AppProfile) { p.BaseCPU = math.NaN() }, field: "BaseCPU"},
+		{name: "Inf base", mutate: func(p *AppProfile) { p.BaseCPU = math.Inf(1) }, field: "BaseCPU"},
+		{name: "NaN peak", mutate: func(p *AppProfile) { p.PeakCPU = math.NaN() }, field: "PeakCPU"},
+		{name: "-Inf peak", mutate: func(p *AppProfile) { p.PeakCPU = math.Inf(-1) }, field: "PeakCPU"},
+		{name: "NaN peak hour", mutate: func(p *AppProfile) { p.PeakHour = math.NaN() }, field: "PeakHour"},
+		{name: "NaN width", mutate: func(p *AppProfile) { p.BusinessWidth = math.NaN() }, field: "BusinessWidth"},
+		{name: "NaN weekend", mutate: func(p *AppProfile) { p.WeekendFactor = math.NaN() }, field: "WeekendFactor"},
+		{name: "NaN noise", mutate: func(p *AppProfile) { p.NoiseSigma = math.NaN() }, field: "NoiseSigma"},
+		{name: "NaN burst rate", mutate: func(p *AppProfile) { p.BurstsPerWeek = math.NaN() }, field: "BurstsPerWeek"},
+		{name: "NaN burst scale", mutate: func(p *AppProfile) { p.BurstScale = math.NaN() }, field: "BurstScale"},
+		{name: "Inf burst alpha", mutate: func(p *AppProfile) { p.BurstAlpha = math.Inf(1) }, field: "BurstAlpha"},
+		{name: "NaN burst cap", mutate: func(p *AppProfile) { p.BurstCap = math.NaN() }, field: "BurstCap"},
+		{name: "NaN growth", mutate: func(p *AppProfile) { p.GrowthPerWeek = math.NaN() }, field: "GrowthPerWeek"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := validProfile()
+			tt.mutate(&p)
+			err := p.Validate()
+			if err == nil {
+				t.Fatal("non-finite field accepted")
+			}
+			var fe *FieldError
+			if !errors.As(err, &fe) {
+				t.Fatalf("error %v is not a FieldError", err)
+			}
+			if fe.Field != tt.field {
+				t.Errorf("FieldError.Field = %q, want %q", fe.Field, tt.field)
+			}
+			if fe.Profile != p.ID {
+				t.Errorf("FieldError.Profile = %q, want %q", fe.Profile, p.ID)
+			}
+		})
+	}
+}
+
+// TestProfileValidateReportsEveryViolation: all invalid fields are
+// reported in one pass, not just the first.
+func TestProfileValidateReportsEveryViolation(t *testing.T) {
+	p := validProfile()
+	p.BaseCPU = -1
+	p.PeakHour = 30
+	p.NoiseSigma = math.NaN()
+	err := p.Validate()
+	if err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+	for _, field := range []string{"BaseCPU", "PeakHour", "NoiseSigma"} {
+		if !strings.Contains(err.Error(), field) {
+			t.Errorf("joined error misses %s: %v", field, err)
+		}
+	}
+}
+
+// TestProfileValidateFieldErrors pins the structured reporting for the
+// plain range violations too.
+func TestProfileValidateFieldErrors(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*AppProfile)
+		field  string
+	}{
+		{name: "negative base", mutate: func(p *AppProfile) { p.BaseCPU = -2 }, field: "BaseCPU"},
+		{name: "peak below base", mutate: func(p *AppProfile) { p.PeakCPU = 0.1 }, field: "PeakCPU"},
+		{name: "peak hour high", mutate: func(p *AppProfile) { p.PeakHour = 24 }, field: "PeakHour"},
+		{name: "peak hour negative", mutate: func(p *AppProfile) { p.PeakHour = -1 }, field: "PeakHour"},
+		{name: "inverted burst durations", mutate: func(p *AppProfile) { p.BurstMaxDur = p.BurstMinDur - time.Minute }, field: "BurstMaxDur"},
+		{name: "zero burst min", mutate: func(p *AppProfile) { p.BurstMinDur = 0 }, field: "BurstMinDur"},
+		{name: "missing ID", mutate: func(p *AppProfile) { p.ID = "" }, field: "ID"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := validProfile()
+			tt.mutate(&p)
+			err := p.Validate()
+			if err == nil {
+				t.Fatal("invalid profile accepted")
+			}
+			var fe *FieldError
+			if !errors.As(err, &fe) {
+				t.Fatalf("error %v is not a FieldError", err)
+			}
+			if fe.Field != tt.field {
+				t.Errorf("FieldError.Field = %q, want %q", fe.Field, tt.field)
+			}
+		})
+	}
+}
+
+// TestReadProfilesRejectsNonFinite: the JSON reader surfaces the
+// per-field diagnosis for hand-authored fleet files. (JSON itself
+// cannot encode NaN, but negative and out-of-range values arrive this
+// way.)
+func TestReadProfilesRejectsNonFinite(t *testing.T) {
+	in := `[{"id":"a","baseCpu":-3,"peakCpu":1,"peakHour":25,"businessWidthHours":1}]`
+	_, err := ReadProfiles(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("invalid JSON profile accepted")
+	}
+	var fe *FieldError
+	if !errors.As(err, &fe) {
+		t.Fatalf("error %v does not expose a FieldError", err)
+	}
+	if fe.Profile != "a" {
+		t.Errorf("FieldError.Profile = %q, want %q", fe.Profile, "a")
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"io"
 	"time"
 
+	"ropus/internal/checkpoint"
 	"ropus/internal/core"
 	"ropus/internal/failure"
 	"ropus/internal/faultinject"
@@ -49,6 +50,7 @@ import (
 	"ropus/internal/qos"
 	"ropus/internal/rebalance"
 	"ropus/internal/report"
+	"ropus/internal/resilience"
 	"ropus/internal/sim"
 	"ropus/internal/stress"
 	"ropus/internal/telemetry"
@@ -260,6 +262,43 @@ type (
 // ErrFaultInjected is the base error of every scripted fault; match
 // injected failures with errors.Is.
 var ErrFaultInjected = faultinject.ErrInjected
+
+// Self-healing: deterministic retry of transient failures and
+// crash-safe checkpoint/resume of long sweeps. A RetryPolicy and a
+// CheckpointJournal plug in via Config.Retry / Config.Journal (and the
+// failure, planner and experiments configs); see docs/ROBUSTNESS.md
+// for the classification rules and the byte-identical resume contract.
+type (
+	// RetryPolicy caps attempts per work unit and paces re-attempts
+	// with deterministic seeded backoff.
+	RetryPolicy = resilience.Policy
+	// CheckpointJournal is an append-only fsync'd journal of completed
+	// work units; a nil journal disables checkpointing.
+	CheckpointJournal = checkpoint.Journal
+)
+
+// ErrTransient marks retryable failures; MarkTransient attaches it and
+// Transient (or errors.Is against ErrTransient) detects it. Errors
+// without the mark are permanent and never retried.
+var ErrTransient = resilience.ErrTransient
+
+// MarkTransient marks err as retryable under a RetryPolicy.
+func MarkTransient(err error) error { return resilience.MarkTransient(err) }
+
+// Transient reports whether err is marked retryable.
+func Transient(err error) bool { return resilience.Transient(err) }
+
+// OpenCheckpoint opens (resume=true: loads) a crash-safe checkpoint
+// journal bound to runHash, which must fold every input that
+// determines results — resuming under a different hash fails with
+// checkpoint.ErrRunMismatch.
+func OpenCheckpoint(path string, runHash uint64, resume bool, h Hooks) (*CheckpointJournal, error) {
+	return checkpoint.Open(path, runHash, resume, h)
+}
+
+// NewRunHasher starts a content hash for binding a checkpoint journal
+// to its run identity (traces, QoS, seeds — not worker counts).
+func NewRunHasher() *checkpoint.Hasher { return checkpoint.NewHasher() }
 
 // NewFaultScript builds a deterministic fault-injection script from
 // validated rules.
