@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-smoke experiments fuzz clean
+.PHONY: all build vet test race cover bench bench-smoke experiments fuzz golden serve-e2e clean
 
 all: build vet test race
 
@@ -40,6 +40,17 @@ fuzz:
 	$(GO) test -fuzz FuzzReadCSV -fuzztime 30s ./internal/trace/
 	$(GO) test -fuzz FuzzReadJSON -fuzztime 30s ./internal/trace/
 	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/checkpoint/
+	$(GO) test -fuzz FuzzBreakpoint -fuzztime 30s ./internal/portfolio/
+	$(GO) test -fuzz FuzzTranslate -fuzztime 30s ./internal/portfolio/
+
+# Regenerate the golden corpus after a deliberate behavioural change.
+golden:
+	$(GO) test ./cmd/ropus -run Golden -update
+
+# Drain/resume contract of `ropus serve` against a real process.
+serve-e2e: build
+	$(GO) build -o ropus-cli ./cmd/ropus
+	ROPUS=./ropus-cli bash scripts/serve_e2e.sh
 
 clean:
-	rm -rf results test_output.txt bench_output.txt bench_smoke.txt cover.out
+	rm -rf results test_output.txt bench_output.txt bench_smoke.txt cover.out ropus-cli

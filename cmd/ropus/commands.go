@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -489,6 +490,7 @@ func cmdPlan(ctx context.Context, args []string) error {
 		horizon = fs.Int("horizon-weeks", 12, "planning horizon in weeks")
 		step    = fs.Int("step-weeks", 4, "evaluation step in weeks (must divide the horizon)")
 		pool    = fs.Int("pool-servers", 0, "servers currently in the pool (0 = just report)")
+		asJSON  = fs.Bool("json", false, "emit the plan as JSON instead of text")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -529,6 +531,11 @@ func cmdPlan(ctx context.Context, args []string) error {
 		plan, err := planner.Run(ctx, cfg, set)
 		if err != nil {
 			return err
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(plan)
 		}
 		fmt.Printf("baseline: %d servers, required %.0f CPUs, peak allocations %.0f CPUs\n",
 			plan.Baseline.Servers, plan.Baseline.CRequ, plan.Baseline.CPeak)

@@ -9,6 +9,7 @@
 //	failover  full pipeline incl. single-server failure analysis
 //	simulate  replay traces through the workload-manager simulator
 //	plan      long-term capacity planning over a forecast horizon
+//	serve     long-running HTTP planning service with admission control
 //
 // Run "ropus <subcommand> -h" for the flags of each subcommand.
 package main
@@ -51,6 +52,8 @@ func run(args []string) error {
 		return cmdSimulate(ctx, args[1:])
 	case "plan":
 		return cmdPlan(ctx, args[1:])
+	case "serve":
+		return cmdServe(ctx, args[1:])
 	case "-h", "--help", "help":
 		usage()
 		return nil
@@ -70,5 +73,6 @@ subcommands:
   failover   full pipeline including single-server failure analysis
   simulate   replay traces through the workload-manager simulator
   plan       long-term capacity planning over a forecast horizon
+  serve      long-running HTTP planning service with admission control
 `)
 }

@@ -103,3 +103,66 @@ func TestCmdPlanCheckpointResume(t *testing.T) {
 		t.Errorf("resumed plan differs from original:\n--- original\n%s\n--- resumed\n%s", want, got)
 	}
 }
+
+// TestCmdPlanInterruptedResume: a plan run cut off by -timeout journals
+// the steps it completed; resuming that journal must produce output
+// byte-identical to an undisturbed run, whatever prefix made it into
+// the journal before the cancellation landed.
+func TestCmdPlanInterruptedResume(t *testing.T) {
+	path := writeFleetWeeks(t, 3)
+	ckpt := filepath.Join(t.TempDir(), "plan.ckpt")
+	planArgs := func(extra ...string) []string {
+		return append([]string{"plan", "-traces", path, "-json",
+			"-horizon-weeks", "2", "-step-weeks", "1"}, extra...)
+	}
+
+	want, err := captureStdout(t, func() error { return run(planArgs()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A run cancelled before it can start exits non-zero and leaves an
+	// empty (but valid) journal.
+	if _, err := captureStdout(t, func() error {
+		return run(planArgs("-checkpoint", ckpt, "-timeout", "1ns"))
+	}); err == nil {
+		t.Fatal("timed-out plan run must exit non-zero")
+	}
+
+	// A second attempt races a short deadline mid-run: depending on the
+	// machine it journals a partial prefix or completes. Both are legal
+	// journal states — the resume contract must hold for any prefix, so
+	// its exit status is deliberately not asserted.
+	captureStdout(t, func() error {
+		return run(planArgs("-checkpoint", ckpt, "-resume", "-timeout", "3ms"))
+	})
+
+	got, err := captureStdout(t, func() error {
+		return run(planArgs("-checkpoint", ckpt, "-resume"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("resumed interrupted plan differs from undisturbed run:\n--- undisturbed\n%s\n--- resumed\n%s", want, got)
+	}
+}
+
+// TestCmdResumeRejectsCrossCommandJournal: a journal recorded by one
+// subcommand must not resume another — the run-hash prefix differs, so
+// the checkpoint layer rejects it instead of splicing foreign units.
+func TestCmdResumeRejectsCrossCommandJournal(t *testing.T) {
+	path := writeFleetWeeks(t, 3)
+	ckpt := filepath.Join(t.TempDir(), "shared.ckpt")
+	if _, err := captureStdout(t, func() error {
+		return run([]string{"plan", "-traces", path, "-horizon-weeks", "2",
+			"-step-weeks", "1", "-checkpoint", ckpt})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"failover", "-traces", path, "-json",
+		"-checkpoint", ckpt, "-resume"})
+	if !errors.Is(err, checkpoint.ErrRunMismatch) {
+		t.Errorf("failover resume of a plan journal: got %v, want ErrRunMismatch", err)
+	}
+}

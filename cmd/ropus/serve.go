@@ -1,0 +1,85 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ropus/internal/serve"
+)
+
+// cmdServe runs the long-lived planning service. The ctx already
+// carries SIGINT/SIGTERM cancellation from run(), so a signal starts
+// the graceful drain: admission flips to 503, in-flight sweeps stop at
+// their next checkpoint boundary, and a server restarted on the same
+// -state-dir resumes them.
+func cmdServe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	ropts := resilienceFlags(fs)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:7925", "listen address")
+		stateDir = fs.String("state-dir", "", "directory for job specs, results and checkpoint journals (required)")
+		depth    = fs.Int("queue-depth", 64, "max queued jobs before submissions are shed with 429")
+		maxConc  = fs.Int("max-concurrent", 0, "max jobs executing at once (0 = GOMAXPROCS)")
+		classes  = fs.String("class-limits", "failover=2,plan=1", "per-kind concurrency caps as kind=n pairs (empty disables)")
+		workers  = fs.Int("workers", 0, "per-job failure-sweep workers (0 = GOMAXPROCS, 1 = sequential)")
+		cacheMB  = fs.Int64("sim-cache-mb", 0, "shared simulation cache bound in MiB (0 = default, negative disables)")
+		drain    = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight jobs and connections")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *stateDir == "" {
+		return fmt.Errorf("serve: -state-dir is required")
+	}
+	limits, err := parseClassLimits(*classes)
+	if err != nil {
+		return err
+	}
+	cacheBytes := *cacheMB << 20
+	if *cacheMB < 0 {
+		cacheBytes = -1
+	}
+	cfg := serve.Config{
+		StateDir:      *stateDir,
+		QueueDepth:    *depth,
+		MaxConcurrent: *maxConc,
+		ClassLimits:   limits,
+		Workers:       *workers,
+		CacheBytes:    cacheBytes,
+		Retry:         ropts.policy(nil),
+		DrainTimeout:  *drain,
+	}
+	s, err := serve.New(*addr, cfg)
+	if err != nil {
+		return err
+	}
+	queued, _ := s.Manager().QueueDepths()
+	fmt.Fprintf(os.Stderr, "serve: listening on %s, state %s, %d job(s) recovered\n",
+		s.Addr(), *stateDir, queued)
+	return s.Run(ctx)
+}
+
+// parseClassLimits parses "failover=2,plan=1" into per-kind caps.
+func parseClassLimits(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	limits := make(map[string]int)
+	for _, pair := range strings.Split(s, ",") {
+		kind, n, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("serve: -class-limits entry %q is not kind=n", pair)
+		}
+		v, err := strconv.Atoi(n)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("serve: -class-limits %q needs a positive count", pair)
+		}
+		limits[kind] = v
+	}
+	return limits, nil
+}

@@ -355,6 +355,11 @@ const (
 	fnvPrime64  = 1099511628211
 )
 
+// HashBytes returns the FNV-1a 64-bit hash of b — the fold journal
+// records are checksummed with, exported so callers can fingerprint
+// result documents the same way (the serving layer's result hashes).
+func HashBytes(b []byte) uint64 { return fnvSum(b) }
+
 // fnvSum hashes a byte slice.
 func fnvSum(b []byte) uint64 {
 	h := uint64(fnvOffset64)

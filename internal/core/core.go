@@ -87,6 +87,11 @@ type Config struct {
 	// negative disables the cache. Cached reuse is bit-exact, so results
 	// do not depend on this setting.
 	CacheBytes int64
+	// Cache, when non-nil, is an externally owned simulation cache the
+	// framework uses instead of building its own; CacheBytes is ignored.
+	// A long-running host (the planning service) hands the same cache to
+	// every framework it builds so jobs warm each other up.
+	Cache *placement.SimCache
 	// Retry is the self-healing policy applied to every failure scenario
 	// the framework sweeps: transient analysis faults are re-attempted
 	// under it before a scenario is recorded inconclusive. The zero value
@@ -132,7 +137,10 @@ func New(cfg Config) (*Framework, error) {
 		return nil, err
 	}
 	f := &Framework{cfg: cfg}
-	if cfg.CacheBytes >= 0 {
+	switch {
+	case cfg.Cache != nil:
+		f.cache = cfg.Cache
+	case cfg.CacheBytes >= 0:
 		f.cache = placement.NewSimCache(cfg.CacheBytes)
 	}
 	return f, nil

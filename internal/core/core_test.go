@@ -304,3 +304,48 @@ func TestConsolidateErrors(t *testing.T) {
 		t.Error("nil inputs accepted")
 	}
 }
+
+// TestSharedExternalCache: two frameworks handed the same SimCache warm
+// each other up — the second run's lookups hit results the first run
+// simulated — and results stay identical to an uncached run.
+func TestSharedExternalCache(t *testing.T) {
+	set := smallFleet(t)
+	reqs := Requirements{Default: caseStudyRequirement()}
+
+	cold := testConfig()
+	cold.CacheBytes = -1
+	fCold, err := New(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fCold.Run(context.Background(), set, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shared := placement.NewSimCache(0)
+	for i := 0; i < 2; i++ {
+		cfg := testConfig()
+		cfg.Cache = shared
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := f.Run(context.Background(), set, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Failures.SpareNeeded != want.Failures.SpareNeeded ||
+			got.Consolidation.ServersUsed() != want.Consolidation.ServersUsed() ||
+			got.Consolidation.CRequTotal() != want.Consolidation.CRequTotal() {
+			t.Fatalf("run %d with shared cache diverged from the uncached run", i)
+		}
+		if f.CacheStats() != shared.Stats() {
+			t.Fatalf("run %d: CacheStats not served by the shared cache", i)
+		}
+	}
+	stats := shared.Stats()
+	if stats.Hits == 0 {
+		t.Errorf("second run over a shared cache recorded no hits: %+v", stats)
+	}
+}

@@ -122,6 +122,10 @@ type Scenario struct {
 	// succeeded on a retry: the verdict is as trustworthy as any other,
 	// but the recovery is worth surfacing next to gave-up scenarios.
 	Recovered bool
+	// GaveUp reports a scenario whose transient failures exhausted the
+	// retry policy (true even for a single-attempt policy; false when
+	// the sweep's cancellation, not the policy, stopped the attempts).
+	GaveUp bool
 	// Err records a scenario that could not be evaluated (solver error,
 	// injected fault that exhausted the retry policy, ...). An errored
 	// scenario proves nothing: Feasible is false but it does not count
@@ -158,7 +162,10 @@ func (r *Report) Errors() []error {
 // Retries summarizes the sweep's self-healing: extra is the number of
 // attempts beyond each scenario's first, recovered counts scenarios
 // that succeeded after retrying, and gaveUp counts scenarios recorded
-// inconclusive even after exhausting the retry policy.
+// inconclusive after exhausting the retry policy. gaveUp uses the
+// per-scenario GaveUp record rather than inferring from Attempts, so a
+// single-attempt policy's failures count and scenarios stopped by
+// cancellation (not by the policy) do not.
 func (r *Report) Retries() (extra, recovered, gaveUp int) {
 	for _, s := range r.Scenarios {
 		if s.Attempts > 1 {
@@ -167,7 +174,7 @@ func (r *Report) Retries() (extra, recovered, gaveUp int) {
 		if s.Recovered {
 			recovered++
 		}
-		if s.Err != nil && s.Attempts > 1 {
+		if s.GaveUp {
 			gaveUp++
 		}
 	}
@@ -250,6 +257,7 @@ func Analyze(ctx context.Context, in Input, basePlan *placement.Plan) (report *R
 			})
 		scenario.Attempts = stats.Attempts
 		scenario.Recovered = stats.Recovered
+		scenario.GaveUp = stats.GaveUp
 		scenarioC.Inc()
 		scenarioSecs.Observe(time.Since(start).Seconds())
 		// Only clean, complete verdicts are checkpointed: errored

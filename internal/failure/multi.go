@@ -43,6 +43,9 @@ type MultiScenario struct {
 	Attempts int
 	// Recovered reports a combination that succeeded only after a retry.
 	Recovered bool
+	// GaveUp reports a combination whose transient failures exhausted
+	// the retry policy (see Scenario.GaveUp).
+	GaveUp bool
 	// Err records a scenario that could not be evaluated; like the
 	// single-failure case it is inconclusive, does not count toward
 	// SparesNeeded, and is never checkpointed (a resumed run
@@ -88,7 +91,7 @@ func (r *MultiReport) Retries() (extra, recovered, gaveUp int) {
 		if s.Recovered {
 			recovered++
 		}
-		if s.Err != nil && s.Attempts > 1 {
+		if s.GaveUp {
 			gaveUp++
 		}
 	}
@@ -181,6 +184,7 @@ func AnalyzeMulti(ctx context.Context, in Input, basePlan *placement.Plan, k int
 			})
 		scenario.Attempts = stats.Attempts
 		scenario.Recovered = stats.Recovered
+		scenario.GaveUp = stats.GaveUp
 		scenarioC.Inc()
 		scenarioSecs.Observe(time.Since(start).Seconds())
 		// See Analyze: only clean, complete verdicts are checkpointed.

@@ -1,0 +1,73 @@
+package failure
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestReportRetriesAccounting pins the gave-up semantics to the
+// per-scenario GaveUp record: a single-attempt policy's failure counts,
+// a cancellation-stopped scenario does not, and inference from
+// Attempts > 1 is gone.
+func TestReportRetriesAccounting(t *testing.T) {
+	boom := errors.New("boom")
+	cases := []struct {
+		name                     string
+		scenarios                []Scenario
+		extra, recovered, gaveUp int
+	}{
+		{name: "empty report"},
+		{
+			name:      "clean single attempts",
+			scenarios: []Scenario{{Attempts: 1}, {Attempts: 1}},
+		},
+		{
+			name:      "recovered after retries",
+			scenarios: []Scenario{{Attempts: 3, Recovered: true}, {Attempts: 1}},
+			extra:     2, recovered: 1,
+		},
+		{
+			name:      "single-attempt policy gave up",
+			scenarios: []Scenario{{Attempts: 1, Err: boom, GaveUp: true}},
+			gaveUp:    1,
+		},
+		{
+			name:      "exhausted retries gave up",
+			scenarios: []Scenario{{Attempts: 3, Err: boom, GaveUp: true}},
+			extra:     2, gaveUp: 1,
+		},
+		{
+			name: "cancellation stops attempts without giving up",
+			// Err is set (the ctx error) but GaveUp is false: the sweep
+			// was cancelled, the policy never exhausted.
+			scenarios: []Scenario{{Attempts: 2, Err: boom}},
+			extra:     1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := &Report{Scenarios: tc.scenarios}
+			extra, recovered, gaveUp := r.Retries()
+			if extra != tc.extra || recovered != tc.recovered || gaveUp != tc.gaveUp {
+				t.Errorf("Retries() = (%d, %d, %d), want (%d, %d, %d)",
+					extra, recovered, gaveUp, tc.extra, tc.recovered, tc.gaveUp)
+			}
+		})
+	}
+}
+
+// TestMultiReportRetriesAccounting mirrors the single-failure case for
+// k-failure sweeps.
+func TestMultiReportRetriesAccounting(t *testing.T) {
+	boom := errors.New("boom")
+	r := &MultiReport{Scenarios: []MultiScenario{
+		{Attempts: 1},
+		{Attempts: 2, Recovered: true},
+		{Attempts: 1, Err: boom, GaveUp: true},
+		{Attempts: 2, Err: boom}, // cancelled, not exhausted
+	}}
+	extra, recovered, gaveUp := r.Retries()
+	if extra != 2 || recovered != 1 || gaveUp != 1 {
+		t.Errorf("Retries() = (%d, %d, %d), want (2, 1, 1)", extra, recovered, gaveUp)
+	}
+}

@@ -1,0 +1,175 @@
+package portfolio
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ropus/internal/qos"
+	"ropus/internal/trace"
+)
+
+// randomValidTriple draws (Ulow, Uhigh, theta) satisfying the formula-1
+// domain: 0 < Ulow <= Uhigh < 1 and 0 < theta <= 1.
+func randomValidTriple(rng *rand.Rand) (uLow, uHigh, theta float64) {
+	uHigh = 0.05 + 0.94*rng.Float64() // (0.05, 0.99)
+	uLow = uHigh * (0.05 + 0.95*rng.Float64())
+	theta = math.Nextafter(rng.Float64(), 1) // avoid exactly 0
+	return uLow, uHigh, theta
+}
+
+// TestPropertyBreakpointRange: for random valid (Ulow, Uhigh, theta)
+// the paper's formula 1 always yields p in [0, 1], zero exactly when
+// theta already covers the utilization ratio.
+func TestPropertyBreakpointRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		uLow, uHigh, theta := randomValidTriple(rng)
+		p, err := Breakpoint(uLow, uHigh, theta)
+		if err != nil {
+			t.Fatalf("valid triple (%v,%v,%v) rejected: %v", uLow, uHigh, theta, err)
+		}
+		if math.IsNaN(p) || p < 0 || p > 1 {
+			t.Fatalf("Breakpoint(%v,%v,%v) = %v outside [0,1]", uLow, uHigh, theta, p)
+		}
+		if ratio := uLow / uHigh; ratio <= theta && p != 0 {
+			t.Fatalf("theta %v >= ratio %v but p = %v, want 0", theta, ratio, p)
+		}
+	}
+}
+
+// TestPropertyBreakpointMonotoneInTheta: the CoS1 share p is
+// non-increasing in theta — a stronger pool commitment moves demand
+// from guaranteed CoS1 into probabilistic CoS2, never the reverse.
+func TestPropertyBreakpointMonotoneInTheta(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		uLow, uHigh, _ := randomValidTriple(rng)
+		t1 := math.Nextafter(rng.Float64(), 1)
+		t2 := math.Nextafter(rng.Float64(), 1)
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		p1, err1 := Breakpoint(uLow, uHigh, t1)
+		p2, err2 := Breakpoint(uLow, uHigh, t2)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("valid triples rejected: %v, %v", err1, err2)
+		}
+		if p1 < p2 {
+			t.Fatalf("p not monotone: theta %v -> p %v, theta %v -> p %v (Ulow=%v Uhigh=%v)",
+				t1, p1, t2, p2, uLow, uHigh)
+		}
+	}
+}
+
+// TestPropertyBreakpointBoundaries pins the formula's edges: theta
+// equal to Ulow/Uhigh lands exactly on p = 0, theta = 1 (a hard
+// guarantee for CoS2) makes CoS1 empty, and theta -> 0 pushes
+// everything into CoS1 (p -> Ulow/Uhigh).
+func TestPropertyBreakpointBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		uLow, uHigh, _ := randomValidTriple(rng)
+		ratio := uLow / uHigh
+		if p, err := Breakpoint(uLow, uHigh, ratio); err != nil || p != 0 {
+			t.Fatalf("theta = Ulow/Uhigh = %v: p = %v err = %v, want 0", ratio, p, err)
+		}
+		if p, err := Breakpoint(uLow, uHigh, 1); err != nil || p != 0 {
+			t.Fatalf("theta = 1: p = %v err = %v, want 0", p, err)
+		}
+		tiny := 1e-12
+		p, err := Breakpoint(uLow, uHigh, tiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p-ratio) > 1e-9 {
+			t.Fatalf("theta -> 0: p = %v, want ~Ulow/Uhigh = %v", p, ratio)
+		}
+	}
+}
+
+// TestPropertyTranslateConservation is the metamorphic check on the
+// full translation: for every sample the CoS1 + CoS2 allocations equal
+// the granted (possibly capped) demand scaled by 1/Ulow, CoS1 respects
+// the breakpoint, and both classes are non-negative.
+func TestPropertyTranslateConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	q := qos.AppQoS{ULow: 0.5, UHigh: 0.66, UDegr: 0.9, MPercent: 97, TDegr: 30 * time.Minute}
+	for iter := 0; iter < 50; iter++ {
+		samples := make([]float64, 7*24)
+		for i := range samples {
+			samples[i] = 16 * rng.Float64()
+		}
+		tr := &trace.Trace{AppID: "fuzz", Interval: time.Hour, Samples: samples}
+		theta := math.Nextafter(rng.Float64(), 1)
+		part, err := Translate(tr, q, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		breakAlloc := part.P * part.DNewMax / q.ULow
+		for i := range samples {
+			cos1, cos2 := part.CoS1.Samples[i], part.CoS2.Samples[i]
+			if cos1 < 0 || cos2 < 0 {
+				t.Fatalf("negative allocation at %d: cos1=%v cos2=%v", i, cos1, cos2)
+			}
+			granted := math.Min(samples[i], part.DNewMax)
+			if diff := math.Abs(cos1 + cos2 - granted/q.ULow); diff > 1e-9 {
+				t.Fatalf("sample %d: cos1+cos2 = %v, want %v", i, cos1+cos2, granted/q.ULow)
+			}
+			if cos1 > breakAlloc+1e-9 {
+				t.Fatalf("sample %d: CoS1 %v exceeds breakpoint allocation %v", i, cos1, breakAlloc)
+			}
+		}
+	}
+}
+
+// FuzzBreakpoint feeds arbitrary floats, including NaN and infinities,
+// into formula 1: every input must either be rejected with an error or
+// produce a finite p in [0, 1] — never a NaN, never a panic.
+func FuzzBreakpoint(f *testing.F) {
+	f.Add(0.5, 0.66, 0.6)
+	f.Add(0.5, 0.5, 1.0)
+	f.Add(math.NaN(), 0.66, 0.6)
+	f.Add(0.5, math.Inf(1), 0.6)
+	f.Add(0.5, 0.66, math.NaN())
+	f.Add(-1.0, 0.66, 0.0)
+	f.Fuzz(func(t *testing.T, uLow, uHigh, theta float64) {
+		p, err := Breakpoint(uLow, uHigh, theta)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 || p > 1 {
+			t.Fatalf("Breakpoint(%v,%v,%v) accepted with p = %v", uLow, uHigh, theta, p)
+		}
+	})
+}
+
+// FuzzTranslate hammers the full translation entry point with
+// arbitrary QoS floats, theta, and demand samples. Invalid inputs
+// (NaN/Inf anywhere, out-of-range parameters) must be rejected; any
+// accepted input must yield finite partitions.
+func FuzzTranslate(f *testing.F) {
+	f.Add(0.5, 0.66, 0.9, 97.0, 0.6, 4.0, 8.0)
+	f.Add(0.5, 0.66, 0.9, 97.0, 0.6, math.NaN(), 8.0)
+	f.Add(math.Inf(1), 0.66, 0.9, 97.0, 0.6, 4.0, 8.0)
+	f.Add(0.3, 0.4, 0.5, 50.0, math.Inf(-1), 1.0, 2.0)
+	f.Fuzz(func(t *testing.T, uLow, uHigh, uDegr, m, theta, s0, s1 float64) {
+		q := qos.AppQoS{ULow: uLow, UHigh: uHigh, UDegr: uDegr, MPercent: m}
+		tr := &trace.Trace{AppID: "fuzz", Interval: time.Hour, Samples: []float64{s0, s1}}
+		part, err := Translate(tr, q, theta)
+		if err != nil {
+			return
+		}
+		for _, v := range []float64{part.P, part.DMax, part.DNewMax, part.MaxAllocation()} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("accepted input produced non-finite output: %+v", part)
+			}
+		}
+		for i := range tr.Samples {
+			if math.IsNaN(part.CoS1.Samples[i]) || math.IsNaN(part.CoS2.Samples[i]) {
+				t.Fatalf("accepted input produced NaN partition at %d", i)
+			}
+		}
+	})
+}

@@ -184,8 +184,14 @@ func Text(w io.Writer, r *core.Report) error {
 			case !f.Absorbable:
 				verdict = "NOT absorbable"
 			}
-			if f.Recovered {
+			// A recovery implies a retried attempt; data that claims
+			// Recovered at Attempts <= 1 (hand-built or partially
+			// populated reports) gets the fact without the bogus count.
+			switch {
+			case f.Recovered && f.Attempts > 1:
 				verdict += fmt.Sprintf(" (recovered on attempt %d)", f.Attempts)
+			case f.Recovered:
+				verdict += " (recovered)"
 			}
 			fmt.Fprintf(w, "  %-10s %d apps affected: %s\n", f.FailedServer, len(f.AffectedApps), verdict)
 		}

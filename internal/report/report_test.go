@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 	"time"
 
 	"ropus/internal/core"
+	"ropus/internal/failure"
 	"ropus/internal/placement"
 	"ropus/internal/qos"
 	"ropus/internal/workload"
@@ -128,5 +130,68 @@ func TestText(t *testing.T) {
 	}
 	if err := Text(&buf, nil); err == nil {
 		t.Error("nil report accepted")
+	}
+}
+
+// TestTextRetryAnnotations pins the failure-scenario verdict lines to
+// hand-crafted retry records, covering the edge cases the live pipeline
+// rarely produces: Recovered at Attempts=1 (no bogus "attempt 1"
+// count), single-attempt give-ups, and a zero-scenario failure report.
+func TestTextRetryAnnotations(t *testing.T) {
+	base := sampleReport(t)
+	cases := []struct {
+		name      string
+		scenarios []failure.Scenario
+		want      []string
+		dontWant  []string
+	}{
+		{
+			name: "recovered with attempt count",
+			scenarios: []failure.Scenario{
+				{FailedServer: "srv-01", Feasible: true, Attempts: 3, Recovered: true},
+			},
+			want: []string{"(recovered on attempt 3)", "1 scenario(s) recovered"},
+		},
+		{
+			name: "recovered without attempt count",
+			scenarios: []failure.Scenario{
+				{FailedServer: "srv-01", Feasible: true, Attempts: 1, Recovered: true},
+			},
+			want:     []string{"absorbable (recovered)"},
+			dontWant: []string{"recovered on attempt 1"},
+		},
+		{
+			name: "single-attempt give-up",
+			scenarios: []failure.Scenario{
+				{FailedServer: "srv-01", Attempts: 1, Err: errors.New("boom"), GaveUp: true},
+			},
+			want:     []string{"INCONCLUSIVE (analysis failed)", "1 gave up"},
+			dontWant: []string{"gave up after 1 attempts"},
+		},
+		{
+			name:     "zero scenarios",
+			dontWant: []string{"failure scenarios:", "verdict:", "self-healing:"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := *base
+			r.Failures = &failure.Report{Scenarios: tc.scenarios}
+			var buf bytes.Buffer
+			if err := Text(&buf, &r); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			for _, want := range tc.want {
+				if !strings.Contains(out, want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+			for _, dont := range tc.dontWant {
+				if strings.Contains(out, dont) {
+					t.Errorf("output contains %q:\n%s", dont, out)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ropus/internal/faultinject"
+)
+
+// slowSweeps injects a per-scenario delay so failover jobs stay running
+// long enough for admission tests to observe them. Delays do not change
+// results.
+func slowSweeps(delay time.Duration) faultinject.Injector {
+	return faultinject.MustScript(1, faultinject.Rule{Point: "failure.scenario", Delay: delay})
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestAdmissionShedsWhenQueueFull: with one slow executor and a
+// one-deep queue, a third distinct job is shed with a 429-shaped
+// OverloadedError carrying a sane Retry-After, and the shed job is not
+// admitted (no lost-vs-ghost ambiguity).
+func TestAdmissionShedsWhenQueueFull(t *testing.T) {
+	m := newTestManager(t, func(c *Config) {
+		c.QueueDepth = 1
+		c.MaxConcurrent = 1
+		c.Inject = slowSweeps(300 * time.Millisecond)
+	})
+	startManager(t, m)
+
+	csv := fleetCSV(t, 4, 1, 5)
+	spec := func(seed int64) JobSpec {
+		return JobSpec{Kind: KindFailover, TracesCSV: csv, GASeed: seed}
+	}
+	first, _, err := m.Submit(spec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first job running", func() bool {
+		st, _ := m.Job(first.ID)
+		return st.State == StateRunning
+	})
+	if _, _, err := m.Submit(spec(2)); err != nil {
+		t.Fatalf("second job should queue: %v", err)
+	}
+	_, _, err = m.Submit(spec(3))
+	var overloaded *OverloadedError
+	if !errors.As(err, &overloaded) {
+		t.Fatalf("third job: got %v, want OverloadedError", err)
+	}
+	if overloaded.RetryAfter < time.Second || overloaded.RetryAfter > time.Minute {
+		t.Errorf("Retry-After %v outside [1s, 60s]", overloaded.RetryAfter)
+	}
+	if len(m.Jobs()) != 2 {
+		t.Errorf("shed job leaked into the table: %d jobs", len(m.Jobs()))
+	}
+	// Resubmitting an already-admitted spec is never shed: idempotency
+	// outranks admission.
+	if _, created, err := m.Submit(spec(2)); err != nil || created {
+		t.Errorf("dedup resubmission: created=%v err=%v", created, err)
+	}
+}
+
+// TestClassLimitSchedulesAroundBusyClass: a saturated class must not
+// starve other classes — a translate job overtakes queued failover work.
+func TestClassLimitSchedulesAroundBusyClass(t *testing.T) {
+	m := newTestManager(t, func(c *Config) {
+		c.MaxConcurrent = 2
+		c.ClassLimits = map[string]int{KindFailover: 1}
+		c.Inject = slowSweeps(300 * time.Millisecond)
+	})
+	startManager(t, m)
+
+	csv := fleetCSV(t, 4, 1, 5)
+	fo1, _, err := m.Submit(JobSpec{Kind: KindFailover, TracesCSV: csv, GASeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first failover running", func() bool {
+		st, _ := m.Job(fo1.ID)
+		return st.State == StateRunning
+	})
+	fo2, _, err := m.Submit(JobSpec{Kind: KindFailover, TracesCSV: csv, GASeed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _, err := m.Submit(JobSpec{Kind: KindTranslate, TracesCSV: csv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The translate job finishes while failover #2 is still class-blocked
+	// behind #1.
+	trSt := waitState(t, m, tr.ID, StateDone)
+	fo2St, _ := m.Job(fo2.ID)
+	if fo2St.State == StateDone && fo2St.Finished.Before(*trSt.Finished) {
+		t.Error("class-blocked failover finished before the translate that should have overtaken it")
+	}
+	waitState(t, m, fo1.ID, StateDone)
+	waitState(t, m, fo2.ID, StateDone)
+}
+
+// TestDrainStopsAdmission: after SetDraining every submission fails
+// with ErrDraining, including previously unseen specs.
+func TestDrainStopsAdmission(t *testing.T) {
+	m := newTestManager(t, nil)
+	csv := fleetCSV(t, 3, 1, 5)
+	st, _, err := m.Submit(JobSpec{Kind: KindTranslate, TracesCSV: csv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetDraining()
+	if _, _, err := m.Submit(JobSpec{Kind: KindTranslate, TracesCSV: csv, GASeed: 9}); !errors.Is(err, ErrDraining) {
+		t.Errorf("draining submit: got %v, want ErrDraining", err)
+	}
+	// Idempotent lookups of known jobs still answer during the drain.
+	if got, created, err := m.Submit(JobSpec{Kind: KindTranslate, TracesCSV: csv}); err != nil || created || got.ID != st.ID {
+		t.Errorf("draining dedup: id=%s created=%v err=%v", got.ID, created, err)
+	}
+}
+
+// TestDrainMarksInterrupted: cancelling the manager context mid-sweep
+// marks the running job interrupted without persisting a result, and a
+// manager recovered from the same state dir re-queues it and finishes
+// with the same result hash as an undisturbed run.
+func TestDrainMarksInterrupted(t *testing.T) {
+	dir := t.TempDir()
+	csv := fleetCSV(t, 6, 1, 7)
+	spec := JobSpec{Kind: KindFailover, TracesCSV: csv}
+
+	// Baseline on its own state dir: the uninterrupted result hash.
+	base := newTestManager(t, nil)
+	startManager(t, base)
+	baseSt, _, err := base.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := waitState(t, base, baseSt.ID, StateDone)
+
+	// Interrupted run: slow sweeps, cancel once the first scenario has
+	// been journaled.
+	m1, err := NewManager(Config{StateDir: dir, Workers: 1, Inject: slowSweeps(250 * time.Millisecond)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m1.Start(ctx)
+	st, _, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != baseSt.ID {
+		t.Fatalf("same spec hashed differently across managers: %s vs %s", st.ID, baseSt.ID)
+	}
+	waitFor(t, "first checkpoint record", func() bool {
+		got, _ := m1.Job(st.ID)
+		return got.Progress["checkpoint_records_written_total"] >= 1
+	})
+	cancel()
+	m1.Wait()
+	interrupted, _ := m1.Job(st.ID)
+	if interrupted.State != StateInterrupted && interrupted.State != StateDone {
+		t.Fatalf("after drain: state %q", interrupted.State)
+	}
+
+	// Restart on the same state dir: the job is re-queued (Resumed) and
+	// completes byte-identically.
+	m2, err := NewManager(Config{StateDir: dir, Workers: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startManager(t, m2)
+	recovered, ok := m2.Job(st.ID)
+	if !ok {
+		t.Fatal("job lost across restart")
+	}
+	if interrupted.State == StateInterrupted && !recovered.Resumed {
+		t.Error("interrupted job not marked Resumed after recovery")
+	}
+	final := waitState(t, m2, st.ID, StateDone)
+	if final.ResultHash != want.ResultHash {
+		t.Errorf("resumed result hash %s differs from uninterrupted %s", final.ResultHash, want.ResultHash)
+	}
+	if string(final.Result) != string(want.Result) {
+		t.Error("resumed result bytes differ from uninterrupted run")
+	}
+}

@@ -1,0 +1,450 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"ropus/internal/checkpoint"
+	"ropus/internal/faultinject"
+	"ropus/internal/parallel"
+	"ropus/internal/placement"
+	"ropus/internal/resilience"
+	"ropus/internal/telemetry"
+)
+
+// Job states.
+const (
+	StateQueued      = "queued"
+	StateRunning     = "running"
+	StateDone        = "done"
+	StateFailed      = "failed"
+	StateInterrupted = "interrupted"
+)
+
+// ErrDraining rejects submissions while the server shuts down.
+var ErrDraining = errors.New("serve: draining, not accepting jobs")
+
+// OverloadedError sheds a submission that would overflow the queue.
+// RetryAfter estimates when a slot should free up.
+type OverloadedError struct {
+	Queued     int
+	QueueDepth int
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("serve: queue full (%d/%d), retry after %s", e.Queued, e.QueueDepth, e.RetryAfter)
+}
+
+// Config parameterizes a Manager (and the Server wrapping it).
+type Config struct {
+	// StateDir persists submitted specs, results and checkpoint
+	// journals; a server restarted on the same directory resumes its
+	// unfinished jobs (required).
+	StateDir string
+	// QueueDepth bounds the number of queued (admitted, not yet
+	// running) jobs; submissions beyond it are shed with an
+	// OverloadedError. <= 0 selects 64.
+	QueueDepth int
+	// MaxConcurrent bounds how many jobs execute at once across all
+	// classes. <= 0 selects GOMAXPROCS.
+	MaxConcurrent int
+	// ClassLimits bounds per-kind concurrency ("failover": 1 keeps the
+	// expensive sweeps from monopolizing the executors). A kind absent
+	// or <= 0 is limited only by MaxConcurrent.
+	ClassLimits map[string]int
+	// Workers is the per-job failure-sweep worker count (core.Config
+	// semantics: 0 = GOMAXPROCS, 1 = sequential).
+	Workers int
+	// CacheBytes bounds the simulation cache shared by every job the
+	// server runs (0 = default bound, negative disables).
+	CacheBytes int64
+	// Retry is the self-healing policy applied inside failover and plan
+	// jobs (resilience.Policy semantics).
+	Retry resilience.Policy
+	// DrainTimeout bounds the graceful shutdown: how long Serve waits
+	// for in-flight jobs to reach a checkpoint boundary and for open
+	// connections to finish. <= 0 selects 30s.
+	DrainTimeout time.Duration
+	// Inject is the test-only fault injector threaded into every job's
+	// framework; nil injects nothing.
+	Inject faultinject.Injector
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Job is one admitted planning job. Fields are guarded by the owning
+// Manager's mutex; JobStatus snapshots them for handlers.
+type Job struct {
+	ID    string
+	Spec  JobSpec
+	State string
+	Err   string
+	// Resumed marks a job re-queued by a restart; its checkpoint
+	// journal replays the finished units of the interrupted attempt.
+	Resumed bool
+	// Result holds the finished job's JSON result document.
+	Result     json.RawMessage
+	ResultHash string
+	Submitted  time.Time
+	Started    time.Time
+	Finished   time.Time
+	// reg collects the job's own telemetry while it runs; its counters
+	// become the status endpoint's progress block.
+	reg *telemetry.Registry
+}
+
+// JobStatus is the API view of a job.
+type JobStatus struct {
+	ID      string `json:"id"`
+	Kind    string `json:"kind"`
+	State   string `json:"state"`
+	Error   string `json:"error,omitempty"`
+	Resumed bool   `json:"resumed,omitempty"`
+	// Progress exposes the job's telemetry counters (scenarios swept,
+	// checkpoint records written, GA generations, ...) while it runs
+	// and after it finishes.
+	Progress   map[string]int64 `json:"progress,omitempty"`
+	Result     json.RawMessage  `json:"result,omitempty"`
+	ResultHash string           `json:"resultHash,omitempty"`
+	Submitted  time.Time        `json:"submitted"`
+	Started    *time.Time       `json:"started,omitempty"`
+	Finished   *time.Time       `json:"finished,omitempty"`
+}
+
+// Manager owns the job table, the admission decisions and the executor
+// pool. It is the HTTP-free core of the service, so tests drive it
+// directly.
+type Manager struct {
+	cfg     Config
+	cache   *placement.SimCache
+	limiter *parallel.Limiter
+	hooks   telemetry.Hooks
+
+	submittedC   *telemetry.Counter
+	dedupC       *telemetry.Counter
+	shedC        *telemetry.Counter
+	completedC   *telemetry.Counter
+	failedC      *telemetry.Counter
+	interruptedC *telemetry.Counter
+	queuedG      *telemetry.Gauge
+	runningG     *telemetry.Gauge
+	jobSeconds   *telemetry.Histogram
+
+	ctx    context.Context
+	wg     sync.WaitGroup
+	notify chan struct{}
+
+	mu           sync.Mutex
+	jobs         map[string]*Job
+	order        []string // submission order, for listing
+	queue        []string // FIFO of queued job IDs
+	classRunning map[string]int
+	running      int
+	avgSeconds   float64 // EWMA job duration, feeds Retry-After
+	draining     bool
+}
+
+// NewManager builds a manager and recovers any unfinished jobs from the
+// state directory. hooks (nil ok) receives the serve_* metrics.
+func NewManager(cfg Config, hooks telemetry.Hooks) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	if cfg.StateDir == "" {
+		return nil, errors.New("serve: Config.StateDir is required")
+	}
+	for _, sub := range []string{"jobs", "results", "ckpt"} {
+		if err := os.MkdirAll(filepath.Join(cfg.StateDir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("serve: state dir: %w", err)
+		}
+	}
+	h := telemetry.OrNop(hooks)
+	m := &Manager{
+		cfg:          cfg,
+		limiter:      parallel.NewLimiter(cfg.MaxConcurrent),
+		hooks:        h,
+		submittedC:   h.Counter("serve_jobs_submitted_total"),
+		dedupC:       h.Counter("serve_jobs_deduplicated_total"),
+		shedC:        h.Counter("serve_jobs_shed_total"),
+		completedC:   h.Counter("serve_jobs_completed_total"),
+		failedC:      h.Counter("serve_jobs_failed_total"),
+		interruptedC: h.Counter("serve_jobs_interrupted_total"),
+		queuedG:      h.Gauge("serve_jobs_queued"),
+		runningG:     h.Gauge("serve_jobs_running"),
+		jobSeconds:   h.Histogram("serve_job_seconds", nil),
+		notify:       make(chan struct{}, 1),
+		jobs:         make(map[string]*Job),
+		classRunning: make(map[string]int),
+		avgSeconds:   1, // optimistic prior until real durations arrive
+	}
+	if cfg.CacheBytes >= 0 {
+		m.cache = placement.NewSimCache(cfg.CacheBytes)
+	}
+	if err := m.recover(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Start launches the scheduler; ctx cancellation begins the drain:
+// dispatch stops, in-flight jobs stop at their next checkpoint boundary
+// and are marked interrupted (their journals keep the completed
+// prefix), and Wait returns once the executors settle.
+func (m *Manager) Start(ctx context.Context) {
+	m.ctx = ctx
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-m.notify:
+			}
+			for m.dispatchOne() {
+			}
+		}
+	}()
+	m.kick()
+}
+
+// Wait blocks until the scheduler and every executor have returned.
+func (m *Manager) Wait() { m.wg.Wait() }
+
+// kick nudges the scheduler without blocking.
+func (m *Manager) kick() {
+	select {
+	case m.notify <- struct{}{}:
+	default:
+	}
+}
+
+// SetDraining flips admission off (Submit fails with ErrDraining).
+func (m *Manager) SetDraining() {
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
+}
+
+// Submit admits a job. It is idempotent: a spec hashing to a known job
+// returns that job with created=false. A full queue sheds the
+// submission with an OverloadedError carrying a Retry-After estimate.
+func (m *Manager) Submit(spec JobSpec) (JobStatus, bool, error) {
+	spec.normalize()
+	set, err := spec.parse()
+	if err != nil {
+		return JobStatus{}, false, err
+	}
+	id := jobID(spec.Key(set))
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if job, ok := m.jobs[id]; ok {
+		m.dedupC.Inc()
+		return m.statusLocked(job), false, nil
+	}
+	if m.draining {
+		return JobStatus{}, false, ErrDraining
+	}
+	if len(m.queue) >= m.cfg.QueueDepth {
+		m.shedC.Inc()
+		return JobStatus{}, false, &OverloadedError{
+			Queued:     len(m.queue),
+			QueueDepth: m.cfg.QueueDepth,
+			RetryAfter: m.retryAfterLocked(),
+		}
+	}
+	if err := m.persistSpec(id, spec); err != nil {
+		return JobStatus{}, false, err
+	}
+	job := &Job{ID: id, Spec: spec, State: StateQueued, Submitted: time.Now()}
+	m.jobs[id] = job
+	m.order = append(m.order, id)
+	m.queue = append(m.queue, id)
+	m.submittedC.Inc()
+	m.queuedG.Set(float64(len(m.queue)))
+	m.kick()
+	return m.statusLocked(job), true, nil
+}
+
+// retryAfterLocked estimates how long until a queue slot frees: the
+// EWMA job duration scaled by how many jobs stand in line per executor,
+// clamped to [1s, 60s] so a misbehaving estimate cannot tell clients to
+// hammer the server or to go away for an hour.
+func (m *Manager) retryAfterLocked() time.Duration {
+	waves := float64(len(m.queue)+m.running)/float64(m.cfg.MaxConcurrent) + 1
+	est := time.Duration(m.avgSeconds * waves * float64(time.Second))
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > time.Minute {
+		est = time.Minute
+	}
+	return est.Round(time.Second)
+}
+
+// Job returns a status snapshot by ID.
+func (m *Manager) Job(id string) (JobStatus, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	job, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return m.statusLocked(job), true
+}
+
+// Jobs lists every known job in submission order.
+func (m *Manager) Jobs() []JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobStatus, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.statusLocked(m.jobs[id]))
+	}
+	return out
+}
+
+// QueueDepths reports (queued, running) for admission introspection.
+func (m *Manager) QueueDepths() (queued, running int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue), m.running
+}
+
+func (m *Manager) statusLocked(job *Job) JobStatus {
+	st := JobStatus{
+		ID:         job.ID,
+		Kind:       job.Spec.Kind,
+		State:      job.State,
+		Error:      job.Err,
+		Resumed:    job.Resumed,
+		Result:     job.Result,
+		ResultHash: job.ResultHash,
+		Submitted:  job.Submitted,
+	}
+	if !job.Started.IsZero() {
+		t := job.Started
+		st.Started = &t
+	}
+	if !job.Finished.IsZero() {
+		t := job.Finished
+		st.Finished = &t
+	}
+	if job.reg != nil {
+		snap := job.reg.Snapshot()
+		if len(snap.Counters) > 0 {
+			st.Progress = snap.Counters
+		}
+	}
+	return st
+}
+
+// dispatchOne starts the first queued job whose class has a free slot,
+// honouring the global limiter. It reports whether it dispatched
+// anything, so the scheduler loops until the queue head is blocked.
+func (m *Manager) dispatchOne() bool {
+	if m.ctx.Err() != nil {
+		return false
+	}
+	m.mu.Lock()
+	idx := -1
+	for i, id := range m.queue {
+		kind := m.jobs[id].Spec.Kind
+		if limit := m.cfg.ClassLimits[kind]; limit > 0 && m.classRunning[kind] >= limit {
+			continue
+		}
+		idx = i
+		break
+	}
+	if idx < 0 {
+		m.mu.Unlock()
+		return false
+	}
+	if !m.limiter.TryAcquire() {
+		m.mu.Unlock()
+		return false
+	}
+	id := m.queue[idx]
+	m.queue = append(m.queue[:idx], m.queue[idx+1:]...)
+	job := m.jobs[id]
+	job.State = StateRunning
+	job.Started = time.Now()
+	job.reg = telemetry.NewRegistry()
+	m.classRunning[job.Spec.Kind]++
+	m.running++
+	m.queuedG.Set(float64(len(m.queue)))
+	m.runningG.Set(float64(m.running))
+	m.mu.Unlock()
+
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		defer m.limiter.Release()
+		m.execute(job)
+		m.mu.Lock()
+		m.classRunning[job.Spec.Kind]--
+		m.running--
+		m.runningG.Set(float64(m.running))
+		m.mu.Unlock()
+		m.kick()
+	}()
+	return true
+}
+
+// execute runs one job to completion (or interruption) and records the
+// outcome. Interrupted jobs keep their checkpoint journal and are
+// re-queued by the next recover; they never persist a result.
+func (m *Manager) execute(job *Job) {
+	start := time.Now()
+	result, err := m.runJob(m.ctx, job)
+	elapsed := time.Since(start).Seconds()
+	m.jobSeconds.Observe(elapsed)
+
+	// Any job still in flight when the drain began is interrupted, even
+	// if it appears to have finished: a cancellation landing mid-sweep
+	// taints the report (truncated plans, scenarios recorded
+	// inconclusive with the ctx error), and distinguishing a tainted
+	// result from a clean one that won the race is not worth the risk of
+	// persisting the former. Discarding costs one resume-from-journal.
+	interrupted := m.ctx.Err() != nil
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// EWMA with a 0.3 step: recent jobs dominate, one outlier does not.
+	m.avgSeconds += 0.3 * (elapsed - m.avgSeconds)
+	job.Finished = time.Now()
+	switch {
+	case interrupted:
+		job.State = StateInterrupted
+		job.Err = "interrupted by shutdown; will resume on restart"
+		m.interruptedC.Inc()
+	case err != nil:
+		job.State = StateFailed
+		job.Err = err.Error()
+		m.failedC.Inc()
+		m.persistResultLocked(job)
+	default:
+		job.State = StateDone
+		job.Result = result
+		job.ResultHash = jobID(checkpoint.HashBytes(result))
+		m.completedC.Inc()
+		m.persistResultLocked(job)
+	}
+}

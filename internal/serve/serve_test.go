@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"ropus/internal/trace"
+	"ropus/internal/workload"
+)
+
+// fleetCSV renders a small deterministic fleet as trace CSV.
+func fleetCSV(t *testing.T, apps int, weeks int, seed int64) string {
+	t.Helper()
+	smooth := apps - 2
+	if smooth < 0 {
+		smooth = 0
+	}
+	set, err := workload.Fleet(workload.FleetConfig{
+		Spiky: 1, Bursty: 1, Smooth: smooth,
+		Weeks: weeks, Interval: time.Hour, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteCSV(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// newTestManager builds a manager on a temp state dir.
+func newTestManager(t *testing.T, mutate func(*Config)) *Manager {
+	t.Helper()
+	cfg := Config{StateDir: t.TempDir(), Workers: 1}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	m, err := NewManager(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// startManager runs the scheduler until the test ends.
+func startManager(t *testing.T, m *Manager) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	m.Start(ctx)
+	t.Cleanup(func() {
+		cancel()
+		m.Wait()
+	})
+}
+
+// waitState polls until the job reaches a terminal state.
+func waitState(t *testing.T, m *Manager, id string, want string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st, ok := m.Job(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if st.State == want {
+			return st
+		}
+		if st.State == StateFailed && want != StateFailed {
+			t.Fatalf("job %s failed: %s", id, st.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st, _ := m.Job(id)
+	t.Fatalf("job %s stuck in %q, want %q", id, st.State, want)
+	return JobStatus{}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	m := newTestManager(t, nil)
+	csv := fleetCSV(t, 3, 1, 5)
+	cases := []struct {
+		name string
+		spec JobSpec
+	}{
+		{"unknown kind", JobSpec{Kind: "mine-bitcoin", TracesCSV: csv}},
+		{"missing traces", JobSpec{Kind: KindTranslate}},
+		{"garbage traces", JobSpec{Kind: KindTranslate, TracesCSV: "not,a\ntrace"}},
+		{"bad qos", JobSpec{Kind: KindTranslate, TracesCSV: csv, QoS: &QoSSpec{ULow: 2, UHigh: 0.5, UDegr: 0.9, MPercent: 97}}},
+		{"bad theta", JobSpec{Kind: KindTranslate, TracesCSV: csv, Theta: 1.5}},
+		{"bad horizon", JobSpec{Kind: KindPlan, TracesCSV: csv, HorizonWeeks: 5, StepWeeks: 2}},
+	}
+	for _, tc := range cases {
+		if _, _, err := m.Submit(tc.spec); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if got, _ := m.QueueDepths(); got != 0 {
+		t.Errorf("rejected submissions left %d jobs queued", got)
+	}
+}
+
+func TestSubmitIdempotent(t *testing.T) {
+	m := newTestManager(t, nil)
+	spec := JobSpec{Kind: KindTranslate, TracesCSV: fleetCSV(t, 3, 1, 5)}
+	first, created, err := m.Submit(spec)
+	if err != nil || !created {
+		t.Fatalf("first submit: created=%v err=%v", created, err)
+	}
+	// The same spec with its defaults spelled out is the same job.
+	explicit := spec
+	explicit.Theta = 0.6
+	explicit.GASeed = 42
+	second, created, err := m.Submit(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created {
+		t.Error("resubmission created a second job")
+	}
+	if first.ID != second.ID {
+		t.Errorf("idempotency broken: %s vs %s", first.ID, second.ID)
+	}
+	// A result-determining change is a different job.
+	other := spec
+	other.Theta = 0.7
+	third, created, err := m.Submit(other)
+	if err != nil || !created {
+		t.Fatalf("changed spec: created=%v err=%v", created, err)
+	}
+	if third.ID == first.ID {
+		t.Error("different theta mapped to the same job")
+	}
+}
+
+func TestTranslateJobLifecycle(t *testing.T) {
+	m := newTestManager(t, nil)
+	startManager(t, m)
+	st, created, err := m.Submit(JobSpec{Kind: KindTranslate, TracesCSV: fleetCSV(t, 4, 1, 5)})
+	if err != nil || !created {
+		t.Fatalf("submit: created=%v err=%v", created, err)
+	}
+	done := waitState(t, m, st.ID, StateDone)
+	if done.ResultHash == "" || len(done.Result) == 0 {
+		t.Fatalf("done job missing result: %+v", done)
+	}
+	var apps []map[string]any
+	if err := json.Unmarshal(done.Result, &apps); err != nil {
+		t.Fatalf("result not a JSON array: %v", err)
+	}
+	if len(apps) != 4 {
+		t.Errorf("translated %d apps, want 4", len(apps))
+	}
+	if done.Started == nil || done.Finished == nil {
+		t.Error("done job missing timestamps")
+	}
+}
+
+func TestFailoverAndPlanJobs(t *testing.T) {
+	m := newTestManager(t, nil)
+	startManager(t, m)
+	csv := fleetCSV(t, 4, 3, 5)
+	fo, _, err := m.Submit(JobSpec{Kind: KindFailover, TracesCSV: csv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, _, err := m.Submit(JobSpec{Kind: KindPlan, TracesCSV: csv, HorizonWeeks: 2, StepWeeks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foSt := waitState(t, m, fo.ID, StateDone)
+	var sum struct {
+		Applications int              `json:"applications"`
+		Failures     []map[string]any `json:"failures"`
+	}
+	if err := json.Unmarshal(foSt.Result, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Applications != 4 || len(sum.Failures) == 0 {
+		t.Errorf("failover result: %d apps, %d scenarios", sum.Applications, len(sum.Failures))
+	}
+	if foSt.Progress["failure_scenarios_total"] == 0 {
+		t.Errorf("failover job progress missing scenario counter: %v", foSt.Progress)
+	}
+
+	plSt := waitState(t, m, pl.ID, StateDone)
+	var plan struct {
+		Steps []map[string]any `json:"Steps"`
+	}
+	if err := json.Unmarshal(plSt.Result, &plan); err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != 2 {
+		t.Errorf("plan has %d steps, want 2", len(plan.Steps))
+	}
+}
+
+func TestFailedJobRecordsError(t *testing.T) {
+	m := newTestManager(t, nil)
+	startManager(t, m)
+	// One week of history is too short for the planner: a deterministic
+	// in-pipeline failure that admission cannot catch.
+	st, _, err := m.Submit(JobSpec{Kind: KindPlan, TracesCSV: fleetCSV(t, 3, 1, 5), HorizonWeeks: 2, StepWeeks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := waitState(t, m, st.ID, StateFailed)
+	if !strings.Contains(failed.Error, "weeks of history") {
+		t.Errorf("failed job error = %q", failed.Error)
+	}
+}

@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// State directory layout:
+//
+//	<state>/jobs/<id>.json     submitted spec (written at admission)
+//	<state>/results/<id>.json  result document (written at completion)
+//	<state>/ckpt/<id>.ckpt     checkpoint journal (failover/plan jobs)
+//
+// A job with a spec but no result is unfinished: recover re-queues it,
+// and its journal (if any) replays the units the interrupted attempt
+// completed, so the re-run is byte-identical to an uninterrupted one.
+
+func (m *Manager) specPath(id string) string {
+	return filepath.Join(m.cfg.StateDir, "jobs", id+".json")
+}
+
+func (m *Manager) resultPath(id string) string {
+	return filepath.Join(m.cfg.StateDir, "results", id+".json")
+}
+
+func (m *Manager) ckptPath(id string) string {
+	return filepath.Join(m.cfg.StateDir, "ckpt", id+".ckpt")
+}
+
+// resultDoc is the persisted form of a finished job.
+type resultDoc struct {
+	ID         string          `json:"id"`
+	Kind       string          `json:"kind"`
+	State      string          `json:"state"` // done or failed
+	Error      string          `json:"error,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+	ResultHash string          `json:"resultHash,omitempty"`
+}
+
+// writeAtomic lands data at path via a temp file, fsync and rename, so
+// a crash mid-write leaves either the old content or the new — never a
+// torn file that recovery would misread.
+func writeAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// persistSpec makes an admitted job durable before Submit acknowledges
+// it: an accepted job must survive a crash.
+func (m *Manager) persistSpec(id string, spec JobSpec) error {
+	data, err := json.Marshal(spec)
+	if err != nil {
+		return fmt.Errorf("serve: encode spec: %w", err)
+	}
+	if err := writeAtomic(m.specPath(id), data); err != nil {
+		return fmt.Errorf("serve: persist spec: %w", err)
+	}
+	return nil
+}
+
+// persistResultLocked records a finished job. A write failure is
+// counted, not fatal: the in-memory result still serves status queries,
+// and a restart simply re-runs the job.
+func (m *Manager) persistResultLocked(job *Job) {
+	doc := resultDoc{
+		ID:         job.ID,
+		Kind:       job.Spec.Kind,
+		State:      job.State,
+		Error:      job.Err,
+		Result:     job.Result,
+		ResultHash: job.ResultHash,
+	}
+	data, err := json.Marshal(doc)
+	if err == nil {
+		err = writeAtomic(m.resultPath(job.ID), data)
+	}
+	if err != nil {
+		m.hooks.Counter("serve_state_write_errors_total").Inc()
+		return
+	}
+	// The finished journal has served its purpose; drop it so the state
+	// directory does not accumulate one journal per historical job.
+	os.Remove(m.ckptPath(job.ID))
+}
+
+// recover rebuilds the job table from the state directory. Finished
+// jobs come back queryable; unfinished ones are re-queued (marked
+// Resumed) in deterministic ID order. A spec that no longer hashes to
+// its filename is quarantined rather than trusted: it was torn or
+// tampered with.
+func (m *Manager) recover() error {
+	entries, err := os.ReadDir(filepath.Join(m.cfg.StateDir, "jobs"))
+	if err != nil {
+		return fmt.Errorf("serve: recover: %w", err)
+	}
+	ids := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if name, ok := strings.CutSuffix(e.Name(), ".json"); ok && !e.IsDir() {
+			ids = append(ids, name)
+		}
+	}
+	sort.Strings(ids)
+
+	for _, id := range ids {
+		data, err := os.ReadFile(m.specPath(id))
+		if err != nil {
+			return fmt.Errorf("serve: recover %s: %w", id, err)
+		}
+		var spec JobSpec
+		if uerr := json.Unmarshal(data, &spec); uerr != nil {
+			m.quarantine(id)
+			continue
+		}
+		spec.normalize()
+		set, perr := spec.parse()
+		if perr != nil || jobID(spec.Key(set)) != id {
+			m.quarantine(id)
+			continue
+		}
+		job := &Job{ID: id, Spec: spec, Submitted: modTime(m.specPath(id))}
+		if doc, ok := m.loadResult(id); ok && (doc.State == StateDone || doc.State == StateFailed) {
+			job.State = doc.State
+			job.Err = doc.Error
+			job.Result = doc.Result
+			job.ResultHash = doc.ResultHash
+			job.Finished = modTime(m.resultPath(id))
+		} else {
+			job.State = StateQueued
+			job.Resumed = true
+			m.queue = append(m.queue, id)
+		}
+		m.jobs[id] = job
+		m.order = append(m.order, id)
+	}
+	m.queuedG.Set(float64(len(m.queue)))
+	return nil
+}
+
+// loadResult reads a persisted result document; a missing or unreadable
+// file means the job is unfinished.
+func (m *Manager) loadResult(id string) (resultDoc, bool) {
+	data, err := os.ReadFile(m.resultPath(id))
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			m.hooks.Counter("serve_state_read_errors_total").Inc()
+		}
+		return resultDoc{}, false
+	}
+	var doc resultDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		m.hooks.Counter("serve_state_read_errors_total").Inc()
+		return resultDoc{}, false
+	}
+	return doc, true
+}
+
+// quarantine sidelines an unreadable spec file so recovery is not
+// wedged on it forever, and counts the event.
+func (m *Manager) quarantine(id string) {
+	m.hooks.Counter("serve_state_corrupt_specs_total").Inc()
+	os.Rename(m.specPath(id), m.specPath(id)+".corrupt")
+}
+
+func modTime(path string) time.Time {
+	if info, err := os.Stat(path); err == nil {
+		return info.ModTime()
+	}
+	return time.Time{}
+}

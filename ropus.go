@@ -51,6 +51,7 @@ import (
 	"ropus/internal/rebalance"
 	"ropus/internal/report"
 	"ropus/internal/resilience"
+	"ropus/internal/serve"
 	"ropus/internal/sim"
 	"ropus/internal/stress"
 	"ropus/internal/telemetry"
@@ -338,6 +339,29 @@ func NewTracer() *Tracer { return telemetry.NewTracer() }
 // nil to disable that half.
 func NewHooks(reg *MetricsRegistry, tracer *Tracer) Hooks {
 	return telemetry.New(reg, tracer)
+}
+
+// Serving: the long-running planning service behind `ropus serve`.
+// A PlanningServer accepts translate/place/failover/plan jobs over
+// HTTP/JSON with idempotent content-hashed identities, admission
+// control, and a drain/resume contract that survives SIGTERM; see
+// docs/SERVING.md for the API and the state-directory layout.
+type (
+	// ServeConfig configures a PlanningServer's job manager: state
+	// directory, queue depth, per-class concurrency limits, retry
+	// policy and drain budget.
+	ServeConfig = serve.Config
+	// ServeJobSpec is the JSON job submission body.
+	ServeJobSpec = serve.JobSpec
+	// PlanningServer is the HTTP planning service.
+	PlanningServer = serve.Server
+)
+
+// NewPlanningServer binds addr and prepares (or recovers) the state
+// directory; call Run to serve until the context is cancelled, then
+// drain.
+func NewPlanningServer(addr string, cfg ServeConfig) (*PlanningServer, error) {
+	return serve.New(addr, cfg)
 }
 
 // NewFramework builds the composite framework from a configuration.

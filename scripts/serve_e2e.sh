@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# End-to-end drain/resume check for `ropus serve`:
+#   1. an undisturbed server computes the baseline result hash;
+#   2. a second server is SIGTERMed mid-sweep (best effort — if the job
+#      wins the race the resume degenerates to serving the persisted
+#      result, and the comparison below holds either way);
+#   3. a third server on the same state dir resumes the journaled job
+#      and must report the same result hash, with the job marked
+#      resumed when it was genuinely interrupted.
+# Needs: bash, python3, a built ropus CLI as $ROPUS (default ./ropus-cli).
+set -euo pipefail
+
+ROPUS=${ROPUS:-./ropus-cli}
+WORK=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+"$ROPUS" gen -spiky 3 -bursty 10 -smooth 16 -weeks 4 -seed 11 -o "$WORK/traces.csv"
+python3 - "$WORK/traces.csv" > "$WORK/job.json" <<'EOF'
+import json, sys
+print(json.dumps({"kind": "failover", "tracesCsv": open(sys.argv[1]).read()}))
+EOF
+
+# api <base-url> <verb> [path [body-file]] — tiny HTTP client + JSON field extraction.
+api() {
+  python3 - "$@" <<'EOF'
+import json, sys, urllib.request
+base, verb = sys.argv[1], sys.argv[2]
+if verb == "submit":
+    req = urllib.request.Request(base + "/v1/jobs", data=open(sys.argv[3], "rb").read(),
+                                 headers={"Content-Type": "application/json"})
+    st = json.load(urllib.request.urlopen(req))
+    print(st["id"])
+elif verb == "field":
+    st = json.load(urllib.request.urlopen(base + "/v1/jobs/" + sys.argv[3]))
+    v = st
+    for part in sys.argv[4].split("."):
+        v = v.get(part, "") if isinstance(v, dict) else ""
+    print(v)
+EOF
+}
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    curl -fsS "$1/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "server at $1 never became healthy" >&2
+  return 1
+}
+
+wait_state() { # base id state timeout_s
+  for _ in $(seq 1 $((10 * $4))); do
+    s=$(api "$1" field "$2" state)
+    [ "$s" = "$3" ] && return 0
+    [ "$s" = failed ] && { echo "job failed: $(api "$1" field "$2" error)" >&2; return 1; }
+    sleep 0.1
+  done
+  echo "job $2 stuck (last state: $s), wanted $3" >&2
+  return 1
+}
+
+# 1. Baseline: undisturbed run.
+"$ROPUS" serve -state-dir "$WORK/state-base" -addr 127.0.0.1:7925 &
+BASE=http://127.0.0.1:7925
+wait_healthy "$BASE"
+ID=$(api "$BASE" submit "$WORK/job.json")
+wait_state "$BASE" "$ID" done 300
+WANT=$(api "$BASE" field "$ID" resultHash)
+kill -TERM %1 && wait %1
+echo "baseline hash: $WANT (job $ID)"
+
+# 2. Interrupted run: SIGTERM once the sweep has journaled progress.
+"$ROPUS" serve -state-dir "$WORK/state-int" -addr 127.0.0.1:7926 &
+INT=http://127.0.0.1:7926
+wait_healthy "$INT"
+ID2=$(api "$INT" submit "$WORK/job.json")
+[ "$ID2" = "$ID" ] || { echo "same spec hashed to different job IDs: $ID vs $ID2" >&2; exit 1; }
+for _ in $(seq 1 300); do
+  CKPT=$(api "$INT" field "$ID" progress.checkpoint_records_written_total)
+  STATE=$(api "$INT" field "$ID" state)
+  { [ -n "$CKPT" ] && [ "$CKPT" != 0 ]; } || [ "$STATE" = done ] && break
+  sleep 0.1
+done
+kill -TERM %1 && wait %1 || true
+echo "interrupted after $CKPT checkpoint record(s), state was $STATE"
+
+# 3. Restart on the same state dir: the job must finish with the
+# baseline's hash.
+"$ROPUS" serve -state-dir "$WORK/state-int" -addr 127.0.0.1:7926 &
+wait_healthy "$INT"
+wait_state "$INT" "$ID" done 300
+GOT=$(api "$INT" field "$ID" resultHash)
+RESUMED=$(api "$INT" field "$ID" resumed)
+kill -TERM %1 && wait %1
+echo "resumed hash: $GOT (resumed=$RESUMED)"
+
+[ "$GOT" = "$WANT" ] || { echo "FAIL: resumed hash $GOT != baseline $WANT" >&2; exit 1; }
+echo "OK: drain/resume byte-identical"
