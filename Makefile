@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-smoke experiments fuzz golden serve-e2e clean
+.PHONY: all build vet test race cover bench bench-smoke bench-obs-overhead experiments fuzz golden serve-e2e clean
 
 all: build vet test race
 
@@ -32,6 +32,19 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=100ms ./... | tee bench_smoke.txt
 
+# Prove the disabled-observability hot paths are still an inlined nil
+# check: run the no-op benchmarks, record them in BENCH_obs_overhead.json
+# and fail if any exceeds the 5 ns/op budget.
+bench-obs-overhead:
+	$(GO) test -run '^$$' -bench 'BenchmarkTelemetryOverhead/nop' -benchtime 100ms ./internal/telemetry/ | tee bench_obs.txt
+	@awk 'BEGIN { printf "{\n  \"budget_ns_per_op\": 5,\n  \"benchmarks\": [\n"; n = 0; bad = 0 } \
+	  / ns\/op/ && /nop-/ { if (n++) printf ",\n"; printf "    {\"name\": \"%s\", \"ns_per_op\": %s}", $$1, $$3; if ($$3 + 0 > 5) bad++ } \
+	  END { printf "\n  ],\n  \"pass\": %s\n}\n", (bad == 0 && n > 0) ? "true" : "false"; exit (bad > 0 || n == 0) }' \
+	  bench_obs.txt > BENCH_obs_overhead.json \
+	  || { cat BENCH_obs_overhead.json; echo "FAIL: a disabled observability path exceeds the 5 ns/op budget"; exit 1; }
+	@rm -f bench_obs.txt
+	@cat BENCH_obs_overhead.json
+
 # Regenerate every table and figure of the paper's evaluation into results/.
 experiments:
 	$(GO) run ./cmd/experiments
@@ -53,4 +66,4 @@ serve-e2e: build
 	ROPUS=./ropus-cli bash scripts/serve_e2e.sh
 
 clean:
-	rm -rf results test_output.txt bench_output.txt bench_smoke.txt cover.out ropus-cli
+	rm -rf results test_output.txt bench_output.txt bench_smoke.txt bench_obs.txt cover.out ropus-cli

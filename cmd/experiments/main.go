@@ -13,6 +13,7 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -23,6 +24,7 @@ import (
 
 	"ropus/internal/checkpoint"
 	"ropus/internal/experiments"
+	"ropus/internal/obslog"
 	"ropus/internal/resilience"
 	"ropus/internal/telemetry"
 )
@@ -39,8 +41,17 @@ func main() {
 		resume  = flag.Bool("resume", false, "replay completed units from the -checkpoint journal instead of recomputing them")
 		retries = flag.Int("retries", 2, "extra attempts per work unit after a transient failure (0 disables retry)")
 		sdl     = flag.Duration("scenario-deadline", 0, "per-attempt deadline for each case/scenario; a timed-out attempt is retried (0 = none)")
+		logFmt  = flag.String("log-format", "json", "structured log encoding on stderr: json, text, or off")
+		logLvl  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	)
 	flag.Parse()
+	logger := obslog.Discard()
+	if *logFmt != "off" {
+		logger = obslog.New(os.Stderr, obslog.Options{
+			Level:  obslog.ParseLevel(*logLvl),
+			Format: *logFmt,
+		})
+	}
 	// SIGINT/SIGTERM and -timeout cancel the compute-heavy experiments;
 	// the deferred telemetry flush still writes the sidecar files.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -51,7 +62,7 @@ func main() {
 		defer cancel()
 	}
 	heal := healOpts{path: *ckpt, resume: *resume, retries: *retries, deadline: *sdl}
-	if err := realMain(ctx, *run, *out, *seed, *quick, *workers, heal); err != nil {
+	if err := realMain(ctx, *run, *out, *seed, *quick, *workers, heal, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -82,9 +93,10 @@ func (o healOpts) policy(h telemetry.Hooks) resilience.Policy {
 
 // journal opens the checkpoint journal, binding it to the knobs that
 // determine results (experiment selection, seed, quick) but not to the
-// worker count, so a journal resumes at any parallelism. Status goes to
-// stderr to keep stdout byte-identical across interrupted/resumed runs.
-func (o healOpts) journal(run string, seed int64, quick bool, h telemetry.Hooks) (*checkpoint.Journal, error) {
+// worker count, so a journal resumes at any parallelism. Status is
+// logged to stderr to keep stdout byte-identical across
+// interrupted/resumed runs.
+func (o healOpts) journal(run string, seed int64, quick bool, h telemetry.Hooks, logger *slog.Logger) (*checkpoint.Journal, error) {
 	if o.path == "" {
 		if o.resume {
 			return nil, fmt.Errorf("-resume requires -checkpoint")
@@ -97,14 +109,18 @@ func (o healOpts) journal(run string, seed int64, quick bool, h telemetry.Hooks)
 		return nil, err
 	}
 	if o.resume {
-		fmt.Fprintf(os.Stderr, "experiments: checkpoint: replaying %d completed unit(s) from %s\n", j.Replayed(), o.path)
+		logger.Info("checkpoint.resume", slog.Int("replayed", j.Replayed()), slog.String("path", o.path))
 	} else {
-		fmt.Fprintf(os.Stderr, "experiments: checkpoint: journaling completed units to %s\n", o.path)
+		logger.Info("checkpoint.open", slog.String("path", o.path))
 	}
 	return j, nil
 }
 
-func realMain(ctx context.Context, run, out string, seed int64, quick bool, workers int, heal healOpts) error {
+func realMain(ctx context.Context, run, out string, seed int64, quick bool, workers int, heal healOpts, logger *slog.Logger) error {
+	// Correlate the run's logs and spans under a seed-derived trace ID,
+	// mirroring the ropus CLI: re-running the same seed reproduces the ID.
+	ctx = telemetry.WithTrace(ctx, telemetry.TraceContext{TraceID: telemetry.SeedTraceID("experiments", seed)})
+	ctx = obslog.Into(ctx, logger)
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
@@ -120,10 +136,10 @@ func realMain(ctx context.Context, run, out string, seed int64, quick bool, work
 	hooks := telemetry.New(reg, tracer)
 	defer func() {
 		if err := writeTelemetry(out, reg, tracer); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments: telemetry:", err)
+			logger.Error("telemetry.flush", slog.String("error", err.Error()))
 		}
 	}()
-	journal, err := heal.journal(run, seed, quick, hooks)
+	journal, err := heal.journal(run, seed, quick, hooks, logger)
 	if err != nil {
 		return err
 	}

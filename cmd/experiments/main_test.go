@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"ropus/internal/obslog"
 )
 
 func TestRealMainFigures(t *testing.T) {
@@ -14,7 +16,7 @@ func TestRealMainFigures(t *testing.T) {
 	for _, run := range []string{"fig3", "fig6", "fig7", "fig8"} {
 		run := run
 		t.Run(run, func(t *testing.T) {
-			if err := realMain(context.Background(), run, out, 2006, true, 0, healOpts{}); err != nil {
+			if err := realMain(context.Background(), run, out, 2006, true, 0, healOpts{}, obslog.Discard()); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -44,7 +46,7 @@ func TestRealMainHeavyExperiments(t *testing.T) {
 	for _, run := range []string{"table1", "failover", "mix"} {
 		run := run
 		t.Run(run, func(t *testing.T) {
-			if err := realMain(context.Background(), run, out, 2006, true, 0, healOpts{}); err != nil {
+			if err := realMain(context.Background(), run, out, 2006, true, 0, healOpts{}, obslog.Discard()); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -57,7 +59,7 @@ func TestRealMainHeavyExperiments(t *testing.T) {
 }
 
 func TestRealMainUnknownExperiment(t *testing.T) {
-	if err := realMain(context.Background(), "nope", t.TempDir(), 1, true, 0, healOpts{}); err == nil {
+	if err := realMain(context.Background(), "nope", t.TempDir(), 1, true, 0, healOpts{}, obslog.Discard()); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
@@ -69,17 +71,17 @@ func TestRealMainBadOutputDir(t *testing.T) {
 	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := realMain(context.Background(), "fig3", blocker, 1, true, 0, healOpts{}); err == nil {
+	if err := realMain(context.Background(), "fig3", blocker, 1, true, 0, healOpts{}, obslog.Discard()); err == nil {
 		t.Error("file as output dir accepted")
 	}
 }
 
 func TestRealMainDeterministicCSV(t *testing.T) {
 	a, b := t.TempDir(), t.TempDir()
-	if err := realMain(context.Background(), "fig6", a, 2006, true, 0, healOpts{}); err != nil {
+	if err := realMain(context.Background(), "fig6", a, 2006, true, 0, healOpts{}, obslog.Discard()); err != nil {
 		t.Fatal(err)
 	}
-	if err := realMain(context.Background(), "fig6", b, 2006, true, 0, healOpts{}); err != nil {
+	if err := realMain(context.Background(), "fig6", b, 2006, true, 0, healOpts{}, obslog.Discard()); err != nil {
 		t.Fatal(err)
 	}
 	fa, err := os.ReadFile(filepath.Join(a, "fig6.csv"))

@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
 	"ropus/internal/checkpoint"
 	"ropus/internal/core"
+	"ropus/internal/obslog"
 	"ropus/internal/placement"
 	"ropus/internal/planner"
 	"ropus/internal/portfolio"
@@ -29,16 +31,38 @@ import (
 // leave evidence behind. The -timeout flag bounds body's context, and
 // a run that was cancelled (by timeout or signal) exits non-zero even
 // when the pipeline degraded gracefully to a partial result.
-func withTelemetry(ctx context.Context, o *telemetryOpts, body func(ctx context.Context, h telemetry.Hooks) error) error {
+//
+// The run's trace ID is derived from the subcommand name and its
+// result-determining seed, so two invocations of the same seeded
+// command correlate under the same ID across logs, spans, and the
+// flight recorder — and a re-run reproduces the ID along with the
+// results.
+func withTelemetry(ctx context.Context, o *telemetryOpts, name string, seed int64, body func(ctx context.Context, h telemetry.Hooks) error) error {
 	ctx, cancel := o.runContext(ctx)
 	defer cancel()
-	err := body(ctx, o.hooks())
+	h := o.hooks()
+	ctx = telemetry.WithTrace(ctx, telemetry.TraceContext{TraceID: telemetry.SeedTraceID(name, seed)})
+	ctx = obslog.Into(ctx, o.logger)
+	o.logger.LogAttrs(ctx, slog.LevelInfo, "run.start",
+		slog.String("command", name), slog.Int64("seed", seed))
+	start := time.Now()
+	err := body(ctx, h)
 	if ferr := o.flush(); err == nil {
 		err = ferr
 	}
 	if err == nil && ctx.Err() != nil {
 		err = fmt.Errorf("run cancelled: %w", context.Cause(ctx))
 	}
+	level, attrs := slog.LevelInfo, []slog.Attr{
+		slog.String("command", name),
+		slog.Bool("ok", err == nil),
+		slog.Any("elapsed_seconds", obslog.Volatile{Value: time.Since(start).Seconds()}),
+	}
+	if err != nil {
+		level = slog.LevelError
+		attrs = append(attrs, slog.String("error", err.Error()))
+	}
+	o.logger.LogAttrs(ctx, level, "run.finish", attrs...)
 	return err
 }
 
@@ -145,14 +169,14 @@ func cmdTranslate(ctx context.Context, args []string) error {
 		return err
 	}
 	q := buildQoS()
-	return withTelemetry(ctx, topts, func(ctx context.Context, h telemetry.Hooks) error {
+	return withTelemetry(ctx, topts, "translate", 0, func(ctx context.Context, h telemetry.Hooks) error {
 		fmt.Printf("%-8s %10s %10s %10s %10s %12s %10s\n",
 			"app", "p", "Dmax", "DnewMax", "maxAlloc", "reduction%", "degraded%")
 		for _, tr := range set {
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("translate: %w", err)
 			}
-			part, err := portfolio.TranslateWithHooks(tr, q, *theta, h)
+			part, err := portfolio.TranslateCtx(ctx, tr, q, *theta, h)
 			if err != nil {
 				return err
 			}
@@ -263,9 +287,9 @@ func (o *resilienceOpts) policy(h telemetry.Hooks) resilience.Policy {
 }
 
 // journal opens the checkpoint journal bound to runHash, or returns
-// nil when checkpointing is disabled. Status goes to stderr so stdout
-// stays byte-identical between interrupted and resumed runs.
-func (o *resilienceOpts) journal(runHash uint64, h telemetry.Hooks) (*checkpoint.Journal, error) {
+// nil when checkpointing is disabled. Status is logged to stderr so
+// stdout stays byte-identical between interrupted and resumed runs.
+func (o *resilienceOpts) journal(ctx context.Context, runHash uint64, h telemetry.Hooks) (*checkpoint.Journal, error) {
 	if *o.path == "" {
 		if *o.resume {
 			return nil, fmt.Errorf("-resume requires -checkpoint")
@@ -277,9 +301,11 @@ func (o *resilienceOpts) journal(runHash uint64, h telemetry.Hooks) (*checkpoint
 		return nil, err
 	}
 	if *o.resume {
-		fmt.Fprintf(os.Stderr, "checkpoint: replaying %d completed unit(s) from %s\n", j.Replayed(), *o.path)
+		obslog.From(ctx).InfoContext(ctx, "checkpoint.resume",
+			slog.Int("replayed", j.Replayed()), slog.String("path", *o.path))
 	} else {
-		fmt.Fprintf(os.Stderr, "checkpoint: journaling completed units to %s\n", *o.path)
+		obslog.From(ctx).InfoContext(ctx, "checkpoint.open",
+			slog.String("path", *o.path))
 	}
 	return j, nil
 }
@@ -311,7 +337,7 @@ func cmdPlace(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	return withTelemetry(ctx, topts, func(ctx context.Context, h telemetry.Hooks) error {
+	return withTelemetry(ctx, topts, "place", *fwk.seed, func(ctx context.Context, h telemetry.Hooks) error {
 		f, err := fwk.build(h, resilience.Policy{}, nil)
 		if err != nil {
 			return err
@@ -394,7 +420,7 @@ func cmdFailover(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	return withTelemetry(ctx, topts, func(ctx context.Context, h telemetry.Hooks) error {
+	return withTelemetry(ctx, topts, "failover", *fwk.seed, func(ctx context.Context, h telemetry.Hooks) error {
 		normal := buildQoS()
 		failQoS := normal
 		failQoS.MPercent = *failM
@@ -404,7 +430,7 @@ func cmdFailover(ctx context.Context, args []string) error {
 		foldQoS(hash, failQoS)
 		fwk.fold(hash)
 		foldTraces(hash, set)
-		j, err := ropts.journal(hash.Sum(), h)
+		j, err := ropts.journal(ctx, hash.Sum(), h)
 		if err != nil {
 			return err
 		}
@@ -445,14 +471,14 @@ func cmdSimulate(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	return withTelemetry(ctx, topts, func(ctx context.Context, h telemetry.Hooks) error {
+	return withTelemetry(ctx, topts, "simulate", 0, func(ctx context.Context, h telemetry.Hooks) error {
 		q := buildQoS()
 		containers := make([]wlmgr.Container, len(set))
 		for i, tr := range set {
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("simulate: %w", err)
 			}
-			part, err := portfolio.TranslateWithHooks(tr, q, *theta, h)
+			part, err := portfolio.TranslateCtx(ctx, tr, q, *theta, h)
 			if err != nil {
 				return err
 			}
@@ -502,14 +528,14 @@ func cmdPlan(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	return withTelemetry(ctx, topts, func(ctx context.Context, h telemetry.Hooks) error {
+	return withTelemetry(ctx, topts, "plan", *fwk.seed, func(ctx context.Context, h telemetry.Hooks) error {
 		q := buildQoS()
 		hash := checkpoint.NewHasher().String("plan")
 		foldQoS(hash, q)
 		fwk.fold(hash)
 		hash.Int(int64(*horizon)).Int(int64(*step)).Int(int64(*pool))
 		foldTraces(hash, set)
-		j, err := ropts.journal(hash.Sum(), h)
+		j, err := ropts.journal(ctx, hash.Sum(), h)
 		if err != nil {
 			return err
 		}

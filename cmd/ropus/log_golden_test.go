@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ropus/internal/telemetry"
+)
+
+// captureStderr runs fn with os.Stderr redirected to a buffer, so tests
+// can pin the structured log stream the same way captureStdout pins
+// reports.
+func captureStderr(t *testing.T, fn func() error) ([]byte, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stderr
+	os.Stderr = w
+	defer func() { os.Stderr = orig }()
+	done := make(chan []byte)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- data
+	}()
+	ferr := fn()
+	w.Close()
+	out := <-done
+	return out, ferr
+}
+
+// TestGoldenStructuredLogs pins the structured log schema of a full
+// plan run: with -log-deterministic and a fixed seed the stderr stream
+// is byte-stable, every line is one JSON object, and every line carries
+// the run's seed-derived trace ID. Schema drift (renamed stages,
+// lost attributes, timestamps leaking back in) shows up as a golden
+// diff; deliberate changes regenerate with -update.
+func TestGoldenStructuredLogs(t *testing.T) {
+	traces := goldenFleet(t, 3)
+
+	var logs []byte
+	if _, err := captureStdout(t, func() error {
+		var lerr error
+		logs, lerr = captureStderr(t, func() error {
+			return run([]string{"plan", "-traces", traces, "-json",
+				"-horizon-weeks", "2", "-step-weeks", "1", "-pool-servers", "2",
+				"-log-deterministic"})
+		})
+		return lerr
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	wantTrace := telemetry.SeedTraceID("plan", 42) // default -ga-seed
+	stages := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(string(logs)), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line not JSON: %q: %v", line, err)
+		}
+		if rec["trace_id"] != wantTrace {
+			t.Errorf("log line trace_id = %v, want %q: %s", rec["trace_id"], wantTrace, line)
+		}
+		if _, ok := rec["time"]; ok {
+			t.Errorf("deterministic log carries a timestamp: %s", line)
+		}
+		stages[rec["msg"].(string)] = true
+	}
+	for _, stage := range []string{"run.start", "planner.run", "planner.step", "core.translate", "run.finish"} {
+		if !stages[stage] {
+			t.Errorf("pipeline stage %q missing from the log stream (got %v)", stage, stages)
+		}
+	}
+
+	checkGolden(t, "plan_logs_seed3.jsonl", logs)
+}
+
+// TestMetricsOutProm: a -metrics-out path ending in .prom switches the
+// snapshot to Prometheus text exposition, and the file must pass the
+// repo's own lint.
+func TestMetricsOutProm(t *testing.T) {
+	traces := writeFleet(t)
+	out := filepath.Join(t.TempDir(), "metrics.prom")
+	if _, err := captureStdout(t, func() error {
+		return run([]string{"failover", "-traces", traces, "-json",
+			"-log-format", "off", "-metrics-out", out})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := telemetry.LintPrometheusText(f); err != nil {
+		t.Errorf("CLI .prom sidecar fails lint: %v", err)
+	}
+}

@@ -4,11 +4,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"ropus/internal/obslog"
 	"ropus/internal/serve"
 )
 
@@ -29,6 +31,8 @@ func cmdServe(ctx context.Context, args []string) error {
 		workers  = fs.Int("workers", 0, "per-job failure-sweep workers (0 = GOMAXPROCS, 1 = sequential)")
 		cacheMB  = fs.Int64("sim-cache-mb", 0, "shared simulation cache bound in MiB (0 = default, negative disables)")
 		drain    = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight jobs and connections")
+		logFmt   = fs.String("log-format", "json", "structured log encoding on stderr: json, text, or off")
+		logLvl   = fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -44,6 +48,13 @@ func cmdServe(ctx context.Context, args []string) error {
 	if *cacheMB < 0 {
 		cacheBytes = -1
 	}
+	logger := obslog.Discard()
+	if *logFmt != "off" {
+		logger = obslog.New(os.Stderr, obslog.Options{
+			Level:  obslog.ParseLevel(*logLvl),
+			Format: *logFmt,
+		})
+	}
 	cfg := serve.Config{
 		StateDir:      *stateDir,
 		QueueDepth:    *depth,
@@ -53,14 +64,17 @@ func cmdServe(ctx context.Context, args []string) error {
 		CacheBytes:    cacheBytes,
 		Retry:         ropts.policy(nil),
 		DrainTimeout:  *drain,
+		Logger:        logger,
 	}
 	s, err := serve.New(*addr, cfg)
 	if err != nil {
 		return err
 	}
 	queued, _ := s.Manager().QueueDepths()
-	fmt.Fprintf(os.Stderr, "serve: listening on %s, state %s, %d job(s) recovered\n",
-		s.Addr(), *stateDir, queued)
+	logger.LogAttrs(ctx, slog.LevelInfo, "serve.listening",
+		slog.String("addr", s.Addr()),
+		slog.String("state_dir", *stateDir),
+		slog.Int("jobs_recovered", queued))
 	return s.Run(ctx)
 }
 

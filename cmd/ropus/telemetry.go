@@ -5,38 +5,53 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registered on the default mux for -pprof
 	"os"
+	"strings"
 	"time"
 
+	"ropus/internal/flight"
+	"ropus/internal/obslog"
+	"ropus/internal/robust"
 	"ropus/internal/telemetry"
 )
 
 // telemetryOpts holds the observability and robustness flags shared by
-// all compute subcommands: -metrics-out writes a metrics-registry JSON
-// snapshot, -trace-out writes a Chrome trace_event file loadable in
+// all compute subcommands: -metrics-out writes a metrics snapshot
+// (Prometheus text exposition when the path ends in .prom, JSON
+// otherwise), -trace-out writes a Chrome trace_event file loadable in
 // Perfetto or chrome://tracing, -pprof serves net/http/pprof on the
-// given address for the lifetime of the command, and -timeout bounds
-// the run's wall-clock time (the pipeline degrades to partial results
-// and the telemetry files are still flushed).
+// given address for the lifetime of the command, -timeout bounds the
+// run's wall-clock time (the pipeline degrades to partial results and
+// the telemetry files are still flushed), and the -log-* flags shape
+// the structured log stream on stderr.
 type telemetryOpts struct {
 	metricsOut *string
 	traceOut   *string
 	pprofAddr  *string
 	timeout    *time.Duration
+	logFormat  *string
+	logLevel   *string
+	logDet     *bool
 
-	reg    *telemetry.Registry
-	tracer *telemetry.Tracer
+	reg       *telemetry.Registry
+	tracer    *telemetry.Tracer
+	logger    *slog.Logger
+	flightRec *flight.Recorder
 }
 
 // telemetryFlags registers the observability flags on fs.
 func telemetryFlags(fs *flag.FlagSet) *telemetryOpts {
 	o := &telemetryOpts{}
-	o.metricsOut = fs.String("metrics-out", "", "write a metrics JSON snapshot to this file")
+	o.metricsOut = fs.String("metrics-out", "", "write a metrics snapshot to this file (.prom = Prometheus text, otherwise JSON)")
 	o.traceOut = fs.String("trace-out", "", "write a Chrome trace_event JSON file to this file")
 	o.pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	o.timeout = fs.Duration("timeout", 0, "cancel the run after this duration (0 = unlimited); telemetry files are still flushed")
+	o.logFormat = fs.String("log-format", "json", "structured log encoding on stderr: json, text, or off")
+	o.logLevel = fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	o.logDet = fs.Bool("log-deterministic", false, "suppress timestamps and volatile values so fixed-seed runs log byte-identical streams")
 	return o
 }
 
@@ -50,23 +65,44 @@ func (o *telemetryOpts) runContext(parent context.Context) (context.Context, con
 }
 
 // hooks builds the telemetry sinks requested by the parsed flags and
-// returns the Hooks to thread through the run. With no telemetry flags
-// set it returns nil (the no-op path). It also starts the pprof server
-// when requested.
+// returns the Hooks to thread through the run. With no -metrics-out or
+// -trace-out it returns nil (the no-op path for counters and spans);
+// the structured logger and the flight recorder are always built
+// unless -log-format=off. It also starts the pprof server when
+// requested and installs the panic hook that dumps the flight recorder
+// to stderr, so a crashed run leaves its last events behind.
 func (o *telemetryOpts) hooks() telemetry.Hooks {
+	if *o.logFormat == "off" {
+		o.logger = obslog.Discard()
+	} else {
+		o.flightRec = flight.NewRecorder(0)
+		o.logger = obslog.New(os.Stderr, obslog.Options{
+			Level:         obslog.ParseLevel(*o.logLevel),
+			Format:        *o.logFormat,
+			Deterministic: *o.logDet,
+			Recorder:      o.flightRec,
+		})
+	}
 	if *o.metricsOut != "" || *o.traceOut != "" {
 		// Both sinks are cheap; keeping them together means a -trace-out
 		// run still gets span-free metrics in memory and vice versa.
 		o.reg = telemetry.NewRegistry()
 		o.tracer = telemetry.NewTracer()
+		o.tracer.OnEnd(flight.SpanSink(o.flightRec))
+	}
+	if rec := o.flightRec; rec != nil {
+		robust.OnPanic(func(op string, v any) {
+			rec.Record("event", "panic", "", map[string]any{"op": op, "value": fmt.Sprint(v)})
+			rec.WriteJSON(os.Stderr, "panic", "")
+		})
 	}
 	if *o.pprofAddr != "" {
 		go func() {
 			if err := http.ListenAndServe(*o.pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "ropus: pprof server:", err)
+				o.logger.Error("pprof.server", slog.String("error", err.Error()))
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "ropus: pprof listening on http://%s/debug/pprof/\n", *o.pprofAddr)
+		o.logger.Info("pprof.listening", slog.String("addr", *o.pprofAddr))
 	}
 	if o.reg == nil && o.tracer == nil {
 		return nil
@@ -79,7 +115,11 @@ func (o *telemetryOpts) hooks() telemetry.Hooks {
 // leave evidence behind.
 func (o *telemetryOpts) flush() error {
 	if *o.metricsOut != "" && o.reg != nil {
-		if err := writeFileWith(*o.metricsOut, o.reg.WriteJSON); err != nil {
+		write := o.reg.WriteJSON
+		if strings.HasSuffix(*o.metricsOut, ".prom") {
+			write = o.reg.WritePrometheusText
+		}
+		if err := writeFileWith(*o.metricsOut, write); err != nil {
 			return fmt.Errorf("write metrics: %w", err)
 		}
 	}

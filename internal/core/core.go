@@ -12,10 +12,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 
 	"ropus/internal/checkpoint"
 	"ropus/internal/failure"
 	"ropus/internal/faultinject"
+	"ropus/internal/obslog"
 	"ropus/internal/placement"
 	"ropus/internal/portfolio"
 	"ropus/internal/qos"
@@ -183,8 +185,8 @@ func (f *Framework) Translate(ctx context.Context, traces trace.Set, reqs Requir
 	if err := reqs.Validate(); err != nil {
 		return nil, err
 	}
-	h := telemetry.OrNop(f.cfg.Hooks)
-	span := h.StartSpan("core.translate", telemetry.Int("apps", len(traces)))
+	ctx, span := telemetry.StartSpanCtx(ctx, f.cfg.Hooks, "core.translate",
+		telemetry.Int("apps", len(traces)))
 	defer span.End()
 	out := &Translation{
 		Traces:  traces,
@@ -197,17 +199,20 @@ func (f *Framework) Translate(ctx context.Context, traces trace.Set, reqs Requir
 			return nil, fmt.Errorf("core: translate: %w", err)
 		}
 		req := reqs.For(tr.AppID)
-		normal, err := portfolio.TranslateWithHooks(tr, req.Normal, theta, f.cfg.Hooks)
+		normal, err := portfolio.TranslateCtx(ctx, tr, req.Normal, theta, f.cfg.Hooks)
 		if err != nil {
 			return nil, fmt.Errorf("core: translate %q (normal): %w", tr.AppID, err)
 		}
-		fail, err := portfolio.TranslateWithHooks(tr, req.Failure, theta, f.cfg.Hooks)
+		fail, err := portfolio.TranslateCtx(ctx, tr, req.Failure, theta, f.cfg.Hooks)
 		if err != nil {
 			return nil, fmt.Errorf("core: translate %q (failure): %w", tr.AppID, err)
 		}
 		out.Normal[i] = normal
 		out.Failure[i] = fail
 	}
+	obslog.From(ctx).InfoContext(ctx, "core.translate",
+		slog.Int("apps", len(traces)),
+		slog.Float64("theta", theta))
 	return out, nil
 }
 
@@ -290,9 +295,10 @@ type Report struct {
 // whatever the pipeline had finished.
 func (f *Framework) Run(ctx context.Context, traces trace.Set, reqs Requirements) (report *Report, err error) {
 	defer robust.Recover("core.Run", &err)
-	span := telemetry.OrNop(f.cfg.Hooks).StartSpan("core.run",
+	ctx, span := telemetry.StartSpanCtx(ctx, f.cfg.Hooks, "core.run",
 		telemetry.Int("apps", len(traces)))
 	defer span.End()
+	obslog.From(ctx).InfoContext(ctx, "core.run", slog.Int("apps", len(traces)))
 	t, err := f.Translate(ctx, traces, reqs)
 	if err != nil {
 		return nil, err
@@ -301,6 +307,8 @@ func (f *Framework) Run(ctx context.Context, traces trace.Set, reqs Requirements
 	if err != nil {
 		return nil, err
 	}
+	obslog.From(ctx).InfoContext(ctx, "core.consolidate",
+		slog.Int("servers_used", c.ServersUsed()))
 	fr, err := f.PlanForFailures(ctx, t, c)
 	if err != nil {
 		return nil, err

@@ -15,10 +15,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"ropus/internal/checkpoint"
 	"ropus/internal/faultinject"
+	"ropus/internal/obslog"
 	"ropus/internal/parallel"
 	"ropus/internal/placement"
 	"ropus/internal/resilience"
@@ -203,7 +205,7 @@ func Analyze(ctx context.Context, in Input, basePlan *placement.Plan) (report *R
 	}
 
 	h := telemetry.OrNop(in.Hooks)
-	span := h.StartSpan("failure.analyze",
+	ctx, span := telemetry.StartSpanCtx(ctx, in.Hooks, "failure.analyze",
 		telemetry.Int("servers", len(in.Problem.Servers)))
 	defer span.End()
 	scenarioC := h.Counter("failure_scenarios_total")
@@ -272,6 +274,12 @@ func Analyze(ctx context.Context, in Input, basePlan *placement.Plan) (report *R
 			}
 		}
 		scenarios[i], scenarioErrs[i] = scenario, err
+		// Debug, not Info: the parallel sweep completes scenarios in
+		// nondeterministic order, which a golden log stream cannot pin.
+		obslog.From(ctx).DebugContext(ctx, "failure.scenario",
+			slog.String("failed_server", scenario.FailedServer),
+			slog.Bool("feasible", scenario.Feasible),
+			slog.Int("attempts", scenario.Attempts))
 	})
 
 	report = &Report{Truncated: done < len(jobs)}
@@ -299,6 +307,11 @@ func Analyze(ctx context.Context, in Input, basePlan *placement.Plan) (report *R
 	if errored > 0 && errored == len(report.Scenarios) {
 		return nil, fmt.Errorf("failure: every scenario failed to evaluate: %w", errors.Join(report.Errors()...))
 	}
+	obslog.From(ctx).InfoContext(ctx, "failure.analyze",
+		slog.Int("scenarios", len(report.Scenarios)),
+		slog.Int("errors", errored),
+		slog.Bool("spare_needed", report.SpareNeeded),
+		slog.Bool("truncated", report.Truncated))
 	return report, nil
 }
 

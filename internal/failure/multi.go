@@ -145,7 +145,7 @@ func AnalyzeMulti(ctx context.Context, in Input, basePlan *placement.Plan, k int
 	}
 
 	h := telemetry.OrNop(in.Hooks)
-	span := h.StartSpan("failure.analyze_multi",
+	ctx, span := telemetry.StartSpanCtx(ctx, in.Hooks, "failure.analyze_multi",
 		telemetry.Int("k", k),
 		telemetry.Int("servers_in_use", len(used)))
 	defer span.End()

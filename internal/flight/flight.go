@@ -1,0 +1,140 @@
+// Package flight is a fixed-size in-memory flight recorder: a ring
+// buffer of the most recent observability events (completed spans, log
+// records, lifecycle markers), kept cheap enough to run always-on and
+// dumped only when something goes wrong — a panic, a failed job, or an
+// operator hitting GET /debug/flight. The point is post-hoc diagnosis:
+// when a sweep misbehaves, the last N events that led up to it are
+// already in memory and do not require a re-run to capture.
+//
+// A nil *Recorder is a valid no-op, mirroring the telemetry package's
+// nil-safe handle convention, so call sites record unconditionally.
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one recorded moment. Seq is a per-recorder monotone sequence
+// number: tests and post-hoc analysis order by it, never by Time (which
+// exists for humans reading a dump).
+type Event struct {
+	Seq     int64          `json:"seq"`
+	Time    time.Time      `json:"time"`
+	TraceID string         `json:"trace_id,omitempty"`
+	Kind    string         `json:"kind"` // "span", "log", "event"
+	Name    string         `json:"name"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// DefaultCapacity is the ring size used when NewRecorder is given a
+// non-positive capacity: enough for the tail of a large sweep, small
+// enough (~a few hundred KB) to forget about.
+const DefaultCapacity = 4096
+
+// Recorder is a concurrency-safe ring buffer of Events. Construct with
+// NewRecorder; a nil Recorder discards everything.
+type Recorder struct {
+	mu   sync.Mutex
+	buf  []Event // ring storage, len == capacity
+	next int     // index of the next write
+	n    int     // number of live events, <= len(buf)
+	seq  int64
+}
+
+// NewRecorder returns a recorder retaining the last capacity events
+// (DefaultCapacity if capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{buf: make([]Event, capacity)}
+}
+
+// Record appends an event, evicting the oldest once full. Seq and Time
+// are assigned by the recorder. Attrs is retained as-is; callers must
+// not mutate it afterwards.
+func (r *Recorder) Record(kind, name, traceID string, attrs map[string]any) {
+	if r == nil {
+		return
+	}
+	now := time.Now()
+	r.mu.Lock()
+	r.seq++
+	r.buf[r.next] = Event{
+		Seq:     r.seq,
+		Time:    now,
+		TraceID: traceID,
+		Kind:    kind,
+		Name:    name,
+		Attrs:   attrs,
+	}
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained events oldest-first. A non-empty
+// traceID keeps only events attributed to that trace.
+func (r *Recorder) Snapshot(traceID string) []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Event, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		ev := r.buf[(start+i)%len(r.buf)]
+		if traceID != "" && ev.TraceID != traceID {
+			continue
+		}
+		out = append(out, ev)
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Dump is the JSON shape of a flight-recorder dump (the /debug/flight
+// response body and the on-disk file written for failed jobs).
+type Dump struct {
+	// Reason says why the dump was taken: "panic", "job_failed",
+	// "debug" (operator request).
+	Reason string `json:"reason"`
+	// TraceID is the filter applied ("" = everything retained).
+	TraceID string  `json:"trace_id,omitempty"`
+	Events  []Event `json:"events"`
+}
+
+// WriteJSON writes a Dump of the current snapshot (filtered by traceID
+// when non-empty) to w. A nil recorder writes an empty dump rather than
+// failing: a dump site should never error because recording was off.
+func (r *Recorder) WriteJSON(w io.Writer, reason, traceID string) error {
+	d := Dump{Reason: reason, TraceID: traceID, Events: r.Snapshot(traceID)}
+	if d.Events == nil {
+		d.Events = []Event{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		return fmt.Errorf("flight: dump: %w", err)
+	}
+	return nil
+}

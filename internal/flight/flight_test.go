@@ -1,0 +1,137 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"ropus/internal/telemetry"
+)
+
+func TestRecorderRingEviction(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 5; i++ {
+		r.Record("event", fmt.Sprintf("e%d", i), "", nil)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("ring holds %d, want 3", r.Len())
+	}
+	events := r.Snapshot("")
+	if len(events) != 3 {
+		t.Fatalf("snapshot %d events, want 3", len(events))
+	}
+	// Oldest-first, and the two oldest were evicted.
+	for i, want := range []string{"e2", "e3", "e4"} {
+		if events[i].Name != want {
+			t.Errorf("event %d = %q, want %q", i, events[i].Name, want)
+		}
+	}
+	// Sequence numbers keep counting across evictions.
+	if events[0].Seq != 3 || events[2].Seq != 5 {
+		t.Errorf("seqs %d..%d, want 3..5", events[0].Seq, events[2].Seq)
+	}
+}
+
+func TestSnapshotFiltersByTrace(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record("event", "a", "t1", nil)
+	r.Record("event", "b", "t2", nil)
+	r.Record("event", "c", "t1", nil)
+	if got := r.Snapshot("t1"); len(got) != 2 {
+		t.Errorf("trace filter returned %d events, want 2", len(got))
+	}
+	if got := r.Snapshot(""); len(got) != 3 {
+		t.Errorf("unfiltered snapshot returned %d events, want 3", len(got))
+	}
+	if got := r.Snapshot("t9"); len(got) != 0 {
+		t.Errorf("unknown trace returned %d events", len(got))
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record("event", "x", "", nil)
+	if r.Len() != 0 || r.Snapshot("") != nil {
+		t.Error("nil recorder not inert")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf, "why", ""); err != nil {
+		t.Fatal(err)
+	}
+	var dump Dump
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("nil recorder dump not JSON: %v", err)
+	}
+	if dump.Reason != "why" || dump.Events == nil || len(dump.Events) != 0 {
+		t.Errorf("nil recorder dump: %+v", dump)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record("event", "boom", "t1", map[string]any{"op": "step"})
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf, "panic", "t1"); err != nil {
+		t.Fatal(err)
+	}
+	var dump Dump
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Reason != "panic" || dump.TraceID != "t1" || len(dump.Events) != 1 {
+		t.Errorf("round trip: %+v", dump)
+	}
+	if dump.Events[0].Attrs["op"] != "step" {
+		t.Errorf("attrs lost: %v", dump.Events[0].Attrs)
+	}
+}
+
+func TestSpanSink(t *testing.T) {
+	r := NewRecorder(0)
+	tr := telemetry.NewTracer()
+	tr.OnEnd(SpanSink(r))
+	sp := tr.StartSpan("outer", telemetry.Int("n", 2))
+	child := sp.Child("inner")
+	child.End()
+	sp.End()
+	events := r.Snapshot("")
+	if len(events) != 2 {
+		t.Fatalf("recorded %d span events, want 2", len(events))
+	}
+	inner, outer := events[0], events[1]
+	if inner.Kind != "span" || inner.Name != "inner" || outer.Name != "outer" {
+		t.Errorf("span events: %+v", events)
+	}
+	if _, ok := inner.Attrs["parent_id"]; !ok {
+		t.Error("child span lost its parent_id")
+	}
+	if outer.Attrs["n"] != float64(2) && outer.Attrs["n"] != 2 {
+		// Attrs survive json round trips as float64; in-memory they stay int.
+		if v, ok := outer.Attrs["n"].(int); !ok || v != 2 {
+			t.Errorf("span attr n = %v", outer.Attrs["n"])
+		}
+	}
+	// A nil recorder sink is inert.
+	SpanSink(nil)(telemetry.SpanRecord{Name: "x"})
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record("event", "e", fmt.Sprintf("t%d", g), nil)
+				r.Snapshot("")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 64 {
+		t.Errorf("ring holds %d, want 64", r.Len())
+	}
+}

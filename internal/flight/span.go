@@ -1,0 +1,26 @@
+package flight
+
+import "ropus/internal/telemetry"
+
+// SpanSink returns a telemetry.Tracer OnEnd callback that records every
+// completed span into r as a "span" event carrying the span's trace ID,
+// hierarchy and duration — the bridge that makes the flight recorder
+// see the same spans the Chrome trace export does.
+func SpanSink(r *Recorder) func(telemetry.SpanRecord) {
+	return func(rec telemetry.SpanRecord) {
+		if r == nil {
+			return
+		}
+		attrs := map[string]any{
+			"span_id":     rec.ID,
+			"duration_ms": float64(rec.Duration.Nanoseconds()) / 1e6,
+		}
+		if rec.ParentID != 0 {
+			attrs["parent_id"] = rec.ParentID
+		}
+		for _, a := range rec.Attrs {
+			attrs[a.Key] = a.Value
+		}
+		r.Record("span", rec.Name, rec.TraceID, attrs)
+	}
+}

@@ -1,0 +1,225 @@
+// Package obslog is the repository's structured logging layer: thin
+// glue over stdlib log/slog that (a) stamps every record with the
+// trace ID carried by the context — the same ID the span tracer and
+// flight recorder use, so one grep correlates all three signals —
+// (b) optionally tees every record into a flight.Recorder, and (c) has
+// a deterministic mode for tests and golden files, in which volatile
+// attributes (the timestamp, durations) are suppressed so a fixed-seed
+// run produces byte-identical output.
+//
+// Records are JSON lines on the configured writer (stderr for the
+// CLIs, so -json result output on stdout stays machine-parseable).
+package obslog
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"strings"
+
+	"ropus/internal/flight"
+	"ropus/internal/telemetry"
+)
+
+// Volatile wraps attribute values that must disappear in deterministic
+// mode: wall-clock durations, throughput numbers — anything a golden
+// test cannot pin. In normal mode the wrapped value is logged as-is.
+type Volatile struct{ Value any }
+
+// Options configures New.
+type Options struct {
+	// Level is the minimum level emitted (default slog.LevelInfo).
+	Level slog.Leveler
+	// Format selects the record encoding: "json" (the default) or
+	// "text" (slog's logfmt-style handler, for humans tailing stderr).
+	Format string
+	// Deterministic drops the time attribute and every Volatile-wrapped
+	// value so fixed-seed runs log byte-identical streams.
+	Deterministic bool
+	// Recorder, when non-nil, receives every emitted record as a "log"
+	// flight event (post level filter).
+	Recorder *flight.Recorder
+}
+
+// New returns a logger on w with trace-ID injection, optional flight
+// tee, and optional deterministic output.
+func New(w io.Writer, opts Options) *slog.Logger {
+	level := opts.Level
+	if level == nil {
+		level = slog.LevelInfo
+	}
+	hopts := &slog.HandlerOptions{
+		Level: level,
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if v, ok := a.Value.Any().(Volatile); ok {
+				if opts.Deterministic {
+					return slog.Attr{}
+				}
+				return slog.Attr{Key: a.Key, Value: slog.AnyValue(v.Value)}
+			}
+			if opts.Deterministic && len(groups) == 0 && a.Key == slog.TimeKey {
+				return slog.Attr{}
+			}
+			return a
+		},
+	}
+	var inner slog.Handler
+	if opts.Format == "text" {
+		inner = slog.NewTextHandler(w, hopts)
+	} else {
+		inner = slog.NewJSONHandler(w, hopts)
+	}
+	return slog.New(&handler{inner: inner, rec: opts.Recorder, det: opts.Deterministic})
+}
+
+// WithRecorder returns a logger that additionally tees every emitted
+// record into rec as a "log" flight event. The serve manager uses it to
+// pull the caller-provided logger's records into its own flight
+// recorder. A nil logger or recorder returns l unchanged.
+func WithRecorder(l *slog.Logger, rec *flight.Recorder) *slog.Logger {
+	if l == nil || rec == nil {
+		return l
+	}
+	if h, ok := l.Handler().(*handler); ok {
+		return slog.New(&handler{inner: h.inner, rec: rec, det: h.det, attrs: h.attrs, group: h.group})
+	}
+	return slog.New(&handler{inner: l.Handler(), rec: rec})
+}
+
+// handler decorates a slog.Handler with trace-ID injection from the
+// context and the flight-recorder tee.
+type handler struct {
+	inner slog.Handler
+	rec   *flight.Recorder
+	det   bool
+	// attrs accumulates WithAttrs state so the flight tee sees it too.
+	attrs []slog.Attr
+	group string
+}
+
+func (h *handler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *handler) Handle(ctx context.Context, rec slog.Record) error {
+	if id := telemetry.TraceIDFrom(ctx); id != "" && !hasTraceID(h.attrs, rec) {
+		rec.AddAttrs(slog.String("trace_id", id))
+	}
+	if h.rec != nil {
+		attrs := make(map[string]any, rec.NumAttrs()+len(h.attrs)+1)
+		for _, a := range h.attrs {
+			addFlightAttr(attrs, h.group, a, h.det)
+		}
+		rec.Attrs(func(a slog.Attr) bool {
+			addFlightAttr(attrs, h.group, a, h.det)
+			return true
+		})
+		attrs["level"] = rec.Level.String()
+		traceID, _ := attrs["trace_id"].(string)
+		h.rec.Record("log", rec.Message, traceID, attrs)
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h *handler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	merged := make([]slog.Attr, 0, len(h.attrs)+len(attrs))
+	merged = append(merged, h.attrs...)
+	merged = append(merged, attrs...)
+	return &handler{inner: h.inner.WithAttrs(attrs), rec: h.rec, det: h.det, attrs: merged, group: h.group}
+}
+
+func (h *handler) WithGroup(name string) slog.Handler {
+	g := h.group
+	if name != "" {
+		if g != "" {
+			g += "."
+		}
+		g += name
+	}
+	return &handler{inner: h.inner.WithGroup(name), rec: h.rec, det: h.det, attrs: h.attrs, group: g}
+}
+
+func hasTraceID(bound []slog.Attr, rec slog.Record) bool {
+	for _, a := range bound {
+		if a.Key == "trace_id" {
+			return true
+		}
+	}
+	found := false
+	rec.Attrs(func(a slog.Attr) bool {
+		if a.Key == "trace_id" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func addFlightAttr(out map[string]any, group string, a slog.Attr, det bool) {
+	key := a.Key
+	if group != "" {
+		key = group + "." + key
+	}
+	v := a.Value.Resolve()
+	if vol, ok := v.Any().(Volatile); ok {
+		if det {
+			return
+		}
+		out[key] = vol.Value
+		return
+	}
+	if v.Kind() == slog.KindGroup {
+		for _, ga := range v.Group() {
+			addFlightAttr(out, key, ga, det)
+		}
+		return
+	}
+	out[key] = v.Any()
+}
+
+// discardHandler drops everything (go 1.22 has no slog.DiscardHandler).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// Discard returns a logger that drops every record.
+func Discard() *slog.Logger { return slog.New(discardHandler{}) }
+
+type ctxKey struct{}
+
+// Into returns a context carrying l, for components that log without
+// threading a logger parameter through every signature.
+func Into(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, ctxKey{}, l)
+}
+
+// From extracts the logger carried by ctx, or a discard logger when
+// none is carried (or ctx is nil), so call sites never branch.
+func From(ctx context.Context) *slog.Logger {
+	if ctx == nil {
+		return Discard()
+	}
+	if l, ok := ctx.Value(ctxKey{}).(*slog.Logger); ok && l != nil {
+		return l
+	}
+	return Discard()
+}
+
+// ParseLevel maps a -log-level flag value to a slog.Level, defaulting
+// to Info for unknown strings.
+func ParseLevel(s string) slog.Level {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}

@@ -1,0 +1,158 @@
+package obslog
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"ropus/internal/flight"
+	"ropus/internal/telemetry"
+)
+
+func decodeLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line not JSON: %q: %v", line, err)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+func TestTraceIDInjection(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, Options{})
+	ctx := telemetry.WithTrace(context.Background(), telemetry.TraceContext{TraceID: "abc123"})
+	l.InfoContext(ctx, "with-trace")
+	l.Info("without-trace")
+	recs := decodeLines(t, &buf)
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0]["trace_id"] != "abc123" {
+		t.Errorf("ctx-carried trace ID not injected: %v", recs[0])
+	}
+	if _, ok := recs[1]["trace_id"]; ok {
+		t.Errorf("trace_id invented without a trace context: %v", recs[1])
+	}
+}
+
+func TestExplicitTraceIDWins(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, Options{})
+	ctx := telemetry.WithTrace(context.Background(), telemetry.TraceContext{TraceID: "from-ctx"})
+	l.LogAttrs(ctx, slog.LevelInfo, "m", slog.String("trace_id", "explicit"))
+	recs := decodeLines(t, &buf)
+	if recs[0]["trace_id"] != "explicit" {
+		t.Errorf("explicit trace_id overridden: %v", recs[0])
+	}
+}
+
+func TestDeterministicModeDropsVolatiles(t *testing.T) {
+	run := func() string {
+		var buf bytes.Buffer
+		l := New(&buf, Options{Deterministic: true})
+		l.Info("step", slog.Int("n", 7), slog.Any("elapsed", Volatile{Value: 123.456}))
+		return buf.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("deterministic runs differ:\n%s\n%s", a, b)
+	}
+	if strings.Contains(a, "elapsed") || strings.Contains(a, "time") {
+		t.Errorf("volatile attrs leaked into deterministic output: %s", a)
+	}
+	if !strings.Contains(a, `"n":7`) {
+		t.Errorf("stable attr dropped: %s", a)
+	}
+}
+
+func TestVolatileLoggedInNormalMode(t *testing.T) {
+	var buf bytes.Buffer
+	New(&buf, Options{}).Info("step", slog.Any("elapsed", Volatile{Value: 1.5}))
+	recs := decodeLines(t, &buf)
+	if recs[0]["elapsed"] != 1.5 {
+		t.Errorf("volatile value mangled: %v", recs[0])
+	}
+}
+
+func TestFlightTee(t *testing.T) {
+	rec := flight.NewRecorder(8)
+	var buf bytes.Buffer
+	l := New(&buf, Options{Recorder: rec})
+	ctx := telemetry.WithTrace(context.Background(), telemetry.TraceContext{TraceID: "tee-1"})
+	l.With(slog.String("job", "j9")).InfoContext(ctx, "teed", slog.Int("n", 3))
+	events := rec.Snapshot("tee-1")
+	if len(events) != 1 {
+		t.Fatalf("flight got %d events, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.Kind != "log" || ev.Name != "teed" || ev.TraceID != "tee-1" {
+		t.Errorf("teed event: %+v", ev)
+	}
+	if ev.Attrs["job"] != "j9" || ev.Attrs["level"] != "INFO" {
+		t.Errorf("teed attrs missing bound attr or level: %v", ev.Attrs)
+	}
+}
+
+func TestWithRecorderTeesForeignLogger(t *testing.T) {
+	rec := flight.NewRecorder(8)
+	var buf bytes.Buffer
+	l := WithRecorder(New(&buf, Options{}), rec)
+	l.Info("hello")
+	if rec.Len() != 1 {
+		t.Errorf("WithRecorder tee recorded %d events, want 1", rec.Len())
+	}
+	if !strings.Contains(buf.String(), "hello") {
+		t.Error("original writer lost after WithRecorder")
+	}
+}
+
+func TestFromDefaultsToDiscard(t *testing.T) {
+	// Must not panic and must not emit anywhere.
+	From(context.Background()).Info("dropped")
+	From(nil).Error("dropped") //nolint:staticcheck // nil ctx is the point
+	var buf bytes.Buffer
+	l := New(&buf, Options{})
+	ctx := Into(context.Background(), l)
+	From(ctx).Info("kept")
+	if !strings.Contains(buf.String(), "kept") {
+		t.Error("Into/From round trip lost the logger")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn,
+		"error": slog.LevelError, "bogus": slog.LevelInfo, "": slog.LevelInfo,
+	}
+	for in, want := range cases {
+		if got := ParseLevel(in); got != want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestTextFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, Options{Format: "text"})
+	ctx := telemetry.WithTrace(context.Background(), telemetry.TraceContext{TraceID: "txt-1"})
+	l.InfoContext(ctx, "hello", slog.Int("n", 1))
+	out := buf.String()
+	if !strings.Contains(out, "trace_id=txt-1") || !strings.Contains(out, "n=1") {
+		t.Errorf("text format output: %q", out)
+	}
+	if strings.Contains(out, "{") {
+		t.Errorf("text format emitted JSON: %q", out)
+	}
+}

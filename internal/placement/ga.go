@@ -112,7 +112,7 @@ func Consolidate(ctx context.Context, p *Problem, initial Assignment, cfg GAConf
 	}
 
 	h := telemetry.OrNop(p.Hooks)
-	span := h.StartSpan("placement.consolidate",
+	ctx, span := telemetry.StartSpanCtx(ctx, p.Hooks, "placement.consolidate",
 		telemetry.Int("apps", len(p.Apps)),
 		telemetry.Int("servers", len(p.Servers)),
 		telemetry.Int("population", cfg.PopulationSize))

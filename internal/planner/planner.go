@@ -16,12 +16,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"strconv"
 	"time"
 
 	"ropus/internal/checkpoint"
 	"ropus/internal/core"
 	"ropus/internal/faultinject"
+	"ropus/internal/obslog"
 	"ropus/internal/placement"
 	"ropus/internal/resilience"
 	"ropus/internal/robust"
@@ -154,10 +156,13 @@ func Run(ctx context.Context, cfg Config, traces trace.Set) (plan *Plan, err err
 	}
 
 	h := telemetry.OrNop(cfg.Hooks)
-	span := h.StartSpan("planner.run",
+	ctx, span := telemetry.StartSpanCtx(ctx, cfg.Hooks, "planner.run",
 		telemetry.Int("horizon_weeks", cfg.HorizonWeeks),
 		telemetry.Int("step_weeks", cfg.StepWeeks))
 	defer span.End()
+	obslog.From(ctx).InfoContext(ctx, "planner.run",
+		slog.Int("horizon_weeks", cfg.HorizonWeeks),
+		slog.Int("step_weeks", cfg.StepWeeks))
 	stepsC := h.Counter("planner_steps_total")
 	truncatedC := h.Counter("planner_truncated_total")
 	replayC := h.Counter("planner_steps_replayed_total")
@@ -216,16 +221,17 @@ func Run(ctx context.Context, cfg Config, traces trace.Set) (plan *Plan, err err
 		}
 		step, replayed := lookupStep(ahead)
 		if !replayed {
-			stepSpan := h.StartSpan("planner.step", telemetry.Int("weeks_ahead", ahead))
+			stepCtx, stepSpan := telemetry.StartSpanCtx(ctx, cfg.Hooks, "planner.step",
+				telemetry.Int("weeks_ahead", ahead))
 			start := time.Now()
 			projected, err := projectSet(cfg, traces, ahead)
 			if err != nil {
 				stepSpan.End()
 				return nil, fmt.Errorf("planner: project +%dw: %w", ahead, err)
 			}
-			step, _, err = resilience.Do(ctx, retry, strconv.Itoa(ahead),
+			step, _, err = resilience.Do(stepCtx, retry, strconv.Itoa(ahead),
 				func(attemptCtx context.Context) (Step, error) {
-					return consolidateStep(attemptCtx, ctx, cfg, projected, ahead)
+					return consolidateStep(attemptCtx, stepCtx, cfg, projected, ahead)
 				})
 			if err != nil {
 				stepSpan.End()
@@ -244,6 +250,10 @@ func Run(ctx context.Context, cfg Config, traces trace.Set) (plan *Plan, err err
 				telemetry.Int("servers", step.Servers))
 			stepSpan.End()
 			step.WeeksAhead = ahead
+			obslog.From(ctx).InfoContext(ctx, "planner.step",
+				slog.Int("weeks_ahead", ahead),
+				slog.Bool("feasible", step.Feasible),
+				slog.Int("servers", step.Servers))
 			recordStep(ahead, step)
 		}
 		plan.Steps = append(plan.Steps, step)

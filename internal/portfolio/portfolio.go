@@ -23,6 +23,7 @@
 package portfolio
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -191,6 +192,13 @@ func Translate(tr *trace.Trace, q qos.AppQoS, theta float64) (*Partition, error)
 // span, translation timing and cap-analysis iteration counters. A nil
 // Hooks disables all of it.
 func TranslateWithHooks(tr *trace.Trace, q qos.AppQoS, theta float64, hooks telemetry.Hooks) (*Partition, error) {
+	return TranslateCtx(context.Background(), tr, q, theta, hooks)
+}
+
+// TranslateCtx is TranslateWithHooks with trace correlation: the
+// per-application span is opened through ctx, so it nests under the
+// caller's span and carries the run's trace ID.
+func TranslateCtx(ctx context.Context, tr *trace.Trace, q qos.AppQoS, theta float64, hooks telemetry.Hooks) (*Partition, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
@@ -199,7 +207,7 @@ func TranslateWithHooks(tr *trace.Trace, q qos.AppQoS, theta float64, hooks tele
 	}
 	h := telemetry.OrNop(hooks)
 	start := time.Now()
-	span := h.StartSpan("portfolio.translate",
+	_, span := telemetry.StartSpanCtx(ctx, hooks, "portfolio.translate",
 		telemetry.String("app", tr.AppID),
 		telemetry.Float("theta", theta))
 	defer span.End()

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"sync/atomic"
 )
 
 // ErrPanic marks an error produced by recovering a panic at an API
@@ -27,5 +28,26 @@ var ErrPanic = errors.New("panic recovered")
 func Recover(op string, errp *error) {
 	if r := recover(); r != nil {
 		*errp = fmt.Errorf("%s: %w: %v\n%s", op, ErrPanic, r, debug.Stack())
+		if fn := panicHook.Load(); fn != nil {
+			(*fn)(op, r)
+		}
 	}
+}
+
+// panicHook is the process-wide observer Recover notifies after
+// converting a panic; OnPanic installs it.
+var panicHook atomic.Pointer[func(op string, v any)]
+
+// OnPanic installs a process-wide hook called by Recover with the
+// boundary name and recovered value every time a panic is converted to
+// an error — the seam the CLIs and the planning service use to dump the
+// flight recorder the moment something blew up, while the tail of
+// events leading to the panic is still in the ring. A nil fn uninstalls
+// the hook. The hook must not panic.
+func OnPanic(fn func(op string, v any)) {
+	if fn == nil {
+		panicHook.Store(nil)
+		return
+	}
+	panicHook.Store(&fn)
 }

@@ -22,6 +22,45 @@ func TestChaosRecoverConvertsPanic(t *testing.T) {
 	}
 }
 
+func TestOnPanicHookFiresOnRecover(t *testing.T) {
+	type call struct {
+		op string
+		v  any
+	}
+	var calls []call
+	OnPanic(func(op string, v any) { calls = append(calls, call{op, v}) })
+	defer OnPanic(nil)
+
+	f := func() (err error) {
+		defer Recover("pkg.Boom", &err)
+		panic("kaboom")
+	}
+	if err := f(); !errors.Is(err, ErrPanic) {
+		t.Fatalf("error should wrap ErrPanic, got %v", err)
+	}
+	if len(calls) != 1 || calls[0].op != "pkg.Boom" || calls[0].v != "kaboom" {
+		t.Errorf("hook calls = %+v, want one (pkg.Boom, kaboom)", calls)
+	}
+
+	// A clean return must not fire the hook.
+	g := func() (err error) {
+		defer Recover("pkg.Fine", &err)
+		return nil
+	}
+	if err := g(); err != nil || len(calls) != 1 {
+		t.Errorf("hook fired without a panic: err=%v calls=%+v", err, calls)
+	}
+
+	// Uninstalling with nil stops notifications; Recover still converts.
+	OnPanic(nil)
+	if err := f(); !errors.Is(err, ErrPanic) {
+		t.Fatalf("Recover broke after uninstall: %v", err)
+	}
+	if len(calls) != 1 {
+		t.Errorf("uninstalled hook still fired: %+v", calls)
+	}
+}
+
 func TestChaosRecoverNoPanicKeepsError(t *testing.T) {
 	sentinel := errors.New("real failure")
 	f := func() (err error) {

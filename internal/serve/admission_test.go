@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ropus/internal/faultinject"
+	"ropus/internal/telemetry"
 )
 
 // slowSweeps injects a per-scenario delay so failover jobs stay running
@@ -71,6 +72,47 @@ func TestAdmissionShedsWhenQueueFull(t *testing.T) {
 	// outranks admission.
 	if _, created, err := m.Submit(spec(2)); err != nil || created {
 		t.Errorf("dedup resubmission: created=%v err=%v", created, err)
+	}
+}
+
+// TestRetryAfterGaugeExported: the EWMA-driven Retry-After estimate is
+// published as the serve_retry_after_seconds gauge from construction
+// on, stays inside the advertised [1s, 60s] clamp, and matches what a
+// shed submission is told.
+func TestRetryAfterGaugeExported(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m, err := NewManager(Config{
+		StateDir:   t.TempDir(),
+		QueueDepth: 1,
+		Workers:    1,
+	}, telemetry.New(reg, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gauge := func() float64 {
+		v, ok := reg.Snapshot().Gauges["serve_retry_after_seconds"]
+		if !ok {
+			t.Fatal("serve_retry_after_seconds gauge not registered")
+		}
+		return v
+	}
+	if v := gauge(); v < 1 || v > 60 {
+		t.Errorf("initial Retry-After gauge %v outside [1, 60]", v)
+	}
+
+	// Fill the queue (the manager is not started, so jobs stay queued)
+	// and shed one; the error's estimate and the gauge must agree.
+	csv := fleetCSV(t, 3, 1, 5)
+	if _, _, err := m.Submit(JobSpec{Kind: KindTranslate, TracesCSV: csv, GASeed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = m.Submit(JobSpec{Kind: KindTranslate, TracesCSV: csv, GASeed: 2})
+	var overloaded *OverloadedError
+	if !errors.As(err, &overloaded) {
+		t.Fatalf("second submit: got %v, want OverloadedError", err)
+	}
+	if got, want := gauge(), overloaded.RetryAfter.Seconds(); got != want {
+		t.Errorf("gauge %v disagrees with shed Retry-After %v", got, want)
 	}
 }
 

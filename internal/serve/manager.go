@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -13,9 +14,13 @@ import (
 
 	"ropus/internal/checkpoint"
 	"ropus/internal/faultinject"
+	"ropus/internal/flight"
+	"ropus/internal/obslog"
 	"ropus/internal/parallel"
 	"ropus/internal/placement"
 	"ropus/internal/resilience"
+	"ropus/internal/robust"
+	"ropus/internal/slo"
 	"ropus/internal/telemetry"
 )
 
@@ -76,6 +81,40 @@ type Config struct {
 	// Inject is the test-only fault injector threaded into every job's
 	// framework; nil injects nothing.
 	Inject faultinject.Injector
+	// Logger receives the service's structured log records (job
+	// lifecycle, pipeline stages via the jobs' contexts); nil discards
+	// them.
+	Logger *slog.Logger
+	// FlightEvents bounds the server's flight-recorder ring (<= 0
+	// selects flight.DefaultCapacity).
+	FlightEvents int
+	// SLOWindow is the per-series quantile window (<= 0 selects
+	// slo.DefaultWindow).
+	SLOWindow int
+	// Objectives overrides the default latency objectives (nil selects
+	// DefaultObjectives).
+	Objectives []slo.Objective
+}
+
+// SLO series names the manager observes into. submit_accept times the
+// synchronous admission path, submit_complete the whole submit→finished
+// job lifetime, scenario_sim each failure-scenario analysis (mirrored
+// from the jobs' failure_scenario_seconds histograms).
+const (
+	SeriesSubmitAccept   = "submit_accept"
+	SeriesSubmitComplete = "submit_complete"
+	SeriesScenarioSim    = "scenario_sim"
+)
+
+// DefaultObjectives are the serve SLOs: admission is interactive
+// (100ms), job completion is batch-interactive (120s), and a single
+// scenario analysis should stay inside 10s.
+func DefaultObjectives() []slo.Objective {
+	return []slo.Objective{
+		{Name: SeriesSubmitAccept, Series: SeriesSubmitAccept, LatencyBound: 0.1, Budget: 0.01},
+		{Name: SeriesSubmitComplete, Series: SeriesSubmitComplete, LatencyBound: 120, Budget: 0.05},
+		{Name: SeriesScenarioSim, Series: SeriesScenarioSim, LatencyBound: 10, Budget: 0.05},
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +149,9 @@ type Job struct {
 	// reg collects the job's own telemetry while it runs; its counters
 	// become the status endpoint's progress block.
 	reg *telemetry.Registry
+	// tracer collects the job's spans (trace ID = job ID); it backs
+	// GET /v1/jobs/{id}/trace. Jobs recovered from disk have none.
+	tracer *telemetry.Tracer
 }
 
 // JobStatus is the API view of a job.
@@ -138,6 +180,9 @@ type Manager struct {
 	cache   *placement.SimCache
 	limiter *parallel.Limiter
 	hooks   telemetry.Hooks
+	logger  *slog.Logger
+	flight  *flight.Recorder
+	slo     *slo.Tracker
 
 	submittedC   *telemetry.Counter
 	dedupC       *telemetry.Counter
@@ -147,6 +192,7 @@ type Manager struct {
 	interruptedC *telemetry.Counter
 	queuedG      *telemetry.Gauge
 	runningG     *telemetry.Gauge
+	retryAfterG  *telemetry.Gauge
 	jobSeconds   *telemetry.Histogram
 
 	ctx    context.Context
@@ -170,16 +216,32 @@ func NewManager(cfg Config, hooks telemetry.Hooks) (*Manager, error) {
 	if cfg.StateDir == "" {
 		return nil, errors.New("serve: Config.StateDir is required")
 	}
-	for _, sub := range []string{"jobs", "results", "ckpt"} {
+	for _, sub := range []string{"jobs", "results", "ckpt", "flight"} {
 		if err := os.MkdirAll(filepath.Join(cfg.StateDir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("serve: state dir: %w", err)
 		}
 	}
 	h := telemetry.OrNop(hooks)
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obslog.Discard()
+	}
+	objectives := cfg.Objectives
+	if objectives == nil {
+		objectives = DefaultObjectives()
+	}
+	// Tee the service's log records into its flight recorder, so a
+	// job-failure dump carries the correlated log tail alongside events
+	// and spans.
+	rec := flight.NewRecorder(cfg.FlightEvents)
+	logger = obslog.WithRecorder(logger, rec)
 	m := &Manager{
 		cfg:          cfg,
 		limiter:      parallel.NewLimiter(cfg.MaxConcurrent),
 		hooks:        h,
+		logger:       logger,
+		flight:       rec,
+		slo:          slo.NewTracker(cfg.SLOWindow, objectives...),
 		submittedC:   h.Counter("serve_jobs_submitted_total"),
 		dedupC:       h.Counter("serve_jobs_deduplicated_total"),
 		shedC:        h.Counter("serve_jobs_shed_total"),
@@ -188,6 +250,7 @@ func NewManager(cfg Config, hooks telemetry.Hooks) (*Manager, error) {
 		interruptedC: h.Counter("serve_jobs_interrupted_total"),
 		queuedG:      h.Gauge("serve_jobs_queued"),
 		runningG:     h.Gauge("serve_jobs_running"),
+		retryAfterG:  h.Gauge("serve_retry_after_seconds"),
 		jobSeconds:   h.Histogram("serve_job_seconds", nil),
 		notify:       make(chan struct{}, 1),
 		jobs:         make(map[string]*Job),
@@ -200,7 +263,28 @@ func NewManager(cfg Config, hooks telemetry.Hooks) (*Manager, error) {
 	if err := m.recover(); err != nil {
 		return nil, err
 	}
+	m.retryAfterLocked() // publish the initial Retry-After estimate
 	return m, nil
+}
+
+// Flight exposes the server-wide flight recorder (the /debug/flight
+// handler and tests).
+func (m *Manager) Flight() *flight.Recorder { return m.flight }
+
+// SLO exposes the latency-objective tracker (the /v1/slo and /metrics
+// handlers and tests).
+func (m *Manager) SLO() *slo.Tracker { return m.slo }
+
+// Tracer returns the span tracer of a job that ran in this process
+// (nil for unknown jobs and for finished jobs recovered from disk,
+// whose spans died with the previous process).
+func (m *Manager) Tracer(id string) *telemetry.Tracer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if job, ok := m.jobs[id]; ok {
+		return job.tracer
+	}
+	return nil
 }
 
 // Start launches the scheduler; ctx cancellation begins the drain:
@@ -209,6 +293,14 @@ func NewManager(cfg Config, hooks telemetry.Hooks) (*Manager, error) {
 // prefix), and Wait returns once the executors settle.
 func (m *Manager) Start(ctx context.Context) {
 	m.ctx = ctx
+	// A panic converted to an error anywhere in the pipeline dumps the
+	// flight recorder while the events leading up to it are still in the
+	// ring; the job-failed dump that follows captures the same trace's
+	// tail, this one captures everything.
+	robust.OnPanic(func(op string, v any) {
+		m.flight.Record("event", "panic", "", map[string]any{"op": op, "value": fmt.Sprint(v)})
+		m.dumpFlight("panic", "panic", "")
+	})
 	m.wg.Add(1)
 	go func() {
 		defer m.wg.Done()
@@ -247,6 +339,7 @@ func (m *Manager) SetDraining() {
 // returns that job with created=false. A full queue sheds the
 // submission with an OverloadedError carrying a Retry-After estimate.
 func (m *Manager) Submit(spec JobSpec) (JobStatus, bool, error) {
+	start := time.Now()
 	spec.normalize()
 	set, err := spec.parse()
 	if err != nil {
@@ -280,6 +373,11 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, bool, error) {
 	m.queue = append(m.queue, id)
 	m.submittedC.Inc()
 	m.queuedG.Set(float64(len(m.queue)))
+	m.retryAfterLocked()
+	m.slo.Observe(SeriesSubmitAccept, time.Since(start).Seconds())
+	m.flight.Record("event", "serve.job.submitted", id, map[string]any{"kind": spec.Kind})
+	m.logger.LogAttrs(context.Background(), slog.LevelInfo, "serve.job.submitted",
+		slog.String("trace_id", id), slog.String("job_id", id), slog.String("kind", spec.Kind))
 	m.kick()
 	return m.statusLocked(job), true, nil
 }
@@ -297,7 +395,11 @@ func (m *Manager) retryAfterLocked() time.Duration {
 	if est > time.Minute {
 		est = time.Minute
 	}
-	return est.Round(time.Second)
+	est = est.Round(time.Second)
+	// Every recomputation republishes the estimate, so /metrics always
+	// shows the Retry-After a shed submission would receive right now.
+	m.retryAfterG.Set(est.Seconds())
+	return est
 }
 
 // Job returns a status snapshot by ID.
@@ -388,6 +490,7 @@ func (m *Manager) dispatchOne() bool {
 	job.State = StateRunning
 	job.Started = time.Now()
 	job.reg = telemetry.NewRegistry()
+	job.tracer = telemetry.NewTracer()
 	m.classRunning[job.Spec.Kind]++
 	m.running++
 	m.queuedG.Set(float64(len(m.queue)))
@@ -417,6 +520,7 @@ func (m *Manager) execute(job *Job) {
 	result, err := m.runJob(m.ctx, job)
 	elapsed := time.Since(start).Seconds()
 	m.jobSeconds.Observe(elapsed)
+	m.logJobOutcome(job, err, elapsed)
 
 	// Any job still in flight when the drain began is interrupted, even
 	// if it appears to have finished: a cancellation landing mid-sweep
@@ -429,6 +533,7 @@ func (m *Manager) execute(job *Job) {
 	defer m.mu.Unlock()
 	// EWMA with a 0.3 step: recent jobs dominate, one outlier does not.
 	m.avgSeconds += 0.3 * (elapsed - m.avgSeconds)
+	m.retryAfterLocked()
 	job.Finished = time.Now()
 	switch {
 	case interrupted:
@@ -440,11 +545,68 @@ func (m *Manager) execute(job *Job) {
 		job.Err = err.Error()
 		m.failedC.Inc()
 		m.persistResultLocked(job)
+		m.slo.Observe(SeriesSubmitComplete, job.Finished.Sub(job.Submitted).Seconds())
+		// A failed job's flight tail is the diagnosis artifact: dump it
+		// before the ring forgets what led up to the failure.
+		m.dumpFlight(job.ID, "job_failed", job.ID)
 	default:
 		job.State = StateDone
 		job.Result = result
 		job.ResultHash = jobID(checkpoint.HashBytes(result))
 		m.completedC.Inc()
 		m.persistResultLocked(job)
+		m.slo.Observe(SeriesSubmitComplete, job.Finished.Sub(job.Submitted).Seconds())
+	}
+}
+
+// logJobOutcome emits the job's lifecycle record and flight event. The
+// outcome classification mirrors execute's (reading m.ctx, not the
+// job table, so no lock is needed).
+func (m *Manager) logJobOutcome(job *Job, err error, elapsed float64) {
+	state := StateDone
+	errText := ""
+	switch {
+	case m.ctx.Err() != nil:
+		state = StateInterrupted
+	case err != nil:
+		state = StateFailed
+		errText = err.Error()
+	}
+	attrs := map[string]any{"kind": job.Spec.Kind, "state": state, "elapsed_seconds": elapsed}
+	if errText != "" {
+		attrs["error"] = errText
+	}
+	m.flight.Record("event", "serve.job.finished", job.ID, attrs)
+	logAttrs := []slog.Attr{
+		slog.String("trace_id", job.ID),
+		slog.String("job_id", job.ID),
+		slog.String("kind", job.Spec.Kind),
+		slog.String("state", state),
+		slog.Any("elapsed_seconds", obslog.Volatile{Value: elapsed}),
+	}
+	if errText != "" {
+		logAttrs = append(logAttrs, slog.String("error", errText))
+	}
+	level := slog.LevelInfo
+	if state == StateFailed {
+		level = slog.LevelWarn
+	}
+	m.logger.LogAttrs(context.Background(), level, "serve.job.finished", logAttrs...)
+}
+
+// dumpFlight writes a flight-recorder dump (filtered to traceID when
+// non-empty) to <state>/flight/<name>.json. Dump failures are counted,
+// never fatal: diagnostics must not take down the service.
+func (m *Manager) dumpFlight(name, reason, traceID string) {
+	path := filepath.Join(m.cfg.StateDir, "flight", name+".json")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err == nil {
+		err = m.flight.WriteJSON(f, reason, traceID)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		m.hooks.Counter("serve_flight_dump_errors_total").Inc()
 	}
 }

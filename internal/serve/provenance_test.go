@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"log/slog"
+
+	"ropus/internal/faultinject"
+	"ropus/internal/flight"
+	"ropus/internal/obslog"
+	"ropus/internal/telemetry"
+)
+
+// syncBuffer is a goroutine-safe log sink for asserting on the
+// service's structured log stream.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Lines() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return strings.Split(strings.TrimSpace(b.buf.String()), "\n")
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
+
+// TestJobProvenance is the end-to-end observability acceptance test: a
+// seeded plan job submitted through the HTTP surface must yield (a) a
+// trace export whose every span carries the job's trace ID, (b) log
+// records with the same trace ID at each pipeline stage, (c) a non-zero
+// windowed p99 for submit→complete on /v1/slo, and (d) the job's
+// correlated events in the flight recorder — plus a /metrics exposition
+// that survives the promlint validator.
+func TestJobProvenance(t *testing.T) {
+	logs := &syncBuffer{}
+	logger := obslog.New(logs, obslog.Options{Level: slog.LevelDebug, Deterministic: true})
+	_, base, _ := startServer(t, Config{StateDir: t.TempDir(), Workers: 1, Logger: logger})
+
+	csv := fleetCSV(t, 4, 3, 5)
+	resp, st := postJob(t, base, JobSpec{Kind: KindPlan, TracesCSV: csv, HorizonWeeks: 2, StepWeeks: 1})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	waitHTTPState(t, base, st.ID, StateDone)
+
+	// (a) Every span in the Chrome trace export is attributed to the job.
+	var tr struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	getJSON(t, base+"/v1/jobs/"+st.ID+"/trace", &tr)
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("trace export has no spans")
+	}
+	spanNames := make(map[string]bool)
+	for _, ev := range tr.TraceEvents {
+		if got, _ := ev.Args["trace_id"].(string); got != st.ID {
+			t.Errorf("span %q trace_id %v, want %s", ev.Name, ev.Args["trace_id"], st.ID)
+		}
+		spanNames[ev.Name] = true
+	}
+	for _, want := range []string{"planner.run", "planner.step", "core.translate", "placement.consolidate"} {
+		if !spanNames[want] {
+			t.Errorf("trace export missing span %q (have %v)", want, spanNames)
+		}
+	}
+
+	// (b) The pipeline stages logged under the same trace ID.
+	stages := make(map[string]bool)
+	for _, line := range logs.Lines() {
+		var rec map[string]any
+		if json.Unmarshal([]byte(line), &rec) != nil {
+			continue
+		}
+		if rec["trace_id"] == st.ID {
+			if msg, ok := rec["msg"].(string); ok {
+				stages[msg] = true
+			}
+		}
+	}
+	for _, want := range []string{"serve.job.submitted", "planner.run", "planner.step", "core.translate", "serve.job.finished"} {
+		if !stages[want] {
+			t.Errorf("no log record %q carrying trace_id %s (have %v)", want, st.ID, stages)
+		}
+	}
+
+	// A failover job feeds the scenario_sim series (plans run no failure
+	// sweeps), so the SLO snapshot below covers all three series.
+	foResp, fo := postJob(t, base, JobSpec{Kind: KindFailover, TracesCSV: csv})
+	if foResp.StatusCode != http.StatusAccepted {
+		t.Fatalf("failover submit: %d", foResp.StatusCode)
+	}
+	waitHTTPState(t, base, fo.ID, StateDone)
+
+	// (c) The SLO snapshot reports a populated submit→complete window.
+	var snap struct {
+		Series []struct {
+			Series string  `json:"series"`
+			Count  int     `json:"window_count"`
+			P99    float64 `json:"p99_seconds"`
+		} `json:"series"`
+		Objectives []struct {
+			Name string `json:"name"`
+			Good int64  `json:"good_total"`
+			Bad  int64  `json:"bad_total"`
+		} `json:"objectives"`
+	}
+	getJSON(t, base+"/v1/slo", &snap)
+	series := make(map[string]bool)
+	for _, s := range snap.Series {
+		series[s.Series] = true
+		if s.Series == SeriesSubmitComplete && (s.Count == 0 || s.P99 <= 0) {
+			t.Errorf("submit_complete window count=%d p99=%v, want both non-zero", s.Count, s.P99)
+		}
+	}
+	for _, want := range []string{SeriesSubmitAccept, SeriesSubmitComplete, SeriesScenarioSim} {
+		if !series[want] {
+			t.Errorf("SLO snapshot missing series %q", want)
+		}
+	}
+	scored := int64(0)
+	for _, o := range snap.Objectives {
+		scored += o.Good + o.Bad
+	}
+	if scored == 0 {
+		t.Error("no objective scored any observation")
+	}
+
+	// (d) The flight recorder correlates the job's events and spans.
+	var dump flight.Dump
+	getJSON(t, base+"/debug/flight?trace="+st.ID, &dump)
+	if len(dump.Events) == 0 {
+		t.Fatal("flight recorder holds no events for the job")
+	}
+	kinds := make(map[string]bool)
+	for _, ev := range dump.Events {
+		if ev.TraceID != st.ID {
+			t.Errorf("flight event %q trace %q leaked into the filtered dump", ev.Name, ev.TraceID)
+		}
+		kinds[ev.Kind] = true
+	}
+	for _, want := range []string{"event", "span", "log"} {
+		if !kinds[want] {
+			t.Errorf("flight dump missing kind %q (have %v)", want, kinds)
+		}
+	}
+
+	// The full exposition parses cleanly under the promlint validator.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if err := telemetry.LintPrometheusText(mresp.Body); err != nil {
+		t.Errorf("/metrics fails lint: %v", err)
+	}
+}
+
+// TestJobProvenanceDeterministic: the same seeded spec yields the same
+// trace ID (= job ID) on a fresh server, so provenance survives
+// re-submission elsewhere.
+func TestJobProvenanceDeterministic(t *testing.T) {
+	csv := fleetCSV(t, 3, 1, 5)
+	spec := JobSpec{Kind: KindTranslate, TracesCSV: csv}
+	ids := make([]string, 2)
+	for i := range ids {
+		m := newTestManager(t, nil)
+		st, _, err := m.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = st.ID
+	}
+	if ids[0] != ids[1] {
+		t.Errorf("same spec produced different trace IDs: %s vs %s", ids[0], ids[1])
+	}
+}
+
+// TestFailedJobDumpsFlight: a job killed by injected scenario faults
+// must leave a flight-recorder dump named after it, filtered to its
+// trace, in the state directory.
+func TestFailedJobDumpsFlight(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(Config{
+		StateDir: dir,
+		Workers:  1,
+		// Every scenario errors: the sweep degrades to all-inconclusive,
+		// which fails the job deterministically.
+		Inject: faultinject.MustScript(1, faultinject.Rule{Point: "failure.scenario"}),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startManager(t, m)
+	st, _, err := m.Submit(JobSpec{Kind: KindFailover, TracesCSV: fleetCSV(t, 4, 1, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, st.ID, StateFailed)
+
+	data, err := os.ReadFile(filepath.Join(dir, "flight", st.ID+".json"))
+	if err != nil {
+		t.Fatalf("no flight dump for failed job: %v", err)
+	}
+	var dump flight.Dump
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatalf("flight dump not JSON: %v", err)
+	}
+	if dump.Reason != "job_failed" || dump.TraceID != st.ID {
+		t.Errorf("dump reason=%q trace=%q, want job_failed/%s", dump.Reason, dump.TraceID, st.ID)
+	}
+	if len(dump.Events) == 0 {
+		t.Error("flight dump is empty")
+	}
+	for _, ev := range dump.Events {
+		if ev.TraceID != st.ID {
+			t.Errorf("foreign trace %q in the job's dump", ev.TraceID)
+		}
+	}
+}

@@ -9,6 +9,8 @@ import (
 
 	"ropus/internal/checkpoint"
 	"ropus/internal/core"
+	"ropus/internal/flight"
+	"ropus/internal/obslog"
 	"ropus/internal/placement"
 	"ropus/internal/planner"
 	"ropus/internal/qos"
@@ -28,7 +30,17 @@ func (m *Manager) runJob(ctx context.Context, job *Job) (json.RawMessage, error)
 	if err != nil {
 		return nil, err
 	}
-	h := telemetry.New(job.reg, nil)
+	h := telemetry.New(job.reg, job.tracer)
+	// Correlate everything the job does: spans carry the job ID as trace
+	// ID (and land in the flight recorder as they end), log records are
+	// stamped from the context, and per-scenario sim timings are mirrored
+	// into the server's SLO windows as they are observed.
+	ctx = telemetry.WithTrace(ctx, telemetry.TraceContext{TraceID: job.ID})
+	ctx = obslog.Into(ctx, m.logger)
+	job.tracer.OnEnd(flight.SpanSink(m.flight))
+	job.reg.OnObserve("failure_scenario_seconds", func(v float64) {
+		m.slo.Observe(SeriesScenarioSim, v)
+	})
 
 	var journal *checkpoint.Journal
 	if spec.Kind == KindFailover || spec.Kind == KindPlan {

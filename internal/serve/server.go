@@ -20,12 +20,15 @@ const maxBodyBytes = 64 << 20
 
 // Server is the HTTP face of the planning service.
 //
-//	POST /v1/jobs       submit a JobSpec     202 created / 200 existing /
-//	                                         400 invalid / 429 shed / 503 draining
-//	GET  /v1/jobs       list jobs
-//	GET  /v1/jobs/{id}  job status, progress counters, result when done
-//	GET  /metrics       Prometheus text exposition of the serve_* metrics
-//	GET  /healthz       liveness and drain state
+//	POST /v1/jobs             submit a JobSpec     202 created / 200 existing /
+//	                                               400 invalid / 429 shed / 503 draining
+//	GET  /v1/jobs             list jobs
+//	GET  /v1/jobs/{id}        job status, progress counters, result when done
+//	GET  /v1/jobs/{id}/trace  Chrome trace_event export of the job's spans
+//	GET  /v1/slo              windowed latency quantiles and error-budget burn
+//	GET  /metrics             Prometheus text exposition of the serve_* metrics
+//	GET  /debug/flight        flight-recorder snapshot (?trace= filters by trace ID)
+//	GET  /healthz             liveness and drain state
 type Server struct {
 	mgr      *Manager
 	reg      *telemetry.Registry
@@ -54,7 +57,10 @@ func New(addr string, cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /v1/slo", s.handleSLO)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.httpSrv = &http.Server{Handler: s.count(mux)}
 	ln, err := net.Listen("tcp", addr)
@@ -170,7 +176,35 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, status)
 }
 
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.mgr.Job(id); !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	tracer := s.mgr.Tracer(id)
+	if tracer == nil {
+		// Recovered-from-disk jobs ran in a previous process; their spans
+		// are gone.
+		writeError(w, http.StatusNotFound, "no trace recorded for this job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	tracer.WriteChromeTrace(w)
+}
+
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	// Sync so the JSON snapshot and the /metrics gauges agree.
+	writeJSON(w, http.StatusOK, s.mgr.SLO().Sync(s.reg))
+}
+
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.mgr.Flight().WriteJSON(w, "debug", r.URL.Query().Get("trace"))
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mgr.SLO().Sync(s.reg) // refresh the slo_* gauges before rendering
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	if err := s.reg.WritePrometheusText(w); err != nil {
 		// Headers are gone; nothing to do but drop the connection.

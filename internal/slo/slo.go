@@ -1,0 +1,237 @@
+// Package slo turns raw latency observations into the signals a
+// control loop or an operator acts on: windowed p50/p95/p99 quantiles
+// per latency series, and per-objective error budgets with burn rates.
+//
+// Quantiles are computed over a fixed-size ring window of the most
+// recent observations (not the cumulative histogram), because an SLO
+// question — "is admission p99 inside bound *right now*?" — is about
+// the recent past; a cumulative histogram never forgets a bad hour.
+// Estimation is nearest-rank over the sorted window: exact for the
+// window, no bucket-interpolation error, O(n log n) only on read.
+//
+// An Objective declares a latency bound and an error budget (the
+// allowed fraction of observations over the bound). Burn rate is the
+// windowed bad fraction divided by the budget: 1.0 means burning
+// exactly the budget, >1 means the budget will be exhausted, 0 means
+// clean. This is the multiwindow burn-rate alerting quantity, computed
+// over the tracker's single window.
+package slo
+
+import (
+	"sort"
+	"sync"
+
+	"ropus/internal/telemetry"
+)
+
+// Objective is one latency SLO: observations of Series above
+// LatencyBound (seconds) are "bad"; the budget is the tolerated bad
+// fraction (e.g. 0.01 for 99% within bound).
+type Objective struct {
+	// Name is the slug used in metric names (slo_<name>_...).
+	Name string `json:"name"`
+	// Series is the latency series the objective watches.
+	Series string `json:"series"`
+	// LatencyBound is the threshold in seconds.
+	LatencyBound float64 `json:"latency_bound_seconds"`
+	// Budget is the allowed fraction of bad observations, in (0,1].
+	Budget float64 `json:"budget"`
+}
+
+// DefaultWindow is the per-series ring size used when NewTracker is
+// given a non-positive window.
+const DefaultWindow = 1024
+
+// Tracker accumulates latency observations per named series and scores
+// them against objectives. All methods are safe for concurrent use; a
+// nil Tracker discards observations and snapshots empty.
+type Tracker struct {
+	mu         sync.Mutex
+	window     int
+	series     map[string]*ring
+	objectives []Objective
+	good, bad  map[string]int64 // per objective name, cumulative
+}
+
+type ring struct {
+	buf  []float64
+	next int
+	n    int
+}
+
+func (rg *ring) push(v float64) {
+	rg.buf[rg.next] = v
+	rg.next = (rg.next + 1) % len(rg.buf)
+	if rg.n < len(rg.buf) {
+		rg.n++
+	}
+}
+
+// values returns the window contents, unordered.
+func (rg *ring) values() []float64 {
+	out := make([]float64, rg.n)
+	copy(out, rg.buf[:rg.n])
+	return out
+}
+
+// NewTracker returns a tracker with the given per-series window size
+// (DefaultWindow if <= 0) scoring the given objectives.
+func NewTracker(window int, objectives ...Objective) *Tracker {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	t := &Tracker{
+		window:     window,
+		series:     make(map[string]*ring),
+		objectives: objectives,
+		good:       make(map[string]int64),
+		bad:        make(map[string]int64),
+	}
+	return t
+}
+
+// Observe records one latency (seconds) into the named series and
+// scores it against every objective watching that series.
+func (t *Tracker) Observe(series string, seconds float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	rg := t.series[series]
+	if rg == nil {
+		rg = &ring{buf: make([]float64, t.window)}
+		t.series[series] = rg
+	}
+	rg.push(seconds)
+	for _, o := range t.objectives {
+		if o.Series != series {
+			continue
+		}
+		if seconds > o.LatencyBound {
+			t.bad[o.Name]++
+		} else {
+			t.good[o.Name]++
+		}
+	}
+	t.mu.Unlock()
+}
+
+// SeriesSnapshot is the windowed quantile view of one latency series.
+type SeriesSnapshot struct {
+	Series string  `json:"series"`
+	Count  int     `json:"window_count"`
+	P50    float64 `json:"p50_seconds"`
+	P95    float64 `json:"p95_seconds"`
+	P99    float64 `json:"p99_seconds"`
+}
+
+// ObjectiveSnapshot is the budget view of one objective.
+type ObjectiveSnapshot struct {
+	Objective
+	// Good and Bad count observations since process start.
+	Good int64 `json:"good_total"`
+	Bad  int64 `json:"bad_total"`
+	// WindowBadFraction is the bad fraction over the current window.
+	WindowBadFraction float64 `json:"window_bad_fraction"`
+	// BurnRate is WindowBadFraction / Budget.
+	BurnRate float64 `json:"burn_rate"`
+}
+
+// Snapshot is the GET /v1/slo response body.
+type Snapshot struct {
+	Window     int                 `json:"window"`
+	Series     []SeriesSnapshot    `json:"series"`
+	Objectives []ObjectiveSnapshot `json:"objectives"`
+}
+
+// Snapshot returns the current windowed quantiles and budget state,
+// series and objectives each sorted by name for stable output.
+func (t *Tracker) Snapshot() Snapshot {
+	if t == nil {
+		return Snapshot{Series: []SeriesSnapshot{}, Objectives: []ObjectiveSnapshot{}}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	snap := Snapshot{
+		Window:     t.window,
+		Series:     make([]SeriesSnapshot, 0, len(t.series)),
+		Objectives: make([]ObjectiveSnapshot, 0, len(t.objectives)),
+	}
+	for name, rg := range t.series {
+		vals := rg.values()
+		sort.Float64s(vals)
+		snap.Series = append(snap.Series, SeriesSnapshot{
+			Series: name,
+			Count:  len(vals),
+			P50:    nearestRank(vals, 0.50),
+			P95:    nearestRank(vals, 0.95),
+			P99:    nearestRank(vals, 0.99),
+		})
+	}
+	sort.Slice(snap.Series, func(i, j int) bool { return snap.Series[i].Series < snap.Series[j].Series })
+	for _, o := range t.objectives {
+		os := ObjectiveSnapshot{Objective: o, Good: t.good[o.Name], Bad: t.bad[o.Name]}
+		if rg := t.series[o.Series]; rg != nil && rg.n > 0 {
+			badN := 0
+			for _, v := range rg.values() {
+				if v > o.LatencyBound {
+					badN++
+				}
+			}
+			os.WindowBadFraction = float64(badN) / float64(rg.n)
+			if o.Budget > 0 {
+				os.BurnRate = os.WindowBadFraction / o.Budget
+			}
+		}
+		snap.Objectives = append(snap.Objectives, os)
+	}
+	sort.Slice(snap.Objectives, func(i, j int) bool { return snap.Objectives[i].Name < snap.Objectives[j].Name })
+	return snap
+}
+
+// nearestRank returns the q-quantile of sorted (nearest-rank method:
+// the smallest value with at least ceil(q*n) values <= it). Zero for an
+// empty window.
+func nearestRank(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	rank := int(q*float64(n) + 0.9999999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// Sync publishes the current snapshot into reg: per-series gauges
+// slo_<series>_p50/p95/p99_seconds and slo_<series>_window_count, and
+// per-objective counters slo_<name>_good_total / slo_<name>_bad_total
+// plus gauges slo_<name>_burn_rate and slo_<name>_window_bad_fraction.
+// Call it before rendering /metrics; it is idempotent between
+// observations. Counter publication adds only the delta since the last
+// Sync, preserving monotonicity.
+func (t *Tracker) Sync(reg *telemetry.Registry) Snapshot {
+	snap := t.Snapshot()
+	if reg == nil {
+		return snap
+	}
+	for _, s := range snap.Series {
+		reg.Gauge("slo_" + s.Series + "_p50_seconds").Set(s.P50)
+		reg.Gauge("slo_" + s.Series + "_p95_seconds").Set(s.P95)
+		reg.Gauge("slo_" + s.Series + "_p99_seconds").Set(s.P99)
+		reg.Gauge("slo_" + s.Series + "_window_count").Set(float64(s.Count))
+	}
+	for _, o := range snap.Objectives {
+		good := reg.Counter("slo_" + o.Name + "_good_total")
+		bad := reg.Counter("slo_" + o.Name + "_bad_total")
+		good.Add(o.Good - good.Value())
+		bad.Add(o.Bad - bad.Value())
+		reg.Gauge("slo_" + o.Name + "_burn_rate").Set(o.BurnRate)
+		reg.Gauge("slo_" + o.Name + "_window_bad_fraction").Set(o.WindowBadFraction)
+	}
+	return snap
+}

@@ -1,0 +1,112 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+
+	"ropus/internal/telemetry"
+)
+
+func TestQuantilesNearestRank(t *testing.T) {
+	tr := NewTracker(100)
+	for i := 1; i <= 100; i++ {
+		tr.Observe("lat", float64(i))
+	}
+	snap := tr.Snapshot()
+	if len(snap.Series) != 1 {
+		t.Fatalf("series: %d", len(snap.Series))
+	}
+	s := snap.Series[0]
+	if s.Count != 100 || s.P50 != 50 || s.P95 != 95 || s.P99 != 99 {
+		t.Errorf("quantiles: %+v", s)
+	}
+}
+
+func TestWindowEvictsOldObservations(t *testing.T) {
+	tr := NewTracker(10)
+	for i := 0; i < 10; i++ {
+		tr.Observe("lat", 100) // an awful first epoch
+	}
+	for i := 0; i < 10; i++ {
+		tr.Observe("lat", 0.01) // fully recovered
+	}
+	s := tr.Snapshot().Series[0]
+	if s.P99 != 0.01 {
+		t.Errorf("window kept stale observations: p99 %v", s.P99)
+	}
+}
+
+func TestObjectiveScoringAndBurnRate(t *testing.T) {
+	tr := NewTracker(100, Objective{Name: "lat", Series: "lat", LatencyBound: 1, Budget: 0.1})
+	for i := 0; i < 18; i++ {
+		tr.Observe("lat", 0.5)
+	}
+	tr.Observe("lat", 2) // 2 bad of 20: bad fraction 0.1, burn 1.0
+	tr.Observe("lat", 3)
+	snap := tr.Snapshot()
+	o := snap.Objectives[0]
+	if o.Good != 18 || o.Bad != 2 {
+		t.Errorf("good/bad = %d/%d, want 18/2", o.Good, o.Bad)
+	}
+	if o.WindowBadFraction != 0.1 {
+		t.Errorf("window bad fraction %v, want 0.1", o.WindowBadFraction)
+	}
+	if o.BurnRate != 1.0 {
+		t.Errorf("burn rate %v, want 1.0", o.BurnRate)
+	}
+}
+
+func TestSyncPublishesMetrics(t *testing.T) {
+	tr := NewTracker(10, Objective{Name: "lat", Series: "lat", LatencyBound: 1, Budget: 0.5})
+	tr.Observe("lat", 0.5)
+	tr.Observe("lat", 2)
+	reg := telemetry.NewRegistry()
+	tr.Sync(reg)
+	snap := reg.Snapshot()
+	if v := snap.Gauges["slo_lat_p99_seconds"]; v != 2 {
+		t.Errorf("p99 gauge %v, want 2", v)
+	}
+	if v := snap.Gauges["slo_lat_window_count"]; v != 2 {
+		t.Errorf("window count gauge %v, want 2", v)
+	}
+	if v := snap.Counters["slo_lat_good_total"]; v != 1 {
+		t.Errorf("good counter %v, want 1", v)
+	}
+	if v := snap.Counters["slo_lat_bad_total"]; v != 1 {
+		t.Errorf("bad counter %v, want 1", v)
+	}
+	if v := snap.Gauges["slo_lat_burn_rate"]; v != 1 {
+		t.Errorf("burn rate gauge %v, want 1", v)
+	}
+
+	// A second Sync must not double-count (delta publication).
+	tr.Sync(reg)
+	if v := reg.Snapshot().Counters["slo_lat_good_total"]; v != 1 {
+		t.Errorf("re-sync inflated good counter to %v", v)
+	}
+
+	// And the rendered exposition parses.
+	var buf strings.Builder
+	if err := reg.WritePrometheusText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.LintPrometheusText(strings.NewReader(buf.String())); err != nil {
+		t.Errorf("slo metrics fail lint: %v", err)
+	}
+}
+
+func TestNilAndEmptyTracker(t *testing.T) {
+	var tr *Tracker
+	tr.Observe("lat", 1) // must not panic
+	snap := tr.Snapshot()
+	if len(snap.Series) != 0 || len(snap.Objectives) != 0 {
+		t.Errorf("nil tracker snapshot: %+v", snap)
+	}
+	if got := tr.Sync(telemetry.NewRegistry()); len(got.Series) != 0 {
+		t.Errorf("nil tracker sync: %+v", got)
+	}
+	empty := NewTracker(0).Snapshot()
+	if empty.Window != DefaultWindow {
+		t.Errorf("default window %d", empty.Window)
+	}
+}

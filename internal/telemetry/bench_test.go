@@ -1,6 +1,9 @@
 package telemetry
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // BenchmarkTelemetryOverhead proves the no-op hooks path is effectively
 // free (<5 ns/op): components can emit unconditionally. The live
@@ -25,6 +28,14 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			h.StartSpan("x").End()
+		}
+	})
+	b.Run("nop-span-ctx", func(b *testing.B) {
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, sp := StartSpanCtx(ctx, nil, "x")
+			sp.End()
 		}
 	})
 	b.Run("live-counter-inc", func(b *testing.B) {

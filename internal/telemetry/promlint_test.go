@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func lint(t *testing.T, text string) error {
+	t.Helper()
+	return LintPrometheusText(strings.NewReader(text))
+}
+
+func TestLintAcceptsValidExposition(t *testing.T) {
+	valid := `# HELP jobs_total total jobs
+# TYPE jobs_total counter
+jobs_total 42
+# TYPE queue_depth gauge
+queue_depth -3.5
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.1"} 1
+latency_seconds_bucket{le="1"} 3
+latency_seconds_bucket{le="+Inf"} 4
+latency_seconds_sum 2.25
+latency_seconds_count 4
+# TYPE labeled untyped
+labeled{kind="a",path="C:\\x\"y\""} 1
+`
+	if err := lint(t, valid); err != nil {
+		t.Errorf("valid exposition rejected: %v", err)
+	}
+}
+
+func TestLintRejectsMalformedExpositions(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"garbage line", "this is not a metric\n"},
+		{"bad metric name", "1bad_name 1\n"},
+		{"bad value", "m NaNope\n"},
+		{"negative counter", "# TYPE c counter\nc -1\n"},
+		{"dup label", `m{a="1",a="2"} 1` + "\n"},
+		{"reserved label", `m{__x="1"} 1` + "\n"},
+		{"unknown type", "# TYPE m sausage\nm 1\n"},
+		{"bucket le out of order", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"0.5\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n"},
+		{"bucket not cumulative", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n"},
+		{"missing inf bucket", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n"},
+		{"count disagrees with inf", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 2\n"},
+		{"unterminated labels", `m{a="1" 1` + "\n"},
+	}
+	for _, tc := range cases {
+		if err := lint(t, tc.text); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestLintRegistryOutput: whatever the repo's own registry renders must
+// pass its own linter, including histograms and negative gauges.
+func TestLintRegistryOutput(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("jobs_total").Add(3)
+	reg.Gauge("temperature").Set(-12.5)
+	h := reg.Histogram("latency_seconds", nil)
+	for _, v := range []float64{0.001, 0.1, 5, 120} {
+		h.Observe(v)
+	}
+	var buf strings.Builder
+	if err := reg.WritePrometheusText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := lint(t, buf.String()); err != nil {
+		t.Errorf("registry output fails own lint: %v\n%s", err, buf.String())
+	}
+}

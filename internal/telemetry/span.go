@@ -36,7 +36,11 @@ type SpanRecord struct {
 	// RootID identifies the span's outermost ancestor; the Chrome trace
 	// export maps each root chain to its own track (tid).
 	RootID int64
-	Name   string
+	// TraceID attributes the span to one logical run (serve job or
+	// seeded CLI run); empty when the span was opened without a
+	// TraceContext. Children inherit their parent's trace ID.
+	TraceID string
+	Name    string
 	// Start is the offset from the tracer's epoch; Duration is the
 	// span's wall-clock length.
 	Start    time.Duration
@@ -56,8 +60,13 @@ type Tracer struct {
 	dropped  atomic.Int64
 	maxSpans int
 
-	mu    sync.Mutex
-	spans []SpanRecord
+	// exportMu serializes exports; mu guards the span buffer. Exports
+	// swap the buffer out under mu (double-buffering), so Record never
+	// blocks behind — and never loses spans to — an in-progress export.
+	exportMu sync.Mutex
+	mu       sync.Mutex
+	spans    []SpanRecord
+	onEnd    func(SpanRecord)
 }
 
 // NewTracer returns a tracer whose span timestamps are relative to now.
@@ -83,40 +92,94 @@ func (t *Tracer) Dropped() int64 {
 	return t.dropped.Load()
 }
 
-// Spans returns a copy of the completed spans in completion order.
+// OnEnd registers a sink called (outside the tracer's locks) with every
+// span as it completes — the seam the flight recorder taps. Set it
+// before spans flow; a nil fn disables the sink.
+func (t *Tracer) OnEnd(fn func(SpanRecord)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.onEnd = fn
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the completed spans in completion order. The
+// buffer is double-buffered around the copy: it is swapped out under
+// the lock, copied without holding it, and merged back in front of any
+// spans recorded meanwhile, so concurrent Record calls neither block on
+// the O(n) copy nor get lost.
 func (t *Tracer) Spans() []SpanRecord {
 	if t == nil {
 		return nil
 	}
+	t.exportMu.Lock()
+	defer t.exportMu.Unlock()
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	return append([]SpanRecord(nil), t.spans...)
+	detached := t.spans
+	t.spans = nil
+	t.mu.Unlock()
+	out := make([]SpanRecord, len(detached))
+	copy(out, detached)
+	t.mu.Lock()
+	t.spans = append(detached, t.spans...)
+	t.mu.Unlock()
+	return out
 }
 
 func (t *Tracer) record(rec SpanRecord) {
 	t.mu.Lock()
+	// The length check sees only the resident half while an export has
+	// the buffer swapped out, so the cap can briefly overshoot by the
+	// few spans recorded during an export; bounded memory still holds.
 	if len(t.spans) >= t.maxSpans {
+		onEnd := t.onEnd
 		t.mu.Unlock()
 		t.dropped.Add(1)
+		if onEnd != nil {
+			onEnd(rec)
+		}
 		return
 	}
 	t.spans = append(t.spans, rec)
+	onEnd := t.onEnd
 	t.mu.Unlock()
+	if onEnd != nil {
+		onEnd(rec)
+	}
 }
 
 // Span is an in-flight operation. A nil span is a valid no-op, so code
 // can call Child/SetAttr/End unconditionally.
 type Span struct {
-	tracer *Tracer
-	id     int64
-	rootID int64
-	parent int64
-	name   string
-	start  time.Time
+	tracer  *Tracer
+	id      int64
+	rootID  int64
+	parent  int64
+	traceID string
+	name    string
+	start   time.Time
 
 	mu    sync.Mutex
 	attrs []Attr
 	ended bool
+}
+
+// setTraceID stamps the span's trace attribution; children inherit it.
+func (s *Span) setTraceID(id string) {
+	if s == nil || id == "" {
+		return
+	}
+	s.traceID = id
+}
+
+// TraceID returns the span's trace attribution ("" for a nil span or an
+// unattributed one).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.traceID
 }
 
 // Child opens a sub-span linked to s; it shares s's track in the Chrome
@@ -126,13 +189,14 @@ func (s *Span) Child(name string, attrs ...Attr) *Span {
 		return nil
 	}
 	return &Span{
-		tracer: s.tracer,
-		id:     s.tracer.nextID.Add(1),
-		rootID: s.rootID,
-		parent: s.id,
-		name:   name,
-		start:  time.Now(),
-		attrs:  attrs,
+		tracer:  s.tracer,
+		id:      s.tracer.nextID.Add(1),
+		rootID:  s.rootID,
+		parent:  s.id,
+		traceID: s.traceID,
+		name:    name,
+		start:   time.Now(),
+		attrs:   attrs,
 	}
 }
 
@@ -147,11 +211,16 @@ func (s *Span) SetAttr(attrs ...Attr) {
 }
 
 // End completes the span and records it with its wall-clock duration.
-// Ending a span twice records it once.
+// Ending a span twice records it once. The nil check stays in this thin
+// wrapper so disabled tracing inlines to a single branch.
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
+	s.finish()
+}
+
+func (s *Span) finish() {
 	end := time.Now()
 	s.mu.Lock()
 	if s.ended {
@@ -165,6 +234,7 @@ func (s *Span) End() {
 		ID:       s.id,
 		ParentID: s.parent,
 		RootID:   s.rootID,
+		TraceID:  s.traceID,
 		Name:     s.name,
 		Start:    s.start.Sub(s.tracer.epoch),
 		Duration: end.Sub(s.start),
@@ -198,10 +268,13 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	spans := t.Spans()
 	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
 	for _, sp := range spans {
-		args := make(map[string]any, len(sp.Attrs)+2)
+		args := make(map[string]any, len(sp.Attrs)+3)
 		args["span_id"] = sp.ID
 		if sp.ParentID != 0 {
 			args["parent_id"] = sp.ParentID
+		}
+		if sp.TraceID != "" {
+			args["trace_id"] = sp.TraceID
 		}
 		for _, a := range sp.Attrs {
 			args[a.Key] = a.Value

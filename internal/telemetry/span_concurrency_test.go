@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTracerConcurrentRecordExport is the regression test for the
+// export-drops-spans bug: spans ended while Spans() has the buffer
+// swapped out must not be lost. Run with -race to also catch locking
+// regressions.
+func TestTracerConcurrentRecordExport(t *testing.T) {
+	const writers, perWriter = 4, 400
+	tr := NewTracer()
+
+	var wg sync.WaitGroup
+	stopExport := make(chan struct{})
+	var exporter sync.WaitGroup
+	exporter.Add(1)
+	go func() {
+		defer exporter.Done()
+		for {
+			select {
+			case <-stopExport:
+				return
+			default:
+				tr.Spans()
+			}
+		}
+	}()
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				sp := tr.StartSpan("work")
+				sp.Child("sub").End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stopExport)
+	exporter.Wait()
+
+	spans := tr.Spans()
+	want := writers * perWriter * 2 // root + child per iteration
+	if len(spans) != want {
+		t.Fatalf("exported %d spans, want %d (dropped=%d)", len(spans), want, tr.Dropped())
+	}
+	seen := make(map[int64]bool, len(spans))
+	for _, sp := range spans {
+		if seen[sp.ID] {
+			t.Fatalf("span ID %d exported twice", sp.ID)
+		}
+		seen[sp.ID] = true
+	}
+	if d := tr.Dropped(); d != 0 {
+		t.Errorf("tracer dropped %d spans under capacity", d)
+	}
+}
+
+// TestTracerOnEndSeesEverySpan: the OnEnd sink fires once per ended
+// span, including spans dropped at capacity.
+func TestTracerOnEndSeesEverySpan(t *testing.T) {
+	tr := NewTracer()
+	tr.maxSpans = 3
+	var mu sync.Mutex
+	var got []string
+	tr.OnEnd(func(rec SpanRecord) {
+		mu.Lock()
+		got = append(got, rec.Name)
+		mu.Unlock()
+	})
+	for i := 0; i < 5; i++ {
+		tr.StartSpan("s").End()
+	}
+	if len(got) != 5 {
+		t.Errorf("OnEnd fired %d times, want 5", len(got))
+	}
+	if tr.Dropped() != 2 {
+		t.Errorf("dropped %d, want 2", tr.Dropped())
+	}
+	if len(tr.Spans()) != 3 {
+		t.Errorf("retained %d spans, want 3", len(tr.Spans()))
+	}
+}

@@ -98,6 +98,10 @@ type Histogram struct {
 	counts  []atomic.Int64 // len(bounds)+1
 	sumBits atomic.Uint64
 	count   atomic.Int64
+	// sink, when set, receives every raw observation — the seam that
+	// feeds SLO ring-buffer windows without a second emission site. The
+	// pointer is atomic so it can be wired after handles were hoisted.
+	sink atomic.Pointer[func(float64)]
 }
 
 // DurationBuckets are the default bounds for timing histograms, in
@@ -160,8 +164,11 @@ func (h *Histogram) Observe(v float64) {
 		old := h.sumBits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
 		if h.sumBits.CompareAndSwap(old, next) {
-			return
+			break
 		}
+	}
+	if fn := h.sink.Load(); fn != nil {
+		(*fn)(v)
 	}
 }
 
@@ -230,6 +237,23 @@ func (r *Registry) Gauge(name string) *Gauge {
 		r.gauges[name] = g
 	}
 	return g
+}
+
+// OnObserve registers fn to receive every raw observation recorded into
+// the named histogram (created with DurationBuckets if it does not
+// exist yet). A nil fn detaches the sink. Components keep observing
+// into the histogram as before; the sink is how a host (the planning
+// service) mirrors e.g. per-scenario sim timings into its SLO windows.
+func (r *Registry) OnObserve(name string, fn func(float64)) {
+	if r == nil {
+		return
+	}
+	h := r.Histogram(name, nil)
+	if fn == nil {
+		h.sink.Store(nil)
+		return
+	}
+	h.sink.Store(&fn)
 }
 
 // Histogram returns the named histogram, creating it with the given

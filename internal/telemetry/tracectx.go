@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+)
+
+// TraceContext is the correlation state a context carries through the
+// pipeline: a stable trace ID naming the whole run (the serve job ID,
+// or a seeded hash for CLI runs) and the currently open span, so that
+// spans opened deeper in the pipeline become children of their caller's
+// span instead of disconnected roots.
+//
+// The zero value means "no trace": StartSpanCtx then opens root spans
+// with an empty trace ID, which is the pre-correlation behaviour.
+type TraceContext struct {
+	// TraceID attributes every span, log record and flight event of one
+	// logical run. It is a 16-hex-digit string by convention (jobID /
+	// SeedTraceID), but any non-empty string works.
+	TraceID string
+	// Span is the innermost open span, the parent for the next
+	// StartSpanCtx; nil at the root of a run.
+	Span *Span
+}
+
+type traceCtxKey struct{}
+
+// WithTrace returns a context carrying tc.
+func WithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFrom extracts the TraceContext carried by ctx; the zero value
+// when none is carried.
+func TraceFrom(ctx context.Context) TraceContext {
+	if ctx == nil {
+		return TraceContext{}
+	}
+	tc, _ := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc
+}
+
+// TraceIDFrom returns just the trace ID carried by ctx ("" when none).
+func TraceIDFrom(ctx context.Context) string { return TraceFrom(ctx).TraceID }
+
+// SeedTraceID derives a deterministic trace ID for a run identified by
+// a name (typically the subcommand) and its seed: the FNV-1a hash of
+// both, rendered like a serve job ID. A CLI run and its re-run with the
+// same seed carry the same trace ID, so their traces and logs line up.
+func SeedTraceID(name string, seed int64) string {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(uint64(seed) >> (8 * i))
+	}
+	h.Write(b[:])
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// StartSpanCtx opens a span correlated through ctx: a child of the
+// context's current span when one is open, a root span from h
+// otherwise, carrying the context's trace ID either way. It returns a
+// derived context with the new span as current (for the next nested
+// StartSpanCtx) and the span itself (End it to record it).
+//
+// When no tracer is live (h is Nop or span-less) the span is nil — a
+// valid no-op — and ctx is returned unchanged, so disabled tracing
+// costs a context lookup and nothing else.
+func StartSpanCtx(ctx context.Context, h Hooks, name string, attrs ...Attr) (context.Context, *Span) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	v := ctx.Value(traceCtxKey{})
+	if v == nil && h == nil {
+		// Fully disabled: no trace context to extend and no hooks to open
+		// a root from. Return before the assertion and dispatch below so
+		// the path stays a bare context lookup.
+		return ctx, nil
+	}
+	tc, _ := v.(TraceContext)
+	return startSpanCtx(ctx, tc, h, name, attrs)
+}
+
+func startSpanCtx(ctx context.Context, tc TraceContext, h Hooks, name string, attrs []Attr) (context.Context, *Span) {
+	var sp *Span
+	if tc.Span != nil {
+		sp = tc.Span.Child(name, attrs...)
+	} else {
+		sp = OrNop(h).StartSpan(name, attrs...)
+		sp.setTraceID(tc.TraceID)
+	}
+	if sp == nil {
+		return ctx, nil
+	}
+	return WithTrace(ctx, TraceContext{TraceID: tc.TraceID, Span: sp}), sp
+}

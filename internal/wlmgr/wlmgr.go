@@ -142,7 +142,7 @@ func Replay(ctx context.Context, capacity float64, containers []Container, opts 
 	}
 
 	h := telemetry.OrNop(opts.Hooks)
-	span := h.StartSpan("wlmgr.replay",
+	ctx, span := telemetry.StartSpanCtx(ctx, opts.Hooks, "wlmgr.replay",
 		telemetry.Float("capacity", capacity),
 		telemetry.Int("containers", len(containers)),
 		telemetry.Int("lag", lag),

@@ -39,6 +39,45 @@ elif verb == "field":
 EOF
 }
 
+# scrape_check <base-url> — pull /metrics and /v1/slo mid-run and fail
+# on malformed Prometheus exposition or a bad SLO document. (The strict
+# linter lives in Go — telemetry.LintPrometheusText — and runs in the
+# unit tests; this guards the live endpoint shape end to end.)
+scrape_check() {
+  curl -fsS "$1/metrics" > "$WORK/metrics.prom"
+  curl -fsS "$1/v1/slo" > "$WORK/slo.json"
+  python3 - "$WORK/metrics.prom" "$WORK/slo.json" <<'EOF'
+import json, re, sys
+typed = set()
+name_re = re.compile(r'^[a-zA-Z_:][a-zA-Z0-9_:]*')
+sample_re = re.compile(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.eE+-]+|NaN|[+-]Inf)$')
+n = 0
+for line in open(sys.argv[1]):
+    line = line.rstrip("\n")
+    if not line:
+        continue
+    if line.startswith("# TYPE "):
+        parts = line.split()
+        assert len(parts) == 4 and parts[3] in (
+            "counter", "gauge", "histogram", "summary", "untyped"), f"bad TYPE: {line}"
+        typed.add(parts[2])
+        continue
+    if line.startswith("#"):
+        continue
+    m = sample_re.match(line)
+    assert m, f"malformed sample: {line}"
+    base = re.sub(r'_(bucket|sum|count)$', '', m.group(1))
+    assert m.group(1) in typed or base in typed, f"sample without TYPE: {line}"
+    n += 1
+assert n > 0, "empty exposition"
+slo = json.load(open(sys.argv[2]))
+assert isinstance(slo.get("series"), list), f"/v1/slo missing series: {slo}"
+assert isinstance(slo.get("objectives"), list), f"/v1/slo missing objectives: {slo}"
+assert slo.get("window", 0) > 0, f"/v1/slo missing window: {slo}"
+print(f"scrape ok: {n} samples, {len(slo['series'])} slo series")
+EOF
+}
+
 wait_healthy() {
   for _ in $(seq 1 100); do
     curl -fsS "$1/healthz" >/dev/null 2>&1 && return 0
@@ -64,7 +103,9 @@ wait_state() { # base id state timeout_s
 BASE=http://127.0.0.1:7925
 wait_healthy "$BASE"
 ID=$(api "$BASE" submit "$WORK/job.json")
+scrape_check "$BASE"
 wait_state "$BASE" "$ID" done 300
+scrape_check "$BASE"
 WANT=$(api "$BASE" field "$ID" resultHash)
 kill -TERM %1 && wait %1
 echo "baseline hash: $WANT (job $ID)"
