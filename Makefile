@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-smoke bench-obs-overhead experiments fuzz golden serve-e2e clean
+.PHONY: all build vet test race cover bench bench-smoke bench-obs-overhead experiments fuzz golden serve-e2e fleet-e2e clean
 
 all: build vet test race
 
@@ -65,5 +65,12 @@ serve-e2e: build
 	$(GO) build -o ropus-cli ./cmd/ropus
 	ROPUS=./ropus-cli bash scripts/serve_e2e.sh
 
+# Fleet contract: three instances, one state dir, loadgen-driven, one
+# instance kill -9ed mid-sweep; emits BENCH_serve_fleet.json.
+fleet-e2e: build
+	$(GO) build -o ropus-cli ./cmd/ropus
+	$(GO) build -o ropus-loadgen ./cmd/loadgen
+	ROPUS=./ropus-cli LOADGEN=./ropus-loadgen bash scripts/fleet_e2e.sh
+
 clean:
-	rm -rf results test_output.txt bench_output.txt bench_smoke.txt bench_obs.txt cover.out ropus-cli
+	rm -rf results test_output.txt bench_output.txt bench_smoke.txt bench_obs.txt cover.out ropus-cli ropus-loadgen

@@ -1,0 +1,539 @@
+// Command loadgen is a seeded open-loop load generator for a ropus
+// serve fleet. It replays an arrival process shaped by the repo's own
+// workload generator — the summed demand of a synthetic fleet becomes
+// the (inhomogeneous) submission intensity, thinned into Poisson
+// arrivals — and drives it against N serve instances round-robin,
+// open-loop: arrivals fire on schedule whether or not earlier requests
+// have completed, which is what overloads a real admission path.
+//
+// After the arrival window it waits for every accepted job to finish
+// (any instance can answer for any job — the fleet scanner folds peer
+// results into each local table), scrapes the per-instance steal and
+// adoption counters, and writes a machine-readable report (submit
+// latency quantiles, shed rate, steal count, completion throughput) to
+// -out, the BENCH_serve_fleet.json artifact of scripts/fleet_e2e.sh.
+//
+// Everything is deterministic for a given -seed except the service's
+// own timing: the same seed replays the same specs, tenants, targets
+// and arrival offsets.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ropus/internal/serve"
+	"ropus/internal/trace"
+	"ropus/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	targets  []string
+	duration time.Duration
+	rate     float64
+	seed     int64
+	specs    int
+	apps     int
+	weeks    int
+	kind     string
+	tenants  string
+	wait     time.Duration
+	out      string
+}
+
+// arrival is one scheduled submission, fixed before the clock starts.
+type arrival struct {
+	at     time.Duration
+	spec   int
+	target int
+	tenant string
+}
+
+// outcome is one submission's observed result.
+type outcome struct {
+	code    int
+	id      string
+	latency float64
+}
+
+// Report is the written benchmark document.
+type Report struct {
+	Targets      []string  `json:"targets"`
+	Seed         int64     `json:"seed"`
+	DurationSecs float64   `json:"duration_seconds"`
+	RatePerSec   float64   `json:"offered_rate_per_second"`
+	Submissions  int       `json:"submissions"`
+	Accepted     int       `json:"accepted"`
+	Deduplicated int       `json:"deduplicated"`
+	Shed         int       `json:"shed"`
+	ShedRate     float64   `json:"shed_rate"`
+	Errors5xx    int       `json:"errors_5xx"`
+	OtherErrors  int       `json:"other_errors"`
+	SubmitP50Sec float64   `json:"submit_latency_p50_seconds"`
+	SubmitP99Sec float64   `json:"submit_latency_p99_seconds"`
+	UniqueJobs   int       `json:"unique_jobs"`
+	Completed    int       `json:"completed"`
+	Failed       int       `json:"failed"`
+	Throughput   float64   `json:"completion_throughput_per_second"`
+	Steals       int64     `json:"steals_total"`
+	Adoptions    int64     `json:"adoptions_total"`
+	PerInstance  []Counter `json:"per_instance"`
+}
+
+// Counter is one instance's scraped fleet counters.
+type Counter struct {
+	Target    string `json:"target"`
+	Instance  string `json:"instance"`
+	Steals    int64  `json:"steals"`
+	Adoptions int64  `json:"adoptions"`
+	Completed int64  `json:"completed"`
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		targets  = fs.String("targets", "http://127.0.0.1:7925", "comma-separated serve base URLs")
+		duration = fs.Duration("duration", 10*time.Second, "arrival window")
+		rate     = fs.Float64("rate", 5, "mean submissions per second (modulated by the workload shape)")
+		seed     = fs.Int64("seed", 1, "seed for specs, tenants, targets and arrival times")
+		specs    = fs.Int("specs", 8, "distinct spec pool size (arrivals cycle through it, exercising dedup)")
+		apps     = fs.Int("apps", 3, "applications per generated spec")
+		weeks    = fs.Int("weeks", 1, "weeks of demand history per spec")
+		kind     = fs.String("kind", serve.KindTranslate, "job kind to submit")
+		tenants  = fs.String("tenants", "", "traffic mix as tenant=share pairs (empty = single default tenant)")
+		wait     = fs.Duration("wait", 2*time.Minute, "budget for accepted jobs to complete after the window")
+		out      = fs.String("out", "BENCH_serve_fleet.json", "report path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := config{
+		targets:  splitTrim(*targets),
+		duration: *duration,
+		rate:     *rate,
+		seed:     *seed,
+		specs:    *specs,
+		apps:     *apps,
+		weeks:    *weeks,
+		kind:     *kind,
+		tenants:  *tenants,
+		wait:     *wait,
+		out:      *out,
+	}
+	if len(cfg.targets) == 0 {
+		return fmt.Errorf("no -targets")
+	}
+	report, err := drive(cfg)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(cfg.out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "loadgen: %d submissions, %d accepted (%d unique), %d shed, %d completed, %d stolen -> %s\n",
+		report.Submissions, report.Accepted, report.UniqueJobs, report.Shed, report.Completed, report.Steals, cfg.out)
+	if report.Errors5xx > 0 {
+		return fmt.Errorf("%d submissions answered 5xx", report.Errors5xx)
+	}
+	return nil
+}
+
+func splitTrim(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// parseMix turns "gold=3,bronze=1" into a weighted tenant list.
+func parseMix(s string) ([]string, []int, error) {
+	if s == "" {
+		return []string{""}, []int{1}, nil
+	}
+	var names []string
+	var weights []int
+	for _, pair := range strings.Split(s, ",") {
+		name, n, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, nil, fmt.Errorf("-tenants entry %q is not tenant=share", pair)
+		}
+		v, err := strconv.Atoi(n)
+		if err != nil || v < 1 {
+			return nil, nil, fmt.Errorf("-tenants %q needs a positive share", pair)
+		}
+		names = append(names, name)
+		weights = append(weights, v)
+	}
+	return names, weights, nil
+}
+
+// specPool generates the distinct specs arrivals cycle through. Each
+// gets its own deterministic traces and GA seed, so the pool maps to
+// exactly `n` unique job IDs server-side.
+func specPool(cfg config) ([]serve.JobSpec, error) {
+	pool := make([]serve.JobSpec, cfg.specs)
+	for i := range pool {
+		smooth := cfg.apps - 2
+		if smooth < 0 {
+			smooth = 0
+		}
+		set, err := workload.Fleet(workload.FleetConfig{
+			Spiky: 1, Bursty: 1, Smooth: smooth,
+			Weeks: cfg.weeks, Interval: time.Hour, Seed: cfg.seed + int64(i)*101,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("generate spec %d: %w", i, err)
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteCSV(&buf, set); err != nil {
+			return nil, fmt.Errorf("encode spec %d: %w", i, err)
+		}
+		pool[i] = serve.JobSpec{Kind: cfg.kind, TracesCSV: buf.String(), GASeed: cfg.seed + int64(i)}
+	}
+	return pool, nil
+}
+
+// intensity derives the normalized arrival-intensity profile from the
+// workload generator: the summed demand of a reference fleet, scaled to
+// mean 1 so -rate stays the mean offered rate.
+func intensity(cfg config) []float64 {
+	set, err := workload.Fleet(workload.FleetConfig{
+		Spiky: 1, Bursty: 2, Smooth: 3,
+		Weeks: 1, Interval: time.Hour, Seed: cfg.seed,
+	})
+	if err != nil || len(set) == 0 {
+		return []float64{1}
+	}
+	sum := make([]float64, len(set[0].Samples))
+	for _, tr := range set {
+		for i, v := range tr.Samples {
+			if i < len(sum) {
+				sum[i] += v
+			}
+		}
+	}
+	var mean float64
+	for _, v := range sum {
+		mean += v
+	}
+	mean /= float64(len(sum))
+	if mean <= 0 {
+		return []float64{1}
+	}
+	for i := range sum {
+		sum[i] /= mean
+	}
+	return sum
+}
+
+// schedule fixes every arrival before the clock starts: thinned
+// inhomogeneous Poisson over the workload intensity (the classic
+// Lewis-Shedler construction), with spec, target and tenant drawn from
+// the same seeded stream.
+func schedule(cfg config) ([]arrival, error) {
+	tenantNames, tenantWeights, err := parseMix(cfg.tenants)
+	if err != nil {
+		return nil, err
+	}
+	totalShare := 0
+	for _, w := range tenantWeights {
+		totalShare += w
+	}
+	prof := intensity(cfg)
+	lambdaMax := 0.0
+	for _, v := range prof {
+		if v > lambdaMax {
+			lambdaMax = v
+		}
+	}
+	lambdaMax *= cfg.rate
+
+	rng := rand.New(rand.NewSource(cfg.seed))
+	var arrivals []arrival
+	t := 0.0
+	horizon := cfg.duration.Seconds()
+	for {
+		t += rng.ExpFloat64() / lambdaMax
+		if t >= horizon {
+			break
+		}
+		slot := int(t / horizon * float64(len(prof)))
+		if slot >= len(prof) {
+			slot = len(prof) - 1
+		}
+		if rng.Float64()*lambdaMax > cfg.rate*prof[slot] {
+			continue // thinned out
+		}
+		pick := rng.Intn(totalShare)
+		tenant := tenantNames[0]
+		for i, w := range tenantWeights {
+			if pick < w {
+				tenant = tenantNames[i]
+				break
+			}
+			pick -= w
+		}
+		arrivals = append(arrivals, arrival{
+			at:     time.Duration(t * float64(time.Second)),
+			spec:   rng.Intn(cfg.specs),
+			target: len(arrivals) % len(cfg.targets),
+			tenant: tenant,
+		})
+	}
+	return arrivals, nil
+}
+
+// drive runs the generator: fire the schedule open-loop, then wait for
+// completions and scrape the fleet counters.
+func drive(cfg config) (*Report, error) {
+	pool, err := specPool(cfg)
+	if err != nil {
+		return nil, err
+	}
+	arrivals, err := schedule(cfg)
+	if err != nil {
+		return nil, err
+	}
+	bodies := make([][]byte, len(pool))
+	for i, spec := range pool {
+		if bodies[i], err = json.Marshal(spec); err != nil {
+			return nil, err
+		}
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	outcomes := make([]outcome, len(arrivals))
+	done := make(chan int, len(arrivals))
+	start := time.Now()
+	for i, a := range arrivals {
+		if d := a.at - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		go func(i int, a arrival) {
+			outcomes[i] = submit(client, cfg.targets[a.target], bodies[a.spec], a.tenant)
+			done <- i
+		}(i, a)
+	}
+	for range arrivals {
+		<-done
+	}
+
+	rep := &Report{
+		Targets:      cfg.targets,
+		Seed:         cfg.seed,
+		DurationSecs: cfg.duration.Seconds(),
+		RatePerSec:   cfg.rate,
+		Submissions:  len(arrivals),
+	}
+	var latencies []float64
+	unique := make(map[string]bool)
+	for _, o := range outcomes {
+		switch {
+		case o.code == http.StatusAccepted:
+			rep.Accepted++
+			unique[o.id] = true
+			latencies = append(latencies, o.latency)
+		case o.code == http.StatusOK:
+			rep.Accepted++
+			rep.Deduplicated++
+			unique[o.id] = true
+			latencies = append(latencies, o.latency)
+		case o.code == http.StatusTooManyRequests:
+			rep.Shed++
+			latencies = append(latencies, o.latency)
+		case o.code >= 500:
+			rep.Errors5xx++
+		default:
+			rep.OtherErrors++
+		}
+	}
+	if rep.Submissions > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Submissions)
+	}
+	rep.UniqueJobs = len(unique)
+	rep.SubmitP50Sec = quantile(latencies, 0.50)
+	rep.SubmitP99Sec = quantile(latencies, 0.99)
+
+	completed, failed := awaitJobs(client, cfg, unique)
+	rep.Completed = completed
+	rep.Failed = failed
+	if secs := time.Since(start).Seconds(); secs > 0 {
+		rep.Throughput = float64(completed) / secs
+	}
+
+	for _, target := range cfg.targets {
+		c := scrape(client, target)
+		rep.Steals += c.Steals
+		rep.Adoptions += c.Adoptions
+		rep.PerInstance = append(rep.PerInstance, c)
+	}
+	return rep, nil
+}
+
+// submit posts one job and classifies the response.
+func submit(client *http.Client, target string, body []byte, tenant string) outcome {
+	req, err := http.NewRequest(http.MethodPost, target+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return outcome{code: -1}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Ropus-Tenant", tenant)
+	}
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	latency := time.Since(t0).Seconds()
+	if err != nil {
+		return outcome{code: -1, latency: latency}
+	}
+	defer resp.Body.Close()
+	o := outcome{code: resp.StatusCode, latency: latency}
+	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+		var st struct {
+			ID string `json:"id"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&st) == nil {
+			o.id = st.ID
+		}
+	}
+	io.Copy(io.Discard, resp.Body)
+	return o
+}
+
+// awaitJobs polls every accepted job until terminal or the wait budget
+// runs out. Jobs are queried round-robin across targets: the fleet
+// scanner makes any instance answer for any job.
+func awaitJobs(client *http.Client, cfg config, ids map[string]bool) (completed, failed int) {
+	deadline := time.Now().Add(cfg.wait)
+	pending := make([]string, 0, len(ids))
+	for id := range ids {
+		pending = append(pending, id)
+	}
+	sort.Strings(pending)
+	for i := 0; len(pending) > 0 && time.Now().Before(deadline); i++ {
+		var still []string
+		for _, id := range pending {
+			target := cfg.targets[i%len(cfg.targets)]
+			state := jobState(client, target, id)
+			switch state {
+			case serve.StateDone:
+				completed++
+			case serve.StateFailed:
+				failed++
+			default:
+				still = append(still, id)
+			}
+		}
+		pending = still
+		if len(pending) > 0 {
+			time.Sleep(200 * time.Millisecond)
+		}
+	}
+	return completed, failed
+}
+
+func jobState(client *http.Client, target, id string) string {
+	resp, err := client.Get(target + "/v1/jobs/" + id)
+	if err != nil {
+		return ""
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return ""
+	}
+	var st struct {
+		State string `json:"state"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&st) != nil {
+		return ""
+	}
+	return st.State
+}
+
+// scrape pulls one instance's fleet counters from /metrics and its
+// identity from /healthz.
+func scrape(client *http.Client, target string) Counter {
+	c := Counter{Target: target}
+	if resp, err := client.Get(target + "/healthz"); err == nil {
+		var health struct {
+			Instance string `json:"instance"`
+		}
+		json.NewDecoder(resp.Body).Decode(&health)
+		resp.Body.Close()
+		c.Instance = health.Instance
+	}
+	resp, err := client.Get(target + "/metrics")
+	if err != nil {
+		return c
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return c
+	}
+	c.Steals = metricValue(data, "serve_jobs_stolen_total")
+	c.Adoptions = metricValue(data, "serve_jobs_adopted_total")
+	c.Completed = metricValue(data, "serve_jobs_completed_total")
+	return c
+}
+
+// metricValue extracts an un-labelled counter sample from Prometheus
+// text exposition; absent metrics read 0.
+func metricValue(exposition []byte, name string) int64 {
+	for _, line := range strings.Split(string(exposition), "\n") {
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(line[len(name)+1:]), 64)
+		if err != nil {
+			return 0
+		}
+		return int64(math.Round(v))
+	}
+	return 0
+}
+
+// quantile is the nearest-rank quantile of an unsorted sample; 0 when
+// empty.
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

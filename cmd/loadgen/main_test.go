@@ -1,0 +1,157 @@
+package main
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ropus/internal/serve"
+)
+
+func testConfig(targets []string) config {
+	return config{
+		targets:  targets,
+		duration: 1200 * time.Millisecond,
+		rate:     15,
+		seed:     7,
+		specs:    2,
+		apps:     2,
+		weeks:    1,
+		kind:     serve.KindTranslate,
+		tenants:  "gold=2,bronze=1",
+		wait:     90 * time.Second,
+	}
+}
+
+// TestScheduleDeterministic: the same seed yields byte-for-byte the
+// same arrival plan — times, specs, targets and tenants.
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := testConfig([]string{"http://a", "http://b"})
+	first, err := schedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := schedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if len(first) != len(second) {
+		t.Fatalf("replay produced %d arrivals, want %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("arrival %d diverged: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+	cfg.seed = 8
+	other, err := schedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(other) == len(first)
+	for i := 0; same && i < len(first); i++ {
+		same = other[i] == first[i]
+	}
+	if same {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+// TestDriveAgainstLiveServer: end-to-end against one in-process serve
+// instance — every accepted job completes, nothing answers 5xx, and
+// the dedup arithmetic holds (the spec pool bounds unique jobs).
+func TestDriveAgainstLiveServer(t *testing.T) {
+	s, err := serve.New("127.0.0.1:0", serve.Config{
+		StateDir: filepath.Join(t.TempDir(), "state"),
+		Workers:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serverDone := make(chan error, 1)
+	go func() { serverDone <- s.Run(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		<-serverDone
+	})
+
+	cfg := testConfig([]string{"http://" + s.Addr()})
+	rep, err := drive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Submissions == 0 {
+		t.Fatal("no submissions fired")
+	}
+	if rep.Errors5xx != 0 || rep.OtherErrors != 0 {
+		t.Errorf("errors: %d 5xx, %d other", rep.Errors5xx, rep.OtherErrors)
+	}
+	if rep.UniqueJobs == 0 || rep.UniqueJobs > cfg.specs {
+		t.Errorf("unique jobs %d outside (0, %d]", rep.UniqueJobs, cfg.specs)
+	}
+	if rep.Accepted != rep.Submissions-rep.Shed {
+		t.Errorf("accounting: %d accepted + %d shed != %d submissions",
+			rep.Accepted, rep.Shed, rep.Submissions)
+	}
+	if rep.Deduplicated != rep.Accepted-rep.UniqueJobs {
+		t.Errorf("dedup count %d, want accepted %d - unique %d",
+			rep.Deduplicated, rep.Accepted, rep.UniqueJobs)
+	}
+	if rep.Completed != rep.UniqueJobs {
+		t.Errorf("%d of %d unique jobs completed", rep.Completed, rep.UniqueJobs)
+	}
+	if rep.Failed != 0 {
+		t.Errorf("%d jobs failed", rep.Failed)
+	}
+	if rep.SubmitP99Sec < rep.SubmitP50Sec {
+		t.Errorf("p99 %v below p50 %v", rep.SubmitP99Sec, rep.SubmitP50Sec)
+	}
+	if len(rep.PerInstance) != 1 || rep.PerInstance[0].Instance == "" {
+		t.Errorf("per-instance scrape: %+v", rep.PerInstance)
+	}
+	if rep.PerInstance[0].Completed != int64(rep.UniqueJobs) {
+		t.Errorf("scraped completions %d, want %d", rep.PerInstance[0].Completed, rep.UniqueJobs)
+	}
+}
+
+// TestMetricValue: counter extraction from Prometheus text exposition
+// tolerates HELP/TYPE lines, prefix-sharing names and absent metrics.
+func TestMetricValue(t *testing.T) {
+	exposition := []byte(`# HELP serve_jobs_stolen_total jobs stolen
+# TYPE serve_jobs_stolen_total counter
+serve_jobs_stolen_total 3
+serve_jobs_stolen_total_rate 99
+serve_jobs_adopted_total 0
+`)
+	if got := metricValue(exposition, "serve_jobs_stolen_total"); got != 3 {
+		t.Errorf("stolen = %d, want 3", got)
+	}
+	if got := metricValue(exposition, "serve_jobs_adopted_total"); got != 0 {
+		t.Errorf("adopted = %d, want 0", got)
+	}
+	if got := metricValue(exposition, "serve_jobs_missing_total"); got != 0 {
+		t.Errorf("absent metric = %d, want 0", got)
+	}
+}
+
+// TestQuantileNearestRank: boundary behavior of the report quantiles.
+func TestQuantileNearestRank(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if got := quantile(xs, 0.5); got != 3 {
+		t.Errorf("p50 = %v, want 3", got)
+	}
+	if got := quantile(xs, 0.99); got != 5 {
+		t.Errorf("p99 = %v, want 5", got)
+	}
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty sample = %v, want 0", got)
+	}
+	if xs[0] != 5 {
+		t.Error("quantile mutated its input")
+	}
+}

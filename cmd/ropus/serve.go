@@ -24,8 +24,13 @@ func cmdServe(ctx context.Context, args []string) error {
 	ropts := resilienceFlags(fs)
 	var (
 		addr     = fs.String("addr", "127.0.0.1:7925", "listen address")
-		stateDir = fs.String("state-dir", "", "directory for job specs, results and checkpoint journals (required)")
+		stateDir = fs.String("state-dir", "", "directory for job specs, results, checkpoint journals and leases (required; shareable across a fleet)")
+		instance = fs.String("instance", "", "fleet instance identity in leases and results (empty = host-pid-seq)")
+		leaseTTL = fs.Duration("lease-ttl", 0, "job-lease heartbeat budget before peers may steal (0 = 10s)")
+		scanIntv = fs.Duration("scan-interval", 0, "how often the fleet scanner re-reads the shared state dir (0 = 1s)")
 		depth    = fs.Int("queue-depth", 64, "max queued jobs before submissions are shed with 429")
+		weights  = fs.String("tenant-weights", "", "admission weights as tenant=n pairs (DRR dequeue + graduated shedding)")
+		quotas   = fs.String("tenant-quotas", "", "per-tenant queued-job caps as tenant=n pairs")
 		maxConc  = fs.Int("max-concurrent", 0, "max jobs executing at once (0 = GOMAXPROCS)")
 		classes  = fs.String("class-limits", "failover=2,plan=1", "per-kind concurrency caps as kind=n pairs (empty disables)")
 		workers  = fs.Int("workers", 0, "per-job failure-sweep workers (0 = GOMAXPROCS, 1 = sequential)")
@@ -44,6 +49,14 @@ func cmdServe(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	tenantWeights, err := parsePairs("-tenant-weights", *weights)
+	if err != nil {
+		return err
+	}
+	tenantQuotas, err := parsePairs("-tenant-quotas", *quotas)
+	if err != nil {
+		return err
+	}
 	cacheBytes := *cacheMB << 20
 	if *cacheMB < 0 {
 		cacheBytes = -1
@@ -57,7 +70,12 @@ func cmdServe(ctx context.Context, args []string) error {
 	}
 	cfg := serve.Config{
 		StateDir:      *stateDir,
+		Instance:      *instance,
+		LeaseTTL:      *leaseTTL,
+		ScanInterval:  *scanIntv,
 		QueueDepth:    *depth,
+		TenantWeights: tenantWeights,
+		TenantQuotas:  tenantQuotas,
 		MaxConcurrent: *maxConc,
 		ClassLimits:   limits,
 		Workers:       *workers,
@@ -74,8 +92,29 @@ func cmdServe(ctx context.Context, args []string) error {
 	logger.LogAttrs(ctx, slog.LevelInfo, "serve.listening",
 		slog.String("addr", s.Addr()),
 		slog.String("state_dir", *stateDir),
+		slog.String("instance", s.Manager().Instance()),
 		slog.Int("jobs_recovered", queued))
 	return s.Run(ctx)
+}
+
+// parsePairs parses "name=n,name=n" maps (tenant weights and quotas).
+func parsePairs(flagName, s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, pair := range strings.Split(s, ",") {
+		name, n, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("serve: %s entry %q is not name=n", flagName, pair)
+		}
+		v, err := strconv.Atoi(n)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("serve: %s %q needs a positive count", flagName, pair)
+		}
+		out[name] = v
+	}
+	return out, nil
 }
 
 // parseClassLimits parses "failover=2,plan=1" into per-kind caps.

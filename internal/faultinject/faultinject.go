@@ -17,6 +17,15 @@
 //	sim.required_capacity   key = Problem server ID (via Config.InjectKey)
 //	sim.replay              key = Config.InjectKey
 //	wlmgr.container         key = application ID
+//	lease.acquire           key = lease name; Err fails the acquisition
+//	lease.expire            key = lease name; any fired outcome makes a
+//	                        live peer lease count as expired, forcing a
+//	                        deterministic (contested) steal
+//	lease.steal             key = lease name; Delay widens the window
+//	                        between expiry detection and the steal rename,
+//	                        staging multi-instance steal races
+//	lease.renew             key = lease name; Err makes the holder observe
+//	                        a lost lease on its next heartbeat
 //
 // The package is dependency-free (stdlib plus the repo's resilience
 // classification) and safe for concurrent use.

@@ -1,0 +1,255 @@
+package lease
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"ropus/internal/faultinject"
+)
+
+func keeper(t *testing.T, instance string, ttl time.Duration) *Keeper {
+	t.Helper()
+	return &Keeper{Dir: t.TempDir(), Instance: instance, TTL: ttl}
+}
+
+func TestAcquireRenewRelease(t *testing.T) {
+	k := keeper(t, "a", time.Second)
+	l, err := k.Acquire("job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Epoch() != 1 || l.Stolen() {
+		t.Fatalf("fresh claim: epoch %d stolen %v", l.Epoch(), l.Stolen())
+	}
+	info, status := k.Read("job-1")
+	if status != StatusLive || info.Instance != "a" || info.Epoch != 1 {
+		t.Fatalf("after claim: %v %+v", status, info)
+	}
+	if err := l.Renew(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if _, status := k.Read("job-1"); status != StatusReleased {
+		t.Fatalf("after release: %v", status)
+	}
+
+	// Takeover of a released lease is immediate (no TTL wait), continues
+	// the epoch sequence, and is not a steal.
+	l2, err := k.Acquire("job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Epoch() != 2 || l2.Stolen() {
+		t.Fatalf("takeover: epoch %d stolen %v", l2.Epoch(), l2.Stolen())
+	}
+	if err := l2.Discard(); err != nil {
+		t.Fatal(err)
+	}
+	if _, status := k.Read("job-1"); status != StatusAbsent {
+		t.Fatalf("after discard: %v", status)
+	}
+}
+
+func TestSecondAcquirerIsHeld(t *testing.T) {
+	a := keeper(t, "a", time.Minute)
+	b := &Keeper{Dir: a.Dir, Instance: "b", TTL: time.Minute}
+	if _, err := a.Acquire("job"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := b.Acquire("job")
+	var held *HeldError
+	if !errors.As(err, &held) || !errors.Is(err, ErrHeld) {
+		t.Fatalf("got %v, want HeldError", err)
+	}
+	if held.Instance != "a" || held.Epoch != 1 {
+		t.Fatalf("held by %q epoch %d, want a/1", held.Instance, held.Epoch)
+	}
+}
+
+func TestStealExpiredLease(t *testing.T) {
+	a := keeper(t, "a", 50*time.Millisecond)
+	la, err := a.Acquire("job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a's crash: no renewals, no release.
+	time.Sleep(80 * time.Millisecond)
+
+	b := &Keeper{Dir: a.Dir, Instance: "b", TTL: 50 * time.Millisecond}
+	lb, err := b.Acquire("job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lb.Stolen() || lb.Epoch() != 2 {
+		t.Fatalf("steal: stolen=%v epoch=%d", lb.Stolen(), lb.Epoch())
+	}
+	// The zombie holder discovers the loss on its next renewal, and the
+	// loss is permanent.
+	if err := la.Renew(); !errors.Is(err, ErrLost) {
+		t.Fatalf("zombie renew: got %v, want ErrLost", err)
+	}
+	if err := la.Renew(); !errors.Is(err, ErrLost) {
+		t.Fatalf("second zombie renew: got %v, want ErrLost", err)
+	}
+	// A lost holder's release must not clobber the thief's lease.
+	if err := la.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if info, status := b.Read("job"); status != StatusLive || info.Instance != "b" {
+		t.Fatalf("thief's lease damaged by zombie release: %v %+v", status, info)
+	}
+}
+
+// TestContestedStealExactlyOneWinner: many stealers race one expired
+// lease; exactly one acquisition succeeds, the rest observe ErrHeld.
+// Run under -race this also proves the keeper is data-race free.
+func TestContestedStealExactlyOneWinner(t *testing.T) {
+	a := keeper(t, "dead", 10*time.Millisecond)
+	if _, err := a.Acquire("job"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+
+	const n = 8
+	var wg sync.WaitGroup
+	wins := make(chan *Lease, n)
+	var helds, others int
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := &Keeper{Dir: a.Dir, Instance: string(rune('A' + i)), TTL: time.Minute}
+			l, err := k.Acquire("job")
+			switch {
+			case err == nil:
+				wins <- l
+			case errors.Is(err, ErrHeld):
+				mu.Lock()
+				helds++
+				mu.Unlock()
+			default:
+				mu.Lock()
+				others++
+				mu.Unlock()
+				t.Errorf("unexpected acquire error: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(wins)
+	var winners []*Lease
+	for l := range wins {
+		winners = append(winners, l)
+	}
+	if len(winners) != 1 {
+		t.Fatalf("%d winners, want exactly 1 (held=%d other=%d)", len(winners), helds, others)
+	}
+	if got := winners[0].Epoch(); got != 2 {
+		t.Errorf("winner epoch %d, want 2", got)
+	}
+}
+
+func TestTornLeaseTreatedAsLive(t *testing.T) {
+	k := keeper(t, "a", time.Millisecond)
+	path := k.path("job")
+	if err := os.WriteFile(path, []byte(`{"instance":"x","epo`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, status := k.Read("job"); status != StatusUnreadable {
+		t.Fatalf("torn lease read as %v, want unreadable", status)
+	}
+	// Unreadable means "written moments ago": Acquire must refuse to
+	// steal even though any parseable heartbeat would count as expired.
+	if _, err := k.Acquire("job"); !errors.Is(err, ErrHeld) {
+		t.Fatalf("torn lease acquire: got %v, want ErrHeld", err)
+	}
+	// Same for a checksum mismatch (a record tampered or half-replaced).
+	info := Info{Instance: "x", Epoch: 3, HeartbeatNS: 1, TTLNS: 1, Sum: "not-the-sum"}
+	data, _ := json.Marshal(info)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, status := k.Read("job"); status != StatusUnreadable {
+		t.Fatalf("bad-sum lease read as %v, want unreadable", status)
+	}
+}
+
+// TestInjectedExpiryForcesSteal: the lease.expire injection point makes
+// a live lease stealable, so chaos tests can stage contested steals
+// deterministically, and lease.renew makes the holder observe the loss.
+func TestInjectedExpiryForcesSteal(t *testing.T) {
+	a := keeper(t, "a", time.Minute)
+	la, err := a.Acquire("job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	thief := &Keeper{
+		Dir: a.Dir, Instance: "b", TTL: time.Minute,
+		Inject: faultinject.MustScript(1,
+			faultinject.Rule{Point: "lease.expire", Key: "job"},
+			faultinject.Rule{Point: "lease.steal", Key: "job", Delay: 5 * time.Millisecond},
+		),
+	}
+	lb, err := thief.Acquire("job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lb.Stolen() || lb.Epoch() != 2 {
+		t.Fatalf("forced steal: stolen=%v epoch=%d", lb.Stolen(), lb.Epoch())
+	}
+	if err := la.Renew(); !errors.Is(err, ErrLost) {
+		t.Fatalf("victim renew: got %v, want ErrLost", err)
+	}
+}
+
+// TestInjectedRenewFailure: a scripted lease.renew error marks the
+// lease lost without any peer involvement (models a heartbeat that
+// could not reach the shared directory).
+func TestInjectedRenewFailure(t *testing.T) {
+	k := keeper(t, "a", time.Minute)
+	k.Inject = faultinject.MustScript(1, faultinject.Rule{Point: "lease.renew", Nth: 2})
+	l, err := k.Acquire("job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Renew(); err != nil {
+		t.Fatalf("first renew should pass: %v", err)
+	}
+	if err := l.Renew(); !errors.Is(err, ErrLost) {
+		t.Fatalf("second renew: got %v, want ErrLost", err)
+	}
+}
+
+func TestAcquireLeavesNoTempDebris(t *testing.T) {
+	k := keeper(t, "a", 10*time.Millisecond)
+	l, err := k.Acquire("job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	b := &Keeper{Dir: k.Dir, Instance: "b", TTL: time.Minute}
+	if _, err := b.Acquire("job"); err != nil {
+		t.Fatal(err)
+	}
+	_ = l
+	entries, err := os.ReadDir(k.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "job.lease" {
+			t.Errorf("debris left behind: %s", e.Name())
+		}
+	}
+	if _, err := os.Stat(filepath.Join(k.Dir, "job.lease")); err != nil {
+		t.Errorf("lease file missing: %v", err)
+	}
+}

@@ -116,6 +116,57 @@ func TestRetryAfterGaugeExported(t *testing.T) {
 	}
 }
 
+// TestRetryAfterTracksInFlightElapsed (regression): the Retry-After
+// estimate is recomputed at response time from live state. The EWMA
+// only moves at job completions, so during a sustained burst of slow
+// jobs it goes stale and under-advertises; the age of the longest
+// in-flight job is a live lower bound on the true duration and must
+// dominate the estimate once it exceeds the EWMA.
+func TestRetryAfterTracksInFlightElapsed(t *testing.T) {
+	m := newTestManager(t, func(c *Config) {
+		c.QueueDepth = 1
+		c.MaxConcurrent = 1
+	})
+	csv := fleetCSV(t, 3, 1, 5)
+	if _, _, err := m.Submit(JobSpec{Kind: KindTranslate, TracesCSV: csv, GASeed: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stale-EWMA scenario: completed jobs averaged ~1s, but the job
+	// occupying the executor has already been running for 20s and has
+	// completed nothing. The manager is not started, so the fake
+	// in-flight entry is entirely under test control.
+	m.mu.Lock()
+	m.avgSeconds = 1
+	m.running = 1
+	m.runningSince["in-flight"] = time.Now().Add(-20 * time.Second)
+	m.mu.Unlock()
+
+	_, _, err := m.Submit(JobSpec{Kind: KindTranslate, TracesCSV: csv, GASeed: 2})
+	var overloaded *OverloadedError
+	if !errors.As(err, &overloaded) {
+		t.Fatalf("got %v, want OverloadedError", err)
+	}
+	// With the stale EWMA alone the estimate would be ~3s (1s x 3
+	// waves); the 20s in-flight elapsed must pull it to >= 20s.
+	if overloaded.RetryAfter < 20*time.Second {
+		t.Errorf("Retry-After %v advertises the stale EWMA; want >= 20s from in-flight elapsed", overloaded.RetryAfter)
+	}
+
+	// And it keeps growing while the burst continues: the estimate is
+	// recomputed per response, not cached at enqueue time.
+	m.mu.Lock()
+	m.runningSince["in-flight"] = time.Now().Add(-40 * time.Second)
+	m.mu.Unlock()
+	_, _, err = m.Submit(JobSpec{Kind: KindTranslate, TracesCSV: csv, GASeed: 3})
+	if !errors.As(err, &overloaded) {
+		t.Fatalf("got %v, want OverloadedError", err)
+	}
+	if overloaded.RetryAfter < 40*time.Second {
+		t.Errorf("second shed Retry-After %v did not track the still-running job", overloaded.RetryAfter)
+	}
+}
+
 // TestClassLimitSchedulesAroundBusyClass: a saturated class must not
 // starve other classes — a translate job overtakes queued failover work.
 func TestClassLimitSchedulesAroundBusyClass(t *testing.T) {

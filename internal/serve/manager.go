@@ -10,11 +10,13 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ropus/internal/checkpoint"
 	"ropus/internal/faultinject"
 	"ropus/internal/flight"
+	"ropus/internal/lease"
 	"ropus/internal/obslog"
 	"ropus/internal/parallel"
 	"ropus/internal/placement"
@@ -33,31 +35,75 @@ const (
 	StateInterrupted = "interrupted"
 )
 
+// DefaultTenant is the admission class of submissions that carry no
+// tenant header.
+const DefaultTenant = "default"
+
 // ErrDraining rejects submissions while the server shuts down.
 var ErrDraining = errors.New("serve: draining, not accepting jobs")
 
-// OverloadedError sheds a submission that would overflow the queue.
-// RetryAfter estimates when a slot should free up.
+// OverloadedError sheds a submission that would overflow the queue (or
+// a tenant's share of it). RetryAfter estimates when a slot should
+// free up.
 type OverloadedError struct {
 	Queued     int
 	QueueDepth int
+	// Tenant is the admission class the shed submission belonged to;
+	// Reason distinguishes a globally full queue from a tenant that
+	// exhausted its weighted share or hard quota.
+	Tenant     string
+	Reason     string
 	RetryAfter time.Duration
 }
 
 func (e *OverloadedError) Error() string {
-	return fmt.Sprintf("serve: queue full (%d/%d), retry after %s", e.Queued, e.QueueDepth, e.RetryAfter)
+	reason := e.Reason
+	if reason == "" {
+		reason = "queue full"
+	}
+	return fmt.Sprintf("serve: %s for tenant %q (%d/%d queued), retry after %s",
+		reason, e.Tenant, e.Queued, e.QueueDepth, e.RetryAfter)
 }
 
 // Config parameterizes a Manager (and the Server wrapping it).
 type Config struct {
-	// StateDir persists submitted specs, results and checkpoint
-	// journals; a server restarted on the same directory resumes its
-	// unfinished jobs (required).
+	// StateDir persists submitted specs, results, checkpoint journals
+	// and job leases; a server restarted on the same directory resumes
+	// its unfinished jobs (required). Multiple live instances may share
+	// one StateDir: leases arbitrate job ownership, and an instance
+	// steals a peer's job once its lease heartbeat expires.
 	StateDir string
+	// Instance identifies this process in lease files and result
+	// documents. Empty selects host-pid-seq, unique per Manager.
+	Instance string
+	// LeaseTTL is the job-lease heartbeat budget: a holder that misses
+	// renewals for this long is presumed dead and its jobs stealable.
+	// <= 0 selects lease.DefaultTTL.
+	LeaseTTL time.Duration
+	// ScanInterval is how often the fleet scanner re-reads the shared
+	// state directory for jobs submitted to peers, results completed by
+	// peers, and expired leases to reclaim. <= 0 selects 1s.
+	ScanInterval time.Duration
+	// SSEPoll is the granularity of the /v1/jobs/{id}/events stream
+	// (how often a subscriber's snapshot is refreshed). <= 0 selects
+	// 150ms.
+	SSEPoll time.Duration
 	// QueueDepth bounds the number of queued (admitted, not yet
 	// running) jobs; submissions beyond it are shed with an
 	// OverloadedError. <= 0 selects 64.
 	QueueDepth int
+	// TenantWeights maps a tenant to its admission weight (default 1).
+	// Weights shape both sides of admission: dequeue is deficit-round-
+	// robin with each tenant's quantum equal to its weight, and
+	// shedding is graduated — tenant t is shed once the queue holds
+	// QueueDepth * weight(t) / maxWeight jobs, so the lowest-weight
+	// tenants shed first as the queue fills while the highest-weight
+	// tenant can use the full depth. Uniform weights reduce to plain
+	// FIFO with a single shared threshold.
+	TenantWeights map[string]int
+	// TenantQuotas caps how many jobs a tenant may hold queued at once,
+	// independent of global occupancy. Absent or <= 0 is uncapped.
+	TenantQuotas map[string]int
 	// MaxConcurrent bounds how many jobs execute at once across all
 	// classes. <= 0 selects GOMAXPROCS.
 	MaxConcurrent int
@@ -79,7 +125,8 @@ type Config struct {
 	// connections to finish. <= 0 selects 30s.
 	DrainTimeout time.Duration
 	// Inject is the test-only fault injector threaded into every job's
-	// framework; nil injects nothing.
+	// framework and into the lease keeper (lease.acquire, lease.expire,
+	// lease.steal, lease.renew points); nil injects nothing.
 	Inject faultinject.Injector
 	// Logger receives the service's structured log records (job
 	// lifecycle, pipeline stages via the jobs' contexts); nil discards
@@ -117,7 +164,30 @@ func DefaultObjectives() []slo.Objective {
 	}
 }
 
+// instanceSeq distinguishes Managers built in one process.
+var instanceSeq atomic.Uint64
+
+func defaultInstance() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "host"
+	}
+	return fmt.Sprintf("%s-%d-%d", host, os.Getpid(), instanceSeq.Add(1))
+}
+
 func (c Config) withDefaults() Config {
+	if c.Instance == "" {
+		c.Instance = defaultInstance()
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = lease.DefaultTTL
+	}
+	if c.ScanInterval <= 0 {
+		c.ScanInterval = time.Second
+	}
+	if c.SSEPoll <= 0 {
+		c.SSEPoll = 150 * time.Millisecond
+	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
 	}
@@ -133,19 +203,37 @@ func (c Config) withDefaults() Config {
 // Job is one admitted planning job. Fields are guarded by the owning
 // Manager's mutex; JobStatus snapshots them for handlers.
 type Job struct {
-	ID    string
-	Spec  JobSpec
-	State string
-	Err   string
-	// Resumed marks a job re-queued by a restart; its checkpoint
-	// journal replays the finished units of the interrupted attempt.
+	ID     string
+	Spec   JobSpec
+	Tenant string
+	State  string
+	Err    string
+	// Instance is the fleet member currently (or last) responsible for
+	// the job: ourselves while running locally, the lease holder while
+	// a peer runs it, the completing instance once finished.
+	Instance string
+	// Resumed marks a job re-queued by a restart or reclaimed after a
+	// lease expiry; its checkpoint journal replays the finished units
+	// of the interrupted attempt.
 	Resumed bool
+	// Stolen marks a job this instance took over from an expired peer
+	// lease.
+	Stolen bool
 	// Result holds the finished job's JSON result document.
 	Result     json.RawMessage
 	ResultHash string
 	Submitted  time.Time
 	Started    time.Time
 	Finished   time.Time
+	// epoch is the lease epoch of the current local run; checkpoint
+	// journals are written per epoch so a zombie writer can never
+	// interleave with the thief's journal.
+	epoch uint64
+	// remote marks a job another instance holds the lease for (or
+	// finished); the scanner finalizes or reclaims it.
+	remote bool
+	// queuedLocal marks a job sitting in this instance's tenant queues.
+	queuedLocal bool
 	// reg collects the job's own telemetry while it runs; its counters
 	// become the status endpoint's progress block.
 	reg *telemetry.Registry
@@ -158,9 +246,14 @@ type Job struct {
 type JobStatus struct {
 	ID      string `json:"id"`
 	Kind    string `json:"kind"`
+	Tenant  string `json:"tenant,omitempty"`
 	State   string `json:"state"`
 	Error   string `json:"error,omitempty"`
 	Resumed bool   `json:"resumed,omitempty"`
+	// Stolen marks a job taken over from an expired peer lease; Instance
+	// is the fleet member responsible for the job right now.
+	Stolen   bool   `json:"stolen,omitempty"`
+	Instance string `json:"instance,omitempty"`
 	// Progress exposes the job's telemetry counters (scenarios swept,
 	// checkpoint records written, GA generations, ...) while it runs
 	// and after it finishes.
@@ -174,15 +267,18 @@ type JobStatus struct {
 
 // Manager owns the job table, the admission decisions and the executor
 // pool. It is the HTTP-free core of the service, so tests drive it
-// directly.
+// directly. In fleet mode N managers share one state directory and
+// arbitrate job ownership through leases.
 type Manager struct {
-	cfg     Config
-	cache   *placement.SimCache
-	limiter *parallel.Limiter
-	hooks   telemetry.Hooks
-	logger  *slog.Logger
-	flight  *flight.Recorder
-	slo     *slo.Tracker
+	cfg       Config
+	cache     *placement.SimCache
+	limiter   *parallel.Limiter
+	hooks     telemetry.Hooks
+	logger    *slog.Logger
+	flight    *flight.Recorder
+	slo       *slo.Tracker
+	leases    *lease.Keeper
+	maxWeight int
 
 	submittedC   *telemetry.Counter
 	dedupC       *telemetry.Counter
@@ -190,6 +286,11 @@ type Manager struct {
 	completedC   *telemetry.Counter
 	failedC      *telemetry.Counter
 	interruptedC *telemetry.Counter
+	stolenC      *telemetry.Counter
+	adoptedC     *telemetry.Counter
+	remoteDoneC  *telemetry.Counter
+	leaseLostC   *telemetry.Counter
+	heldSkipC    *telemetry.Counter
 	queuedG      *telemetry.Gauge
 	runningG     *telemetry.Gauge
 	retryAfterG  *telemetry.Gauge
@@ -199,12 +300,22 @@ type Manager struct {
 	wg     sync.WaitGroup
 	notify chan struct{}
 
-	mu           sync.Mutex
-	jobs         map[string]*Job
-	order        []string // submission order, for listing
-	queue        []string // FIFO of queued job IDs
+	mu   sync.Mutex
+	jobs map[string]*Job
+	// order is submission/adoption order, for listing.
+	order []string
+	// Admission is tenant-major: one FIFO per tenant, dequeued by
+	// deficit round robin over ring with per-tenant quantum = weight.
+	queues      map[string][]string
+	ring        []string
+	ringMember  map[string]bool
+	deficit     map[string]float64
+	rrPos       int
+	queuedTotal int
+
 	classRunning map[string]int
 	running      int
+	runningSince map[string]time.Time
 	avgSeconds   float64 // EWMA job duration, feeds Retry-After
 	draining     bool
 }
@@ -216,7 +327,7 @@ func NewManager(cfg Config, hooks telemetry.Hooks) (*Manager, error) {
 	if cfg.StateDir == "" {
 		return nil, errors.New("serve: Config.StateDir is required")
 	}
-	for _, sub := range []string{"jobs", "results", "ckpt", "flight"} {
+	for _, sub := range []string{"jobs", "results", "ckpt", "flight", "leases"} {
 		if err := os.MkdirAll(filepath.Join(cfg.StateDir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("serve: state dir: %w", err)
 		}
@@ -235,37 +346,65 @@ func NewManager(cfg Config, hooks telemetry.Hooks) (*Manager, error) {
 	// and spans.
 	rec := flight.NewRecorder(cfg.FlightEvents)
 	logger = obslog.WithRecorder(logger, rec)
+	maxWeight := 1
+	for _, w := range cfg.TenantWeights {
+		if w > maxWeight {
+			maxWeight = w
+		}
+	}
 	m := &Manager{
-		cfg:          cfg,
-		limiter:      parallel.NewLimiter(cfg.MaxConcurrent),
-		hooks:        h,
-		logger:       logger,
-		flight:       rec,
-		slo:          slo.NewTracker(cfg.SLOWindow, objectives...),
+		cfg:     cfg,
+		limiter: parallel.NewLimiter(cfg.MaxConcurrent),
+		hooks:   h,
+		logger:  logger,
+		flight:  rec,
+		slo:     slo.NewTracker(cfg.SLOWindow, objectives...),
+		leases: &lease.Keeper{
+			Dir:      filepath.Join(cfg.StateDir, "leases"),
+			Instance: cfg.Instance,
+			TTL:      cfg.LeaseTTL,
+			Inject:   cfg.Inject,
+			Hooks:    h,
+		},
+		maxWeight:    maxWeight,
 		submittedC:   h.Counter("serve_jobs_submitted_total"),
 		dedupC:       h.Counter("serve_jobs_deduplicated_total"),
 		shedC:        h.Counter("serve_jobs_shed_total"),
 		completedC:   h.Counter("serve_jobs_completed_total"),
 		failedC:      h.Counter("serve_jobs_failed_total"),
 		interruptedC: h.Counter("serve_jobs_interrupted_total"),
+		stolenC:      h.Counter("serve_jobs_stolen_total"),
+		adoptedC:     h.Counter("serve_jobs_adopted_total"),
+		remoteDoneC:  h.Counter("serve_jobs_remote_completed_total"),
+		leaseLostC:   h.Counter("serve_lease_lost_total"),
+		heldSkipC:    h.Counter("serve_lease_held_skips_total"),
 		queuedG:      h.Gauge("serve_jobs_queued"),
 		runningG:     h.Gauge("serve_jobs_running"),
 		retryAfterG:  h.Gauge("serve_retry_after_seconds"),
 		jobSeconds:   h.Histogram("serve_job_seconds", nil),
 		notify:       make(chan struct{}, 1),
 		jobs:         make(map[string]*Job),
+		queues:       make(map[string][]string),
+		ringMember:   make(map[string]bool),
+		deficit:      make(map[string]float64),
 		classRunning: make(map[string]int),
+		runningSince: make(map[string]time.Time),
 		avgSeconds:   1, // optimistic prior until real durations arrive
 	}
 	if cfg.CacheBytes >= 0 {
 		m.cache = placement.NewSimCache(cfg.CacheBytes)
 	}
-	if err := m.recover(); err != nil {
+	if err := m.scanDisk(true); err != nil {
 		return nil, err
 	}
+	m.mu.Lock()
 	m.retryAfterLocked() // publish the initial Retry-After estimate
+	m.mu.Unlock()
 	return m, nil
 }
+
+// Instance returns this manager's fleet identity.
+func (m *Manager) Instance() string { return m.cfg.Instance }
 
 // Flight exposes the server-wide flight recorder (the /debug/flight
 // handler and tests).
@@ -287,10 +426,11 @@ func (m *Manager) Tracer(id string) *telemetry.Tracer {
 	return nil
 }
 
-// Start launches the scheduler; ctx cancellation begins the drain:
-// dispatch stops, in-flight jobs stop at their next checkpoint boundary
-// and are marked interrupted (their journals keep the completed
-// prefix), and Wait returns once the executors settle.
+// Start launches the scheduler and the fleet scanner; ctx cancellation
+// begins the drain: dispatch stops, in-flight jobs stop at their next
+// checkpoint boundary and are marked interrupted (their journals keep
+// the completed prefix, their leases are released for immediate
+// takeover), and Wait returns once the executors settle.
 func (m *Manager) Start(ctx context.Context) {
 	m.ctx = ctx
 	// A panic converted to an error anywhere in the pipeline dumps the
@@ -301,7 +441,7 @@ func (m *Manager) Start(ctx context.Context) {
 		m.flight.Record("event", "panic", "", map[string]any{"op": op, "value": fmt.Sprint(v)})
 		m.dumpFlight("panic", "panic", "")
 	})
-	m.wg.Add(1)
+	m.wg.Add(2)
 	go func() {
 		defer m.wg.Done()
 		for {
@@ -312,6 +452,22 @@ func (m *Manager) Start(ctx context.Context) {
 			}
 			for m.dispatchOne() {
 			}
+		}
+	}()
+	// The fleet scanner: adopt jobs peers persisted, finalize jobs peers
+	// finished, reclaim jobs whose holder's lease expired or released.
+	go func() {
+		defer m.wg.Done()
+		ticker := time.NewTicker(m.cfg.ScanInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+			}
+			m.scanDisk(false)
+			m.sweepParked()
 		}
 	}()
 	m.kick()
@@ -335,9 +491,119 @@ func (m *Manager) SetDraining() {
 	m.mu.Unlock()
 }
 
+// weight returns a tenant's admission weight (default 1).
+func (m *Manager) weight(tenant string) int {
+	if w := m.cfg.TenantWeights[tenant]; w > 0 {
+		return w
+	}
+	return 1
+}
+
+// shedThresholdLocked is the global queue occupancy at which tenant
+// submissions start shedding: full depth for the heaviest weight,
+// proportionally earlier for lighter ones, so overload sheds the
+// lowest-weight tenants first without ever evicting an accepted job.
+func (m *Manager) shedThresholdLocked(tenant string) int {
+	t := m.cfg.QueueDepth * m.weight(tenant) / m.maxWeight
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// enqueueLocked appends the job to its tenant's FIFO and keeps the DRR
+// ring in sync.
+func (m *Manager) enqueueLocked(job *Job) {
+	t := job.Tenant
+	m.queues[t] = append(m.queues[t], job.ID)
+	m.queuedTotal++
+	job.queuedLocal = true
+	job.remote = false
+	if !m.ringMember[t] {
+		m.ringMember[t] = true
+		m.ring = append(m.ring, t)
+	}
+	m.queuedG.Set(float64(m.queuedTotal))
+}
+
+// removeTenantLocked drops an emptied tenant from the DRR ring and
+// forfeits its credit, so an idle tenant cannot hoard deficit.
+func (m *Manager) removeTenantLocked(t string) {
+	if len(m.queues[t]) > 0 {
+		return
+	}
+	delete(m.queues, t)
+	delete(m.ringMember, t)
+	m.deficit[t] = 0
+	for i, name := range m.ring {
+		if name == t {
+			m.ring = append(m.ring[:i], m.ring[i+1:]...)
+			if m.rrPos > i {
+				m.rrPos--
+			}
+			break
+		}
+	}
+}
+
+// dispatchableLocked returns the index of the first job in tenant t's
+// queue whose class has a free slot, or -1.
+func (m *Manager) dispatchableLocked(t string) int {
+	for i, id := range m.queues[t] {
+		kind := m.jobs[id].Spec.Kind
+		if limit := m.cfg.ClassLimits[kind]; limit > 0 && m.classRunning[kind] >= limit {
+			continue
+		}
+		return i
+	}
+	return -1
+}
+
+// nextQueuedLocked picks the next job by deficit round robin: each
+// visit tops a tenant's deficit up by its weight, each dispatched job
+// costs 1, and the scheduler stays on a tenant until its deficit is
+// spent, so tenants drain in proportion to their weights. Tenants whose
+// head-of-queue jobs are class-blocked are skipped without charge. The
+// job is removed from its queue; "" means nothing is dispatchable.
+func (m *Manager) nextQueuedLocked() string {
+	for visited := 0; visited < len(m.ring); visited++ {
+		if len(m.ring) == 0 {
+			return ""
+		}
+		m.rrPos %= len(m.ring)
+		t := m.ring[m.rrPos]
+		idx := m.dispatchableLocked(t)
+		if idx < 0 {
+			m.rrPos++
+			continue
+		}
+		if m.deficit[t] < 1 {
+			m.deficit[t] += float64(m.weight(t))
+		}
+		if m.deficit[t] < 1 {
+			m.rrPos++
+			continue
+		}
+		m.deficit[t]--
+		id := m.queues[t][idx]
+		m.queues[t] = append(m.queues[t][:idx], m.queues[t][idx+1:]...)
+		m.queuedTotal--
+		m.jobs[id].queuedLocal = false
+		if len(m.queues[t]) == 0 {
+			m.removeTenantLocked(t)
+		} else if m.deficit[t] < 1 {
+			m.rrPos++ // visit exhausted; next tenant on the next pick
+		}
+		m.queuedG.Set(float64(m.queuedTotal))
+		return id
+	}
+	return ""
+}
+
 // Submit admits a job. It is idempotent: a spec hashing to a known job
-// returns that job with created=false. A full queue sheds the
-// submission with an OverloadedError carrying a Retry-After estimate.
+// returns that job with created=false. A full queue — or a tenant past
+// its weighted share or quota — sheds the submission with an
+// OverloadedError carrying a Retry-After estimate.
 func (m *Manager) Submit(spec JobSpec) (JobStatus, bool, error) {
 	start := time.Now()
 	spec.normalize()
@@ -346,6 +612,7 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, bool, error) {
 		return JobStatus{}, false, err
 	}
 	id := jobID(spec.Key(set))
+	tenant := spec.Tenant
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -356,39 +623,66 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, bool, error) {
 	if m.draining {
 		return JobStatus{}, false, ErrDraining
 	}
-	if len(m.queue) >= m.cfg.QueueDepth {
+	if quota := m.cfg.TenantQuotas[tenant]; quota > 0 && len(m.queues[tenant]) >= quota {
 		m.shedC.Inc()
 		return JobStatus{}, false, &OverloadedError{
-			Queued:     len(m.queue),
-			QueueDepth: m.cfg.QueueDepth,
+			Queued:     len(m.queues[tenant]),
+			QueueDepth: quota,
+			Tenant:     tenant,
+			Reason:     "tenant quota exhausted",
+			RetryAfter: m.retryAfterLocked(),
+		}
+	}
+	if threshold := m.shedThresholdLocked(tenant); m.queuedTotal >= threshold {
+		m.shedC.Inc()
+		reason := "queue full"
+		if threshold < m.cfg.QueueDepth {
+			reason = "queue past tenant's weighted share"
+		}
+		return JobStatus{}, false, &OverloadedError{
+			Queued:     m.queuedTotal,
+			QueueDepth: threshold,
+			Tenant:     tenant,
+			Reason:     reason,
 			RetryAfter: m.retryAfterLocked(),
 		}
 	}
 	if err := m.persistSpec(id, spec); err != nil {
 		return JobStatus{}, false, err
 	}
-	job := &Job{ID: id, Spec: spec, State: StateQueued, Submitted: time.Now()}
+	job := &Job{ID: id, Spec: spec, Tenant: tenant, State: StateQueued, Submitted: time.Now()}
 	m.jobs[id] = job
 	m.order = append(m.order, id)
-	m.queue = append(m.queue, id)
+	m.enqueueLocked(job)
 	m.submittedC.Inc()
-	m.queuedG.Set(float64(len(m.queue)))
 	m.retryAfterLocked()
 	m.slo.Observe(SeriesSubmitAccept, time.Since(start).Seconds())
-	m.flight.Record("event", "serve.job.submitted", id, map[string]any{"kind": spec.Kind})
+	m.flight.Record("event", "serve.job.submitted", id, map[string]any{"kind": spec.Kind, "tenant": tenant})
 	m.logger.LogAttrs(context.Background(), slog.LevelInfo, "serve.job.submitted",
-		slog.String("trace_id", id), slog.String("job_id", id), slog.String("kind", spec.Kind))
+		slog.String("trace_id", id), slog.String("job_id", id),
+		slog.String("kind", spec.Kind), slog.String("tenant", tenant))
 	m.kick()
 	return m.statusLocked(job), true, nil
 }
 
-// retryAfterLocked estimates how long until a queue slot frees: the
-// EWMA job duration scaled by how many jobs stand in line per executor,
-// clamped to [1s, 60s] so a misbehaving estimate cannot tell clients to
-// hammer the server or to go away for an hour.
+// retryAfterLocked estimates how long until a queue slot frees. The
+// per-job duration estimate is recomputed at response time: the EWMA
+// over completed jobs — which goes stale during a sustained burst of
+// slow jobs, because it only updates at completions — is raised to at
+// least the age of the longest-running in-flight job, a live lower
+// bound on the true duration. The estimate is scaled by how many jobs
+// stand in line per executor and clamped to [1s, 60s] so a misbehaving
+// estimate cannot tell clients to hammer the server or go away for an
+// hour.
 func (m *Manager) retryAfterLocked() time.Duration {
-	waves := float64(len(m.queue)+m.running)/float64(m.cfg.MaxConcurrent) + 1
-	est := time.Duration(m.avgSeconds * waves * float64(time.Second))
+	per := m.avgSeconds
+	for _, since := range m.runningSince {
+		if e := time.Since(since).Seconds(); e > per {
+			per = e
+		}
+	}
+	waves := float64(m.queuedTotal+m.running)/float64(m.cfg.MaxConcurrent) + 1
+	est := time.Duration(per * waves * float64(time.Second))
 	if est < time.Second {
 		est = time.Second
 	}
@@ -428,16 +722,19 @@ func (m *Manager) Jobs() []JobStatus {
 func (m *Manager) QueueDepths() (queued, running int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.queue), m.running
+	return m.queuedTotal, m.running
 }
 
 func (m *Manager) statusLocked(job *Job) JobStatus {
 	st := JobStatus{
 		ID:         job.ID,
 		Kind:       job.Spec.Kind,
+		Tenant:     job.Tenant,
 		State:      job.State,
 		Error:      job.Err,
 		Resumed:    job.Resumed,
+		Stolen:     job.Stolen,
+		Instance:   job.Instance,
 		Result:     job.Result,
 		ResultHash: job.ResultHash,
 		Submitted:  job.Submitted,
@@ -459,52 +756,92 @@ func (m *Manager) statusLocked(job *Job) JobStatus {
 	return st
 }
 
-// dispatchOne starts the first queued job whose class has a free slot,
-// honouring the global limiter. It reports whether it dispatched
-// anything, so the scheduler loops until the queue head is blocked.
+// dispatchOne starts the next DRR-selected job this instance can win
+// the lease for. It reports whether it made progress (dispatched a job
+// or parked one a peer owns), so the scheduler loops until the queues
+// are drained or blocked.
 func (m *Manager) dispatchOne() bool {
 	if m.ctx.Err() != nil {
 		return false
 	}
 	m.mu.Lock()
-	idx := -1
-	for i, id := range m.queue {
-		kind := m.jobs[id].Spec.Kind
-		if limit := m.cfg.ClassLimits[kind]; limit > 0 && m.classRunning[kind] >= limit {
-			continue
-		}
-		idx = i
-		break
-	}
-	if idx < 0 {
+	id := m.nextQueuedLocked()
+	if id == "" {
 		m.mu.Unlock()
 		return false
 	}
-	if !m.limiter.TryAcquire() {
-		m.mu.Unlock()
-		return false
-	}
-	id := m.queue[idx]
-	m.queue = append(m.queue[:idx], m.queue[idx+1:]...)
 	job := m.jobs[id]
+	if !m.limiter.TryAcquire() {
+		// No executor free: put the job back at the head of its queue.
+		m.queues[job.Tenant] = append([]string{id}, m.queues[job.Tenant]...)
+		m.queuedTotal++
+		job.queuedLocal = true
+		if !m.ringMember[job.Tenant] {
+			m.ringMember[job.Tenant] = true
+			m.ring = append(m.ring, job.Tenant)
+		}
+		m.queuedG.Set(float64(m.queuedTotal))
+		m.mu.Unlock()
+		return false
+	}
+	m.mu.Unlock()
+
+	// Lease arbitration happens outside the table lock: it fsyncs.
+	l, err := m.leases.Acquire("job-" + id)
+	if err != nil {
+		m.limiter.Release()
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		var held *lease.HeldError
+		if errors.As(err, &held) {
+			// A peer owns the job: park it. The scanner reclaims it if the
+			// holder's lease expires, and finalizes it when the holder's
+			// result lands.
+			job.remote = true
+			if held.Instance != "" {
+				job.Instance = held.Instance
+			}
+			m.heldSkipC.Inc()
+			return true
+		}
+		m.hooks.Counter("serve_lease_errors_total").Inc()
+		m.logger.LogAttrs(context.Background(), slog.LevelWarn, "serve.lease.error",
+			slog.String("job_id", id), slog.String("error", err.Error()))
+		m.enqueueLocked(job)
+		return false
+	}
+
+	m.mu.Lock()
 	job.State = StateRunning
 	job.Started = time.Now()
+	job.Instance = m.cfg.Instance
+	job.Stolen = l.Stolen()
+	job.epoch = l.Epoch()
+	job.remote = false
 	job.reg = telemetry.NewRegistry()
 	job.tracer = telemetry.NewTracer()
 	m.classRunning[job.Spec.Kind]++
 	m.running++
-	m.queuedG.Set(float64(len(m.queue)))
+	m.runningSince[id] = job.Started
 	m.runningG.Set(float64(m.running))
+	if job.Stolen {
+		m.stolenC.Inc()
+		m.flight.Record("event", "serve.job.stolen", id, map[string]any{"epoch": job.epoch})
+		m.logger.LogAttrs(context.Background(), slog.LevelInfo, "serve.job.stolen",
+			slog.String("trace_id", id), slog.String("job_id", id),
+			slog.Uint64("epoch", job.epoch))
+	}
 	m.mu.Unlock()
 
 	m.wg.Add(1)
 	go func() {
 		defer m.wg.Done()
 		defer m.limiter.Release()
-		m.execute(job)
+		m.execute(job, l)
 		m.mu.Lock()
 		m.classRunning[job.Spec.Kind]--
 		m.running--
+		delete(m.runningSince, job.ID)
 		m.runningG.Set(float64(m.running))
 		m.mu.Unlock()
 		m.kick()
@@ -512,33 +849,81 @@ func (m *Manager) dispatchOne() bool {
 	return true
 }
 
+// heartbeat renews the job's lease until stop closes. A failed renewal
+// means a peer stole the job: the run context is cancelled so the
+// now-ownerless work stops at its next cancellation point, and its
+// result is discarded.
+func (m *Manager) heartbeat(job *Job, l *lease.Lease, cancel context.CancelFunc, stop <-chan struct{}) {
+	interval := m.cfg.LeaseTTL / 3
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		if err := l.Renew(); err != nil {
+			m.leaseLostC.Inc()
+			m.flight.Record("event", "serve.lease.lost", job.ID, map[string]any{"error": err.Error()})
+			m.logger.LogAttrs(context.Background(), slog.LevelWarn, "serve.lease.lost",
+				slog.String("trace_id", job.ID), slog.String("job_id", job.ID),
+				slog.String("error", err.Error()))
+			cancel()
+			return
+		}
+	}
+}
+
 // execute runs one job to completion (or interruption) and records the
 // outcome. Interrupted jobs keep their checkpoint journal and are
-// re-queued by the next recover; they never persist a result.
-func (m *Manager) execute(job *Job) {
+// re-queued by the next recover (or stolen by a peer); they never
+// persist a result.
+func (m *Manager) execute(job *Job, l *lease.Lease) {
+	runCtx, cancel := context.WithCancel(m.ctx)
+	defer cancel()
+	stopBeat := make(chan struct{})
+	beatDone := make(chan struct{})
+	go func() {
+		defer close(beatDone)
+		m.heartbeat(job, l, cancel, stopBeat)
+	}()
+
 	start := time.Now()
-	result, err := m.runJob(m.ctx, job)
+	result, err := m.runJob(runCtx, job)
+	close(stopBeat)
+	<-beatDone
 	elapsed := time.Since(start).Seconds()
 	m.jobSeconds.Observe(elapsed)
-	m.logJobOutcome(job, err, elapsed)
 
-	// Any job still in flight when the drain began is interrupted, even
-	// if it appears to have finished: a cancellation landing mid-sweep
-	// taints the report (truncated plans, scenarios recorded
-	// inconclusive with the ctx error), and distinguishing a tainted
-	// result from a clean one that won the race is not worth the risk of
-	// persisting the former. Discarding costs one resume-from-journal.
-	interrupted := m.ctx.Err() != nil
+	// Classify before taking the lock. Any job still in flight when the
+	// drain began is interrupted, even if it appears to have finished: a
+	// cancellation landing mid-sweep taints the report, and
+	// distinguishing a tainted result from a clean one that won the race
+	// is not worth the risk of persisting the former. A lease loss is
+	// the same shape with a different owner of the resume: the thief's
+	// result (byte-identical by construction) is adopted by the scanner.
+	draining := m.ctx.Err() != nil
+	leaseLost := !draining && runCtx.Err() != nil && errors.Is(l.Renew(), lease.ErrLost)
+	m.logJobOutcome(job, err, elapsed, draining || leaseLost)
+
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	// EWMA with a 0.3 step: recent jobs dominate, one outlier does not.
 	m.avgSeconds += 0.3 * (elapsed - m.avgSeconds)
 	m.retryAfterLocked()
 	job.Finished = time.Now()
 	switch {
-	case interrupted:
+	case draining:
 		job.State = StateInterrupted
 		job.Err = "interrupted by shutdown; will resume on restart"
+		m.interruptedC.Inc()
+	case leaseLost:
+		job.State = StateInterrupted
+		job.Err = "lease lost; a peer instance stole the job"
+		job.remote = true // the scanner adopts the thief's result
 		m.interruptedC.Inc()
 	case err != nil:
 		job.State = StateFailed
@@ -557,16 +942,27 @@ func (m *Manager) execute(job *Job) {
 		m.persistResultLocked(job)
 		m.slo.Observe(SeriesSubmitComplete, job.Finished.Sub(job.Submitted).Seconds())
 	}
+	terminal := job.State == StateDone || job.State == StateFailed
+	m.mu.Unlock()
+
+	// Lease finalization happens outside the lock: it fsyncs. A finished
+	// job's lease is removed for good — the result on disk is now the
+	// authority; an interrupted job's is released as a tombstone so a
+	// restarted instance (or a peer) takes over without a TTL wait. A
+	// lost lease makes both a no-op.
+	if terminal {
+		l.Discard()
+	} else {
+		l.Release()
+	}
 }
 
-// logJobOutcome emits the job's lifecycle record and flight event. The
-// outcome classification mirrors execute's (reading m.ctx, not the
-// job table, so no lock is needed).
-func (m *Manager) logJobOutcome(job *Job, err error, elapsed float64) {
+// logJobOutcome emits the job's lifecycle record and flight event.
+func (m *Manager) logJobOutcome(job *Job, err error, elapsed float64, interrupted bool) {
 	state := StateDone
 	errText := ""
 	switch {
-	case m.ctx.Err() != nil:
+	case interrupted:
 		state = StateInterrupted
 	case err != nil:
 		state = StateFailed
@@ -592,6 +988,100 @@ func (m *Manager) logJobOutcome(job *Job, err error, elapsed float64) {
 		level = slog.LevelWarn
 	}
 	m.logger.LogAttrs(context.Background(), level, "serve.job.finished", logAttrs...)
+}
+
+// sweepParked walks jobs this instance is not executing — parked
+// behind a peer's lease, or interrupted after a lease loss — and
+// either finalizes them from a result document a peer persisted, or
+// reclaims them for local execution once the holder's lease expired or
+// was released.
+func (m *Manager) sweepParked() {
+	m.mu.Lock()
+	var parked []*Job
+	for _, job := range m.jobs {
+		if job.State == StateDone || job.State == StateFailed {
+			continue
+		}
+		if job.queuedLocal {
+			continue
+		}
+		if _, runningHere := m.runningSince[job.ID]; runningHere {
+			continue
+		}
+		parked = append(parked, job)
+	}
+	m.mu.Unlock()
+
+	for _, job := range parked {
+		if doc, ok := m.loadResult(job.ID); ok && (doc.State == StateDone || doc.State == StateFailed) {
+			m.finalizeRemote(job, doc)
+			continue
+		}
+		info, status := m.leases.Read("job-" + job.ID)
+		switch status {
+		case lease.StatusLive, lease.StatusUnreadable:
+			m.mu.Lock()
+			if info.Instance != "" && !job.queuedLocal {
+				job.Instance = info.Instance
+				if job.State == StateQueued {
+					// Visible to status queries: the job is executing, just
+					// not here.
+					job.State = StateRunning
+					job.remote = true
+				}
+			}
+			m.mu.Unlock()
+		case lease.StatusAbsent, lease.StatusExpired, lease.StatusReleased:
+			m.mu.Lock()
+			if !job.queuedLocal && job.State != StateDone && job.State != StateFailed {
+				if _, runningHere := m.runningSince[job.ID]; !runningHere {
+					job.State = StateQueued
+					job.Resumed = true
+					m.enqueueLocked(job)
+					m.kick()
+				}
+			}
+			m.mu.Unlock()
+		}
+	}
+}
+
+// finalizeRemote adopts a peer-persisted terminal result into the
+// local job table, so any instance can answer status queries for any
+// job in the fleet.
+func (m *Manager) finalizeRemote(job *Job, doc resultDoc) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if job.State == StateDone || job.State == StateFailed {
+		return
+	}
+	if job.queuedLocal {
+		// Raced a local dispatch decision: drop it from our queues, the
+		// result already exists.
+		t := job.Tenant
+		for i, qid := range m.queues[t] {
+			if qid == job.ID {
+				m.queues[t] = append(m.queues[t][:i], m.queues[t][i+1:]...)
+				m.queuedTotal--
+				m.queuedG.Set(float64(m.queuedTotal))
+				break
+			}
+		}
+		job.queuedLocal = false
+		m.removeTenantLocked(t)
+	}
+	job.State = doc.State
+	job.Err = doc.Error
+	job.Result = doc.Result
+	job.ResultHash = doc.ResultHash
+	if doc.Instance != "" {
+		job.Instance = doc.Instance
+	}
+	job.remote = true
+	job.Finished = modTime(m.resultPath(job.ID))
+	m.remoteDoneC.Inc()
+	m.flight.Record("event", "serve.job.remote_completed", job.ID,
+		map[string]any{"instance": job.Instance, "state": doc.State})
 }
 
 // dumpFlight writes a flight-recorder dump (filtered to traceID when

@@ -44,7 +44,7 @@ func (m *Manager) runJob(ctx context.Context, job *Job) (json.RawMessage, error)
 
 	var journal *checkpoint.Journal
 	if spec.Kind == KindFailover || spec.Kind == KindPlan {
-		journal, err = m.openJournal(job.ID, spec.Key(set), h)
+		journal, err = m.openJournal(job, spec.Key(set), h)
 		if err != nil {
 			return nil, err
 		}
@@ -140,19 +140,38 @@ func (m *Manager) runJob(ctx context.Context, job *Job) (json.RawMessage, error)
 	}
 }
 
-// openJournal opens the job's checkpoint journal in resume mode (a
-// missing file starts empty, a previous interrupted attempt replays its
-// completed units). A journal the decoder rejects is discarded and
-// recreated: a corrupt checkpoint must cost recomputation, not the job.
-func (m *Manager) openJournal(id string, key uint64, h telemetry.Hooks) (*checkpoint.Journal, error) {
-	path := m.ckptPath(id)
-	j, err := checkpoint.Open(path, key, true, h)
-	if err == nil {
-		return j, nil
+// openJournal opens the job's checkpoint journal for the current lease
+// epoch in resume mode. Re-running the same epoch (a restart that
+// re-acquired before anyone bumped the epoch) replays the epoch's own
+// file; a stolen or re-leased job replays the newest decodable journal
+// of any prior epoch — including the legacy pre-fleet <id>.ckpt — into
+// a fresh per-epoch file, so a zombie holder still appending to its old
+// epoch can never interleave with this run's journal. A journal the
+// decoder rejects is skipped (prior epochs) or discarded and recreated
+// (our own): a corrupt checkpoint must cost recomputation, not the job.
+func (m *Manager) openJournal(job *Job, key uint64, h telemetry.Hooks) (*checkpoint.Journal, error) {
+	own := m.ckptPath(job.ID, job.epoch)
+	if _, err := os.Stat(own); err == nil {
+		j, err := checkpoint.OpenWith(own, key, true, h, checkpoint.Options{Epoch: job.epoch})
+		if err == nil {
+			return j, nil
+		}
+		m.hooks.Counter("serve_checkpoint_discarded_total").Inc()
+		os.Remove(own)
 	}
-	m.hooks.Counter("serve_checkpoint_discarded_total").Inc()
-	os.Remove(path)
-	return checkpoint.Open(path, key, false, h)
+	for _, prev := range m.ckptCandidates(job.ID, job.epoch) {
+		j, err := checkpoint.OpenWith(own, key, true, h,
+			checkpoint.Options{Epoch: job.epoch, ResumeFrom: prev})
+		if err == nil {
+			return j, nil
+		}
+		// Undecodable or wrong-run prior journal: try the next-older
+		// epoch. Leave the file in place — its owner may still be
+		// mid-append and a later scan may find it whole.
+		m.hooks.Counter("serve_checkpoint_skipped_total").Inc()
+		os.Remove(own)
+	}
+	return checkpoint.OpenWith(own, key, false, h, checkpoint.Options{Epoch: job.epoch})
 }
 
 // framework builds the per-job framework on the server's shared

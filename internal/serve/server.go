@@ -22,8 +22,10 @@ const maxBodyBytes = 64 << 20
 //
 //	POST /v1/jobs             submit a JobSpec     202 created / 200 existing /
 //	                                               400 invalid / 429 shed / 503 draining
+//	                          X-Ropus-Tenant names the admission class
 //	GET  /v1/jobs             list jobs
 //	GET  /v1/jobs/{id}        job status, progress counters, result when done
+//	GET  /v1/jobs/{id}/events Server-Sent Events stream of status changes
 //	GET  /v1/jobs/{id}/trace  Chrome trace_event export of the job's spans
 //	GET  /v1/slo              windowed latency quantiles and error-budget burn
 //	GET  /metrics             Prometheus text exposition of the serve_* metrics
@@ -57,6 +59,7 @@ func New(addr string, cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /v1/slo", s.handleSLO)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -130,6 +133,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad job spec: "+err.Error())
 		return
 	}
+	// The header wins over a tenant embedded in the spec body: the
+	// header is what a gateway stamps after authentication.
+	if tenant := r.Header.Get("X-Ropus-Tenant"); tenant != "" {
+		spec.Tenant = tenant
+	}
 	status, created, err := s.mgr.Submit(spec)
 	switch {
 	case err == nil:
@@ -176,6 +184,57 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, status)
 }
 
+// handleJobEvents streams the job's status as Server-Sent Events: one
+// "status" event per observed change (state transitions and progress-
+// counter movement), then a terminal event and EOF once the job
+// finishes. Clients watching a job stop polling GET /v1/jobs/{id}; the
+// stream also survives the job being executed by a peer instance,
+// because the scanner folds remote completions into the local table.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	status, ok := s.mgr.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	ticker := time.NewTicker(s.mgr.cfg.SSEPoll)
+	defer ticker.Stop()
+	var last []byte
+	for {
+		status.Result = nil // results can be huge; the job endpoint serves them
+		data, err := json.Marshal(status)
+		if err == nil && string(data) != string(last) {
+			last = data
+			fmt.Fprintf(w, "event: status\ndata: %s\n\n", data)
+			flusher.Flush()
+		}
+		if status.State == StateDone || status.State == StateFailed {
+			fmt.Fprintf(w, "event: end\ndata: {\"state\":%q}\n\n", status.State)
+			flusher.Flush()
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+		status, ok = s.mgr.Job(id)
+		if !ok {
+			return
+		}
+	}
+}
+
 func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, ok := s.mgr.Job(id); !ok {
@@ -216,6 +275,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	queued, running := s.mgr.QueueDepths()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
+		"instance": s.mgr.Instance(),
 		"draining": s.draining.Load(),
 		"queued":   queued,
 		"running":  running,

@@ -301,6 +301,62 @@ func TestHTTPDrainAndRestart(t *testing.T) {
 	}
 }
 
+// TestSSEJobEvents: the events stream emits at least one status event,
+// ends with a terminal event when the job finishes, and 404s for
+// unknown jobs. Result payloads never ride the stream.
+func TestSSEJobEvents(t *testing.T) {
+	_, base, _ := startServer(t, Config{
+		StateDir: t.TempDir(), Workers: 1,
+		SSEPoll: 20 * time.Millisecond,
+	})
+	resp, st := postJob(t, base, JobSpec{Kind: KindTranslate, TracesCSV: fleetCSV(t, 4, 1, 5)})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+
+	stream, err := http.Get(base + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	if ct := stream.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(stream.Body) // server closes the stream at the terminal event
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.Contains(text, "event: status") {
+		t.Error("stream carried no status events")
+	}
+	if !strings.Contains(text, "event: end") || !strings.Contains(text, `"state":"done"`) {
+		t.Errorf("stream did not end with the terminal event:\n%s", text)
+	}
+	if strings.Contains(text, `"result":`) {
+		t.Error("result payload leaked into the event stream")
+	}
+	// Every status event must parse and carry the job's ID.
+	for _, line := range strings.Split(text, "\n") {
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok || strings.Contains(data, `"state":"done"`) && !strings.Contains(data, `"id"`) {
+			continue
+		}
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			t.Errorf("unparseable event %q: %v", data, err)
+		}
+	}
+
+	if r, err := http.Get(base + "/v1/jobs/deadbeefdeadbeef/events"); err == nil {
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown job events: %d", r.StatusCode)
+		}
+	}
+}
+
 // TestServerRejectsBadConfig: a server without a state dir never binds.
 func TestServerRejectsBadConfig(t *testing.T) {
 	if _, err := New("127.0.0.1:0", Config{}); err == nil {

@@ -10,7 +10,13 @@
 // paper builds on: a planner in a shared pool is itself a service under
 // load, so it needs idempotent submissions, explicit load shedding
 // (429 + Retry-After instead of collapse), progress visibility, and a
-// drain/resume contract. See docs/SERVING.md for the API.
+// drain/resume contract. The service also runs as a fleet: N instances
+// sharing one state directory arbitrate job ownership through leases
+// (internal/lease), steal each other's jobs after a crash, and resume
+// them byte-identically from the checkpoint journal. Admission is
+// tenant-aware: per-tenant quotas and weighted deficit-round-robin
+// dequeue keep one tenant's burst from starving the rest. See
+// docs/SERVING.md for the API and the fleet protocol.
 package serve
 
 import (
@@ -92,6 +98,12 @@ func (q QoSSpec) appQoS() qos.AppQoS {
 type JobSpec struct {
 	// Kind selects the pipeline: translate, place, failover or plan.
 	Kind string `json:"kind"`
+	// Tenant is the admission class the job is accounted to (weights,
+	// quotas, DRR dequeue). It is deliberately excluded from Key: the
+	// tenant does not change the result, so two tenants submitting the
+	// same spec share one job. Empty means "default". Set from the
+	// X-Ropus-Tenant header by the HTTP layer.
+	Tenant string `json:"tenant,omitempty"`
 	// TracesCSV is the demand history in the trace CSV format (the
 	// output of "ropus gen").
 	TracesCSV string `json:"tracesCsv"`
@@ -115,6 +127,9 @@ type JobSpec struct {
 // normalize fills the CLI defaults in place. It must run before Key so
 // explicit defaults and omitted fields hash identically.
 func (s *JobSpec) normalize() {
+	if s.Tenant == "" {
+		s.Tenant = DefaultTenant
+	}
 	if s.Theta == 0 {
 		s.Theta = 0.6
 	}
@@ -156,6 +171,9 @@ func (s *JobSpec) parse() (trace.Set, error) {
 	}
 	if s.TracesCSV == "" {
 		return nil, fmt.Errorf("serve: %s job needs tracesCsv", s.Kind)
+	}
+	if err := validTenant(s.Tenant); err != nil {
+		return nil, err
 	}
 	set, err := trace.ReadCSV(strings.NewReader(s.TracesCSV))
 	if err != nil {
@@ -205,6 +223,23 @@ func (s *JobSpec) Key(set trace.Set) uint64 {
 // foldQoS mixes a QoS spec into a run hash.
 func foldQoS(h *checkpoint.Hasher, q QoSSpec) {
 	h.Float(q.ULow).Float(q.UHigh).Float(q.UDegr).Float(q.MPercent).Int(int64(q.TDegr))
+}
+
+// validTenant bounds tenant names: they key maps and appear in logs
+// and metrics, so they must be short and structurally boring.
+func validTenant(name string) error {
+	if len(name) > 64 {
+		return fmt.Errorf("serve: tenant name longer than 64 bytes")
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("serve: tenant name %q has invalid character %q", name, r)
+		}
+	}
+	return nil
 }
 
 // jobID renders a key as the job's public identifier.

@@ -1,25 +1,33 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
 
-// State directory layout:
+// State directory layout (shared by every fleet instance):
 //
-//	<state>/jobs/<id>.json     submitted spec (written at admission)
-//	<state>/results/<id>.json  result document (written at completion)
-//	<state>/ckpt/<id>.ckpt     checkpoint journal (failover/plan jobs)
+//	<state>/jobs/<id>.json          submitted spec (written at admission)
+//	<state>/results/<id>.json       result document (written at completion)
+//	<state>/ckpt/<id>.e<N>.ckpt     checkpoint journal of lease epoch N
+//	<state>/ckpt/<id>.ckpt          legacy pre-fleet journal (epoch 0)
+//	<state>/leases/job-<id>.lease   job ownership lease
 //
-// A job with a spec but no result is unfinished: recover re-queues it,
-// and its journal (if any) replays the units the interrupted attempt
-// completed, so the re-run is byte-identical to an uninterrupted one.
+// A job with a spec but no result is unfinished: the scanner adopts it
+// and any instance that wins the lease runs it. Journals are written
+// per lease epoch so a zombie holder's appends land in its own file and
+// can never interleave with the thief's journal; a new epoch resumes by
+// replaying the highest decodable prior epoch, so the re-run is
+// byte-identical to an uninterrupted one.
 
 func (m *Manager) specPath(id string) string {
 	return filepath.Join(m.cfg.StateDir, "jobs", id+".json")
@@ -29,15 +37,73 @@ func (m *Manager) resultPath(id string) string {
 	return filepath.Join(m.cfg.StateDir, "results", id+".json")
 }
 
-func (m *Manager) ckptPath(id string) string {
-	return filepath.Join(m.cfg.StateDir, "ckpt", id+".ckpt")
+// ckptPath names the journal of one lease epoch. Epoch zero is the
+// pre-fleet layout, kept readable so journals written before the lease
+// protocol existed still resume.
+func (m *Manager) ckptPath(id string, epoch uint64) string {
+	if epoch == 0 {
+		return filepath.Join(m.cfg.StateDir, "ckpt", id+".ckpt")
+	}
+	return filepath.Join(m.cfg.StateDir, "ckpt", fmt.Sprintf("%s.e%d.ckpt", id, epoch))
+}
+
+// ckptCandidates lists the job's journals from prior epochs, newest
+// epoch first — the resume order for a stealing instance. The current
+// epoch's own file is excluded.
+func (m *Manager) ckptCandidates(id string, below uint64) []string {
+	matches, _ := filepath.Glob(filepath.Join(m.cfg.StateDir, "ckpt", id+"*.ckpt"))
+	type cand struct {
+		epoch uint64
+		path  string
+	}
+	var cands []cand
+	for _, path := range matches {
+		name := filepath.Base(path)
+		rest, ok := strings.CutPrefix(name, id)
+		if !ok {
+			continue
+		}
+		var epoch uint64
+		switch {
+		case rest == ".ckpt":
+			epoch = 0
+		case strings.HasPrefix(rest, ".e") && strings.HasSuffix(rest, ".ckpt"):
+			n, err := strconv.ParseUint(rest[2:len(rest)-len(".ckpt")], 10, 64)
+			if err != nil {
+				continue
+			}
+			epoch = n
+		default:
+			continue
+		}
+		if epoch >= below {
+			continue
+		}
+		cands = append(cands, cand{epoch, path})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].epoch > cands[j].epoch })
+	paths := make([]string, len(cands))
+	for i, c := range cands {
+		paths[i] = c.path
+	}
+	return paths
+}
+
+// removeCkpts drops every epoch's journal for a finished job.
+func (m *Manager) removeCkpts(id string) {
+	matches, _ := filepath.Glob(filepath.Join(m.cfg.StateDir, "ckpt", id+"*.ckpt"))
+	for _, path := range matches {
+		os.Remove(path)
+	}
 }
 
 // resultDoc is the persisted form of a finished job.
 type resultDoc struct {
-	ID         string          `json:"id"`
-	Kind       string          `json:"kind"`
-	State      string          `json:"state"` // done or failed
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	State string `json:"state"` // done or failed
+	// Instance records which fleet member completed the job.
+	Instance   string          `json:"instance,omitempty"`
 	Error      string          `json:"error,omitempty"`
 	Result     json.RawMessage `json:"result,omitempty"`
 	ResultHash string          `json:"resultHash,omitempty"`
@@ -70,7 +136,8 @@ func writeAtomic(path string, data []byte) error {
 }
 
 // persistSpec makes an admitted job durable before Submit acknowledges
-// it: an accepted job must survive a crash.
+// it: an accepted job must survive a crash, and peers adopt it from
+// this file.
 func (m *Manager) persistSpec(id string, spec JobSpec) error {
 	data, err := json.Marshal(spec)
 	if err != nil {
@@ -84,12 +151,16 @@ func (m *Manager) persistSpec(id string, spec JobSpec) error {
 
 // persistResultLocked records a finished job. A write failure is
 // counted, not fatal: the in-memory result still serves status queries,
-// and a restart simply re-runs the job.
+// and a restart simply re-runs the job. Concurrent writers (a zombie
+// racing the thief) are harmless: results are deterministic functions
+// of the spec, so both write the same bytes, and writeAtomic's rename
+// makes each replacement whole.
 func (m *Manager) persistResultLocked(job *Job) {
 	doc := resultDoc{
 		ID:         job.ID,
 		Kind:       job.Spec.Kind,
 		State:      job.State,
+		Instance:   job.Instance,
 		Error:      job.Err,
 		Result:     job.Result,
 		ResultHash: job.ResultHash,
@@ -102,20 +173,28 @@ func (m *Manager) persistResultLocked(job *Job) {
 		m.hooks.Counter("serve_state_write_errors_total").Inc()
 		return
 	}
-	// The finished journal has served its purpose; drop it so the state
-	// directory does not accumulate one journal per historical job.
-	os.Remove(m.ckptPath(job.ID))
+	// The finished journals have served their purpose; drop every
+	// epoch's file so the state directory does not accumulate one
+	// journal per historical job attempt.
+	m.removeCkpts(job.ID)
 }
 
-// recover rebuilds the job table from the state directory. Finished
-// jobs come back queryable; unfinished ones are re-queued (marked
-// Resumed) in deterministic ID order. A spec that no longer hashes to
-// its filename is quarantined rather than trusted: it was torn or
-// tampered with.
-func (m *Manager) recover() error {
+// scanDisk reconciles the job table with the shared state directory.
+// On the initial call (construction) unfinished jobs are re-queued
+// marked Resumed, exactly like the single-instance recover of old. On
+// scanner ticks it adopts jobs a peer admitted — finished ones become
+// queryable, unfinished ones are enqueued locally and the job lease
+// decides who actually runs them. A spec that no longer hashes to its
+// filename is quarantined rather than trusted: it was torn or tampered
+// with.
+func (m *Manager) scanDisk(initial bool) error {
 	entries, err := os.ReadDir(filepath.Join(m.cfg.StateDir, "jobs"))
 	if err != nil {
-		return fmt.Errorf("serve: recover: %w", err)
+		if initial {
+			return fmt.Errorf("serve: recover: %w", err)
+		}
+		m.hooks.Counter("serve_state_read_errors_total").Inc()
+		return err
 	}
 	ids := make([]string, 0, len(entries))
 	for _, e := range entries {
@@ -125,10 +204,20 @@ func (m *Manager) recover() error {
 	}
 	sort.Strings(ids)
 
+	adopted := false
 	for _, id := range ids {
+		m.mu.Lock()
+		_, known := m.jobs[id]
+		m.mu.Unlock()
+		if known {
+			continue
+		}
 		data, err := os.ReadFile(m.specPath(id))
 		if err != nil {
-			return fmt.Errorf("serve: recover %s: %w", id, err)
+			if initial {
+				return fmt.Errorf("serve: recover %s: %w", id, err)
+			}
+			continue // raced a quarantine or an external cleanup
 		}
 		var spec JobSpec
 		if uerr := json.Unmarshal(data, &spec); uerr != nil {
@@ -141,22 +230,41 @@ func (m *Manager) recover() error {
 			m.quarantine(id)
 			continue
 		}
-		job := &Job{ID: id, Spec: spec, Submitted: modTime(m.specPath(id))}
+		job := &Job{ID: id, Spec: spec, Tenant: spec.Tenant, Submitted: modTime(m.specPath(id))}
 		if doc, ok := m.loadResult(id); ok && (doc.State == StateDone || doc.State == StateFailed) {
 			job.State = doc.State
 			job.Err = doc.Error
 			job.Result = doc.Result
 			job.ResultHash = doc.ResultHash
+			job.Instance = doc.Instance
+			job.remote = doc.Instance != "" && doc.Instance != m.cfg.Instance
 			job.Finished = modTime(m.resultPath(id))
 		} else {
 			job.State = StateQueued
-			job.Resumed = true
-			m.queue = append(m.queue, id)
+			job.Resumed = initial
+		}
+		m.mu.Lock()
+		if _, dup := m.jobs[id]; dup {
+			// Raced a local Submit between our read and now; the table
+			// entry from Submit wins.
+			m.mu.Unlock()
+			continue
 		}
 		m.jobs[id] = job
 		m.order = append(m.order, id)
+		if job.State == StateQueued {
+			m.enqueueLocked(job)
+			if !initial {
+				adopted = true
+				m.adoptedC.Inc()
+				m.flight.Record("event", "serve.job.adopted", id, map[string]any{"kind": spec.Kind, "tenant": job.Tenant})
+			}
+		}
+		m.mu.Unlock()
 	}
-	m.queuedG.Set(float64(len(m.queue)))
+	if adopted {
+		m.kick()
+	}
 	return nil
 }
 
@@ -179,10 +287,23 @@ func (m *Manager) loadResult(id string) (resultDoc, bool) {
 }
 
 // quarantine sidelines an unreadable spec file so recovery is not
-// wedged on it forever, and counts the event.
+// wedged on it forever. The event is surfaced three ways: the legacy
+// corrupt-spec counter, the quarantine counter the fleet dashboards
+// watch, and a structured warning carrying the quarantined path so an
+// operator can find the sidelined file without grepping the state dir.
 func (m *Manager) quarantine(id string) {
+	quarantined := m.specPath(id) + ".corrupt"
 	m.hooks.Counter("serve_state_corrupt_specs_total").Inc()
-	os.Rename(m.specPath(id), m.specPath(id)+".corrupt")
+	m.hooks.Counter("serve_state_quarantined_total").Inc()
+	err := os.Rename(m.specPath(id), quarantined)
+	attrs := []slog.Attr{
+		slog.String("job_id", id),
+		slog.String("quarantined_path", quarantined),
+	}
+	if err != nil {
+		attrs = append(attrs, slog.String("error", err.Error()))
+	}
+	m.logger.LogAttrs(context.Background(), slog.LevelWarn, "serve.state.quarantined", attrs...)
 }
 
 func modTime(path string) time.Time {

@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# End-to-end fleet check for `ropus serve`:
+#   1. three instances share one -state-dir with short lease TTLs;
+#   2. cmd/loadgen drives a seeded open-loop arrival process across all
+#      three, mixing tenants (loadgen itself fails on any 5xx);
+#   3. one instance is `kill -9`ed mid-window — no drain, no goodbye.
+#      Its leased jobs must be stolen (or its queued jobs adopted) by
+#      the survivors off the shared checkpoint journals;
+#   4. the run fails unless every accepted job completes and both
+#      survivors agree on every job's result hash.
+# The loadgen report lands at $OUT (default BENCH_serve_fleet.json).
+# Needs: bash, python3, curl, $ROPUS (default ./ropus-cli) and
+# $LOADGEN (default ./ropus-loadgen).
+set -euo pipefail
+
+ROPUS=${ROPUS:-./ropus-cli}
+LOADGEN=${LOADGEN:-./ropus-loadgen}
+OUT=${OUT:-BENCH_serve_fleet.json}
+WORK=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    curl -fsS "$1/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "server at $1 never became healthy" >&2
+  return 1
+}
+
+# Three instances, one state dir. Short lease TTL and scan interval so
+# steals and adoptions land within the bench window.
+FLEET_FLAGS=(-state-dir "$WORK/state" -lease-ttl 2s -scan-interval 250ms
+             -tenant-weights gold=2,bronze=1 -log-format off)
+"$ROPUS" serve "${FLEET_FLAGS[@]}" -instance alpha -addr 127.0.0.1:7931 &
+PID_A=$!
+"$ROPUS" serve "${FLEET_FLAGS[@]}" -instance beta -addr 127.0.0.1:7932 &
+"$ROPUS" serve "${FLEET_FLAGS[@]}" -instance gamma -addr 127.0.0.1:7933 &
+A=http://127.0.0.1:7931 B=http://127.0.0.1:7932 C=http://127.0.0.1:7933
+wait_healthy "$A"; wait_healthy "$B"; wait_healthy "$C"
+
+# Open-loop load against all three. Failover sweeps checkpoint as they
+# go, which is what makes a mid-sweep kill -9 recoverable. loadgen
+# exits non-zero if anything answers 5xx.
+"$LOADGEN" -targets "$A,$B,$C" -duration 8s -rate 2.5 -seed 11 \
+  -specs 6 -apps 24 -weeks 4 -kind failover \
+  -tenants gold=2,bronze=1 -wait 6m -out "$OUT" &
+LG=$!
+
+# Hard-kill alpha the moment it is observably mid-sweep: running a job
+# it owns with at least one checkpoint record journaled, so the steal
+# has something to resume from. Whatever it holds leases on must be
+# taken over by beta or gamma once the TTL lapses.
+KILLED=
+for _ in $(seq 1 200); do
+  MID=$(python3 - "$A" <<'EOF'
+import json, urllib.request
+base = __import__("sys").argv[1]
+try:
+    jobs = json.load(urllib.request.urlopen(base + "/v1/jobs", timeout=2))["jobs"]
+    for j in jobs:
+        if j["state"] != "running" or j.get("instance") != "alpha":
+            continue
+        full = json.load(urllib.request.urlopen(base + "/v1/jobs/" + j["id"], timeout=2))
+        if (full.get("progress") or {}).get("checkpoint_records_written_total", 0) >= 1:
+            print("yes")
+            break
+except OSError:
+    pass
+EOF
+)
+  if [ "$MID" = yes ]; then
+    kill -9 "$PID_A"
+    KILLED=yes
+    echo "killed alpha (pid $PID_A) mid-sweep"
+    break
+  fi
+  sleep 0.05
+done
+[ "$KILLED" = yes ] || { echo "FAIL: alpha never observed mid-sweep" >&2; exit 1; }
+
+wait "$LG" || { echo "FAIL: loadgen reported errors" >&2; exit 1; }
+
+# Every accepted job must be done, and the survivors must agree on
+# every result hash — the steal resumed the journal, not a guess.
+python3 - "$OUT" "$B" "$C" <<'EOF'
+import json, sys, time, urllib.request
+
+report = json.load(open(sys.argv[1]))
+assert report["errors_5xx"] == 0, f"5xx responses: {report['errors_5xx']}"
+assert report["unique_jobs"] > 0, "no jobs accepted"
+assert report["completed"] == report["unique_jobs"], \
+    f"only {report['completed']} of {report['unique_jobs']} accepted jobs completed"
+assert report["failed"] == 0, f"{report['failed']} jobs failed"
+
+def fetch_views():
+    views = []
+    for base in sys.argv[2:]:
+        jobs = json.load(urllib.request.urlopen(base + "/v1/jobs"))["jobs"]
+        views.append({j["id"]: j for j in jobs})
+    return views
+
+# Every job finished somewhere already (loadgen waited for that); give
+# each survivor's fleet scanner a few ticks to fold peer results into
+# its own table before holding it to the converged view.
+deadline = time.monotonic() + 30
+while True:
+    views = fetch_views()
+    if all(j["state"] == "done" for v in views for j in v.values()):
+        break
+    assert time.monotonic() < deadline, "survivors never converged: " + repr(
+        [{i: j["state"] for i, j in v.items() if j["state"] != "done"} for v in views])
+    time.sleep(0.25)
+
+ids = set(views[0]) | set(views[1])
+assert len(ids) >= report["unique_jobs"], \
+    f"survivors only know {len(ids)} of {report['unique_jobs']} jobs"
+for jid in sorted(ids):
+    hashes = {v[jid]["resultHash"] for v in views if jid in v}
+    assert len(hashes) == 1, f"job {jid} hashes diverge across survivors: {hashes}"
+
+# The kill was gated on alpha being mid-sweep, so its work must have
+# moved: stolen off an expired lease, or adopted once the victim's
+# result never materialized. Zero movement means the fleet path broke.
+moved = report["steals_total"] + report["adoptions_total"]
+assert moved > 0, "alpha died mid-sweep yet nothing was stolen or adopted"
+print(f"fleet ok: {report['unique_jobs']} jobs done, "
+      f"{report['steals_total']} stolen, {report['adoptions_total']} adopted, "
+      f"shed rate {report['shed_rate']:.2f}")
+EOF
+
+kill %2 %3 2>/dev/null || true
+wait 2>/dev/null || true
+echo "OK: fleet survives kill -9 with byte-identical results"
