@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-smoke bench-obs-overhead experiments fuzz golden serve-e2e fleet-e2e clean
+.PHONY: all build vet test race cover bench bench-smoke bench-batched bench-obs-overhead experiments fuzz golden serve-e2e fleet-e2e clean
 
 all: build vet test race
 
@@ -31,6 +31,14 @@ bench:
 # as a smoke job and uploads the output next to BENCH_perf_parallel.json.
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=100ms ./... | tee bench_smoke.txt
+
+# The batched-replay / island-GA perf surface: scalar vs batched replay,
+# the K-ary search's pass economics, and the Table1 consolidation at 1,
+# 2 and 4 islands. Hand-captured runs of this target feed
+# BENCH_perf_batched.json; CI runs it as part of the bench smoke job.
+bench-batched:
+	$(GO) test -run '^$$' -bench 'BenchmarkReplayScalar|BenchmarkReplayBatch|BenchmarkSearchBisect|BenchmarkSearchKary' -benchmem -benchtime 100x ./internal/sim/ | tee bench_batched.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkTable1Consolidation' -benchtime 1x . | tee -a bench_batched.txt
 
 # Prove the disabled-observability hot paths are still an inlined nil
 # check: run the no-op benchmarks, record them in BENCH_obs_overhead.json
@@ -73,4 +81,4 @@ fleet-e2e: build
 	ROPUS=./ropus-cli LOADGEN=./ropus-loadgen bash scripts/fleet_e2e.sh
 
 clean:
-	rm -rf results test_output.txt bench_output.txt bench_smoke.txt bench_obs.txt cover.out ropus-cli ropus-loadgen
+	rm -rf results test_output.txt bench_output.txt bench_smoke.txt bench_batched.txt bench_obs.txt cover.out ropus-cli ropus-loadgen

@@ -189,7 +189,7 @@ func cmdTranslate(ctx context.Context, args []string) error {
 }
 
 // frameworkOpts holds the parsed pool/framework flags. The knobs that
-// determine results (theta, deadline, cpus, ga-seed) feed the
+// determine results (theta, deadline, cpus, ga-seed, islands) feed the
 // checkpoint run hash via fold; workers and cache size deliberately do
 // not, so a journal can be resumed at any parallelism.
 type frameworkOpts struct {
@@ -197,6 +197,7 @@ type frameworkOpts struct {
 	deadline *time.Duration
 	cpus     *int
 	seed     *int64
+	islands  *int
 	workers  *int
 	cacheMB  *int64
 }
@@ -208,6 +209,7 @@ func frameworkFlags(fs *flag.FlagSet) *frameworkOpts {
 		deadline: fs.Duration("deadline", time.Hour, "CoS2 make-up deadline"),
 		cpus:     fs.Int("cpus", 16, "CPUs per server"),
 		seed:     fs.Int64("ga-seed", 42, "genetic search seed"),
+		islands:  fs.Int("islands", 0, "genetic search islands (0/1 = single population; >1 splits the population into deterministic islands with ring migration)"),
 		workers:  fs.Int("workers", 0, "parallel failure-sweep workers (0 = GOMAXPROCS, 1 = sequential; results are identical)"),
 		cacheMB:  fs.Int64("sim-cache-mb", 0, "shared simulation cache bound in MiB (0 = default, negative disables)"),
 	}
@@ -224,7 +226,7 @@ func (o *frameworkOpts) build(h telemetry.Hooks, retry resilience.Policy, journa
 		Commitment:           qos.PoolCommitment{Theta: *o.theta, Deadline: *o.deadline},
 		ServerCPUs:           *o.cpus,
 		ServerCapacityPerCPU: 1,
-		GA:                   placement.DefaultGAConfig(*o.seed),
+		GA:                   o.gaConfig(),
 		Tolerance:            0.1,
 		Hooks:                h,
 		Workers:              *o.workers,
@@ -234,9 +236,22 @@ func (o *frameworkOpts) build(h telemetry.Hooks, retry resilience.Policy, journa
 	})
 }
 
+// gaConfig builds the genetic search configuration from the flags.
+func (o *frameworkOpts) gaConfig() placement.GAConfig {
+	ga := placement.DefaultGAConfig(*o.seed)
+	ga.Islands = *o.islands
+	return ga
+}
+
 // fold mixes the result-determining framework knobs into a run hash.
+// The island count changes results only when > 1, and is folded in
+// only then, so journals recorded before the knob existed keep
+// replaying under the default.
 func (o *frameworkOpts) fold(hash *checkpoint.Hasher) {
 	hash.Float(*o.theta).Int(int64(*o.deadline)).Int(int64(*o.cpus)).Int(*o.seed)
+	if *o.islands > 1 {
+		hash.Int(int64(*o.islands))
+	}
 }
 
 // foldQoS mixes an application QoS into a run hash.

@@ -138,10 +138,13 @@ func TestChaosEvaluatorConcurrent(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
-	ev.mu.Lock()
-	defer ev.mu.Unlock()
-	if len(ev.inflight) != 0 {
-		t.Errorf("%d in-flight entries leaked", len(ev.inflight))
+	for i := range ev.shards {
+		sh := &ev.shards[i]
+		sh.mu.Lock()
+		if len(sh.inflight) != 0 {
+			t.Errorf("shard %d: %d in-flight entries leaked", i, len(sh.inflight))
+		}
+		sh.mu.Unlock()
 	}
 }
 

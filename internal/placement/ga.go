@@ -43,6 +43,17 @@ type GAConfig struct {
 	SeedGreedy bool
 	// Seed makes the search deterministic.
 	Seed int64
+	// Islands splits the population into this many subpopulations that
+	// evolve independently (each on its own deterministically derived
+	// RNG) and exchange their best member around a ring every
+	// MigrationInterval generations. 0 or 1 runs the classic
+	// single-population search, bit-for-bit identical to earlier
+	// releases; any value is byte-deterministic per (Seed, Islands)
+	// regardless of how many worker goroutines evaluate offspring.
+	Islands int
+	// MigrationInterval is the number of generations between ring
+	// migrations when Islands > 1; 0 selects DefaultMigrationInterval.
+	MigrationInterval int
 	// TimeBudget bounds the search's wall-clock time; when it elapses the
 	// search stops at the next generation boundary and returns its best
 	// plan so far, flagged Truncated. Zero means no budget.
@@ -83,6 +94,23 @@ func (c GAConfig) Validate() error {
 		return fmt.Errorf("placement: MutationRate %v outside [0,1]", c.MutationRate)
 	case c.TimeBudget < 0:
 		return fmt.Errorf("placement: TimeBudget %v < 0", c.TimeBudget)
+	case c.Islands < 0:
+		return fmt.Errorf("placement: Islands %d < 0", c.Islands)
+	case c.MigrationInterval < 0:
+		return fmt.Errorf("placement: MigrationInterval %d < 0", c.MigrationInterval)
+	}
+	if c.Islands > 1 {
+		// Every island must be able to run the same tournament/elite
+		// machinery on its share of the population.
+		smallest := c.PopulationSize / c.Islands
+		switch {
+		case smallest < 2:
+			return fmt.Errorf("placement: PopulationSize %d splits below 2 members across %d islands", c.PopulationSize, c.Islands)
+		case c.Elite >= smallest:
+			return fmt.Errorf("placement: Elite %d >= island population %d", c.Elite, smallest)
+		case c.TournamentK > smallest:
+			return fmt.Errorf("placement: TournamentK %d > island population %d", c.TournamentK, smallest)
+		}
 	}
 	return nil
 }
@@ -99,6 +127,12 @@ func (c GAConfig) Validate() error {
 // initial population is always evaluated to completion (detached from
 // ctx's cancellation) so that a given seed yields the same best-so-far
 // plan no matter when the cancel lands.
+//
+// With cfg.Islands > 1 the search runs the deterministic island model
+// (see islands.go): the population is split into subpopulations that
+// evolve independently and trade their best member around a ring every
+// MigrationInterval generations. Islands <= 1 runs the classic
+// single-population loop below, unchanged.
 func Consolidate(ctx context.Context, p *Problem, initial Assignment, cfg GAConfig) (plan *Plan, err error) {
 	defer robust.Recover("placement.Consolidate", &err)
 	if err := p.Validate(); err != nil {
@@ -110,7 +144,16 @@ func Consolidate(ctx context.Context, p *Problem, initial Assignment, cfg GAConf
 	if err := initial.Validate(p); err != nil {
 		return nil, err
 	}
+	if cfg.Islands > 1 {
+		return consolidateIslands(ctx, p, initial, cfg)
+	}
+	return consolidateSingle(ctx, p, initial, cfg)
+}
 
+// consolidateSingle is the classic single-population genetic search; its
+// RNG consumption order is pinned by the deterministic golden tests and
+// must not change.
+func consolidateSingle(ctx context.Context, p *Problem, initial Assignment, cfg GAConfig) (plan *Plan, err error) {
 	h := telemetry.OrNop(p.Hooks)
 	ctx, span := telemetry.StartSpanCtx(ctx, p.Hooks, "placement.consolidate",
 		telemetry.Int("apps", len(p.Apps)),
@@ -207,7 +250,7 @@ func Consolidate(ctx context.Context, p *Problem, initial Assignment, cfg GAConf
 			}
 			offspring = append(offspring, a)
 		}
-		plans, err := evaluateAll(ctx, ev, offspring)
+		plans, err := evaluateAll(ctx, ev, offspring, 0)
 		if err != nil {
 			if ctx.Err() != nil {
 				// Cancellation mid-generation: discard the partial
@@ -275,13 +318,18 @@ func meanPlanScore(pop []*Plan) float64 {
 	return sum / float64(len(pop))
 }
 
-// evaluateAll evaluates assignments concurrently, preserving order. The
-// worker count follows GOMAXPROCS; the evaluator's cache is shared and
-// thread-safe, so duplicate groupings are still computed only ~once.
-func evaluateAll(ctx context.Context, ev *evaluator, assignments []Assignment) ([]*Plan, error) {
+// evaluateAll evaluates assignments concurrently, preserving order.
+// workers <= 0 selects GOMAXPROCS (island epochs pass their share of the
+// cores instead); the evaluator's cache is shared and thread-safe, so
+// duplicate groupings are still computed only ~once, and because every
+// evaluation is a pure content-keyed function the results are identical
+// at any worker count.
+func evaluateAll(ctx context.Context, ev *evaluator, assignments []Assignment, workers int) ([]*Plan, error) {
 	plans := make([]*Plan, len(assignments))
 	errs := make([]error, len(assignments))
-	workers := runtime.GOMAXPROCS(0)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(assignments) {
 		workers = len(assignments)
 	}

@@ -24,6 +24,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"ropus/internal/faultinject"
 	"ropus/internal/qos"
@@ -308,12 +309,29 @@ type inflightEval struct {
 	err   error
 }
 
+// evalShards is the number of independent lock+map shards the
+// evaluator's per-run cache is split across. The GA's offspring
+// evaluations — and with the island model, whole islands — hammer the
+// cache from many goroutines at once; sharding by key keeps them off a
+// single mutex. Must be a power of two (keys are FNV hashes, so the low
+// bits are well mixed).
+const evalShards = 16
+
+// evalShard is one lock's worth of the per-run evaluation cache plus
+// its in-flight (singleflight) table.
+type evalShard struct {
+	mu       sync.Mutex
+	cache    map[uint64]ServerUsage
+	inflight map[uint64]*inflightEval
+}
+
 // evaluator evaluates assignments against a problem, caching per-server
 // simulations: the GA revisits the same app groupings constantly, so the
 // cache turns most evaluations into lookups. It is safe for concurrent
-// use; simulations run outside the lock and are deduplicated through an
-// in-flight table (singleflight style), so each (server, group) pair is
-// computed exactly once no matter how many goroutines ask for it.
+// use; simulations run outside the locks and are deduplicated through a
+// per-shard in-flight table (singleflight style), so each (server,
+// group) pair is computed exactly once no matter how many goroutines ask
+// for it.
 type evaluator struct {
 	p *Problem
 
@@ -329,11 +347,9 @@ type evaluator struct {
 	warmHitC    *telemetry.Counter
 	evictC      *telemetry.Counter
 
-	mu       sync.Mutex
-	cache    map[uint64]ServerUsage
-	inflight map[uint64]*inflightEval
+	shards [evalShards]evalShard
 	// hits/misses are instrumentation for the ablation benchmarks.
-	hits, misses int
+	hits, misses atomic.Int64
 	// hitC/missC mirror hits/misses into the problem's metrics registry.
 	hitC, missC *telemetry.Counter
 }
@@ -341,11 +357,13 @@ type evaluator struct {
 func newEvaluator(p *Problem) *evaluator {
 	h := telemetry.OrNop(p.Hooks)
 	e := &evaluator{
-		p:        p,
-		cache:    make(map[uint64]ServerUsage),
-		inflight: make(map[uint64]*inflightEval),
-		hitC:     h.Counter("placement_eval_cache_hits_total"),
-		missC:    h.Counter("placement_eval_cache_misses_total"),
+		p:     p,
+		hitC:  h.Counter("placement_eval_cache_hits_total"),
+		missC: h.Counter("placement_eval_cache_misses_total"),
+	}
+	for i := range e.shards {
+		e.shards[i].cache = make(map[uint64]ServerUsage)
+		e.shards[i].inflight = make(map[uint64]*inflightEval)
 	}
 	if p.Cache != nil && p.Inject == nil {
 		e.shared = p.Cache
@@ -387,16 +405,17 @@ func (e *evaluator) evalServer(ctx context.Context, server int, apps []int) (Ser
 		return ServerUsage{Server: srv, Feasible: true, Value: 1}, nil
 	}
 	k := e.key(server, apps)
+	sh := &e.shards[k&(evalShards-1)]
 	for {
-		e.mu.Lock()
-		if u, ok := e.cache[k]; ok {
-			e.hits++
-			e.mu.Unlock()
+		sh.mu.Lock()
+		if u, ok := sh.cache[k]; ok {
+			e.hits.Add(1)
+			sh.mu.Unlock()
 			e.hitC.Inc()
 			return u, nil
 		}
-		if fl, ok := e.inflight[k]; ok {
-			e.mu.Unlock()
+		if fl, ok := sh.inflight[k]; ok {
+			sh.mu.Unlock()
 			select {
 			case <-fl.done:
 			case <-ctx.Done():
@@ -414,18 +433,18 @@ func (e *evaluator) evalServer(ctx context.Context, server int, apps []int) (Ser
 			return fl.usage, nil
 		}
 		fl := &inflightEval{done: make(chan struct{})}
-		e.inflight[k] = fl
-		e.misses++
-		e.mu.Unlock()
+		sh.inflight[k] = fl
+		e.misses.Add(1)
+		sh.mu.Unlock()
 		e.missC.Inc()
 
 		fl.usage, fl.err = e.loadOrCompute(ctx, server, srv, apps)
-		e.mu.Lock()
+		sh.mu.Lock()
 		if fl.err == nil {
-			e.cache[k] = fl.usage
+			sh.cache[k] = fl.usage
 		}
-		delete(e.inflight, k)
-		e.mu.Unlock()
+		delete(sh.inflight, k)
+		sh.mu.Unlock()
 		close(fl.done)
 		return fl.usage, fl.err
 	}

@@ -420,14 +420,14 @@ func TestEvaluatorCache(t *testing.T) {
 	if _, err := ev.evaluate(context.Background(), Assignment{0, 0}); err != nil {
 		t.Fatal(err)
 	}
-	missesAfterFirst := ev.misses
+	missesAfterFirst := ev.misses.Load()
 	if _, err := ev.evaluate(context.Background(), Assignment{0, 0}); err != nil {
 		t.Fatal(err)
 	}
-	if ev.misses != missesAfterFirst {
-		t.Errorf("second evaluation missed the cache: %d -> %d", missesAfterFirst, ev.misses)
+	if ev.misses.Load() != missesAfterFirst {
+		t.Errorf("second evaluation missed the cache: %d -> %d", missesAfterFirst, ev.misses.Load())
 	}
-	if ev.hits == 0 {
+	if ev.hits.Load() == 0 {
 		t.Error("expected cache hits on repeat evaluation")
 	}
 }

@@ -111,9 +111,12 @@ type JobSpec struct {
 	Theta    float64  `json:"theta,omitempty"`
 	Deadline Duration `json:"deadline,omitempty"`
 	// ServerCPUs is the per-server CPU count; GASeed seeds the
-	// consolidation search.
+	// consolidation search. Islands > 1 runs the search as that many
+	// deterministic islands with ring migration (0/1 = classic single
+	// population).
 	ServerCPUs int   `json:"serverCpus,omitempty"`
 	GASeed     int64 `json:"gaSeed,omitempty"`
+	Islands    int   `json:"islands,omitempty"`
 	// QoS is the normal-mode requirement; FailureQoS the failure-mode
 	// one (failover jobs; defaults to QoS).
 	QoS        *QoSSpec `json:"qos,omitempty"`
@@ -192,6 +195,9 @@ func (s *JobSpec) parse() (trace.Set, error) {
 	if err := commit.Validate(); err != nil {
 		return nil, fmt.Errorf("serve: bad commitment: %w", err)
 	}
+	if s.Islands < 0 {
+		return nil, fmt.Errorf("serve: islands %d < 0", s.Islands)
+	}
 	if s.ServerCPUs <= 0 {
 		return nil, fmt.Errorf("serve: serverCpus %d <= 0", s.ServerCPUs)
 	}
@@ -212,6 +218,12 @@ func (s *JobSpec) Key(set trace.Set) uint64 {
 	foldQoS(h, *s.QoS)
 	foldQoS(h, *s.FailureQoS)
 	h.Float(s.Theta).Int(int64(s.Deadline)).Int(int64(s.ServerCPUs)).Int(s.GASeed)
+	// The island count changes results only when > 1; folding it in
+	// only then keeps keys from pre-island clients (and journals bound
+	// to them) stable.
+	if s.Islands > 1 {
+		h.Int(int64(s.Islands))
+	}
 	h.Int(int64(s.HorizonWeeks)).Int(int64(s.StepWeeks)).Int(int64(s.PoolServers))
 	h.Int(int64(len(set)))
 	for _, tr := range set {

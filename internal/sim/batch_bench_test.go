@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ropus/internal/qos"
+	"ropus/internal/telemetry"
+)
+
+// Benchmarks for the batched multi-capacity replay and the K-ary
+// capacity search built on it. The trace is diurnal-plus-spikes — the
+// shape the fleet generator produces — because batched replay's
+// economics depend on it: on bursty traces most slots leave every lane
+// backlog-free, so a marginal lane costs ~0.1x of a full scalar replay
+// and a 15-lane pass replaces 15 trace traversals for ~2x the cost of
+// one. (On an adversarial uniform-random trace where half the lanes
+// carry permanent backlog, a marginal lane costs about as much as a
+// scalar pass and batching only wins on traversal count.)
+
+// benchBurstyAgg builds a 4-week, 5-minute-slot trace with a diurnal
+// base load and 2% demand spikes.
+func benchBurstyAgg() *Aggregate {
+	r := rand.New(rand.NewSource(11))
+	const weeks, spd = 4, 288
+	n := weeks * 7 * spd
+	cos1 := make([]float64, n)
+	cos2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		day := float64(i%spd) / float64(spd)
+		base := 1.5 + 1.2*math.Sin(2*math.Pi*day)
+		if base < 0.2 {
+			base = 0.2
+		}
+		c2 := base * (0.7 + 0.6*r.Float64())
+		if r.Float64() < 0.02 {
+			c2 *= 3.5
+		}
+		cos1[i] = 0.4 * c2
+		cos2[i] = c2
+	}
+	return batchAgg(cos1, cos2)
+}
+
+func benchBatchConfig() Config {
+	return Config{
+		SlotsPerDay:   288,
+		DeadlineSlots: 12,
+		Commitment:    qos.PoolCommitment{Theta: 0.7},
+	}
+}
+
+// BenchmarkReplayScalar is the baseline: one scalar replay of the
+// bursty trace at a mid-range capacity.
+func BenchmarkReplayScalar(b *testing.B) {
+	a := benchBurstyAgg()
+	cfg := benchBatchConfig()
+	cfg.Capacity = (a.cos1Peak + a.totalPeak) / 2
+	r := NewReplayer()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.ReplayWith(r, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchReplayBatch times one batched pass with k lanes spread across
+// the searchable capacity range and reports the per-lane cost.
+func benchReplayBatch(b *testing.B, k int) {
+	a := benchBurstyAgg()
+	cfg := benchBatchConfig()
+	caps := make([]float64, k)
+	for j := range caps {
+		caps[j] = a.cos1Peak + (a.totalPeak-a.cos1Peak)*float64(j+1)/float64(k+1)
+	}
+	out := make([]Result, k)
+	br := NewBatchReplayer()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.ReplayBatch(br, cfg, caps, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*k), "ns/lane")
+}
+
+func BenchmarkReplayBatch15(b *testing.B) { benchReplayBatch(b, 15) }
+func BenchmarkReplayBatch31(b *testing.B) { benchReplayBatch(b, 31) }
+
+// BenchmarkSearchBisect is the scalar reference search: one trace
+// traversal per probe.
+func BenchmarkSearchBisect(b *testing.B) {
+	a := benchBurstyAgg()
+	cfg := benchBatchConfig()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.searchBisect(ctx, cfg, a.totalPeak*2, 0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchKary is the batched search over the identical probe
+// sequence; it also reports the trace traversals per search so the
+// pass reduction lands in the benchmark output next to the ns/op.
+func BenchmarkSearchKary(b *testing.B) {
+	a := benchBurstyAgg()
+	reg := telemetry.NewRegistry()
+	cfg := benchBatchConfig()
+	cfg.Hooks = telemetry.New(reg, nil)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.searchKary(ctx, cfg, a.totalPeak*2, 0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	passes := reg.Counter("sim_search_passes_total").Value()
+	saved := reg.Counter("sim_search_passes_saved_total").Value()
+	b.ReportMetric(float64(passes)/float64(b.N), "passes/search")
+	b.ReportMetric(float64(passes+saved)/float64(b.N), "probes/search")
+}

@@ -374,8 +374,17 @@ func (a *Aggregate) RequiredCapacity(ctx context.Context, cfg Config, limit, tol
 	return out.Capacity, out.Result, out.Feasible, err
 }
 
-// Search is RequiredCapacity with the full outcome detail; one Replayer
-// serves every probe of the bisection.
+// Search is RequiredCapacity with the full outcome detail.
+//
+// The search normally runs in batched K-ary form: instead of replaying
+// one bisection midpoint per pass over the trace, it evaluates the next
+// several levels of the bisection tree in a single BatchReplayer pass
+// and then walks the tree with the probe outcomes in hand, cutting
+// trace passes by ~5× while returning the bit-identical capacity and
+// Result the plain bisection would (the probe capacities and the
+// decisions taken at them are exactly the bisection's own). When a
+// fault injector is attached the scalar bisection runs instead, so
+// "sim.replay" injection points keep firing once per probe.
 func (a *Aggregate) Search(ctx context.Context, cfg Config, limit, tol float64) (SearchOutcome, error) {
 	if tol <= 0 {
 		return SearchOutcome{}, fmt.Errorf("sim: tolerance %v <= 0", tol)
@@ -394,7 +403,16 @@ func (a *Aggregate) Search(ctx context.Context, cfg Config, limit, tol float64) 
 		if o.Err != nil {
 			return SearchOutcome{}, fmt.Errorf("sim: required-capacity search %q: %w", cfg.InjectKey, o.Err)
 		}
+		return a.searchBisect(ctx, cfg, limit, tol)
 	}
+	return a.searchKary(ctx, cfg, limit, tol)
+}
+
+// searchBisect is the scalar reference bisection: one replay per probe.
+// It remains the path under fault injection (occurrence counting must
+// see every probe) and the reference the batched-search parity suite
+// pins against.
+func (a *Aggregate) searchBisect(ctx context.Context, cfg Config, limit, tol float64) (SearchOutcome, error) {
 	r := replayerPool.Get().(*Replayer)
 	defer replayerPool.Put(r)
 	h := telemetry.OrNop(cfg.Hooks)
@@ -460,4 +478,266 @@ func (a *Aggregate) Search(ctx context.Context, cfg Config, limit, tol float64) 
 		}
 	}
 	return SearchOutcome{Capacity: hi, Result: hiRes, Feasible: true, Unclamped: unclamped}, nil
+}
+
+// searchDepth is how many bisection levels one batched pass evaluates:
+// a pass carries up to 2^searchDepth-1 speculative midpoint lanes (all
+// tree nodes the next searchDepth bisection steps could visit). Depth 5
+// (≤31 lanes) is the ceiling the adaptive controller below can reach on
+// backlog-light traces, where a marginal lane costs ~0.1x of a scalar
+// replay and the default 0.05-CPU tolerance's 8-10 bisection steps fit
+// in 2 passes instead of 9-11 traversals.
+const searchDepth = 5
+
+// bisectSteps counts the halvings a bisection needs to shrink span to
+// the tolerance — the number of steps left in the search.
+func bisectSteps(span, tol float64) int {
+	steps := 0
+	for span > tol && steps < 64 {
+		span /= 2
+		steps++
+	}
+	return steps
+}
+
+// depthForWorkFrac picks the next pass's speculation depth from the
+// expensive-lane fraction the previous batched pass observed. Lanes
+// whose capacity sits below the demand crossing take the full
+// serve/backlog arithmetic slot after slot and cost about as much as a
+// scalar replay each, so speculating a deep tree (half of whose lanes
+// sit below the crossing) only pays when such work is rare; otherwise
+// the search degrades toward plain bisection. The signal is a
+// deterministic function of the trace, so the probe grouping — and
+// therefore the telemetry — is reproducible, and the probe *sequence*
+// is depth-independent either way.
+func depthForWorkFrac(wf float64) int {
+	switch {
+	case wf < 0.10:
+		return searchDepth
+	case wf < 0.30:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// bisectTree is the speculative probe ladder for one batched pass: the
+// heap-ordered midpoints of the next searchDepth levels of the
+// bisection over (lo, hi). Node j's children are 2j+1 (lower half) and
+// 2j+2 (upper half); nodes whose interval has already shrunk to the
+// tolerance are dead (lane -1) and never evaluated.
+type bisectTree struct {
+	mids  []float64 // heap-ordered midpoints; NaN for dead nodes
+	lanes []int     // node -> lane index in the batch, -1 for dead
+	caps  []float64 // live-lane capacities, in lane order
+	out   []Result  // per-lane results, in lane order
+	spans []searchSpan
+}
+
+// searchSpan is one node's bisection interval during tree construction.
+type searchSpan struct{ lo, hi float64 }
+
+// treePool recycles bisectTree scratch across searches.
+var treePool = sync.Pool{New: func() any { return new(bisectTree) }}
+
+// build fills the tree with the next `depth` levels of the bisection
+// over the interval (lo, hi). Midpoints are the exact (lo+hi)/2 floats
+// the scalar bisection would compute, level by level, so walking the
+// tree reproduces the bisection bit for bit at any depth.
+func (bt *bisectTree) build(lo, hi, tol float64, depth int) {
+	if depth < 1 {
+		depth = 1
+	} else if depth > searchDepth {
+		depth = searchDepth
+	}
+	n := 1<<depth - 1
+	maxN := 1<<searchDepth - 1
+	if cap(bt.mids) < maxN {
+		bt.mids = make([]float64, 0, maxN)
+		bt.lanes = make([]int, 0, maxN)
+		bt.caps = make([]float64, 0, maxN+1) // +1: the first pass rides the hi probe along
+		bt.out = make([]Result, maxN+1)
+		bt.spans = make([]searchSpan, 0, maxN)
+	}
+	bt.mids = bt.mids[:n]
+	bt.lanes = bt.lanes[:n]
+	bt.caps = bt.caps[:0]
+	spans := append(bt.spans[:0], searchSpan{lo, hi})
+	for j := 0; j < n; j++ {
+		s := spans[j]
+		if math.IsNaN(s.lo) || s.hi-s.lo <= tol {
+			bt.mids[j] = math.NaN()
+			bt.lanes[j] = -1
+			if 2*j+2 < n {
+				spans = append(spans, searchSpan{math.NaN(), math.NaN()}, searchSpan{math.NaN(), math.NaN()})
+			}
+			continue
+		}
+		mid := (s.lo + s.hi) / 2
+		bt.mids[j] = mid
+		bt.lanes[j] = len(bt.caps)
+		bt.caps = append(bt.caps, mid)
+		if 2*j+2 < n {
+			spans = append(spans, searchSpan{s.lo, mid}, searchSpan{mid, s.hi})
+		}
+	}
+	bt.spans = spans[:0]
+}
+
+// searchKary runs the bisection over batched passes: each pass
+// evaluates the next ≤ searchDepth levels of midpoints in one trace
+// traversal, then the walk descends the tree with every probe outcome
+// already known. The capacities probed, the order of the Fits
+// decisions, and the returned outcome are identical to searchBisect's.
+func (a *Aggregate) searchKary(ctx context.Context, cfg Config, limit, tol float64) (SearchOutcome, error) {
+	br := batchPool.Get().(*BatchReplayer)
+	defer batchPool.Put(br)
+	return a.searchKaryWith(ctx, cfg, limit, tol, br)
+}
+
+// searchKaryWith is searchKary against a caller-supplied replayer, the
+// seam that lets tests control the depth-hint warm-up deterministically
+// instead of depending on what the pool hands back.
+func (a *Aggregate) searchKaryWith(ctx context.Context, cfg Config, limit, tol float64, br *BatchReplayer) (SearchOutcome, error) {
+	h := telemetry.OrNop(cfg.Hooks)
+	h.Counter("sim_searches_total").Inc()
+	iterations := h.Counter("sim_search_iterations_total")
+
+	// The workloads cannot fit at any capacity <= limit if the
+	// guaranteed class alone exceeds it.
+	if a.cos1Peak > limit {
+		res, err := a.replayOne(br, cfg, limit)
+		if err != nil {
+			return SearchOutcome{}, err
+		}
+		h.Counter("sim_search_infeasible_total").Inc()
+		return SearchOutcome{Capacity: limit, Result: res}, nil
+	}
+
+	unclamped := limit >= a.totalPeak
+	hi := math.Min(limit, a.totalPeak)
+	if hi <= 0 {
+		hi = tol // all-zero workloads: any positive capacity fits
+	}
+	lo := a.cos1Peak
+
+	// probes counts the capacities a scalar bisection would have
+	// replayed one pass each; passes counts the trace traversals this
+	// search actually made. The difference feeds the passes-saved
+	// telemetry.
+	probes, passes := 1, 1
+
+	// depth is how many bisection levels each pass speculates. Two
+	// signals pick it, neither of which can change what is probed or
+	// returned — only how many trace traversals the probes are grouped
+	// into. First, the cost regime: a pooled replayer remembers the
+	// depth its last search's workFrac earned (searches inside one
+	// consolidation see near-identical traces); without history, start
+	// shallow. Second, the search length: a depth-d tree speculates
+	// 2^d-1 probes of which the walk consumes at most d per pass, so
+	// full-depth trees only amortize their waste when the span still
+	// needs at least two full-depth passes' worth of steps — short
+	// searches (a consolidation fitness probe spans ~5 steps at its
+	// coarse tolerance) cap at depth 2 however cheap the lanes are.
+	deepOK := bisectSteps(hi-lo, tol) >= 2*searchDepth-2
+	depthFor := func(hint int) int {
+		if hint < 1 {
+			hint = 2
+		}
+		if hint > 2 && !deepOK {
+			return 2
+		}
+		return hint
+	}
+	depth := depthFor(br.hintDepth)
+
+	// First pass: the hi probe rides along with the speculative first
+	// tree of midpoints over (lo, hi), so a feasible search starts its
+	// walk with the first levels already evaluated.
+	tree := treePool.Get().(*bisectTree)
+	defer treePool.Put(tree)
+	tree.build(lo, hi, tol, depth)
+	k := len(tree.caps)
+	caps := append(tree.caps, hi)
+	out := tree.out[:k+1]
+	if err := a.ReplayBatch(br, cfg, caps, out); err != nil {
+		return SearchOutcome{}, err
+	}
+	tree.caps = caps[:k]
+	hiRes := out[k]
+	treeLive := true
+	br.hintDepth = depthForWorkFrac(br.workFrac)
+	depth = depthFor(br.hintDepth)
+
+	if !hiRes.Fits(cfg.Commitment.Theta) {
+		// θ or deadline unsatisfiable even at the peak: try the full
+		// limit before giving up (deadline backlogs can need headroom).
+		unclamped = false
+		treeLive = false // the speculative tree covered (lo, old hi)
+		if hi < limit {
+			var err error
+			if hiRes, err = a.replayOne(br, cfg, limit); err != nil {
+				return SearchOutcome{}, err
+			}
+			probes++
+			passes++
+			hi = limit
+		}
+		if !hiRes.Fits(cfg.Commitment.Theta) {
+			h.Counter("sim_search_infeasible_total").Inc()
+			return SearchOutcome{Capacity: hi, Result: hiRes}, nil
+		}
+	}
+
+	steps := 0
+	for hi-lo > tol {
+		if err := ctx.Err(); err != nil {
+			return SearchOutcome{}, fmt.Errorf("sim: required-capacity search: %w", err)
+		}
+		if !treeLive {
+			tree.build(lo, hi, tol, depth)
+			if err := a.ReplayBatch(br, cfg, tree.caps, tree.out[:len(tree.caps)]); err != nil {
+				return SearchOutcome{}, err
+			}
+			passes++
+			treeLive = true
+			br.hintDepth = depthForWorkFrac(br.workFrac)
+			depth = depthFor(br.hintDepth)
+		}
+		// Walk as many levels as this tree evaluated; every decision is
+		// the one the scalar bisection would have taken at that probe.
+		j := 0
+		for hi-lo > tol && j < len(tree.mids) && tree.lanes[j] >= 0 {
+			steps++
+			mid := tree.mids[j]
+			midRes := tree.out[tree.lanes[j]]
+			if midRes.Fits(cfg.Commitment.Theta) {
+				hi = mid
+				hiRes = midRes
+				j = 2*j + 1
+			} else {
+				lo = mid
+				j = 2*j + 2
+			}
+		}
+		treeLive = false
+	}
+	iterations.Add(int64(steps))
+	probes += steps
+	h.Counter("sim_search_passes_total").Add(int64(passes))
+	if saved := probes - passes; saved > 0 {
+		h.Counter("sim_search_passes_saved_total").Add(int64(saved))
+	}
+	return SearchOutcome{Capacity: hi, Result: hiRes, Feasible: true, Unclamped: unclamped}, nil
+}
+
+// replayOne replays a single capacity through the batch replayer (the
+// search already holds one, so single probes reuse its buffers).
+func (a *Aggregate) replayOne(br *BatchReplayer, cfg Config, capacity float64) (Result, error) {
+	one := [1]float64{capacity}
+	var res [1]Result
+	if err := a.ReplayBatch(br, cfg, one[:], res[:]); err != nil {
+		return Result{}, err
+	}
+	return res[0], nil
 }
