@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -18,8 +19,10 @@ import (
 	"ropus/internal/qos"
 	"ropus/internal/report"
 	"ropus/internal/resilience"
+	"ropus/internal/scenario"
 	"ropus/internal/sim"
 	"ropus/internal/telemetry"
+	"ropus/internal/topology"
 	"ropus/internal/trace"
 	"ropus/internal/wlmgr"
 	"ropus/internal/workload"
@@ -102,6 +105,10 @@ func cmdGen(args []string) error {
 		out      = fs.String("o", "", "output CSV file (default stdout)")
 		batch    = fs.Int("batch", 0, "number of overnight batch applications")
 		profiles = fs.String("profiles", "", "JSON profile file overriding the class mix")
+		topoOut  = fs.String("topology-out", "", "also write a synthetic topology JSON over the pool's servers (srv-01...)")
+		zones    = fs.Int("zones", 2, "zones in the synthetic topology")
+		racks    = fs.Int("racks-per-zone", 2, "racks per zone in the synthetic topology")
+		power    = fs.Int("power-domains", 0, "power domains striped across the pool (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -146,6 +153,27 @@ func cmdGen(args []string) error {
 	if *out != "" {
 		fmt.Printf("wrote %d traces x %d samples to %s (total peak %.1f CPUs)\n",
 			len(set), set[0].Len(), *out, set.TotalPeak())
+	}
+	if *topoOut != "" {
+		// The framework builds one candidate server per application
+		// (srv-01...), so the synthetic topology covers exactly the pool a
+		// failover run of these traces will see.
+		topo, err := topology.Synthesize(topology.GenConfig{
+			Servers: len(set), Zones: *zones, RacksPerZone: *racks, PowerDomains: *power,
+		})
+		if err != nil {
+			return err
+		}
+		tf, err := os.Create(*topoOut)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		if err := topo.WriteJSON(tf); err != nil {
+			return err
+		}
+		fmt.Printf("wrote topology (%d zones x %d racks, %d power domains) to %s\n",
+			*zones, *racks, *power, *topoOut)
 	}
 	return nil
 }
@@ -420,10 +448,12 @@ func cmdFailover(ctx context.Context, args []string) error {
 	ropts := resilienceFlags(fs)
 	topts := telemetryFlags(fs)
 	var (
-		in       = fs.String("traces", "", "input trace CSV (required)")
-		failM    = fs.Float64("fail-m", 97, "failure-mode percent of acceptable measurements")
-		failTDeg = fs.Duration("fail-tdegr", 30*time.Minute, "failure-mode max contiguous degradation")
-		asJSON   = fs.Bool("json", false, "emit a JSON report instead of text")
+		in        = fs.String("traces", "", "input trace CSV (required)")
+		failM     = fs.Float64("fail-m", 97, "failure-mode percent of acceptable measurements")
+		failTDeg  = fs.Duration("fail-tdegr", 30*time.Minute, "failure-mode max contiguous degradation")
+		asJSON    = fs.Bool("json", false, "emit a JSON report instead of text")
+		scenPath  = fs.String("scenarios", "", "scenario DSL JSON file: named correlated-failure scenarios swept after the single-failure analysis")
+		topoPath  = fs.String("topology", "", "topology JSON file resolving the scenario file's domain references")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -431,9 +461,34 @@ func cmdFailover(ctx context.Context, args []string) error {
 	if *in == "" {
 		return fmt.Errorf("failover: -traces is required")
 	}
+	if *topoPath != "" && *scenPath == "" {
+		return fmt.Errorf("failover: -topology is only meaningful with -scenarios")
+	}
 	set, err := loadTraces(*in)
 	if err != nil {
 		return err
+	}
+	var (
+		scenDoc   *scenario.Doc
+		scenBytes []byte
+		topo      *topology.Topology
+		topoBytes []byte
+	)
+	if *scenPath != "" {
+		if scenBytes, err = os.ReadFile(*scenPath); err != nil {
+			return err
+		}
+		if scenDoc, err = scenario.ReadJSON(bytes.NewReader(scenBytes)); err != nil {
+			return err
+		}
+	}
+	if *topoPath != "" {
+		if topoBytes, err = os.ReadFile(*topoPath); err != nil {
+			return err
+		}
+		if topo, err = topology.ReadJSON(bytes.NewReader(topoBytes)); err != nil {
+			return err
+		}
 	}
 	return withTelemetry(ctx, topts, "failover", *fwk.seed, func(ctx context.Context, h telemetry.Hooks) error {
 		normal := buildQoS()
@@ -445,6 +500,16 @@ func cmdFailover(ctx context.Context, args []string) error {
 		foldQoS(hash, failQoS)
 		fwk.fold(hash)
 		foldTraces(hash, set)
+		// The scenario universe and topology are result-determining:
+		// fold the file contents so a journal recorded for one scenario
+		// file cannot silently resume another. Plain runs fold nothing,
+		// keeping their historical run hashes valid.
+		if scenBytes != nil {
+			hash.String("scenarios").String(string(scenBytes))
+		}
+		if topoBytes != nil {
+			hash.String("topology").String(string(topoBytes))
+		}
 		j, err := ropts.journal(ctx, hash.Sum(), h)
 		if err != nil {
 			return err
@@ -455,9 +520,21 @@ func cmdFailover(ctx context.Context, args []string) error {
 			return err
 		}
 		reqs := core.Requirements{Default: qos.Requirement{Normal: normal, Failure: failQoS}}
-		result, err := f.Run(ctx, set, reqs)
-		if err != nil {
-			return err
+		var result *core.Report
+		if scenDoc != nil {
+			specs, err := scenDoc.Compile(topo)
+			if err != nil {
+				return err
+			}
+			result, err = f.RunScenarios(ctx, set, reqs, specs, scenDoc.Economics)
+			if err != nil {
+				return err
+			}
+		} else {
+			result, err = f.Run(ctx, set, reqs)
+			if err != nil {
+				return err
+			}
 		}
 		if *asJSON {
 			return report.JSON(os.Stdout, result)

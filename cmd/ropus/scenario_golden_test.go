@@ -1,0 +1,109 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenTopology writes the fixed two-zone topology over the 4-server
+// pool the golden fleet consolidates onto.
+func goldenTopology(t *testing.T) string {
+	t.Helper()
+	doc := `{
+  "domains": [
+    {"id": "zone-a", "kind": "zone", "servers": ["srv-01", "srv-03"]},
+    {"id": "zone-b", "kind": "zone", "servers": ["srv-02", "srv-04"]}
+  ]
+}`
+	path := filepath.Join(t.TempDir(), "topology.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func writeScenarioDoc(t *testing.T, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "scenarios.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestScenarioGolden pins the scenario-universe failover output for the
+// three scenario classes — correlated zone loss, cascading failure and
+// maintenance window — against golden files, one class per file plus a
+// combined ranked text report. Deliberate changes regenerate the corpus
+// with -update.
+func TestScenarioGolden(t *testing.T) {
+	const seed = 3
+	econ := `"economics": {
+    "defaultRevenuePerHour": 100, "defaultPenaltyPerHour": 10,
+    "apps": {"app-01": {"revenuePerHour": 500, "penaltyPerHour": 50}}
+  }`
+	classes := []struct {
+		name string
+		doc  string
+	}{
+		{"zone_loss", `{
+  ` + econ + `,
+  "scenarios": [
+    {"name": "zone-a-down", "kind": "domain-loss", "domain": "zone-a", "probability": 0.05}
+  ]
+}`},
+		{"cascade", `{
+  ` + econ + `,
+  "scenarios": [
+    {"name": "power-cascade", "kind": "cascade", "servers": ["srv-01"], "overloadFactor": 0.5, "probability": 0.01}
+  ]
+}`},
+		{"maintenance", `{
+  ` + econ + `,
+  "scenarios": [
+    {"name": "patch-window", "kind": "maintenance", "servers": ["srv-02"], "theta": 0.4}
+  ]
+}`},
+	}
+
+	traces := goldenFleet(t, seed)
+	topo := goldenTopology(t)
+	for _, tc := range classes {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			scen := writeScenarioDoc(t, tc.doc)
+			out, err := captureStdout(t, func() error {
+				return run([]string{"failover", "-traces", traces,
+					"-scenarios", scen, "-topology", topo, "-json"})
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, fmt.Sprintf("scenario_%s_seed%d.json", tc.name, seed), out)
+		})
+	}
+
+	// The combined universe, as the human-readable ranked report.
+	t.Run("ranked_text", func(t *testing.T) {
+		combined := `{
+  ` + econ + `,
+  "scenarios": [
+    {"name": "zone-a-down", "kind": "domain-loss", "domain": "zone-a", "probability": 0.05},
+    {"name": "power-cascade", "kind": "cascade", "servers": ["srv-01"], "overloadFactor": 0.5, "probability": 0.01},
+    {"name": "patch-window", "kind": "maintenance", "servers": ["srv-02"], "theta": 0.4},
+    {"name": "two-of-zone-b", "kind": "k-of-domain", "domain": "zone-b", "k": 2, "probability": 0.02}
+  ]
+}`
+		scen := writeScenarioDoc(t, combined)
+		out, err := captureStdout(t, func() error {
+			return run([]string{"failover", "-traces", traces,
+				"-scenarios", scen, "-topology", topo})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, fmt.Sprintf("scenario_ranked_seed%d.txt", seed), out)
+	})
+}

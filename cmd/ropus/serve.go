@@ -31,6 +31,7 @@ func cmdServe(ctx context.Context, args []string) error {
 		depth    = fs.Int("queue-depth", 64, "max queued jobs before submissions are shed with 429")
 		weights  = fs.String("tenant-weights", "", "admission weights as tenant=n pairs (DRR dequeue + graduated shedding)")
 		quotas   = fs.String("tenant-quotas", "", "per-tenant queued-job caps as tenant=n pairs")
+		values   = fs.String("tenant-values", "", "tenant business value as tenant=v pairs (revenue/h); overload sheds lowest-value tenants first")
 		maxConc  = fs.Int("max-concurrent", 0, "max jobs executing at once (0 = GOMAXPROCS)")
 		classes  = fs.String("class-limits", "failover=2,plan=1", "per-kind concurrency caps as kind=n pairs (empty disables)")
 		workers  = fs.Int("workers", 0, "per-job failure-sweep workers (0 = GOMAXPROCS, 1 = sequential)")
@@ -57,6 +58,10 @@ func cmdServe(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	tenantValues, err := parseValuePairs("-tenant-values", *values)
+	if err != nil {
+		return err
+	}
 	cacheBytes := *cacheMB << 20
 	if *cacheMB < 0 {
 		cacheBytes = -1
@@ -76,6 +81,7 @@ func cmdServe(ctx context.Context, args []string) error {
 		QueueDepth:    *depth,
 		TenantWeights: tenantWeights,
 		TenantQuotas:  tenantQuotas,
+		TenantValues:  tenantValues,
 		MaxConcurrent: *maxConc,
 		ClassLimits:   limits,
 		Workers:       *workers,
@@ -111,6 +117,26 @@ func parsePairs(flagName, s string) (map[string]int, error) {
 		v, err := strconv.Atoi(n)
 		if err != nil || v < 1 {
 			return nil, fmt.Errorf("serve: %s %q needs a positive count", flagName, pair)
+		}
+		out[name] = v
+	}
+	return out, nil
+}
+
+// parseValuePairs parses "name=v,name=v" float maps (tenant values).
+func parseValuePairs(flagName, s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]float64)
+	for _, pair := range strings.Split(s, ",") {
+		name, n, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("serve: %s entry %q is not name=v", flagName, pair)
+		}
+		v, err := strconv.ParseFloat(n, 64)
+		if err != nil || v <= 0 || v > 1e18 {
+			return nil, fmt.Errorf("serve: %s %q needs a positive value", flagName, pair)
 		}
 		out[name] = v
 	}

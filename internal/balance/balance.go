@@ -1,0 +1,128 @@
+// Package balance implements the balanced-fairness stability baseline
+// from "Performance of Balanced Fairness in Resource Pools" (see
+// PAPERS.md): a pool of servers shared by traffic classes, where class
+// i may only use its subset S_i of servers, is stable under balanced
+// fairness if and only if, for every nonempty subset A of classes, the
+// aggregate offered load of A is strictly less than the total capacity
+// of the union of the servers A can reach.
+//
+// The check is the exact recursion over class subsets — exponential in
+// the class count, which is why it is a small-pool analytical baseline
+// rather than a planner: the property suite uses it to cross-check the
+// simulator's feasibility verdicts, since a placement the simulator
+// accepts must in particular be stable in the mean.
+package balance
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MaxClasses bounds the exact subset recursion (2^n subsets).
+const MaxClasses = 20
+
+// Class is one traffic class: an offered load (in the same capacity
+// units as the servers) and the set of servers that can serve it.
+type Class struct {
+	// Name identifies the class in violation reports.
+	Name string
+	// Load is the class's offered load ρ (mean demand).
+	Load float64
+	// Servers are the servers the class may use.
+	Servers []string
+}
+
+// Violation describes one failed stability condition: a class subset
+// whose aggregate load meets or exceeds the capacity of its reachable
+// server union.
+type Violation struct {
+	// Classes are the names of the violating subset, sorted.
+	Classes []string
+	// Load is the subset's aggregate offered load.
+	Load float64
+	// Capacity is the total capacity of the union of reachable servers.
+	Capacity float64
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("balance: classes %v offer load %.6g >= reachable capacity %.6g",
+		v.Classes, v.Load, v.Capacity)
+}
+
+// Stable runs the exact stability recursion: every nonempty subset A of
+// classes must satisfy Σ_{i∈A} Load_i < capacity(∪_{i∈A} Servers_i).
+// It returns the first violating subset found (smallest cardinality,
+// then lexicographic), or nil when the pool is stable.
+func Stable(classes []Class, capacity map[string]float64) (*Violation, error) {
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("balance: no classes")
+	}
+	if len(classes) > MaxClasses {
+		return nil, fmt.Errorf("balance: %d classes exceed the exact recursion bound %d",
+			len(classes), MaxClasses)
+	}
+	for _, c := range classes {
+		if c.Load < 0 || math.IsNaN(c.Load) || math.IsInf(c.Load, 0) {
+			return nil, fmt.Errorf("balance: class %q has bad load %v", c.Name, c.Load)
+		}
+		if len(c.Servers) == 0 {
+			return nil, fmt.Errorf("balance: class %q can reach no servers", c.Name)
+		}
+		for _, s := range c.Servers {
+			cap, ok := capacity[s]
+			if !ok {
+				return nil, fmt.Errorf("balance: class %q references unknown server %q", c.Name, s)
+			}
+			if cap <= 0 || math.IsNaN(cap) || math.IsInf(cap, 0) {
+				return nil, fmt.Errorf("balance: server %q has bad capacity %v", s, cap)
+			}
+		}
+	}
+	// Enumerate subsets in order of increasing cardinality so the
+	// reported violation is a minimal (and deterministic) witness.
+	n := len(classes)
+	masks := make([]uint32, 0, (1<<n)-1)
+	for m := uint32(1); m < 1<<n; m++ {
+		masks = append(masks, m)
+	}
+	sort.Slice(masks, func(i, j int) bool {
+		bi, bj := popcount(masks[i]), popcount(masks[j])
+		if bi != bj {
+			return bi < bj
+		}
+		return masks[i] < masks[j]
+	})
+	for _, m := range masks {
+		var load float64
+		union := make(map[string]bool)
+		var names []string
+		for i := 0; i < n; i++ {
+			if m&(1<<i) == 0 {
+				continue
+			}
+			load += classes[i].Load
+			names = append(names, classes[i].Name)
+			for _, s := range classes[i].Servers {
+				union[s] = true
+			}
+		}
+		var cap float64
+		for s := range union {
+			cap += capacity[s]
+		}
+		if load >= cap {
+			sort.Strings(names)
+			return &Violation{Classes: names, Load: load, Capacity: cap}, nil
+		}
+	}
+	return nil, nil
+}
+
+func popcount(m uint32) int {
+	n := 0
+	for ; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}

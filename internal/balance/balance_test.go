@@ -1,0 +1,88 @@
+package balance
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStablePool(t *testing.T) {
+	capacity := map[string]float64{"s1": 10, "s2": 10}
+	classes := []Class{
+		{Name: "a", Load: 4, Servers: []string{"s1"}},
+		{Name: "b", Load: 4, Servers: []string{"s2"}},
+		{Name: "c", Load: 8, Servers: []string{"s1", "s2"}},
+	}
+	v, err := Stable(classes, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Fatalf("stable pool reported violation %v", v)
+	}
+}
+
+func TestUnstableSubset(t *testing.T) {
+	// Classes a and b individually fit, but both can only use s1 and
+	// together they exceed it — the subset condition is what catches it.
+	capacity := map[string]float64{"s1": 10, "s2": 100}
+	classes := []Class{
+		{Name: "a", Load: 6, Servers: []string{"s1"}},
+		{Name: "b", Load: 6, Servers: []string{"s1"}},
+		{Name: "spectator", Load: 1, Servers: []string{"s2"}},
+	}
+	v, err := Stable(classes, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("unstable pool reported stable")
+	}
+	if len(v.Classes) != 2 || v.Classes[0] != "a" || v.Classes[1] != "b" {
+		t.Errorf("violation subset = %v, want minimal witness [a b]", v.Classes)
+	}
+	if v.Load != 12 || v.Capacity != 10 {
+		t.Errorf("violation = %+v, want load 12 over capacity 10", v)
+	}
+	if !strings.Contains(v.Error(), "12") {
+		t.Errorf("violation error %q lacks the load", v.Error())
+	}
+}
+
+func TestBoundaryIsUnstable(t *testing.T) {
+	// Load equal to capacity is not stable (strict inequality).
+	v, err := Stable(
+		[]Class{{Name: "a", Load: 10, Servers: []string{"s1"}}},
+		map[string]float64{"s1": 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("load == capacity reported stable; stability requires strict inequality")
+	}
+}
+
+func TestStableRejections(t *testing.T) {
+	capacity := map[string]float64{"s1": 10}
+	cases := []struct {
+		name    string
+		classes []Class
+	}{
+		{"no classes", nil},
+		{"negative load", []Class{{Name: "a", Load: -1, Servers: []string{"s1"}}}},
+		{"no servers", []Class{{Name: "a", Load: 1}}},
+		{"unknown server", []Class{{Name: "a", Load: 1, Servers: []string{"ghost"}}}},
+		{"too many", make([]Class, MaxClasses+1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for i := range tc.classes {
+				if tc.classes[i].Name == "" && tc.classes[i].Servers == nil && tc.name == "too many" {
+					tc.classes[i] = Class{Name: "c", Load: 0, Servers: []string{"s1"}}
+				}
+			}
+			if _, err := Stable(tc.classes, capacity); err == nil {
+				t.Errorf("Stable accepted %s", tc.name)
+			}
+		})
+	}
+}

@@ -281,11 +281,31 @@ func (f *Framework) PlanForMultiFailures(ctx context.Context, t *Translation, c 
 	return failure.AnalyzeMulti(ctx, in, c.Plan, k)
 }
 
+// PlanForScenarios evaluates named failure scenarios — correlated
+// domain losses, cascades, maintenance windows, typically compiled by
+// the scenario DSL (internal/scenario) against a topology — on the
+// consolidated configuration, pricing every outcome with econ (nil
+// scores zero).
+func (f *Framework) PlanForScenarios(ctx context.Context, t *Translation, c *Consolidation, specs []failure.ScenarioSpec, econ *failure.Economics) (*failure.MultiReport, error) {
+	if t == nil || c == nil {
+		return nil, errors.New("core: need a translation and a consolidation")
+	}
+	failApps := make([]placement.App, len(t.Failure))
+	for i, p := range t.Failure {
+		failApps[i] = partitionApp(p)
+	}
+	in := failure.Input{Problem: c.Problem, FailureApps: failApps, GA: f.cfg.GA, Hooks: f.cfg.Hooks, Inject: f.cfg.Inject, Workers: f.cfg.Workers, Retry: f.cfg.Retry, Journal: f.cfg.Journal}
+	return failure.AnalyzeScenarios(ctx, in, c.Plan, specs, econ)
+}
+
 // Report is the full output of a capacity-management pass.
 type Report struct {
 	Translation   *Translation
 	Consolidation *Consolidation
 	Failures      *failure.Report
+	// Scenarios holds the named-scenario sweep when one was requested
+	// (RunScenarios); nil otherwise.
+	Scenarios *failure.MultiReport
 }
 
 // Run executes the full pipeline: translate, consolidate, plan for
@@ -314,6 +334,25 @@ func (f *Framework) Run(ctx context.Context, traces trace.Set, reqs Requirements
 		return nil, err
 	}
 	return &Report{Translation: t, Consolidation: c, Failures: fr}, nil
+}
+
+// RunScenarios executes the full pipeline and then sweeps the given
+// named scenarios with revenue-at-risk economics: translate,
+// consolidate, plan for single failures, plan for scenarios. The
+// single-failure sweep stays in the report — the scenario universe
+// complements it, it does not replace it.
+func (f *Framework) RunScenarios(ctx context.Context, traces trace.Set, reqs Requirements, specs []failure.ScenarioSpec, econ *failure.Economics) (report *Report, err error) {
+	defer robust.Recover("core.RunScenarios", &err)
+	report, err = f.Run(ctx, traces, reqs)
+	if err != nil {
+		return nil, err
+	}
+	sr, err := f.PlanForScenarios(ctx, report.Translation, report.Consolidation, specs, econ)
+	if err != nil {
+		return nil, err
+	}
+	report.Scenarios = sr
+	return report, nil
 }
 
 // problemFor assembles a placement problem from partitions, with one

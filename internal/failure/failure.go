@@ -135,6 +135,10 @@ type Scenario struct {
 	// in the pool. Errored scenarios are never checkpointed, so a
 	// resumed run re-attempts them.
 	Err error `json:"-"`
+	// ErrText mirrors Err for serialized reports (error values do not
+	// survive JSON), so inconclusive scenarios stay diagnosable in serve
+	// results and flight recordings.
+	ErrText string `json:",omitempty"`
 }
 
 // Report aggregates all single-server failure scenarios.
@@ -291,6 +295,7 @@ func Analyze(ctx context.Context, in Input, basePlan *placement.Plan) (report *R
 			// The remaining scenarios are independent analyses; one bad
 			// solver run must not cost the whole report.
 			scenario.Err = fmt.Errorf("failure: scenario %q: %w", scenario.FailedServer, err)
+			scenario.ErrText = scenario.Err.Error()
 			errorC.Inc()
 			errored++
 		} else if !scenario.Feasible {

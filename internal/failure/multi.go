@@ -24,13 +24,27 @@ import (
 // consolidation on the surviving servers.
 
 // MultiScenario is the outcome for one set of concurrently failed
-// servers.
+// servers — a k-combination from AnalyzeMulti, or a named scenario
+// class (domain loss, cascade, maintenance window) from
+// AnalyzeScenarios.
 type MultiScenario struct {
+	// Name identifies a named scenario (AnalyzeScenarios); empty for
+	// k-combination sweeps, whose identity is Key().
+	Name string `json:",omitempty"`
 	// FailedServers are the servers removed in this scenario, in pool
-	// order.
+	// order — including any cascade casualties.
 	FailedServers []string
 	// AffectedApps are the applications that were hosted on them.
 	AffectedApps []string
+	// Theta is the scenario's commitment override (maintenance window);
+	// 0 means the pool default applied.
+	Theta float64 `json:",omitempty"`
+	// CascadeRounds counts the overload-closure rounds a cascading
+	// scenario ran before reaching its fixed point (0 for none).
+	CascadeRounds int `json:",omitempty"`
+	// CascadeAdded lists the servers the cascade closure failed beyond
+	// the initial set, in pool order.
+	CascadeAdded []string `json:",omitempty"`
 	// Feasible reports whether the affected applications could be
 	// placed on the surviving servers under failure-mode QoS.
 	Feasible bool
@@ -46,17 +60,38 @@ type MultiScenario struct {
 	// GaveUp reports a combination whose transient failures exhausted
 	// the retry policy (see Scenario.GaveUp).
 	GaveUp bool
+	// Probability weights a named scenario's revenue at risk into its
+	// expected value (1 when unset); economics fields are scored at
+	// report assembly and are zero for plain k-combination sweeps run
+	// without economics.
+	Probability float64 `json:",omitempty"`
+	// RevenueAtRisk is the per-hour value at risk under this scenario:
+	// revenue + penalty of every affected application when the scenario
+	// is unabsorbable (or inconclusive), penalties alone when the
+	// survivors absorb it under failure-mode QoS.
+	RevenueAtRisk float64 `json:",omitempty"`
+	// ExpectedRevenueAtRisk is Probability × RevenueAtRisk.
+	ExpectedRevenueAtRisk float64 `json:",omitempty"`
+	// AppRisk breaks RevenueAtRisk down per affected application; the
+	// entries sum exactly to RevenueAtRisk.
+	AppRisk []AppRisk `json:",omitempty"`
 	// Err records a scenario that could not be evaluated; like the
 	// single-failure case it is inconclusive, does not count toward
 	// SparesNeeded, and is never checkpointed (a resumed run
 	// re-attempts it).
 	Err error `json:"-"`
+	// ErrText mirrors Err for serialized reports: error values do not
+	// survive JSON, so remote consumers (serve results, flight
+	// recordings) diagnose inconclusive scenarios through this field.
+	ErrText string `json:",omitempty"`
 }
 
 // Key returns a stable identifier for the failed-server combination.
 func (s MultiScenario) Key() string { return strings.Join(s.FailedServers, "+") }
 
-// MultiReport aggregates all k-failure scenarios.
+// MultiReport aggregates all k-failure scenarios, or all named
+// scenarios of an AnalyzeScenarios sweep (K = 0 there — the failed-set
+// sizes vary per scenario).
 type MultiReport struct {
 	// K is the number of concurrent failures analyzed.
 	K         int
@@ -68,6 +103,21 @@ type MultiReport struct {
 	// Truncated reports that the sweep was cancelled before every
 	// combination was evaluated; Scenarios holds the completed prefix.
 	Truncated bool
+	// TotalExpectedRevenueAtRisk sums ExpectedRevenueAtRisk over every
+	// completed scenario (0 when the sweep ran without economics).
+	TotalExpectedRevenueAtRisk float64 `json:",omitempty"`
+}
+
+// Ranked returns the scenarios ordered by descending expected revenue
+// at risk — the order an operator should buy down risk in — breaking
+// ties by sweep order so the ranking is deterministic. The receiver's
+// Scenarios slice is not modified.
+func (r *MultiReport) Ranked() []MultiScenario {
+	out := append([]MultiScenario(nil), r.Scenarios...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].ExpectedRevenueAtRisk > out[j].ExpectedRevenueAtRisk
+	})
+	return out
 }
 
 // Errors returns the per-scenario errors recorded during the sweep, in
@@ -202,6 +252,7 @@ func AnalyzeMulti(ctx context.Context, in Input, basePlan *placement.Plan, k int
 		scenario := scenarios[i]
 		if err := scenarioErrs[i]; err != nil {
 			scenario.Err = fmt.Errorf("failure: scenario %q: %w", scenario.Key(), err)
+			scenario.ErrText = scenario.Err.Error()
 			errorC.Inc()
 			errored++
 		} else if !scenario.Feasible {
@@ -274,54 +325,7 @@ func analyzeCombo(ctx, parent context.Context, in Input, basePlan *placement.Pla
 		return scenario, nil // nothing survives
 	}
 
-	isAffected := make(map[int]bool, len(affected))
-	for _, a := range affected {
-		isAffected[a] = true
-	}
-	apps := make([]placement.App, len(p.Apps))
-	for i := range p.Apps {
-		if isAffected[i] {
-			apps[i] = in.FailureApps[i]
-		} else {
-			apps[i] = p.Apps[i]
-		}
-	}
-	servers := make([]placement.Server, 0, len(p.Servers)-len(combo))
-	oldToNew := make([]int, len(p.Servers))
-	for i, s := range p.Servers {
-		if failed[i] {
-			oldToNew[i] = -1
-			continue
-		}
-		oldToNew[i] = len(servers)
-		servers = append(servers, s)
-	}
-	reduced := &placement.Problem{
-		Apps:          apps,
-		Servers:       servers,
-		Commitment:    p.Commitment,
-		SlotsPerDay:   p.SlotsPerDay,
-		DeadlineSlots: p.DeadlineSlots,
-		Tolerance:     p.Tolerance,
-		Hooks:         in.Hooks,
-		Inject:        in.Inject,
-		Cache:         p.Cache,
-	}
-	initial := make(placement.Assignment, len(apps))
-	next := 0
-	for i, old := range basePlan.Assignment {
-		if mapped := oldToNew[old]; mapped >= 0 {
-			initial[i] = mapped
-			continue
-		}
-		initial[i] = next % len(servers)
-		next++
-	}
-
-	plan, err := placement.Consolidate(ctx, reduced, initial, in.GA)
-	if errors.Is(err, placement.ErrNoFeasible) {
-		return scenario, nil
-	}
+	feasible, plan, servers, err := consolidateSurvivors(ctx, in, basePlan, failed, affected, 0)
 	if err != nil {
 		return scenario, err
 	}
@@ -329,9 +333,11 @@ func analyzeCombo(ctx, parent context.Context, in Input, basePlan *placement.Pla
 		return scenario, resilience.MarkTransient(
 			fmt.Errorf("failure: scenario %q: attempt deadline cut the search short", scenario.Key()))
 	}
-	scenario.Feasible = true
-	scenario.Plan = plan
-	scenario.Servers = servers
+	if feasible {
+		scenario.Feasible = true
+		scenario.Plan = plan
+		scenario.Servers = servers
+	}
 	return scenario, nil
 }
 

@@ -56,6 +56,40 @@ type FailureSummary struct {
 	Error string `json:"error,omitempty"`
 }
 
+// ScenarioSummary describes one named failure scenario (domain loss,
+// cascade, maintenance window) with its revenue-at-risk pricing.
+type ScenarioSummary struct {
+	Name          string   `json:"name"`
+	FailedServers []string `json:"failedServers"`
+	AffectedApps  []string `json:"affectedApps"`
+	Absorbable    bool     `json:"absorbable"`
+	// Theta is the scenario's commitment override; 0 means pool default.
+	Theta float64 `json:"theta,omitempty"`
+	// CascadeRounds / CascadeAdded record the overload closure: how many
+	// rounds it ran and which servers it failed beyond the initial set.
+	CascadeRounds int      `json:"cascadeRounds,omitempty"`
+	CascadeAdded  []string `json:"cascadeAdded,omitempty"`
+	// Probability weights RevenueAtRisk into ExpectedRevenueAtRisk.
+	Probability           float64 `json:"probability"`
+	RevenueAtRisk         float64 `json:"revenueAtRisk"`
+	ExpectedRevenueAtRisk float64 `json:"expectedRevenueAtRisk"`
+	// AppRisk breaks RevenueAtRisk down per affected application; the
+	// entries sum exactly to RevenueAtRisk.
+	AppRisk []AppRiskSummary `json:"appRisk,omitempty"`
+	// Inconclusive / Error mirror the failure sweep's diagnosis.
+	Inconclusive bool   `json:"inconclusive,omitempty"`
+	Error        string `json:"error,omitempty"`
+	Attempts     int    `json:"attempts,omitempty"`
+	Recovered    bool   `json:"recovered,omitempty"`
+}
+
+// AppRiskSummary is one application's share of a scenario's revenue at
+// risk.
+type AppRiskSummary struct {
+	AppID  string  `json:"appId"`
+	AtRisk float64 `json:"atRisk"`
+}
+
 // Summary is the JSON-friendly distillation of a core.Report.
 type Summary struct {
 	Applications   int     `json:"applications"`
@@ -75,6 +109,18 @@ type Summary struct {
 	Apps     []AppSummary     `json:"apps"`
 	Servers  []ServerSummary  `json:"servers"`
 	Failures []FailureSummary `json:"failures"`
+
+	// Scenarios holds the named-scenario sweep, ranked by descending
+	// expected revenue at risk (the order to buy down risk in); empty
+	// when the pass ran without a scenario universe so plain reports
+	// keep their historical byte-exact form.
+	Scenarios []ScenarioSummary `json:"scenarios,omitempty"`
+	// TotalExpectedRevenueAtRiskPerHour sums the ranked scenarios'
+	// expected revenue at risk.
+	TotalExpectedRevenueAtRiskPerHour float64 `json:"totalExpectedRevenueAtRiskPerHour,omitempty"`
+	// ScenariosTruncated reports a scenario sweep cancelled before every
+	// scenario was evaluated.
+	ScenariosTruncated bool `json:"scenariosTruncated,omitempty"`
 }
 
 // Summarize distills a core.Report.
@@ -129,6 +175,40 @@ func Summarize(r *core.Report) (*Summary, error) {
 				fs.Error = sc.Err.Error()
 			}
 			s.Failures = append(s.Failures, fs)
+		}
+	}
+	if r.Scenarios != nil {
+		s.TotalExpectedRevenueAtRiskPerHour = r.Scenarios.TotalExpectedRevenueAtRisk
+		s.ScenariosTruncated = r.Scenarios.Truncated
+		if r.Scenarios.SparesNeeded {
+			s.SpareNeeded = true
+		}
+		for _, sc := range r.Scenarios.Ranked() {
+			ss := ScenarioSummary{
+				Name:                  sc.Name,
+				FailedServers:         sc.FailedServers,
+				AffectedApps:          sc.AffectedApps,
+				Absorbable:            sc.Feasible,
+				Theta:                 sc.Theta,
+				CascadeRounds:         sc.CascadeRounds,
+				CascadeAdded:          sc.CascadeAdded,
+				Probability:           sc.Probability,
+				RevenueAtRisk:         sc.RevenueAtRisk,
+				ExpectedRevenueAtRisk: sc.ExpectedRevenueAtRisk,
+				Attempts:              sc.Attempts,
+				Recovered:             sc.Recovered,
+			}
+			for _, ar := range sc.AppRisk {
+				ss.AppRisk = append(ss.AppRisk, AppRiskSummary{AppID: ar.AppID, AtRisk: ar.AtRisk})
+			}
+			if sc.Err != nil || sc.ErrText != "" {
+				ss.Inconclusive = true
+				ss.Error = sc.ErrText
+				if ss.Error == "" {
+					ss.Error = sc.Err.Error()
+				}
+			}
+			s.Scenarios = append(s.Scenarios, ss)
 		}
 	}
 	return s, nil
@@ -203,6 +283,36 @@ func Text(w io.Writer, r *core.Report) error {
 			fmt.Fprintln(w, "verdict: a spare server is needed")
 		} else {
 			fmt.Fprintln(w, "verdict: no spare server needed")
+		}
+	}
+
+	if len(s.Scenarios) > 0 {
+		fmt.Fprintln(w, "\nscenario universe (ranked by expected revenue at risk):")
+		for i, sc := range s.Scenarios {
+			verdict := "absorbable"
+			switch {
+			case sc.Inconclusive:
+				verdict = "INCONCLUSIVE"
+			case !sc.Absorbable:
+				verdict = "NOT absorbable"
+			}
+			fmt.Fprintf(w, "  %2d. %-24s p=%.3g  at-risk %.2f/h  expected %.2f/h  [%s]\n",
+				i+1, sc.Name, sc.Probability, sc.RevenueAtRisk, sc.ExpectedRevenueAtRisk, verdict)
+			fmt.Fprintf(w, "      fails %v", sc.FailedServers)
+			if len(sc.CascadeAdded) > 0 {
+				fmt.Fprintf(w, " (cascade added %v in %d round(s))", sc.CascadeAdded, sc.CascadeRounds)
+			}
+			if sc.Theta > 0 {
+				fmt.Fprintf(w, " at theta=%.3g", sc.Theta)
+			}
+			fmt.Fprintf(w, ", %d app(s) affected\n", len(sc.AffectedApps))
+			if sc.Inconclusive && sc.Error != "" {
+				fmt.Fprintf(w, "      error: %s\n", sc.Error)
+			}
+		}
+		fmt.Fprintf(w, "total expected revenue at risk: %.2f/h\n", s.TotalExpectedRevenueAtRiskPerHour)
+		if s.ScenariosTruncated {
+			fmt.Fprintln(w, "scenario sweep truncated before completion")
 		}
 	}
 	return nil

@@ -1,0 +1,231 @@
+package scenario
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ropus/internal/topology"
+)
+
+func testTopo(t testing.TB) *topology.Topology {
+	t.Helper()
+	topo, err := topology.Synthesize(topology.GenConfig{
+		Servers: 6, Zones: 2, RacksPerZone: 1, PowerDomains: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestCompileKinds(t *testing.T) {
+	doc := `{
+		"economics": {"defaultRevenuePerHour": 100, "defaultPenaltyPerHour": 10},
+		"scenarios": [
+			{"name": "one-server", "kind": "server-loss", "servers": ["srv-02"]},
+			{"name": "zone-a-down", "kind": "domain-loss", "domain": "zone-a", "probability": 0.5},
+			{"name": "pairs", "kind": "k-of-domain", "domain": "zone-b", "k": 2},
+			{"name": "ripple", "kind": "cascade", "from": "zone-a-down", "overloadFactor": 0.9},
+			{"name": "patch", "kind": "maintenance", "servers": ["srv-01"], "theta": 0.5}
+		]
+	}`
+	d, err := ReadJSON(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := d.Compile(testTopo(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// zone-a holds srv-01, srv-03, srv-05 (round-robin into 2 racks);
+	// zone-b holds srv-02, srv-04, srv-06 → C(3,2)=3 pair expansions.
+	wantNames := []string{
+		"one-server",
+		"zone-a-down",
+		"pairs/srv-02+srv-04", "pairs/srv-02+srv-06", "pairs/srv-04+srv-06",
+		"ripple",
+		"patch",
+	}
+	if len(specs) != len(wantNames) {
+		t.Fatalf("compiled %d specs, want %d: %+v", len(specs), len(wantNames), specs)
+	}
+	for i, want := range wantNames {
+		if specs[i].Name != want {
+			t.Errorf("spec %d = %q, want %q", i, specs[i].Name, want)
+		}
+	}
+	if got := specs[1].Probability; got != 0.5 {
+		t.Errorf("zone-a-down probability = %v", got)
+	}
+	ripple := specs[5]
+	if !ripple.Cascade || ripple.OverloadFactor != 0.9 {
+		t.Errorf("ripple = %+v, want cascade with factor 0.9", ripple)
+	}
+	if len(ripple.Servers) != 3 {
+		t.Errorf("ripple seed = %v, want zone-a's 3 servers", ripple.Servers)
+	}
+	if patch := specs[6]; patch.Theta != 0.5 || patch.Cascade {
+		t.Errorf("patch = %+v, want theta 0.5 non-cascade", patch)
+	}
+}
+
+func TestCompileIsDeterministic(t *testing.T) {
+	doc := `{"scenarios": [
+		{"name": "pairs", "kind": "k-of-domain", "domain": "zone-a", "k": 2},
+		{"name": "loss", "kind": "server-loss", "servers": ["srv-06", "srv-02"]}
+	]}`
+	topo := testTopo(t)
+	d, err := ReadJSON(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := d.Compile(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Compile(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || strings.Join(a[i].Servers, ",") != strings.Join(b[i].Servers, ",") {
+			t.Errorf("spec %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Explicit server lists come out sorted.
+	if a[len(a)-1].Servers[0] != "srv-02" {
+		t.Errorf("server-loss seed not sorted: %v", a[len(a)-1].Servers)
+	}
+}
+
+func TestRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"empty", `{"scenarios": []}`, "no scenarios"},
+		{"no name", `{"scenarios": [{"kind": "server-loss", "servers": ["s"]}]}`, "no name"},
+		{"dup name", `{"scenarios": [
+			{"name": "a", "kind": "server-loss", "servers": ["s"]},
+			{"name": "a", "kind": "server-loss", "servers": ["s"]}]}`, "duplicate"},
+		{"slash name", `{"scenarios": [{"name": "a/b", "kind": "server-loss", "servers": ["s"]}]}`, "reserved"},
+		{"unknown kind", `{"scenarios": [{"name": "a", "kind": "meteor", "servers": ["s"]}]}`, "unknown kind"},
+		{"no kind", `{"scenarios": [{"name": "a", "servers": ["s"]}]}`, "no kind"},
+		{"dup server", `{"scenarios": [{"name": "a", "kind": "server-loss", "servers": ["s", "s"]}]}`, "twice"},
+		{"empty server", `{"scenarios": [{"name": "a", "kind": "server-loss", "servers": [""]}]}`, "empty server"},
+		{"bad theta", `{"scenarios": [{"name": "a", "kind": "server-loss", "servers": ["s"], "theta": 2}]}`, "theta"},
+		{"bad probability", `{"scenarios": [{"name": "a", "kind": "server-loss", "servers": ["s"], "probability": -1}]}`, "probability"},
+		{"k too small", `{"scenarios": [{"name": "a", "kind": "k-of-domain", "domain": "d", "k": 0}]}`, "k >= 1"},
+		{"maintenance no theta", `{"scenarios": [{"name": "a", "kind": "maintenance", "servers": ["s"]}]}`, "theta > 0"},
+		{"rounds off cascade", `{"scenarios": [{"name": "a", "kind": "server-loss", "servers": ["s"], "maxRounds": 2}]}`, "only to cascade"},
+		{"unknown from", `{"scenarios": [{"name": "a", "kind": "cascade", "from": "ghost"}]}`, "unknown scenario"},
+		{"from cycle", `{"scenarios": [
+			{"name": "a", "kind": "cascade", "from": "b"},
+			{"name": "b", "kind": "cascade", "from": "a"}]}`, "cyclic"},
+		{"self cycle", `{"scenarios": [{"name": "a", "kind": "cascade", "from": "a"}]}`, "cyclic"},
+		{"two seeds", `{"scenarios": [{"name": "a", "kind": "cascade", "servers": ["s"], "domain": "d"}]}`, "exactly one"},
+		{"unknown field", `{"scenarios": [{"name": "a", "kind": "server-loss", "servers": ["s"], "bogus": 1}]}`, "bogus"},
+		{"bad economics", `{"economics": {"defaultRevenuePerHour": -1},
+			"scenarios": [{"name": "a", "kind": "server-loss", "servers": ["s"]}]}`, "finite non-negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadJSON(strings.NewReader(tc.doc))
+			if err == nil {
+				t.Fatalf("ReadJSON accepted %s", tc.doc)
+			}
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Errorf("error %T is not a DecodeError", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCompileRejections(t *testing.T) {
+	topo := testTopo(t)
+	cases := []struct {
+		name string
+		doc  string
+		topo *topology.Topology
+		want string
+	}{
+		{"unknown domain", `{"scenarios": [{"name": "a", "kind": "domain-loss", "domain": "zone-z"}]}`,
+			topo, "unknown domain"},
+		{"no topology", `{"scenarios": [{"name": "a", "kind": "domain-loss", "domain": "zone-a"}]}`,
+			nil, "no topology"},
+		{"k too big", `{"scenarios": [{"name": "a", "kind": "k-of-domain", "domain": "zone-a", "k": 9}]}`,
+			topo, "exceeds"},
+		{"from k-of-domain", `{"scenarios": [
+			{"name": "pairs", "kind": "k-of-domain", "domain": "zone-a", "k": 2},
+			{"name": "a", "kind": "cascade", "from": "pairs"}]}`,
+			topo, "many sets"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := ReadJSON(strings.NewReader(tc.doc))
+			if err != nil {
+				t.Fatalf("ReadJSON: %v", err)
+			}
+			if _, err := d.Compile(tc.topo); err == nil {
+				t.Fatalf("Compile accepted %s", tc.doc)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// FuzzScenarioDSL asserts the decoder's contract on arbitrary input:
+// it never panics, and every rejection is a typed *DecodeError (or a
+// wrapped topology error) rather than a raw panic or an untyped string
+// from deep inside the compiler. Compilation of accepted documents is
+// also exercised, with and without a topology.
+func FuzzScenarioDSL(f *testing.F) {
+	seeds := []string{
+		`{"scenarios": [{"name": "a", "kind": "server-loss", "servers": ["srv-01"]}]}`,
+		`{"scenarios": [{"name": "a", "kind": "domain-loss", "domain": "zone-a"}]}`,
+		`{"scenarios": [{"name": "p", "kind": "k-of-domain", "domain": "zone-a", "k": 2}]}`,
+		`{"scenarios": [{"name": "c", "kind": "cascade", "from": "c"}]}`,
+		`{"economics": {"defaultRevenuePerHour": 1e308, "apps": {"x": {"revenuePerHour": -5}}},
+		  "scenarios": [{"name": "a", "kind": "server-loss", "servers": ["s"]}]}`,
+		`{"scenarios": [{"name": "a", "kind": "maintenance", "domain": "zone-a", "theta": 0.5}]}`,
+		`{"scenarios": [{"name": "a", "kind": "meteor"}]}`,
+		`{"scenarios": [{"name": "a", "kind": "server-loss", "servers": ["s", "s"]}]}`,
+		`not json at all`,
+		`{"scenarios": [{"name": "a", "kind": "server-loss", "servers": ["s"], "probability": 1e999}]}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	topo, err := topology.Synthesize(topology.GenConfig{Servers: 4, Zones: 2, RacksPerZone: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		d, err := ReadJSON(strings.NewReader(data))
+		if err != nil {
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("ReadJSON rejection is not a DecodeError: %T %v", err, err)
+			}
+			return
+		}
+		for _, tp := range []*topology.Topology{topo, nil} {
+			if _, err := d.Compile(tp); err != nil {
+				var de *DecodeError
+				if !errors.As(err, &de) && !errors.Is(err, topology.ErrNoTopology) {
+					t.Fatalf("Compile rejection is not typed: %T %v", err, err)
+				}
+			}
+		}
+	})
+}

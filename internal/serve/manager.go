@@ -104,6 +104,15 @@ type Config struct {
 	// TenantQuotas caps how many jobs a tenant may hold queued at once,
 	// independent of global occupancy. Absent or <= 0 is uncapped.
 	TenantQuotas map[string]int
+	// TenantValues maps a tenant to its business value (revenue per hour,
+	// or any consistent unit; default 1). When non-empty it overrides the
+	// weight-derived shed order: tenant t is shed once the queue holds
+	// QueueDepth * value(t) / maxValue jobs, so under overload the
+	// lowest-value tenants shed first and the highest-value tenant keeps
+	// the full depth. Dequeue order is still weighted DRR — values decide
+	// who gets turned away, weights decide who goes first among the
+	// admitted. Accepted jobs are never evicted.
+	TenantValues map[string]float64
 	// MaxConcurrent bounds how many jobs execute at once across all
 	// classes. <= 0 selects GOMAXPROCS.
 	MaxConcurrent int
@@ -279,6 +288,7 @@ type Manager struct {
 	slo       *slo.Tracker
 	leases    *lease.Keeper
 	maxWeight int
+	maxValue  float64
 
 	submittedC   *telemetry.Counter
 	dedupC       *telemetry.Counter
@@ -352,6 +362,12 @@ func NewManager(cfg Config, hooks telemetry.Hooks) (*Manager, error) {
 			maxWeight = w
 		}
 	}
+	maxValue := 1.0
+	for _, v := range cfg.TenantValues {
+		if v > maxValue {
+			maxValue = v
+		}
+	}
 	m := &Manager{
 		cfg:     cfg,
 		limiter: parallel.NewLimiter(cfg.MaxConcurrent),
@@ -367,6 +383,7 @@ func NewManager(cfg Config, hooks telemetry.Hooks) (*Manager, error) {
 			Hooks:    h,
 		},
 		maxWeight:    maxWeight,
+		maxValue:     maxValue,
 		submittedC:   h.Counter("serve_jobs_submitted_total"),
 		dedupC:       h.Counter("serve_jobs_deduplicated_total"),
 		shedC:        h.Counter("serve_jobs_shed_total"),
@@ -499,12 +516,27 @@ func (m *Manager) weight(tenant string) int {
 	return 1
 }
 
+// value returns a tenant's business value (default 1).
+func (m *Manager) value(tenant string) float64 {
+	if v := m.cfg.TenantValues[tenant]; v > 0 {
+		return v
+	}
+	return 1
+}
+
 // shedThresholdLocked is the global queue occupancy at which tenant
-// submissions start shedding: full depth for the heaviest weight,
+// submissions start shedding: full depth for the heaviest tenant,
 // proportionally earlier for lighter ones, so overload sheds the
-// lowest-weight tenants first without ever evicting an accepted job.
+// bottom of the order first without ever evicting an accepted job.
+// When tenant values are configured they define the order (lowest
+// revenue sheds first); otherwise the admission weights do.
 func (m *Manager) shedThresholdLocked(tenant string) int {
-	t := m.cfg.QueueDepth * m.weight(tenant) / m.maxWeight
+	var t int
+	if len(m.cfg.TenantValues) > 0 {
+		t = int(float64(m.cfg.QueueDepth) * m.value(tenant) / m.maxValue)
+	} else {
+		t = m.cfg.QueueDepth * m.weight(tenant) / m.maxWeight
+	}
 	if t < 1 {
 		t = 1
 	}
@@ -638,6 +670,9 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, bool, error) {
 		reason := "queue full"
 		if threshold < m.cfg.QueueDepth {
 			reason = "queue past tenant's weighted share"
+			if len(m.cfg.TenantValues) > 0 {
+				reason = "queue past tenant's value share"
+			}
 		}
 		return JobStatus{}, false, &OverloadedError{
 			Queued:     m.queuedTotal,

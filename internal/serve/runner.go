@@ -104,9 +104,23 @@ func (m *Manager) runJob(ctx context.Context, job *Job) (json.RawMessage, error)
 			return nil, err
 		}
 		reqs := core.Requirements{Default: qos.Requirement{Normal: normal, Failure: failure}}
-		r, err := fw.Run(ctx, set, reqs)
-		if err != nil {
-			return nil, err
+		var r *core.Report
+		if spec.ScenariosJSON != "" {
+			// parse() already compiled the documents at admission; a
+			// failure here would be a programming error, not a client one.
+			specs, econ, err := spec.compileScenarios()
+			if err != nil {
+				return nil, err
+			}
+			r, err = fw.RunScenarios(ctx, set, reqs, specs, econ)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			r, err = fw.Run(ctx, set, reqs)
+			if err != nil {
+				return nil, err
+			}
 		}
 		sum, err := report.Summarize(r)
 		if err != nil {

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// testScenarioDoc is a scenario universe over the 4-server pool a
+// 4-app fleet consolidates onto (srv-01..srv-04), with a topology
+// grouping the odd and even servers into two zones.
+const testScenarioDoc = `{
+  "economics": {"defaultRevenuePerHour": 100, "defaultPenaltyPerHour": 10},
+  "scenarios": [
+    {"name": "zone-loss", "kind": "domain-loss", "domain": "zone-a", "probability": 0.05},
+    {"name": "cascade", "kind": "cascade", "servers": ["srv-01"], "overloadFactor": 0.5, "probability": 0.01},
+    {"name": "maintenance", "kind": "maintenance", "servers": ["srv-02"], "theta": 0.4}
+  ]
+}`
+
+const testTopologyDoc = `{
+  "domains": [
+    {"id": "zone-a", "kind": "zone", "servers": ["srv-01", "srv-03"]},
+    {"id": "zone-b", "kind": "zone", "servers": ["srv-02", "srv-04"]}
+  ]
+}`
+
+// TestScenarioFailoverJob runs a scenario-file failover job end to end
+// through the manager: the result document must carry the ranked
+// scenario universe alongside the single-failure sweep.
+func TestScenarioFailoverJob(t *testing.T) {
+	m := newTestManager(t, nil)
+	startManager(t, m)
+	csv := fleetCSV(t, 4, 3, 5)
+	st, created, err := m.Submit(JobSpec{
+		Kind: KindFailover, TracesCSV: csv,
+		ScenariosJSON: testScenarioDoc, TopologyJSON: testTopologyDoc,
+	})
+	if err != nil || !created {
+		t.Fatalf("submit: created=%v err=%v", created, err)
+	}
+	done := waitState(t, m, st.ID, StateDone)
+	var sum struct {
+		Failures  []map[string]any `json:"failures"`
+		Scenarios []struct {
+			Name                  string  `json:"name"`
+			Probability           float64 `json:"probability"`
+			ExpectedRevenueAtRisk float64 `json:"expectedRevenueAtRisk"`
+		} `json:"scenarios"`
+		Total float64 `json:"totalExpectedRevenueAtRiskPerHour"`
+	}
+	if err := json.Unmarshal(done.Result, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Failures) == 0 {
+		t.Error("scenario job dropped the single-failure sweep")
+	}
+	if len(sum.Scenarios) != 3 {
+		t.Fatalf("result has %d scenarios, want 3", len(sum.Scenarios))
+	}
+	names := make(map[string]bool)
+	var total float64
+	for i, sc := range sum.Scenarios {
+		names[sc.Name] = true
+		total += sc.ExpectedRevenueAtRisk
+		if i > 0 && sc.ExpectedRevenueAtRisk > sum.Scenarios[i-1].ExpectedRevenueAtRisk {
+			t.Errorf("scenarios not ranked: %q above %q", sc.Name, sum.Scenarios[i-1].Name)
+		}
+	}
+	for _, want := range []string{"zone-loss", "cascade", "maintenance"} {
+		if !names[want] {
+			t.Errorf("result missing scenario %q", want)
+		}
+	}
+	if total != sum.Total {
+		t.Errorf("scenario expectations sum to %v, total reports %v", total, sum.Total)
+	}
+
+	// The same spec resubmitted is the same job; dropping the scenario
+	// document is a different job (and a stable legacy key).
+	again, created, err := m.Submit(JobSpec{
+		Kind: KindFailover, TracesCSV: csv,
+		ScenariosJSON: testScenarioDoc, TopologyJSON: testTopologyDoc,
+	})
+	if err != nil || created {
+		t.Fatalf("resubmit: created=%v err=%v", created, err)
+	}
+	if again.ID != st.ID {
+		t.Errorf("scenario job not idempotent: %s vs %s", again.ID, st.ID)
+	}
+	plain, _, err := m.Submit(JobSpec{Kind: KindFailover, TracesCSV: csv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.ID == st.ID {
+		t.Error("scenario document leaked out of the job key")
+	}
+}
+
+// TestScenarioSpecValidation: malformed scenario/topology documents are
+// client errors at admission, not executor failures.
+func TestScenarioSpecValidation(t *testing.T) {
+	m := newTestManager(t, nil)
+	csv := fleetCSV(t, 4, 1, 5)
+	cases := []struct {
+		name string
+		spec JobSpec
+	}{
+		{"scenarios on translate", JobSpec{Kind: KindTranslate, TracesCSV: csv, ScenariosJSON: testScenarioDoc}},
+		{"topology without scenarios", JobSpec{Kind: KindFailover, TracesCSV: csv, TopologyJSON: testTopologyDoc}},
+		{"garbage scenarios", JobSpec{Kind: KindFailover, TracesCSV: csv, ScenariosJSON: "not json"}},
+		{"garbage topology", JobSpec{Kind: KindFailover, TracesCSV: csv,
+			ScenariosJSON: testScenarioDoc, TopologyJSON: "not json"}},
+		{"domain without topology", JobSpec{Kind: KindFailover, TracesCSV: csv,
+			ScenariosJSON: `{"scenarios":[{"name":"z","kind":"domain-loss","domain":"zone-a"}]}`}},
+		{"unknown kind", JobSpec{Kind: KindFailover, TracesCSV: csv,
+			ScenariosJSON: `{"scenarios":[{"name":"z","kind":"meteor"}]}`}},
+	}
+	for _, tc := range cases {
+		if _, _, err := m.Submit(tc.spec); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if got, _ := m.QueueDepths(); got != 0 {
+		t.Errorf("rejected submissions left %d jobs queued", got)
+	}
+}
+
+// TestValueShedLowestFirst: with tenant values configured, overload
+// sheds the lowest-revenue tenant at its proportional threshold while
+// the high-value tenant keeps the full queue depth — and values trump
+// weights for the shed order.
+func TestValueShedLowestFirst(t *testing.T) {
+	m := newTestManager(t, func(c *Config) {
+		c.QueueDepth = 4
+		// Weights would favour "batch"; values must override for shedding.
+		c.TenantWeights = map[string]int{"batch": 4, "revenue": 1}
+		c.TenantValues = map[string]float64{"revenue": 1000, "batch": 250}
+	})
+	csv := fleetCSV(t, 3, 1, 5)
+	// Threshold for batch is 4 * 250/1000 = 1: one queued job sheds it.
+	if _, err := submitTenant(t, m, "revenue", 1, csv); err != nil {
+		t.Fatal(err)
+	}
+	_, err := submitTenant(t, m, "batch", 2, csv)
+	var overloaded *OverloadedError
+	if !errors.As(err, &overloaded) {
+		t.Fatalf("batch at threshold: got %v, want OverloadedError", err)
+	}
+	if overloaded.Tenant != "batch" || !strings.Contains(overloaded.Reason, "value share") {
+		t.Errorf("shed error: tenant=%q reason=%q", overloaded.Tenant, overloaded.Reason)
+	}
+	// The high-value tenant still has the full depth.
+	for seed := int64(3); seed <= 5; seed++ {
+		if _, err := submitTenant(t, m, "revenue", seed, csv); err != nil {
+			t.Fatalf("high-value tenant shed below the full depth: %v", err)
+		}
+	}
+	_, err = submitTenant(t, m, "revenue", 6, csv)
+	if !errors.As(err, &overloaded) {
+		t.Fatalf("full queue: got %v, want OverloadedError", err)
+	}
+	if overloaded.Reason != "queue full" {
+		t.Errorf("full-queue reason %q", overloaded.Reason)
+	}
+}

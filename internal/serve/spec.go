@@ -26,7 +26,10 @@ import (
 	"time"
 
 	"ropus/internal/checkpoint"
+	"ropus/internal/failure"
 	"ropus/internal/qos"
+	"ropus/internal/scenario"
+	"ropus/internal/topology"
 	"ropus/internal/trace"
 )
 
@@ -121,6 +124,12 @@ type JobSpec struct {
 	// one (failover jobs; defaults to QoS).
 	QoS        *QoSSpec `json:"qos,omitempty"`
 	FailureQoS *QoSSpec `json:"failureQos,omitempty"`
+	// ScenariosJSON, for failover jobs, is a scenario DSL document (the
+	// -scenarios file's contents): the job additionally sweeps the named
+	// correlated-failure scenarios and ranks them by expected revenue at
+	// risk. TopologyJSON resolves its domain references.
+	ScenariosJSON string `json:"scenariosJson,omitempty"`
+	TopologyJSON  string `json:"topologyJson,omitempty"`
 	// Plan-only knobs.
 	HorizonWeeks int `json:"horizonWeeks,omitempty"`
 	StepWeeks    int `json:"stepWeeks,omitempty"`
@@ -206,7 +215,40 @@ func (s *JobSpec) parse() (trace.Set, error) {
 			return nil, fmt.Errorf("serve: stepWeeks %d must divide horizonWeeks %d", s.StepWeeks, s.HorizonWeeks)
 		}
 	}
+	if s.ScenariosJSON != "" && s.Kind != KindFailover {
+		return nil, fmt.Errorf("serve: scenariosJson is only valid for failover jobs")
+	}
+	if s.TopologyJSON != "" && s.ScenariosJSON == "" {
+		return nil, fmt.Errorf("serve: topologyJson is only meaningful with scenariosJson")
+	}
+	if _, _, err := s.compileScenarios(); err != nil {
+		return nil, err
+	}
 	return set, nil
+}
+
+// compileScenarios decodes and compiles the spec's scenario universe at
+// the admission gate, so a malformed document is a 4xx instead of a
+// burned executor. It returns (nil, nil, nil) when the spec has none.
+func (s *JobSpec) compileScenarios() ([]failure.ScenarioSpec, *failure.Economics, error) {
+	if s.ScenariosJSON == "" {
+		return nil, nil, nil
+	}
+	doc, err := scenario.ReadJSON(strings.NewReader(s.ScenariosJSON))
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: bad scenarios: %w", err)
+	}
+	var topo *topology.Topology
+	if s.TopologyJSON != "" {
+		if topo, err = topology.ReadJSON(strings.NewReader(s.TopologyJSON)); err != nil {
+			return nil, nil, fmt.Errorf("serve: bad topology: %w", err)
+		}
+	}
+	specs, err := doc.Compile(topo)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: bad scenarios: %w", err)
+	}
+	return specs, doc.Economics, nil
 }
 
 // Key derives the job's idempotency key: the FNV run hash over every
@@ -225,6 +267,15 @@ func (s *JobSpec) Key(set trace.Set) uint64 {
 		h.Int(int64(s.Islands))
 	}
 	h.Int(int64(s.HorizonWeeks)).Int(int64(s.StepWeeks)).Int(int64(s.PoolServers))
+	// Scenario and topology documents are folded only when present, so
+	// keys (and the journals bound to them) from clients predating the
+	// scenario universe stay stable.
+	if s.ScenariosJSON != "" {
+		h.String("scenarios").String(s.ScenariosJSON)
+	}
+	if s.TopologyJSON != "" {
+		h.String("topology").String(s.TopologyJSON)
+	}
 	h.Int(int64(len(set)))
 	for _, tr := range set {
 		h.String(tr.AppID).Int(int64(tr.Interval)).Floats(tr.Samples)

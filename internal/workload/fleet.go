@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"ropus/internal/topology"
 	"ropus/internal/trace"
 )
 
@@ -120,6 +121,23 @@ func Fleet(cfg FleetConfig) (trace.Set, error) {
 		return nil, err
 	}
 	return set, nil
+}
+
+// FleetTopology synthesizes the rack/zone/power topology of the pool a
+// fleet consolidates onto: the framework builds one candidate server
+// per application (srv-01, srv-02, ...), so the topology covers exactly
+// the servers a failover run of the fleet's traces will see. The result
+// is deterministic in its arguments.
+func FleetTopology(cfg FleetConfig, zones, racksPerZone, powerDomains int) (*topology.Topology, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return topology.Synthesize(topology.GenConfig{
+		Servers:      cfg.Spiky + cfg.Bursty + cfg.Smooth + cfg.Batch,
+		Zones:        zones,
+		RacksPerZone: racksPerZone,
+		PowerDomains: powerDomains,
+	})
 }
 
 // classProfile draws a heterogeneous profile for one application of the

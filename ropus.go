@@ -51,10 +51,12 @@ import (
 	"ropus/internal/rebalance"
 	"ropus/internal/report"
 	"ropus/internal/resilience"
+	"ropus/internal/scenario"
 	"ropus/internal/serve"
 	"ropus/internal/sim"
 	"ropus/internal/stress"
 	"ropus/internal/telemetry"
+	"ropus/internal/topology"
 	"ropus/internal/trace"
 	"ropus/internal/wlmgr"
 	"ropus/internal/workload"
@@ -150,6 +152,16 @@ type (
 	// MultiFailureScenario is the outcome for one combination of
 	// concurrently failed servers.
 	MultiFailureScenario = failure.MultiScenario
+	// ScenarioSpec names one concrete failure scenario for the
+	// scenario-universe sweep: a failed-server set with optional cascade
+	// closure, θ override and probability.
+	ScenarioSpec = failure.ScenarioSpec
+	// Economics prices applications for revenue-at-risk scoring.
+	Economics = failure.Economics
+	// AppValue is one application's revenue/penalty economics.
+	AppValue = failure.AppValue
+	// AppRisk is one application's share of a scenario's revenue at risk.
+	AppRisk = failure.AppRisk
 	// SimCache is a shared, size-bounded cross-run simulation cache;
 	// attach one via PlacementProblem.Cache (or let the Framework manage
 	// one via Config.CacheBytes) to reuse per-(server-shape, app-group)
@@ -362,6 +374,41 @@ type (
 // drain.
 func NewPlanningServer(addr string, cfg ServeConfig) (*PlanningServer, error) {
 	return serve.New(addr, cfg)
+}
+
+// Topology and the scenario DSL: rack/zone/power-domain structure over
+// the pool's servers, and the declarative scenario classes that compile
+// against it — correlated domain loss, k-of-domain samples, cascades,
+// maintenance windows; see docs/ROBUSTNESS.md.
+type (
+	// Topology is a validated forest of failure domains over servers.
+	Topology = topology.Topology
+	// TopologyDomain is one node of the topology forest.
+	TopologyDomain = topology.Domain
+	// TopologyGenConfig parameterizes SynthesizeTopology.
+	TopologyGenConfig = topology.GenConfig
+	// ScenarioDoc is a decoded scenario DSL document.
+	ScenarioDoc = scenario.Doc
+	// ScenarioEntry is one declared scenario before compilation.
+	ScenarioEntry = scenario.Entry
+)
+
+// ReadTopology decodes and validates a topology JSON document.
+func ReadTopology(r io.Reader) (*Topology, error) { return topology.ReadJSON(r) }
+
+// SynthesizeTopology builds a deterministic synthetic topology (zones,
+// racks, striped power domains) over a pool of servers.
+func SynthesizeTopology(cfg TopologyGenConfig) (*Topology, error) { return topology.Synthesize(cfg) }
+
+// ReadScenarios decodes and validates a scenario DSL document; compile
+// it against a topology with ScenarioDoc.Compile.
+func ReadScenarios(r io.Reader) (*ScenarioDoc, error) { return scenario.ReadJSON(r) }
+
+// AnalyzeFailureScenarios evaluates named failure scenarios against a
+// consolidated configuration with revenue-at-risk economics; most
+// callers should use Framework.RunScenarios instead.
+func AnalyzeFailureScenarios(ctx context.Context, in failure.Input, basePlan *Plan, specs []ScenarioSpec, econ *Economics) (*MultiFailureReport, error) {
+	return failure.AnalyzeScenarios(ctx, in, basePlan, specs, econ)
 }
 
 // NewFramework builds the composite framework from a configuration.
