@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-smoke bench-batched bench-obs-overhead experiments fuzz golden serve-e2e fleet-e2e clean
+.PHONY: all build vet test race cover bench bench-smoke bench-batched bench-obs-overhead bench-fleet experiments fuzz golden serve-e2e fleet-e2e clean
 
 all: build vet test race
 
@@ -53,6 +53,12 @@ bench-obs-overhead:
 	@rm -f bench_obs.txt
 	@cat BENCH_obs_overhead.json
 
+# Fleet-scale placement benchmark: the full 1000-app hierarchical
+# pipeline, recorded in BENCH_fleet_scale.json with a wall-clock
+# regression gate. CI runs this in the bench smoke job.
+bench-fleet:
+	ROPUS_BENCH_FLEET=1 $(GO) test -run TestFleetScaleBench -count=1 -v .
+
 # Regenerate every table and figure of the paper's evaluation into results/.
 experiments:
 	$(GO) run ./cmd/experiments
@@ -63,6 +69,8 @@ fuzz:
 	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/checkpoint/
 	$(GO) test -fuzz FuzzBreakpoint -fuzztime 30s ./internal/portfolio/
 	$(GO) test -fuzz FuzzTranslate -fuzztime 30s ./internal/portfolio/
+	$(GO) test -fuzz FuzzPartition -fuzztime 30s ./internal/partition/
+	$(GO) test -fuzz FuzzFleetGen -fuzztime 30s ./internal/workload/
 
 # Regenerate the golden corpus after a deliberate behavioural change.
 golden:

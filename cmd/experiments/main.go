@@ -38,6 +38,7 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "cancel the run after this duration (0 = unlimited); telemetry files are still flushed")
 		workers = flag.Int("workers", 0, "parallel workers for table1/failover/mix (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 		islands = flag.Int("islands", 0, "island count for each genetic search (0/1 = classic single population; deterministic per seed and island count at any worker count)")
+		partApp = flag.Int("partition-apps", 0, "hierarchical consolidation: max applications per sub-pool (0 = flat placement)")
 		ckpt    = flag.String("checkpoint", "", "crash-safe journal file for table1/failover/mix; completed units are fsync'd as they finish")
 		resume  = flag.Bool("resume", false, "replay completed units from the -checkpoint journal instead of recomputing them")
 		retries = flag.Int("retries", 2, "extra attempts per work unit after a transient failure (0 disables retry)")
@@ -62,7 +63,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	heal := healOpts{path: *ckpt, resume: *resume, retries: *retries, deadline: *sdl, islands: *islands}
+	heal := healOpts{path: *ckpt, resume: *resume, retries: *retries, deadline: *sdl, islands: *islands, partitionApps: *partApp}
 	if err := realMain(ctx, *run, *out, *seed, *quick, *workers, heal, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
@@ -72,11 +73,12 @@ func main() {
 // healOpts carries the parsed self-healing flags: retry policy plus
 // crash-safe checkpoint/resume for the cancellable experiments.
 type healOpts struct {
-	path     string
-	resume   bool
-	retries  int
-	deadline time.Duration
-	islands  int
+	path          string
+	resume        bool
+	retries       int
+	deadline      time.Duration
+	islands       int
+	partitionApps int
 }
 
 // policy builds the deterministic retry policy. The backoff seed is
@@ -96,8 +98,9 @@ func (o healOpts) policy(h telemetry.Hooks) resilience.Policy {
 // journal opens the checkpoint journal, binding it to the knobs that
 // determine results (experiment selection, seed, quick, islands) but
 // not to the worker count, so a journal resumes at any parallelism.
-// The island count is folded in only when it changes results (> 1), so
-// journals written before the knob existed keep replaying. Status is
+// The island count is folded in only when it changes results (> 1),
+// and the hierarchical partition bound only when set (> 0), so
+// journals written before the knobs existed keep replaying. Status is
 // logged to stderr to keep stdout byte-identical across
 // interrupted/resumed runs.
 func (o healOpts) journal(run string, seed int64, quick bool, h telemetry.Hooks, logger *slog.Logger) (*checkpoint.Journal, error) {
@@ -110,6 +113,9 @@ func (o healOpts) journal(run string, seed int64, quick bool, h telemetry.Hooks,
 	hasher := checkpoint.NewHasher().String("experiments").String(run).Int(seed).Bool(quick)
 	if o.islands > 1 {
 		hasher = hasher.Int(int64(o.islands))
+	}
+	if o.partitionApps > 0 {
+		hasher = hasher.String("hier").Int(int64(o.partitionApps))
 	}
 	hash := hasher.Sum()
 	j, err := checkpoint.Open(o.path, hash, o.resume, h)
@@ -153,7 +159,8 @@ func realMain(ctx context.Context, run, out string, seed int64, quick bool, work
 	}
 	defer journal.Close()
 	cfg := experiments.Table1Config{
-		GASeed: 42, Quick: quick, Islands: heal.islands, Hooks: hooks, Workers: workers,
+		GASeed: 42, Quick: quick, Islands: heal.islands, PartitionApps: heal.partitionApps,
+		Hooks: hooks, Workers: workers,
 		Retry: heal.policy(hooks), Journal: journal,
 	}
 

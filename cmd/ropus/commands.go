@@ -217,17 +217,24 @@ func cmdTranslate(ctx context.Context, args []string) error {
 }
 
 // frameworkOpts holds the parsed pool/framework flags. The knobs that
-// determine results (theta, deadline, cpus, ga-seed, islands) feed the
-// checkpoint run hash via fold; workers and cache size deliberately do
-// not, so a journal can be resumed at any parallelism.
+// determine results (theta, deadline, cpus, ga-seed, islands,
+// hierarchical partitioning) feed the checkpoint run hash via fold;
+// workers and cache size deliberately do not, so a journal can be
+// resumed at any parallelism.
 type frameworkOpts struct {
 	theta    *float64
 	deadline *time.Duration
 	cpus     *int
 	seed     *int64
 	islands  *int
+	hier     *bool
+	partApps *int
 	workers  *int
 	cacheMB  *int64
+	// topo, when set by a subcommand before build, makes the
+	// hierarchical stitch rack-aware. It is not a flag of its own: the
+	// subcommands that accept -topology load it themselves.
+	topo *topology.Topology
 }
 
 // frameworkFlags registers the pool/framework flags.
@@ -238,7 +245,9 @@ func frameworkFlags(fs *flag.FlagSet) *frameworkOpts {
 		cpus:     fs.Int("cpus", 16, "CPUs per server"),
 		seed:     fs.Int64("ga-seed", 42, "genetic search seed"),
 		islands:  fs.Int("islands", 0, "genetic search islands (0/1 = single population; >1 splits the population into deterministic islands with ring migration)"),
-		workers:  fs.Int("workers", 0, "parallel failure-sweep workers (0 = GOMAXPROCS, 1 = sequential; results are identical)"),
+		hier:     fs.Bool("hierarchical", false, "consolidate hierarchically: cluster the fleet into sub-pools by demand correlation, solve each independently, stitch the sub-plans"),
+		partApps: fs.Int("partition-apps", 64, "max applications per sub-pool with -hierarchical"),
+		workers:  fs.Int("workers", 0, "parallel failure-sweep (and sub-pool solve) workers (0 = GOMAXPROCS, 1 = sequential; results are identical)"),
 		cacheMB:  fs.Int64("sim-cache-mb", 0, "shared simulation cache bound in MiB (0 = default, negative disables)"),
 	}
 }
@@ -261,7 +270,18 @@ func (o *frameworkOpts) build(h telemetry.Hooks, retry resilience.Policy, journa
 		CacheBytes:           cacheBytes,
 		Retry:                retry,
 		Journal:              journal,
+		PartitionApps:        o.partitionApps(),
+		Topology:             o.topo,
 	})
+}
+
+// partitionApps is the effective sub-pool bound: the -partition-apps
+// value when -hierarchical is set, zero (flat consolidation) otherwise.
+func (o *frameworkOpts) partitionApps() int {
+	if *o.hier {
+		return *o.partApps
+	}
+	return 0
 }
 
 // gaConfig builds the genetic search configuration from the flags.
@@ -272,13 +292,17 @@ func (o *frameworkOpts) gaConfig() placement.GAConfig {
 }
 
 // fold mixes the result-determining framework knobs into a run hash.
-// The island count changes results only when > 1, and is folded in
-// only then, so journals recorded before the knob existed keep
-// replaying under the default.
+// The island count changes results only when > 1, and hierarchical
+// partitioning only when enabled; each is folded in only then, so
+// journals recorded before the knobs existed keep replaying under the
+// defaults.
 func (o *frameworkOpts) fold(hash *checkpoint.Hasher) {
 	hash.Float(*o.theta).Int(int64(*o.deadline)).Int(int64(*o.cpus)).Int(*o.seed)
 	if *o.islands > 1 {
 		hash.Int(int64(*o.islands))
+	}
+	if *o.hier {
+		hash.String("hier").Int(int64(*o.partApps))
 	}
 }
 
@@ -370,11 +394,25 @@ func cmdPlace(ctx context.Context, args []string) error {
 	topts := telemetryFlags(fs)
 	in := fs.String("traces", "", "input trace CSV (required)")
 	diagnose := fs.Bool("diagnose", false, "show the worst resource-access groups per server")
+	partitions := fs.Bool("partitions", false, "with -hierarchical: print the sub-pool assignment and exit without placing")
+	topoPath := fs.String("topology", "", "topology JSON file; with -hierarchical, sub-pools are stitched rack-first")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return fmt.Errorf("place: -traces is required")
+	}
+	if *partitions && !*fwk.hier {
+		return fmt.Errorf("place: -partitions requires -hierarchical")
+	}
+	if *topoPath != "" {
+		tb, err := os.ReadFile(*topoPath)
+		if err != nil {
+			return err
+		}
+		if fwk.topo, err = topology.ReadJSON(bytes.NewReader(tb)); err != nil {
+			return err
+		}
 	}
 	set, err := loadTraces(*in)
 	if err != nil {
@@ -391,12 +429,27 @@ func cmdPlace(ctx context.Context, args []string) error {
 		if err != nil {
 			return err
 		}
+		if *partitions {
+			groups, err := f.PartitionPreview(ctx, tr)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("partitioned %d applications into %d sub-pools (max %d apps each)\n",
+				len(set), len(groups), *fwk.partApps)
+			for k, ids := range groups {
+				fmt.Printf("  partition %03d: %d apps %v\n", k, len(ids), ids)
+			}
+			return nil
+		}
 		cons, err := f.Consolidate(ctx, tr)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("consolidated %d applications onto %d servers (sum of peak allocations %.1f CPUs, required %.1f CPUs)\n",
 			len(set), cons.ServersUsed(), tr.CPeakTotal(), cons.CRequTotal())
+		if cons.Hier != nil {
+			printHier(cons.Hier)
+		}
 		printPlan(cons.Plan, cons.Problem.Servers)
 		if *diagnose {
 			if err := printDiagnostics(cons); err != nil {
@@ -405,6 +458,23 @@ func cmdPlace(ctx context.Context, args []string) error {
 		}
 		return nil
 	})
+}
+
+// printHier summarizes a hierarchical consolidation: one line per
+// sub-pool, then the rack placements when the stitch was rack-aware.
+func printHier(hier *placement.HierPlan) {
+	fmt.Printf("hierarchical: %d sub-pools solved independently and stitched\n", len(hier.Partitions))
+	for _, p := range hier.Partitions {
+		rack := p.Rack
+		if rack == "" {
+			rack = "-"
+		}
+		fmt.Printf("  partition %03d: %3d apps on %2d servers  rack %-10s required %7.2f CPUs\n",
+			p.Index, len(p.AppIDs), p.ServersUsed, rack, p.Required)
+	}
+	for _, r := range hier.Racks {
+		fmt.Printf("  rack %-10s %2d servers used by partitions %v\n", r.Rack, r.Servers, r.Partitions)
+	}
 }
 
 // printDiagnostics shows where each used server earns or loses its
@@ -448,12 +518,12 @@ func cmdFailover(ctx context.Context, args []string) error {
 	ropts := resilienceFlags(fs)
 	topts := telemetryFlags(fs)
 	var (
-		in        = fs.String("traces", "", "input trace CSV (required)")
-		failM     = fs.Float64("fail-m", 97, "failure-mode percent of acceptable measurements")
-		failTDeg  = fs.Duration("fail-tdegr", 30*time.Minute, "failure-mode max contiguous degradation")
-		asJSON    = fs.Bool("json", false, "emit a JSON report instead of text")
-		scenPath  = fs.String("scenarios", "", "scenario DSL JSON file: named correlated-failure scenarios swept after the single-failure analysis")
-		topoPath  = fs.String("topology", "", "topology JSON file resolving the scenario file's domain references")
+		in       = fs.String("traces", "", "input trace CSV (required)")
+		failM    = fs.Float64("fail-m", 97, "failure-mode percent of acceptable measurements")
+		failTDeg = fs.Duration("fail-tdegr", 30*time.Minute, "failure-mode max contiguous degradation")
+		asJSON   = fs.Bool("json", false, "emit a JSON report instead of text")
+		scenPath = fs.String("scenarios", "", "scenario DSL JSON file: named correlated-failure scenarios swept after the single-failure analysis")
+		topoPath = fs.String("topology", "", "topology JSON file resolving the scenario file's domain references")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err

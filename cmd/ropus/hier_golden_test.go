@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ropus/internal/trace"
+	"ropus/internal/workload"
+)
+
+// goldenScaleFleet writes the fleet-scale golden input: 1000 apps of
+// the default class mix, one week of hourly samples, fully determined
+// by the seed.
+func goldenScaleFleet(t *testing.T, apps int, seed int64) string {
+	t.Helper()
+	set, err := workload.ScaleFleet(workload.ScaleConfig{
+		Apps: apps, Weeks: 1, Interval: time.Hour, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fleet.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.WriteCSV(f, set); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestGoldenHierarchical pins the fleet-scale hierarchical pipeline:
+// the sub-pool assignment dump and the full 1000-app place summary for
+// the fixed seed. The placement is byte-deterministic at any worker
+// count, so the corpus regenerates identically with -update on any
+// machine.
+func TestGoldenHierarchical(t *testing.T) {
+	traces := goldenScaleFleet(t, 1000, 2006)
+
+	out, err := captureStdout(t, func() error {
+		return run([]string{"place", "-traces", traces,
+			"-hierarchical", "-partition-apps", "25", "-partitions"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "hier_partitions_seed2006.txt", out)
+
+	out, err = captureStdout(t, func() error {
+		return run([]string{"place", "-traces", traces,
+			"-hierarchical", "-partition-apps", "25"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "hier_place_seed2006.txt", out)
+}

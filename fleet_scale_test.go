@@ -1,0 +1,166 @@
+package ropus
+
+// Fleet-scale contract for the hierarchical pool-of-pools placement:
+// a 1000-application plan must complete inside the ordinary go test
+// deadline and be byte-identical at any worker count. The companion
+// TestFleetScaleBench (gated on ROPUS_BENCH_FLEET=1, run by
+// `make bench-fleet`) records the throughput in BENCH_fleet_scale.json
+// and fails when a run blows the wall-clock budget.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"ropus/internal/core"
+	"ropus/internal/placement"
+	"ropus/internal/qos"
+	"ropus/internal/trace"
+	"ropus/internal/workload"
+)
+
+const (
+	fleetScaleApps          = 1000
+	fleetScalePartitionApps = 25
+	// fleetScaleBudget bounds the benchmarked end-to-end plan. The run
+	// takes a few seconds on a developer laptop; the budget leaves an
+	// order of magnitude for slow CI machines while still catching a
+	// complexity regression (the flat GA at this size runs for hours).
+	fleetScaleBudget = 120 * time.Second
+)
+
+// fleetScaleSet generates the deterministic 1000-app heterogeneous
+// fleet: default class mix, one week of hourly samples, seed 2006.
+func fleetScaleSet(t testing.TB) trace.Set {
+	t.Helper()
+	set, err := workload.ScaleFleet(workload.ScaleConfig{
+		Apps: fleetScaleApps, Weeks: 1, Interval: time.Hour, Seed: 2006,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// fleetScalePlan runs translate + hierarchical consolidate over the
+// fleet at the given worker count and returns the consolidation.
+func fleetScalePlan(t testing.TB, set trace.Set, workers int) *core.Consolidation {
+	t.Helper()
+	f, err := core.New(core.Config{
+		Commitment:           qos.PoolCommitment{Theta: 0.6, Deadline: time.Hour},
+		ServerCPUs:           16,
+		ServerCapacityPerCPU: 1,
+		GA:                   placement.DefaultGAConfig(42),
+		Tolerance:            0.1,
+		Workers:              workers,
+		PartitionApps:        fleetScalePartitionApps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	q := qos.AppQoS{ULow: 0.5, UHigh: 0.66, UDegr: 0.9, MPercent: 97, TDegr: 30 * time.Minute}
+	tr, err := f.Translate(ctx, set, core.Requirements{Default: qos.Requirement{Normal: q, Failure: q}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := f.Consolidate(ctx, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cons
+}
+
+// fleetPlanBytes fingerprints a consolidation: the full plan document
+// plus the hierarchical stitch, byte-comparable across runs.
+func fleetPlanBytes(t testing.TB, cons *core.Consolidation) []byte {
+	t.Helper()
+	doc := struct {
+		Plan any
+		Hier any
+	}{cons.Plan, cons.Hier}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestFleetScaleHierarchicalDeterminism: the 1000-app hierarchical
+// plan is byte-identical at 1 and 8 workers, splits into the expected
+// sub-pool count, and places every application.
+func TestFleetScaleHierarchicalDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet-scale plan skipped in -short mode")
+	}
+	set := fleetScaleSet(t)
+	base := fleetScalePlan(t, set, 1)
+	if base.Hier == nil {
+		t.Fatal("PartitionApps set but consolidation is not hierarchical")
+	}
+	if want := fleetScaleApps / fleetScalePartitionApps; len(base.Hier.Partitions) != want {
+		t.Errorf("partitions: got %d, want %d", len(base.Hier.Partitions), want)
+	}
+	if !base.Plan.Feasible {
+		t.Error("fleet-scale plan infeasible")
+	}
+	placed := 0
+	for _, u := range base.Plan.Usages {
+		placed += len(u.AppIDs)
+	}
+	if placed != fleetScaleApps {
+		t.Errorf("plan places %d of %d apps", placed, fleetScaleApps)
+	}
+	want := fleetPlanBytes(t, base)
+	got := fleetPlanBytes(t, fleetScalePlan(t, set, 8))
+	if !bytes.Equal(want, got) {
+		t.Error("hierarchical plan differs between 1 and 8 workers")
+	}
+}
+
+// TestFleetScaleBench is the recorded fleet-scale benchmark: skipped
+// unless ROPUS_BENCH_FLEET=1, it times the full 1000-app pipeline and
+// writes BENCH_fleet_scale.json, failing past the wall-clock budget.
+func TestFleetScaleBench(t *testing.T) {
+	if os.Getenv("ROPUS_BENCH_FLEET") == "" {
+		t.Skip("set ROPUS_BENCH_FLEET=1 (or run `make bench-fleet`) to record the fleet-scale benchmark")
+	}
+	set := fleetScaleSet(t)
+	start := time.Now()
+	cons := fleetScalePlan(t, set, 0)
+	elapsed := time.Since(start)
+	doc := struct {
+		Apps          int     `json:"apps"`
+		PartitionApps int     `json:"partition_apps"`
+		Partitions    int     `json:"partitions"`
+		ServersUsed   int     `json:"servers_used"`
+		WallSeconds   float64 `json:"wall_seconds"`
+		AppsPerSecond float64 `json:"apps_per_second"`
+		BudgetSeconds float64 `json:"budget_seconds"`
+		Pass          bool    `json:"pass"`
+	}{
+		Apps:          fleetScaleApps,
+		PartitionApps: fleetScalePartitionApps,
+		Partitions:    len(cons.Hier.Partitions),
+		ServersUsed:   cons.ServersUsed(),
+		WallSeconds:   elapsed.Seconds(),
+		AppsPerSecond: fleetScaleApps / elapsed.Seconds(),
+		BudgetSeconds: fleetScaleBudget.Seconds(),
+		Pass:          elapsed <= fleetScaleBudget,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile("BENCH_fleet_scale.json", data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("planned %d apps in %v (%.0f apps/s)", fleetScaleApps, elapsed.Round(time.Millisecond), doc.AppsPerSecond)
+	if !doc.Pass {
+		t.Errorf("fleet-scale plan took %v, budget %v", elapsed.Round(time.Millisecond), fleetScaleBudget)
+	}
+}

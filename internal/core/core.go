@@ -25,6 +25,7 @@ import (
 	"ropus/internal/robust"
 	"ropus/internal/sim"
 	"ropus/internal/telemetry"
+	"ropus/internal/topology"
 	"ropus/internal/trace"
 )
 
@@ -101,8 +102,17 @@ type Config struct {
 	Retry resilience.Policy
 	// Journal, when non-nil, checkpoints completed failure scenarios so
 	// an interrupted sweep can resume without recomputing them; see
-	// failure.Input.Journal.
+	// failure.Input.Journal. With PartitionApps > 0 it also checkpoints
+	// each solved placement partition.
 	Journal *checkpoint.Journal
+	// PartitionApps, when > 0, switches consolidation to the hierarchical
+	// pool-of-pools search: the fleet is clustered into sub-pools of at
+	// most this many applications, each solved independently (see
+	// placement.ConsolidateHierarchical). 0 keeps the flat search.
+	PartitionApps int
+	// Topology, when non-nil and PartitionApps > 0, makes the
+	// hierarchical stitch rack-aware.
+	Topology *topology.Topology
 }
 
 // Validate checks the configuration.
@@ -121,6 +131,9 @@ func (c Config) Validate() error {
 	}
 	if err := c.Retry.Validate(); err != nil {
 		return err
+	}
+	if c.PartitionApps < 0 {
+		return fmt.Errorf("core: PartitionApps %d < 0", c.PartitionApps)
 	}
 	return c.GA.Validate()
 }
@@ -220,6 +233,10 @@ func (f *Framework) Translate(ctx context.Context, traces trace.Set, reqs Requir
 type Consolidation struct {
 	Problem *placement.Problem
 	Plan    *placement.Plan
+	// Hier describes the pool-of-pools decomposition when the framework
+	// ran the hierarchical search (Config.PartitionApps > 0); nil for
+	// flat consolidations. Hier.Plan and Plan are the same plan.
+	Hier *placement.HierPlan
 }
 
 // ServersUsed returns the number of servers hosting applications.
@@ -231,7 +248,10 @@ func (c *Consolidation) CRequTotal() float64 { return c.Plan.RequiredTotal }
 
 // Consolidate places the normal-mode translated workloads onto a pool of
 // identical servers (one per application to start with, as in the
-// paper's consolidation exercises) and runs the genetic search.
+// paper's consolidation exercises) and runs the genetic search. With
+// Config.PartitionApps > 0 it runs the hierarchical pool-of-pools
+// search instead and the returned Consolidation carries the
+// decomposition in Hier.
 func (f *Framework) Consolidate(ctx context.Context, t *Translation) (*Consolidation, error) {
 	if t == nil || len(t.Normal) == 0 {
 		return nil, errors.New("core: nothing to consolidate")
@@ -244,11 +264,61 @@ func (f *Framework) Consolidate(ctx context.Context, t *Translation) (*Consolida
 	if err != nil {
 		return nil, err
 	}
+	if f.cfg.PartitionApps > 0 {
+		hier, err := placement.ConsolidateHierarchical(ctx, problem, initial, f.cfg.GA, f.hierConfig())
+		if err != nil {
+			return nil, err
+		}
+		return &Consolidation{Problem: problem, Plan: hier.Plan, Hier: hier}, nil
+	}
 	plan, err := placement.Consolidate(ctx, problem, initial, f.cfg.GA)
 	if err != nil {
 		return nil, err
 	}
 	return &Consolidation{Problem: problem, Plan: plan}, nil
+}
+
+// hierConfig assembles the hierarchical placement configuration from the
+// framework's settings.
+func (f *Framework) hierConfig() placement.HierConfig {
+	return placement.HierConfig{
+		MaxApps:  f.cfg.PartitionApps,
+		Workers:  f.cfg.Workers,
+		Journal:  f.cfg.Journal,
+		Topology: f.cfg.Topology,
+	}
+}
+
+// PartitionPreview clusters the translated fleet into the sub-pools the
+// hierarchical search would solve, without running any search: one group
+// of application IDs per partition, in canonical partition order. It
+// requires Config.PartitionApps > 0.
+func (f *Framework) PartitionPreview(ctx context.Context, t *Translation) ([][]string, error) {
+	if t == nil || len(t.Normal) == 0 {
+		return nil, errors.New("core: nothing to partition")
+	}
+	if f.cfg.PartitionApps <= 0 {
+		return nil, errors.New("core: PartitionPreview needs PartitionApps > 0")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: partition preview: %w", err)
+	}
+	problem, err := f.problemFor(t, t.Normal)
+	if err != nil {
+		return nil, err
+	}
+	res, err := placement.SplitProblem(problem, f.hierConfig())
+	if err != nil {
+		return nil, err
+	}
+	groups := make([][]string, len(res.Groups))
+	for k, g := range res.Groups {
+		groups[k] = make([]string, len(g))
+		for i, a := range g {
+			groups[k][i] = problem.Apps[a].ID
+		}
+	}
+	return groups, nil
 }
 
 // PlanForFailures analyzes every single-server failure of the

@@ -238,6 +238,12 @@ type Table1Config struct {
 	// failure scenarios Failover sweeps) so an interrupted run can
 	// resume without recomputing them; replay is bit-exact.
 	Journal *checkpoint.Journal
+	// PartitionApps, when > 0, consolidates each case with the
+	// hierarchical pool-of-pools search capped at this many applications
+	// per sub-pool (core.Config.PartitionApps); 0 keeps the flat search.
+	// Results are deterministic per (GASeed, Islands, PartitionApps) but
+	// differ between partition caps.
+	PartitionApps int
 }
 
 // Table1 runs the six consolidation cases against the fleet.
@@ -343,6 +349,7 @@ func frameworkFor(theta float64, cfg Table1Config) (*core.Framework, error) {
 		Workers:              cfg.Workers,
 		Retry:                cfg.Retry,
 		Journal:              cfg.Journal,
+		PartitionApps:        cfg.PartitionApps,
 	})
 }
 

@@ -1,0 +1,90 @@
+package partition
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// FuzzPartition drives Split with adversarial inputs — NaN/Inf samples,
+// degenerate (constant, tiny, ragged-looking) series, single-app and
+// over-partitioned configurations — and checks the contract: either a
+// structured FieldError, or a clustering in which every application
+// appears exactly once within balanced, capacity-respecting groups.
+// Raw bytes are reinterpreted as float64 bits, so non-finite and
+// denormal values appear naturally.
+func FuzzPartition(f *testing.F) {
+	f.Add(4, 2, 0, []byte{})
+	f.Add(1, 1, 24, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(26, 5, 168, []byte{0xff, 0xf0, 0, 0, 0, 0, 0, 0}) // +Inf bit pattern
+	f.Add(7, 3, 8, []byte{0x7f, 0xf8, 0, 0, 0, 0, 0, 1})    // NaN bit pattern
+	f.Add(9, 0, 4, []byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(3, 200, 1, []byte{42})
+	// Regression: denormal-range samples underflow the variance product
+	// inside Pearson r to 0, making the correlation NaN.
+	f.Add(26, 5, 168, []byte("0000a0000"))
+	f.Fuzz(func(t *testing.T, nApps, maxApps, buckets int, raw []byte) {
+		// Bound the instance so the fuzzer explores structure, not RAM.
+		if nApps < 0 {
+			nApps = -nApps
+		}
+		nApps %= 48
+		if buckets < -4 || buckets > 512 {
+			buckets %= 512
+		}
+		slots := 1 + len(raw)%64
+
+		ids := make([]string, nApps)
+		series := make([][]float64, nApps)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("app-%02d", i)
+			s := make([]float64, slots)
+			for j := range s {
+				off := (i*slots + j) * 8
+				if len(raw) >= 8 {
+					var b [8]byte
+					for k := range b {
+						b[k] = raw[(off+k)%len(raw)]
+					}
+					s[j] = math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+				} else {
+					s[j] = float64(i + j)
+				}
+			}
+			series[i] = s
+		}
+
+		res, err := Split(ids, series, Config{MaxApps: maxApps, Buckets: buckets})
+		if err != nil {
+			var fe *FieldError
+			if !errors.As(err, &fe) {
+				t.Fatalf("non-structured error: %v", err)
+			}
+			return
+		}
+		if nApps == 0 || maxApps < 1 {
+			t.Fatalf("degenerate input accepted: nApps=%d maxApps=%d", nApps, maxApps)
+		}
+		wantGroups := (nApps + maxApps - 1) / maxApps
+		if len(res.Groups) != wantGroups {
+			t.Fatalf("%d groups, want %d", len(res.Groups), wantGroups)
+		}
+		seen := make(map[int]bool, nApps)
+		for gi, g := range res.Groups {
+			if len(g) == 0 || len(g) > maxApps {
+				t.Fatalf("group %d has %d members (max %d)", gi, len(g), maxApps)
+			}
+			for _, idx := range g {
+				if idx < 0 || idx >= nApps || seen[idx] {
+					t.Fatalf("app index %d missing, out of range, or duplicated", idx)
+				}
+				seen[idx] = true
+			}
+		}
+		if len(seen) != nApps {
+			t.Fatalf("clustered %d of %d apps", len(seen), nApps)
+		}
+	})
+}

@@ -1,0 +1,370 @@
+// Package partition clusters application workloads into sub-pools by
+// demand correlation, the decomposition step of fleet-scale hierarchical
+// placement. The paper's consolidation exercise is a single pool of ~26
+// applications; planning thousands of applications in one genetic search
+// is hopeless (the assignment space grows as servers^apps), but the
+// provisioning-system literature the paper builds on partitions streams
+// by class before solving placement. This package does the trace-driven
+// analogue: applications whose demands do not rise together are the ones
+// statistical multiplexing wants co-located, so the clusterer greedily
+// grows sub-pools of least-correlated applications and a per-sub-pool
+// consolidation then solves a tractable instance.
+//
+// Everything here is deterministic in the input contents: the clustering
+// is computed in a canonical ID-sorted order, ties break by application
+// ID, and no randomness is consumed — reordering the input applications
+// yields the same sub-pools (see the property tests).
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"ropus/internal/stats"
+)
+
+// DefaultBuckets is the fingerprint resolution used when Config.Buckets
+// is zero: one bucket per hour of the week, so the correlation distance
+// reflects the diurnal/weekly shape that drives multiplexing gains while
+// keeping the clustering O(apps · partitions · 168) regardless of how
+// long the traces are.
+const DefaultBuckets = 168
+
+// Config tunes the clustering.
+type Config struct {
+	// MaxApps caps the number of applications per sub-pool; the number
+	// of sub-pools is ceil(apps / MaxApps). Required, >= 1.
+	MaxApps int
+	// Buckets is the demand-fingerprint resolution (0 selects
+	// DefaultBuckets). Series shorter than the resolution use one bucket
+	// per sample.
+	Buckets int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	var errs []error
+	if c.MaxApps < 1 {
+		errs = append(errs, &FieldError{Field: "MaxApps", Value: c.MaxApps, Reason: "must be >= 1"})
+	}
+	if c.Buckets < 0 {
+		errs = append(errs, &FieldError{Field: "Buckets", Value: c.Buckets, Reason: "must be >= 0"})
+	}
+	return errors.Join(errs...)
+}
+
+// buckets resolves the effective fingerprint resolution.
+func (c Config) buckets() int {
+	if c.Buckets > 0 {
+		return c.Buckets
+	}
+	return DefaultBuckets
+}
+
+// FieldError pinpoints one invalid clustering input, mirroring
+// workload.FieldError: fuzzers and callers recover it with errors.As to
+// check that malformed inputs fail with a structured reason instead of
+// a panic or a poisoned result.
+type FieldError struct {
+	// App is the offending application's ID ("" for config fields or
+	// when the ID itself is the problem, in which case Index locates it).
+	App string
+	// Index is the application's position in the input (-1 for config
+	// fields).
+	Index int
+	// Field names what was rejected (MaxApps, Buckets, ids, series).
+	Field string
+	// Value is the rejected value.
+	Value any
+	// Reason says what the field violated.
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *FieldError) Error() string {
+	where := e.App
+	if where == "" && e.Index >= 0 {
+		where = fmt.Sprintf("#%d", e.Index)
+	}
+	if where != "" {
+		return fmt.Sprintf("partition: app %s: %s = %v: %s", where, e.Field, e.Value, e.Reason)
+	}
+	return fmt.Sprintf("partition: %s = %v: %s", e.Field, e.Value, e.Reason)
+}
+
+// Result is a clustering: every input application appears in exactly
+// one group.
+type Result struct {
+	// Groups holds the sub-pools as indices into the input slices. Each
+	// group is sorted ascending; the groups are ordered by their
+	// lexicographically smallest member ID, so the layout is stable
+	// under reordering of the input.
+	Groups [][]int
+	// Buckets is the effective fingerprint resolution used.
+	Buckets int
+}
+
+// Split clusters the applications into ceil(len(ids)/MaxApps) sub-pools
+// of at most MaxApps members each, grouping applications whose demand
+// fingerprints are least correlated. ids[i] names the application whose
+// per-slot total demand is series[i]; all series must be the same
+// non-zero length and finite.
+//
+// The algorithm spreads correlated applications apart and packs
+// anti-correlated ones together, the grouping statistical multiplexing
+// rewards: the highest-variance application seeds the first cluster and
+// each further seed is the application most correlated with the seeds
+// already chosen (a family of co-moving demands must land in different
+// sub-pools); the remaining applications — visited in canonical ID
+// order — then join the sub-pool whose aggregate fingerprint they
+// correlate with least, among those with free capacity. Zero-variance
+// fingerprints have correlation 0 by the stats package's convention.
+func Split(ids []string, series [][]float64, cfg Config) (*Result, error) {
+	if err := validate(ids, series, cfg); err != nil {
+		return nil, err
+	}
+	n := len(ids)
+	groups := int((n + cfg.MaxApps - 1) / cfg.MaxApps)
+	res := &Result{Buckets: cfg.buckets()}
+	if groups == 1 {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		res.Groups = [][]int{all}
+		return res, nil
+	}
+
+	// Canonical order: indices sorted by application ID. All further
+	// iteration and tie-breaking follows this order, which is what makes
+	// the clustering invariant under input reordering.
+	canon := make([]int, n)
+	for i := range canon {
+		canon[i] = i
+	}
+	sort.Slice(canon, func(a, b int) bool { return ids[canon[a]] < ids[canon[b]] })
+
+	fps := make([][]float64, n)
+	for i := range fps {
+		fps[i] = fingerprint(series[i], cfg.buckets())
+	}
+
+	seeds := pickSeeds(canon, fps, groups)
+	clusters := assign(canon, fps, seeds, n, groups)
+
+	for _, c := range clusters {
+		sort.Ints(c.members)
+	}
+	// Order the groups by smallest member ID so the output layout does
+	// not depend on seed discovery order details.
+	sort.Slice(clusters, func(a, b int) bool {
+		return ids[minIDIndex(clusters[a].members, ids)] < ids[minIDIndex(clusters[b].members, ids)]
+	})
+	res.Groups = make([][]int, len(clusters))
+	for i, c := range clusters {
+		res.Groups[i] = c.members
+	}
+	return res, nil
+}
+
+// validate checks the clustering inputs, joining one FieldError per
+// violation so a malformed fleet fails with every reason at once.
+func validate(ids []string, series [][]float64, cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	var errs []error
+	if len(ids) == 0 {
+		errs = append(errs, &FieldError{Index: -1, Field: "ids", Value: 0, Reason: "no applications"})
+	}
+	if len(series) != len(ids) {
+		errs = append(errs, &FieldError{Index: -1, Field: "series", Value: len(series),
+			Reason: fmt.Sprintf("must have one series per application (%d)", len(ids))})
+		return errors.Join(errs...)
+	}
+	seen := make(map[string]int, len(ids))
+	slots := -1
+	for i, id := range ids {
+		if id == "" {
+			errs = append(errs, &FieldError{Index: i, Field: "ids", Value: id, Reason: "application needs an ID"})
+		} else if prev, dup := seen[id]; dup {
+			errs = append(errs, &FieldError{App: id, Index: i, Field: "ids", Value: id,
+				Reason: fmt.Sprintf("duplicate of application #%d", prev)})
+		} else {
+			seen[id] = i
+		}
+		s := series[i]
+		if len(s) == 0 {
+			errs = append(errs, &FieldError{App: id, Index: i, Field: "series", Value: 0, Reason: "empty demand series"})
+			continue
+		}
+		if slots < 0 {
+			slots = len(s)
+		} else if len(s) != slots {
+			errs = append(errs, &FieldError{App: id, Index: i, Field: "series", Value: len(s),
+				Reason: fmt.Sprintf("must have %d slots like the first series", slots)})
+		}
+		for j, v := range s {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				errs = append(errs, &FieldError{App: id, Index: i, Field: "series", Value: v,
+					Reason: fmt.Sprintf("sample %d is not finite", j)})
+				break
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// fingerprint downsamples a series to b mean buckets (or one bucket per
+// sample when the series is shorter).
+func fingerprint(s []float64, b int) []float64 {
+	if b > len(s) {
+		b = len(s)
+	}
+	fp := make([]float64, b)
+	for j := 0; j < b; j++ {
+		lo, hi := j*len(s)/b, (j+1)*len(s)/b
+		sum := 0.0
+		for _, v := range s[lo:hi] {
+			sum += v
+		}
+		fp[j] = sum / float64(hi-lo)
+	}
+	return fp
+}
+
+// distance is the correlation distance 1 - r between two fingerprints:
+// 0 for perfectly co-moving demands, 2 for perfectly anti-correlated
+// ones. Lengths always match here, so stats.Correlation cannot fail —
+// but denormal-range samples can underflow the variance product to 0
+// while each variance alone is nonzero, yielding a NaN/Inf ratio
+// (found by FuzzPartition); such pairs get the neutral distance 1, the
+// same convention as zero-variance inputs. r is also clamped to [-1,1]
+// against rounding excursions so distances stay totally ordered.
+func distance(a, b []float64) float64 {
+	r, err := stats.Correlation(a, b)
+	if err != nil || math.IsNaN(r) || math.IsInf(r, 0) {
+		return 1
+	}
+	return 1 - math.Max(-1, math.Min(1, r))
+}
+
+// variance returns the population variance of a fingerprint.
+func variance(fp []float64) float64 {
+	mean := 0.0
+	for _, v := range fp {
+		mean += v
+	}
+	mean /= float64(len(fp))
+	out := 0.0
+	for _, v := range fp {
+		d := v - mean
+		out += d * d
+	}
+	return out / float64(len(fp))
+}
+
+// pickSeeds chooses one seed application per cluster: the
+// highest-variance application first (the strongest signal), then —
+// because applications whose demands rise together are the worst
+// co-tenants and must end up in different sub-pools — whatever
+// remaining application is most correlated (smallest minimum distance)
+// with the seeds already chosen. Ties break toward the earlier
+// application in canonical ID order.
+func pickSeeds(canon []int, fps [][]float64, groups int) []int {
+	first := canon[0]
+	bestVar := variance(fps[first])
+	for _, i := range canon[1:] {
+		if v := variance(fps[i]); v > bestVar {
+			first, bestVar = i, v
+		}
+	}
+	seeds := []int{first}
+	isSeed := map[int]bool{first: true}
+	minDist := make(map[int]float64, len(canon))
+	for _, i := range canon {
+		minDist[i] = distance(fps[i], fps[first])
+	}
+	for len(seeds) < groups {
+		next, nextDist := -1, math.Inf(1)
+		for _, i := range canon {
+			if isSeed[i] {
+				continue
+			}
+			if d := minDist[i]; d < nextDist {
+				next, nextDist = i, d
+			}
+		}
+		seeds = append(seeds, next)
+		isSeed[next] = true
+		for _, i := range canon {
+			if d := distance(fps[i], fps[next]); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	return seeds
+}
+
+// cluster is one sub-pool under construction: its members and the
+// running mean of their fingerprints.
+type cluster struct {
+	members  []int
+	centroid []float64
+}
+
+// add folds one fingerprint into the cluster's centroid.
+func (c *cluster) add(i int, fp []float64) {
+	n := float64(len(c.members))
+	c.members = append(c.members, i)
+	for j := range c.centroid {
+		c.centroid[j] = (c.centroid[j]*n + fp[j]) / (n + 1)
+	}
+}
+
+// assign distributes the non-seed applications, in canonical ID order,
+// to the free-capacity cluster whose aggregate fingerprint they
+// correlate with *least* (maximum correlation distance): joining the
+// sub-pool one's demand is anti-correlated with is what lets the
+// per-partition consolidation multiplex. Capacity is ceil(n/groups),
+// balancing the sub-pools so every per-partition search gets a
+// comparable instance; it never exceeds MaxApps.
+func assign(canon []int, fps [][]float64, seeds []int, n, groups int) []*cluster {
+	capacity := (n + groups - 1) / groups
+	clusters := make([]*cluster, len(seeds))
+	seeded := make(map[int]bool, len(seeds))
+	for k, s := range seeds {
+		clusters[k] = &cluster{centroid: make([]float64, len(fps[s]))}
+		clusters[k].add(s, fps[s])
+		seeded[s] = true
+	}
+	for _, i := range canon {
+		if seeded[i] {
+			continue
+		}
+		best, bestDist := -1, math.Inf(-1)
+		for k, c := range clusters {
+			if len(c.members) >= capacity {
+				continue
+			}
+			if d := distance(fps[i], c.centroid); d > bestDist {
+				best, bestDist = k, d
+			}
+		}
+		clusters[best].add(i, fps[i])
+	}
+	return clusters
+}
+
+// minIDIndex returns the member whose ID sorts first.
+func minIDIndex(members []int, ids []string) int {
+	best := members[0]
+	for _, m := range members[1:] {
+		if ids[m] < ids[best] {
+			best = m
+		}
+	}
+	return best
+}

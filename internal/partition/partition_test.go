@@ -1,0 +1,259 @@
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// synthSeries builds n deterministic pseudo-demand series of the given
+// length: a mix of phase-shifted diurnal shapes and noise so the
+// correlation structure is non-trivial.
+func synthSeries(n, slots int, seed int64) ([]string, [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	ids := make([]string, n)
+	series := make([][]float64, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("app-%03d", i+1)
+		phase := rng.Float64() * 2 * math.Pi
+		amp := 0.5 + rng.Float64()
+		s := make([]float64, slots)
+		for j := range s {
+			s[j] = 1 + amp*math.Sin(2*math.Pi*float64(j)/24+phase) + 0.1*rng.Float64()
+		}
+		series[i] = s
+	}
+	return ids, series
+}
+
+// groupIDs renders a clustering as sorted ID sets, sorted, for
+// order-insensitive comparison.
+func groupIDs(ids []string, res *Result) [][]string {
+	out := make([][]string, len(res.Groups))
+	for i, g := range res.Groups {
+		names := make([]string, len(g))
+		for j, idx := range g {
+			names[j] = ids[idx]
+		}
+		sort.Strings(names)
+		out[i] = names
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out
+}
+
+// TestPropertyPartitionExactlyOnce: every application lands in exactly
+// one sub-pool, no sub-pool is empty or over capacity, and the group
+// count is ceil(n / MaxApps).
+func TestPropertyPartitionExactlyOnce(t *testing.T) {
+	for _, tc := range []struct{ n, maxApps int }{
+		{1, 1}, {1, 10}, {5, 2}, {26, 13}, {26, 5}, {40, 7}, {97, 10},
+	} {
+		ids, series := synthSeries(tc.n, 96, 7)
+		res, err := Split(ids, series, Config{MaxApps: tc.maxApps})
+		if err != nil {
+			t.Fatalf("n=%d max=%d: %v", tc.n, tc.maxApps, err)
+		}
+		wantGroups := (tc.n + tc.maxApps - 1) / tc.maxApps
+		if len(res.Groups) != wantGroups {
+			t.Errorf("n=%d max=%d: %d groups, want %d", tc.n, tc.maxApps, len(res.Groups), wantGroups)
+		}
+		seen := make(map[int]int)
+		for gi, g := range res.Groups {
+			if len(g) == 0 {
+				t.Errorf("n=%d max=%d: empty group %d", tc.n, tc.maxApps, gi)
+			}
+			if len(g) > tc.maxApps {
+				t.Errorf("n=%d max=%d: group %d has %d members", tc.n, tc.maxApps, gi, len(g))
+			}
+			if !sort.IntsAreSorted(g) {
+				t.Errorf("n=%d max=%d: group %d not sorted", tc.n, tc.maxApps, gi)
+			}
+			for _, idx := range g {
+				seen[idx]++
+			}
+		}
+		for i := 0; i < tc.n; i++ {
+			if seen[i] != 1 {
+				t.Errorf("n=%d max=%d: app %d appears %d times", tc.n, tc.maxApps, i, seen[i])
+			}
+		}
+	}
+}
+
+// TestPropertyPartitionReorderInvariant: permuting the input
+// applications relabels the groups but never changes their composition.
+func TestPropertyPartitionReorderInvariant(t *testing.T) {
+	ids, series := synthSeries(30, 168, 11)
+	base, err := Split(ids, series, Config{MaxApps: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := groupIDs(ids, base)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		perm := rng.Perm(len(ids))
+		pids := make([]string, len(ids))
+		pseries := make([][]float64, len(ids))
+		for i, p := range perm {
+			pids[i] = ids[p]
+			pseries[i] = series[p]
+		}
+		res, err := Split(pids, pseries, Config{MaxApps: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := groupIDs(pids, res); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: clustering changed under reordering\n got %v\nwant %v", trial, got, want)
+		}
+	}
+}
+
+// TestPropertyPartitionSingleGroup: when everything fits in one
+// sub-pool the result is the identity grouping.
+func TestPropertyPartitionSingleGroup(t *testing.T) {
+	ids, series := synthSeries(9, 48, 3)
+	res, err := Split(ids, series, Config{MaxApps: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 1 || len(res.Groups[0]) != 9 {
+		t.Fatalf("Groups = %v, want one group of 9", res.Groups)
+	}
+	for i, idx := range res.Groups[0] {
+		if idx != i {
+			t.Fatalf("identity group expected, got %v", res.Groups[0])
+		}
+	}
+}
+
+// TestPartitionDeterminism: same inputs, same clustering, repeatedly.
+func TestPartitionDeterminism(t *testing.T) {
+	ids, series := synthSeries(50, 168, 2006)
+	base, err := Split(ids, series, Config{MaxApps: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		res, err := Split(ids, series, Config{MaxApps: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res, base) {
+			t.Fatalf("run %d drifted: %v vs %v", i, res.Groups, base.Groups)
+		}
+	}
+}
+
+// TestPartitionValidation: every malformed input fails with a
+// structured FieldError, never a panic or a silent success.
+func TestPartitionValidation(t *testing.T) {
+	ids, series := synthSeries(4, 24, 1)
+	tests := []struct {
+		name   string
+		ids    []string
+		series [][]float64
+		cfg    Config
+		field  string
+	}{
+		{"bad max apps", ids, series, Config{MaxApps: 0}, "MaxApps"},
+		{"negative buckets", ids, series, Config{MaxApps: 2, Buckets: -1}, "Buckets"},
+		{"no apps", nil, nil, Config{MaxApps: 2}, "ids"},
+		{"length mismatch", ids, series[:3], Config{MaxApps: 2}, "series"},
+		{"empty id", []string{"a", ""}, series[:2], Config{MaxApps: 1}, "ids"},
+		{"duplicate id", []string{"a", "a"}, series[:2], Config{MaxApps: 1}, "ids"},
+		{"empty series", []string{"a", "b"}, [][]float64{{1, 2}, {}}, Config{MaxApps: 1}, "series"},
+		{"ragged series", []string{"a", "b"}, [][]float64{{1, 2}, {1}}, Config{MaxApps: 1}, "series"},
+		{"nan sample", []string{"a", "b"}, [][]float64{{1, 2}, {1, math.NaN()}}, Config{MaxApps: 1}, "series"},
+		{"inf sample", []string{"a", "b"}, [][]float64{{1, 2}, {math.Inf(1), 1}}, Config{MaxApps: 1}, "series"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Split(tt.ids, tt.series, tt.cfg)
+			if err == nil {
+				t.Fatal("Split accepted malformed input")
+			}
+			var fe *FieldError
+			if !errors.As(err, &fe) {
+				t.Fatalf("error is not a FieldError: %v", err)
+			}
+			if !hasField(err, tt.field) {
+				t.Errorf("no FieldError for %q in %v", tt.field, err)
+			}
+		})
+	}
+}
+
+// hasField reports whether any FieldError in a joined error names the
+// field.
+func hasField(err error, field string) bool {
+	var fe *FieldError
+	if errors.As(err, &fe) && fe.Field == field {
+		return true
+	}
+	type unwrapper interface{ Unwrap() []error }
+	if u, ok := err.(unwrapper); ok {
+		for _, e := range u.Unwrap() {
+			if hasField(e, field) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestPartitionZeroVariance: constant (zero-variance) demand series are
+// legal inputs — their correlation is 0 by convention — and cluster
+// without error.
+func TestPartitionZeroVariance(t *testing.T) {
+	ids := []string{"a", "b", "c", "d"}
+	flat := []float64{2, 2, 2, 2, 2, 2}
+	series := [][]float64{flat, flat, flat, flat}
+	res, err := Split(ids, series, Config{MaxApps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(res.Groups))
+	}
+}
+
+// TestPartitionAntiCorrelatedSeparation: with two clearly opposite
+// demand shapes and capacity for two sub-pools of two, each sub-pool
+// pairs one day-shape with one night-shape — the multiplexing-friendly
+// grouping.
+func TestPartitionAntiCorrelatedSeparation(t *testing.T) {
+	slots := 48
+	day := make([]float64, slots)
+	night := make([]float64, slots)
+	for j := range day {
+		day[j] = 1 + math.Sin(2*math.Pi*float64(j)/24)
+		night[j] = 1 - math.Sin(2*math.Pi*float64(j)/24)
+	}
+	jitter := func(s []float64, eps float64) []float64 {
+		out := make([]float64, len(s))
+		for i, v := range s {
+			out[i] = v + eps*float64(i%3)
+		}
+		return out
+	}
+	ids := []string{"day-1", "day-2", "night-1", "night-2"}
+	series := [][]float64{day, jitter(day, 0.01), night, jitter(night, 0.01)}
+	res, err := Split(ids, series, Config{MaxApps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range res.Groups {
+		if len(g) != 2 {
+			t.Fatalf("unbalanced groups: %v", res.Groups)
+		}
+		a, b := ids[g[0]], ids[g[1]]
+		if a[:3] == b[:3] {
+			t.Errorf("correlated pair %s/%s co-located; groups %v", a, b, res.Groups)
+		}
+	}
+}

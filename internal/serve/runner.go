@@ -209,6 +209,7 @@ func (m *Manager) framework(spec JobSpec, h telemetry.Hooks, retry resilience.Po
 		Workers:              m.cfg.Workers,
 		Retry:                retry,
 		Journal:              j,
+		PartitionApps:        spec.PartitionApps,
 	}
 	if m.cache != nil {
 		cfg.Cache = m.cache

@@ -120,6 +120,10 @@ type JobSpec struct {
 	ServerCPUs int   `json:"serverCpus,omitempty"`
 	GASeed     int64 `json:"gaSeed,omitempty"`
 	Islands    int   `json:"islands,omitempty"`
+	// PartitionApps > 0 consolidates with the hierarchical pool-of-pools
+	// search, capping each sub-pool at this many applications; 0 keeps
+	// the flat search (and the pre-hierarchical job keys).
+	PartitionApps int `json:"partitionApps,omitempty"`
 	// QoS is the normal-mode requirement; FailureQoS the failure-mode
 	// one (failover jobs; defaults to QoS).
 	QoS        *QoSSpec `json:"qos,omitempty"`
@@ -207,6 +211,9 @@ func (s *JobSpec) parse() (trace.Set, error) {
 	if s.Islands < 0 {
 		return nil, fmt.Errorf("serve: islands %d < 0", s.Islands)
 	}
+	if s.PartitionApps < 0 {
+		return nil, fmt.Errorf("serve: partitionApps %d < 0", s.PartitionApps)
+	}
 	if s.ServerCPUs <= 0 {
 		return nil, fmt.Errorf("serve: serverCpus %d <= 0", s.ServerCPUs)
 	}
@@ -265,6 +272,11 @@ func (s *JobSpec) Key(set trace.Set) uint64 {
 	// to them) stable.
 	if s.Islands > 1 {
 		h.Int(int64(s.Islands))
+	}
+	// Likewise the partition cap: folded only when the hierarchical
+	// search is actually on, so pre-hierarchical keys stay stable.
+	if s.PartitionApps > 0 {
+		h.String("partitions").Int(int64(s.PartitionApps))
 	}
 	h.Int(int64(s.HorizonWeeks)).Int(int64(s.StepWeeks)).Int(int64(s.PoolServers))
 	// Scenario and topology documents are folded only when present, so

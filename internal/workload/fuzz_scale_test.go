@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// FuzzFleetGen drives the fleet-scale generator config through
+// adversarial values: the contract is that Validate either rejects the
+// config with structured FieldErrors or the apportionment sums exactly
+// to Apps — and, for instances small enough to generate in a fuzz
+// iteration, that the generated set validates and has one trace per
+// app. Weight bits come in as uint64 so NaN/Inf/denormal patterns
+// appear naturally.
+func FuzzFleetGen(f *testing.F) {
+	f.Add(100, 1, int64(time.Hour), int64(2006), uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Add(26, 4, int64(5*time.Minute), int64(42),
+		math.Float64bits(2), math.Float64bits(8), math.Float64bits(16), uint64(0))
+	f.Add(1, 1, int64(time.Minute), int64(-1),
+		math.Float64bits(math.Inf(1)), math.Float64bits(math.NaN()), uint64(1), uint64(1))
+	f.Add(-5, 200, int64(7*time.Hour), int64(0), uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Fuzz(func(t *testing.T, apps, weeks int, interval, seed int64,
+		spiky, bursty, smooth, batch uint64) {
+		cfg := ScaleConfig{
+			Apps:  apps,
+			Weeks: weeks,
+			Mix: Mix{
+				Spiky:  math.Float64frombits(spiky),
+				Bursty: math.Float64frombits(bursty),
+				Smooth: math.Float64frombits(smooth),
+				Batch:  math.Float64frombits(batch),
+			},
+			Interval: time.Duration(interval),
+			Seed:     seed,
+		}
+		if err := cfg.Validate(); err != nil {
+			var fe *FieldError
+			if !errors.As(err, &fe) {
+				t.Fatalf("non-structured validation error: %v", err)
+			}
+			if _, err := cfg.FleetConfig(); err == nil {
+				t.Fatal("FleetConfig accepted a config Validate rejected")
+			}
+			return
+		}
+		fc, err := cfg.FleetConfig()
+		if err != nil {
+			t.Fatalf("valid config failed apportionment: %v", err)
+		}
+		if total := fc.Spiky + fc.Bursty + fc.Smooth + fc.Batch; total != cfg.Apps {
+			t.Fatalf("apportioned %d apps, want %d", total, cfg.Apps)
+		}
+		if fc.Spiky < 0 || fc.Bursty < 0 || fc.Smooth < 0 || fc.Batch < 0 {
+			t.Fatalf("negative class count: %+v", fc)
+		}
+		// Generate only tractable instances; the apportionment contract
+		// above is the part that must hold at any size.
+		if cfg.Apps > 32 || cfg.Weeks > 2 || cfg.Interval < time.Hour {
+			return
+		}
+		set, err := ScaleFleet(cfg)
+		if err != nil {
+			t.Fatalf("valid config failed generation: %v", err)
+		}
+		if len(set) != cfg.Apps {
+			t.Fatalf("generated %d traces, want %d", len(set), cfg.Apps)
+		}
+		if err := set.Validate(); err != nil {
+			t.Fatalf("generated fleet does not validate: %v", err)
+		}
+	})
+}

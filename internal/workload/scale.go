@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"ropus/internal/trace"
+)
+
+// MaxScaleApps bounds fleet-scale generation: beyond ~100k applications
+// a single host's trace storage, not the generator, is the limit.
+const MaxScaleApps = 100000
+
+// maxScaleWeeks bounds the generated history length (2 years).
+const maxScaleWeeks = 104
+
+// Mix apportions a fleet across the behaviour classes by weight. The
+// weights are relative, not percentages: {1,1,1,1} and {25,25,25,25}
+// describe the same fleet.
+type Mix struct {
+	Spiky  float64 `json:"spiky"`
+	Bursty float64 `json:"bursty"`
+	Smooth float64 `json:"smooth"`
+	Batch  float64 `json:"batch"`
+}
+
+// DefaultMix extrapolates the paper's 26-application case study (2
+// spiky, 8 bursty, 16 smooth) to fleet scale, with a batch share for
+// the anti-correlated overnight workloads large pools always carry.
+func DefaultMix() Mix { return Mix{Spiky: 0.07, Bursty: 0.29, Smooth: 0.52, Batch: 0.12} }
+
+// zero reports an all-zero mix (the "use the default" sentinel).
+func (m Mix) zero() bool { return m == Mix{} }
+
+// weights returns the class weights in class order.
+func (m Mix) weights() [4]float64 { return [4]float64{m.Spiky, m.Bursty, m.Smooth, m.Batch} }
+
+// ScaleConfig describes a fleet-scale synthetic workload: 1k-10k (up to
+// MaxScaleApps) heterogeneous applications drawn from the class mix,
+// fully determined by the seed.
+type ScaleConfig struct {
+	// Apps is the total number of applications.
+	Apps int
+	// Mix is the class mix by weight; the zero value selects
+	// DefaultMix.
+	Mix Mix
+	// Weeks of history to generate.
+	Weeks int
+	// Interval is the measurement interval; fleet-scale runs typically
+	// use time.Hour rather than the paper's 5 minutes to keep a 10k-app
+	// history in memory.
+	Interval time.Duration
+	// Seed makes the whole fleet deterministic.
+	Seed int64
+}
+
+// Validate checks the configuration, joining one FieldError per invalid
+// field (Profile is "scale" — the config is fleet-wide, not per app).
+func (c ScaleConfig) Validate() error {
+	var errs []error
+	bad := func(field string, value any, reason string) {
+		errs = append(errs, &FieldError{Profile: "scale", Field: field, Value: value, Reason: reason})
+	}
+	if c.Apps < 1 {
+		bad("Apps", c.Apps, "must be >= 1")
+	} else if c.Apps > MaxScaleApps {
+		bad("Apps", c.Apps, fmt.Sprintf("must be <= %d", MaxScaleApps))
+	}
+	if c.Weeks < 1 {
+		bad("Weeks", c.Weeks, "must be >= 1")
+	} else if c.Weeks > maxScaleWeeks {
+		bad("Weeks", c.Weeks, fmt.Sprintf("must be <= %d", maxScaleWeeks))
+	}
+	if c.Interval < time.Minute || c.Interval > 24*time.Hour || (24*time.Hour)%c.Interval != 0 {
+		bad("Interval", c.Interval, "must divide 24h and be between 1m and 24h")
+	}
+	sum := 0.0
+	for i, w := range c.Mix.weights() {
+		field := "Mix." + [...]string{"Spiky", "Bursty", "Smooth", "Batch"}[i]
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			bad(field, w, "must be a finite number")
+			continue
+		}
+		if w < 0 {
+			bad(field, w, "must be >= 0")
+			continue
+		}
+		sum += w
+	}
+	if !c.Mix.zero() && sum == 0 {
+		bad("Mix", c.Mix, "weights must sum to a positive value")
+	}
+	return errors.Join(errs...)
+}
+
+// FleetConfig resolves the scale description into per-class counts
+// using largest-remainder apportionment, so the counts always sum to
+// Apps exactly and the split is deterministic (remainder ties go to the
+// earlier class in spiky, bursty, smooth, batch order).
+func (c ScaleConfig) FleetConfig() (FleetConfig, error) {
+	if err := c.Validate(); err != nil {
+		return FleetConfig{}, err
+	}
+	mix := c.Mix
+	if mix.zero() {
+		mix = DefaultMix()
+	}
+	w := mix.weights()
+	sum := w[0] + w[1] + w[2] + w[3]
+	var counts [4]int
+	var fracs [4]float64
+	assigned := 0
+	for i, wi := range w {
+		exact := float64(c.Apps) * wi / sum
+		counts[i] = int(math.Floor(exact))
+		fracs[i] = exact - float64(counts[i])
+		assigned += counts[i]
+	}
+	for rest := c.Apps - assigned; rest > 0; rest-- {
+		best := 0
+		for i := 1; i < 4; i++ {
+			if fracs[i] > fracs[best] {
+				best = i
+			}
+		}
+		counts[best]++
+		fracs[best] = -1
+	}
+	return FleetConfig{
+		Spiky: counts[0], Bursty: counts[1], Smooth: counts[2], Batch: counts[3],
+		Weeks: c.Weeks, Interval: c.Interval, Seed: c.Seed,
+	}, nil
+}
+
+// ScaleFleet generates a fleet-scale set of demand traces. Application
+// IDs are app-01, app-02, ... in class order, exactly as Fleet names
+// them, and the whole set is deterministic in the configuration.
+func ScaleFleet(c ScaleConfig) (trace.Set, error) {
+	fc, err := c.FleetConfig()
+	if err != nil {
+		return nil, err
+	}
+	return Fleet(fc)
+}

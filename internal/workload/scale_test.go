@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestScaleFleetApportionment(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  ScaleConfig
+		want FleetConfig
+	}{
+		{
+			name: "default mix 100",
+			cfg:  ScaleConfig{Apps: 100, Weeks: 1, Interval: time.Hour, Seed: 1},
+			want: FleetConfig{Spiky: 7, Bursty: 29, Smooth: 52, Batch: 12, Weeks: 1, Interval: time.Hour, Seed: 1},
+		},
+		{
+			name: "single app lands on heaviest class",
+			cfg:  ScaleConfig{Apps: 1, Weeks: 1, Interval: time.Hour, Seed: 1},
+			want: FleetConfig{Smooth: 1, Weeks: 1, Interval: time.Hour, Seed: 1},
+		},
+		{
+			name: "case-study proportions",
+			cfg: ScaleConfig{Apps: 26, Mix: Mix{Spiky: 2, Bursty: 8, Smooth: 16},
+				Weeks: 4, Interval: 5 * time.Minute, Seed: 2006},
+			want: FleetConfig{Spiky: 2, Bursty: 8, Smooth: 16, Weeks: 4, Interval: 5 * time.Minute, Seed: 2006},
+		},
+		{
+			name: "remainder distributed to largest fractions",
+			cfg:  ScaleConfig{Apps: 10, Mix: Mix{Spiky: 1, Bursty: 1, Smooth: 1}, Weeks: 1, Interval: time.Hour},
+			want: FleetConfig{Spiky: 4, Bursty: 3, Smooth: 3, Weeks: 1, Interval: time.Hour},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := tt.cfg.FleetConfig()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("FleetConfig() = %+v, want %+v", got, tt.want)
+			}
+			if total := got.Spiky + got.Bursty + got.Smooth + got.Batch; total != tt.cfg.Apps {
+				t.Errorf("counts sum to %d, want %d", total, tt.cfg.Apps)
+			}
+		})
+	}
+}
+
+func TestScaleFleetDeterministicAndSized(t *testing.T) {
+	cfg := ScaleConfig{Apps: 64, Weeks: 1, Interval: time.Hour, Seed: 2006}
+	a, err := ScaleFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ScaleFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 64 {
+		t.Fatalf("got %d traces, want 64", len(a))
+	}
+	if a[0].Len() != 168 {
+		t.Fatalf("got %d samples, want 168", a[0].Len())
+	}
+	for i := range a {
+		if a[i].AppID != b[i].AppID {
+			t.Fatalf("trace %d ID drifted: %s vs %s", i, a[i].AppID, b[i].AppID)
+		}
+		for j, v := range a[i].Samples {
+			if v != b[i].Samples[j] {
+				t.Fatalf("trace %s sample %d drifted", a[i].AppID, j)
+			}
+		}
+	}
+}
+
+func TestScaleConfigValidation(t *testing.T) {
+	good := ScaleConfig{Apps: 10, Weeks: 1, Interval: time.Hour, Seed: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	tests := []struct {
+		name  string
+		cfg   ScaleConfig
+		field string
+	}{
+		{"no apps", ScaleConfig{Weeks: 1, Interval: time.Hour}, "Apps"},
+		{"too many apps", ScaleConfig{Apps: MaxScaleApps + 1, Weeks: 1, Interval: time.Hour}, "Apps"},
+		{"no weeks", ScaleConfig{Apps: 10, Interval: time.Hour}, "Weeks"},
+		{"too many weeks", ScaleConfig{Apps: 10, Weeks: 1000, Interval: time.Hour}, "Weeks"},
+		{"zero interval", ScaleConfig{Apps: 10, Weeks: 1}, "Interval"},
+		{"non-dividing interval", ScaleConfig{Apps: 10, Weeks: 1, Interval: 7 * time.Hour}, "Interval"},
+		{"sub-minute interval", ScaleConfig{Apps: 10, Weeks: 1, Interval: time.Second}, "Interval"},
+		{"nan weight", ScaleConfig{Apps: 10, Weeks: 1, Interval: time.Hour,
+			Mix: Mix{Spiky: math.NaN(), Smooth: 1}}, "Mix.Spiky"},
+		{"negative weight", ScaleConfig{Apps: 10, Weeks: 1, Interval: time.Hour,
+			Mix: Mix{Bursty: -1, Smooth: 1}}, "Mix.Bursty"},
+		{"inf weight", ScaleConfig{Apps: 10, Weeks: 1, Interval: time.Hour,
+			Mix: Mix{Batch: math.Inf(1)}}, "Mix.Batch"},
+		// A non-zero mix whose only weight is invalid leaves nothing to
+		// apportion: both the weight and the mix itself are reported.
+		{"zero effective sum", ScaleConfig{Apps: 10, Weeks: 1, Interval: time.Hour,
+			Mix: Mix{Spiky: -2}}, "Mix"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.cfg.Validate()
+			if err == nil {
+				t.Fatal("Validate() accepted a malformed config")
+			}
+			var fe *FieldError
+			if !errors.As(err, &fe) {
+				t.Fatalf("error is not a FieldError: %v", err)
+			}
+			if !scaleHasField(err, tt.field) {
+				t.Errorf("no FieldError for %q in %v", tt.field, err)
+			}
+		})
+	}
+}
+
+// scaleHasField reports whether a (possibly joined) error contains a
+// FieldError for the field.
+func scaleHasField(err error, field string) bool {
+	var fe *FieldError
+	if errors.As(err, &fe) && fe.Field == field {
+		return true
+	}
+	type unwrapper interface{ Unwrap() []error }
+	if u, ok := err.(unwrapper); ok {
+		for _, e := range u.Unwrap() {
+			if scaleHasField(e, field) {
+				return true
+			}
+		}
+	}
+	return false
+}
